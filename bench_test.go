@@ -1,0 +1,254 @@
+package pbtree_test
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus per-operation microbenchmarks of each tree variant.
+//
+// Figure benchmarks run the corresponding experiment from internal/exp
+// at a reduced scale (the CLI `pbench -fig <id> -scale 1` reproduces
+// paper-sized runs). Reported metrics are simulated cycles, which is
+// what the paper plots; wall-clock ns/op measures the simulator, not
+// the algorithms.
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbtree"
+	"pbtree/internal/exp"
+)
+
+// benchScale keeps the per-iteration cost of figure benchmarks low.
+const benchScale = 0.002
+
+func benchFigure(b *testing.B, id string) {
+	o := exp.Options{Scale: benchScale, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		tables, err := exp.Run(id, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkFigure01Breakdown(b *testing.B)      { benchFigure(b, "fig1") }
+func BenchmarkFigure02NodeTiming(b *testing.B)     { benchFigure(b, "fig2") }
+func BenchmarkFigure03ScanTiming(b *testing.B)     { benchFigure(b, "fig3") }
+func BenchmarkFigure07SearchSweep(b *testing.B)    { benchFigure(b, "fig7") }
+func BenchmarkTable03TreeLevels(b *testing.B)      { benchFigure(b, "tab3") }
+func BenchmarkFigure08BulkloadFactor(b *testing.B) { benchFigure(b, "fig8") }
+func BenchmarkFigure09ScanStructures(b *testing.B) { benchFigure(b, "fig9") }
+func BenchmarkFigure10RangeScans(b *testing.B)     { benchFigure(b, "fig10") }
+func BenchmarkFigure11SegmentedScans(b *testing.B) { benchFigure(b, "fig11") }
+func BenchmarkFigure12Updates(b *testing.B)        { benchFigure(b, "fig12") }
+func BenchmarkFigure13SplitAnalysis(b *testing.B)  { benchFigure(b, "fig13") }
+func BenchmarkFigure14MatureTrees(b *testing.B)    { benchFigure(b, "fig14") }
+func BenchmarkFigure15MatureScans(b *testing.B)    { benchFigure(b, "fig15") }
+func BenchmarkFigure16Sensitivity(b *testing.B)    { benchFigure(b, "fig16") }
+func BenchmarkFigure17CachePerf(b *testing.B)      { benchFigure(b, "fig17") }
+func BenchmarkExtDiskResident(b *testing.B)        { benchFigure(b, "extdisk") }
+func BenchmarkExtAblations(b *testing.B)           { benchFigure(b, "extablation") }
+func BenchmarkExtCSBInsertion(b *testing.B)        { benchFigure(b, "extcsb") }
+func BenchmarkExtIndexGenerations(b *testing.B)    { benchFigure(b, "extindexes") }
+
+// --- per-operation microbenchmarks -------------------------------
+
+const benchKeys = 200_000
+
+func benchPairs() []pbtree.Pair {
+	pairs := make([]pbtree.Pair, benchKeys)
+	for i := range pairs {
+		pairs[i] = pbtree.Pair{Key: pbtree.Key(8 * (i + 1)), TID: pbtree.TID(i + 1)}
+	}
+	return pairs
+}
+
+// opVariants is the per-operation benchmark lineup.
+var opVariants = []struct {
+	name string
+	cfg  pbtree.Config
+}{
+	{"Bplus", pbtree.Config{Width: 1}},
+	{"p8", pbtree.Config{Width: 8, Prefetch: true}},
+	{"p8e", pbtree.Config{Width: 8, Prefetch: true, JumpArray: pbtree.JumpExternal}},
+	{"p8i", pbtree.Config{Width: 8, Prefetch: true, JumpArray: pbtree.JumpInternal}},
+	// Ablation: wide nodes without prefetch lose (equation 1).
+	{"w8noPrefetch", pbtree.Config{Width: 8}},
+}
+
+func buildBenchTree(b *testing.B, cfg pbtree.Config) *pbtree.Tree {
+	b.Helper()
+	t := pbtree.MustNew(cfg)
+	if err := t.Bulkload(benchPairs(), 1.0); err != nil {
+		b.Fatal(err)
+	}
+	t.Mem().ResetStats()
+	return t
+}
+
+// reportSimCycles attaches the simulated cycles/op metric.
+func reportSimCycles(b *testing.B, t *pbtree.Tree, start uint64) {
+	b.ReportMetric(float64(t.Mem().Now()-start)/float64(b.N), "simcycles/op")
+}
+
+func BenchmarkSearchWarm(b *testing.B) {
+	for _, v := range opVariants {
+		b.Run(v.name, func(b *testing.B) {
+			t := buildBenchTree(b, v.cfg)
+			r := rand.New(rand.NewSource(1))
+			start := t.Mem().Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := t.Search(pbtree.Key(8 * (r.Intn(benchKeys) + 1))); !ok {
+					b.Fatal("lost key")
+				}
+			}
+			reportSimCycles(b, t, start)
+		})
+	}
+}
+
+func BenchmarkSearchCold(b *testing.B) {
+	for _, v := range opVariants {
+		b.Run(v.name, func(b *testing.B) {
+			t := buildBenchTree(b, v.cfg)
+			r := rand.New(rand.NewSource(2))
+			start := t.Mem().Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Mem().FlushCaches()
+				if _, ok := t.Search(pbtree.Key(8 * (r.Intn(benchKeys) + 1))); !ok {
+					b.Fatal("lost key")
+				}
+			}
+			reportSimCycles(b, t, start)
+		})
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	for _, v := range opVariants {
+		b.Run(v.name, func(b *testing.B) {
+			t := buildBenchTree(b, v.cfg)
+			r := rand.New(rand.NewSource(3))
+			start := t.Mem().Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Insert(pbtree.Key(8*(r.Intn(benchKeys)+1)+1+r.Intn(7)), 1)
+			}
+			reportSimCycles(b, t, start)
+		})
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	for _, v := range opVariants {
+		b.Run(v.name, func(b *testing.B) {
+			t := buildBenchTree(b, v.cfg)
+			r := rand.New(rand.NewSource(4))
+			start := t.Mem().Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Delete(pbtree.Key(8 * (r.Intn(benchKeys) + 1)))
+			}
+			reportSimCycles(b, t, start)
+		})
+	}
+}
+
+// BenchmarkScan1000 scans 1000 tupleIDs per iteration from a cold
+// cache (one Figure 10(a) request).
+func BenchmarkScan1000(b *testing.B) {
+	for _, v := range opVariants {
+		b.Run(v.name, func(b *testing.B) {
+			t := buildBenchTree(b, v.cfg)
+			r := rand.New(rand.NewSource(5))
+			start := t.Mem().Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Mem().FlushCaches()
+				k := pbtree.Key(8 * (r.Intn(benchKeys-2000) + 1))
+				if got := t.Scan(k, 1000); got != 1000 {
+					b.Fatal("short scan")
+				}
+			}
+			reportSimCycles(b, t, start)
+		})
+	}
+}
+
+// BenchmarkBulkload builds the whole index per iteration.
+func BenchmarkBulkload(b *testing.B) {
+	pairs := benchPairs()
+	for _, v := range opVariants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := pbtree.MustNew(v.cfg)
+				if err := t.Bulkload(pairs, 0.9); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelectTuples measures the section 5 tuple-returning range
+// selection (1000 rows per iteration) with batch tuple prefetching.
+func BenchmarkSelectTuples(b *testing.B) {
+	mem := pbtree.DefaultHierarchy()
+	space := pbtree.NewAddressSpace(mem.Config().LineSize)
+	tab := pbtree.MustNewHeap(mem, space, 64)
+	pairs := make([]pbtree.Pair, benchKeys)
+	for i := range pairs {
+		k := pbtree.Key(8 * (i + 1))
+		pairs[i] = pbtree.Pair{Key: k, TID: tab.Append(k)}
+	}
+	t := pbtree.MustNew(pbtree.Config{
+		Width: 8, Prefetch: true, JumpArray: pbtree.JumpExternal,
+		Mem: mem, Space: space,
+	})
+	if err := t.Bulkload(pairs, 1.0); err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	start := mem.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem.FlushCaches()
+		lo := pbtree.Key(8 * (r.Intn(benchKeys-2000) + 1))
+		if got := pbtree.SelectTuples(t, tab, lo, lo+8*999, pbtree.QueryOptions{}, nil); got < 999 {
+			b.Fatalf("selected %d", got)
+		}
+	}
+	b.ReportMetric(float64(mem.Now()-start)/float64(b.N), "simcycles/op")
+}
+
+// BenchmarkCSBSearch benchmarks the CSB+ baseline for comparison.
+func BenchmarkCSBSearch(b *testing.B) {
+	for _, w := range []struct {
+		name string
+		cfg  pbtree.CSBConfig
+	}{
+		{"CSB", pbtree.CSBConfig{Width: 1}},
+		{"p8CSB", pbtree.CSBConfig{Width: 8, Prefetch: true}},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			t := pbtree.MustNewCSB(w.cfg)
+			if err := t.Bulkload(benchPairs(), 1.0); err != nil {
+				b.Fatal(err)
+			}
+			t.Mem().ResetStats()
+			r := rand.New(rand.NewSource(6))
+			start := t.Mem().Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := t.Search(pbtree.Key(8 * (r.Intn(benchKeys) + 1))); !ok {
+					b.Fatal("lost key")
+				}
+			}
+			b.ReportMetric(float64(t.Mem().Now()-start)/float64(b.N), "simcycles/op")
+		})
+	}
+}

@@ -1,0 +1,66 @@
+// Command pbench regenerates the tables and figures of "Improving
+// Index Performance through Prefetching" (Chen, Gibbons, Mowry;
+// SIGMOD 2001) on the simulated memory hierarchy.
+//
+// Usage:
+//
+//	pbench -list
+//	pbench -fig fig7 -scale 0.1
+//	pbench -fig fig10,fig11 -scale 1
+//	pbench -fig all
+//
+// -scale 1 reproduces paper-sized workloads (10M-key trees, 100K
+// operations); the default 0.1 runs the same shapes in seconds. All
+// reported times are simulated cycles, deterministic for a given seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pbtree/internal/exp"
+)
+
+func main() {
+	var (
+		figs  = flag.String("fig", "all", "comma-separated experiment ids, or 'all'")
+		scale = flag.Float64("scale", 0.1, "workload scale factor (1 = paper size)")
+		seed  = flag.Int64("seed", 1, "workload random seed")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Experiments() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Brief)
+		}
+		return
+	}
+
+	opts := exp.Options{Scale: *scale, Seed: *seed}
+	var ids []string
+	if *figs == "all" {
+		for _, e := range exp.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*figs, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tables, err := exp.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "[%s: %.1fs wall]\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,101 @@
+// Tuning: picking the node width w and the prefetching distance k for
+// a given memory system, as section 2.2 and equation (3) describe.
+//
+// The optimal width grows with the machine's normalized memory
+// bandwidth B = T1/Tnext: the more misses the memory system can
+// overlap, the wider (and flatter) the tree should be. The prefetch
+// distance is a property of the scan code, not the structure, so a
+// deployed index adapts to a new machine by changing one constant.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pbtree"
+)
+
+const nKeys = 1_000_000
+
+func pairs() []pbtree.Pair {
+	ps := make([]pbtree.Pair, nKeys)
+	for i := range ps {
+		ps[i] = pbtree.Pair{Key: pbtree.Key(8 * (i + 1)), TID: pbtree.TID(i + 1)}
+	}
+	return ps
+}
+
+// coldSearchCycles measures cold-cache searches for 2000 random keys.
+func coldSearchCycles(t *pbtree.Tree, seed int64) uint64 {
+	r := rand.New(rand.NewSource(seed))
+	mem := t.Mem()
+	mem.ResetStats()
+	start := mem.Now()
+	for i := 0; i < 2000; i++ {
+		mem.FlushCaches()
+		t.Search(pbtree.Key(8 * (r.Intn(nKeys) + 1)))
+	}
+	return mem.Now() - start
+}
+
+func main() {
+	ps := pairs()
+
+	fmt.Println("1. node width vs memory bandwidth (cold search, M cycles)")
+	fmt.Printf("%6s", "B")
+	widths := []int{1, 2, 4, 8, 16}
+	for _, w := range widths {
+		fmt.Printf(" %8s", fmt.Sprintf("w=%d", w))
+	}
+	fmt.Println("   best")
+	for _, b := range []int{5, 15, 30} {
+		mcfg := pbtree.DefaultMemConfig().WithBandwidth(b)
+		fmt.Printf("%6d", b)
+		best, bestW := ^uint64(0), 0
+		for _, w := range widths {
+			t := pbtree.MustNew(pbtree.Config{
+				Width:    w,
+				Prefetch: w > 1,
+				Mem:      pbtree.NewHierarchy(mcfg),
+			})
+			if err := t.Bulkload(ps, 1.0); err != nil {
+				panic(err)
+			}
+			c := coldSearchCycles(t, int64(b))
+			fmt.Printf(" %8.2f", float64(c)/1e6)
+			if c < best {
+				best, bestW = c, w
+			}
+		}
+		fmt.Printf("   w=%d\n", bestW)
+	}
+
+	fmt.Println("\n2. prefetching distance k for scans (1M-pair scan, M cycles)")
+	fmt.Println("   equation (3): k = ceil(B/w); B=15, w=8 gives k=2, plus slack -> 3")
+	for _, k := range []int{1, 2, 3, 4, 8, 16} {
+		t := pbtree.MustNew(pbtree.Config{
+			Width:        8,
+			Prefetch:     true,
+			JumpArray:    pbtree.JumpExternal,
+			PrefetchDist: k,
+		})
+		if err := t.Bulkload(ps, 1.0); err != nil {
+			panic(err)
+		}
+		mem := t.Mem()
+		mem.FlushCaches()
+		mem.ResetStats()
+		start := mem.Now()
+		if got := t.Scan(8, nKeys/2); got != nKeys/2 {
+			panic("short scan")
+		}
+		fmt.Printf("   k=%-3d %8.2f\n", k, float64(mem.Now()-start)/1e6)
+	}
+
+	fmt.Println("\n3. default configuration chosen for this machine model:")
+	t := pbtree.MustNew(pbtree.Config{Width: 8, Prefetch: true, JumpArray: pbtree.JumpExternal})
+	cfg := t.Config()
+	fmt.Printf("   %s: w=%d, k=%d, chunk=%d lines (B=%.0f)\n",
+		t.Name(), cfg.Width, cfg.PrefetchDist, cfg.ChunkLines,
+		t.Mem().Config().Bandwidth())
+}

@@ -1,0 +1,75 @@
+// Tuple-returning range selection (section 5 of the paper): a query
+// wants the rows themselves, not tupleIDs, so after the index scan
+// every qualifying tuple must be fetched from the heap file. The
+// prefetching approach extends naturally — prefetch each batch of
+// tuples as soon as their tupleIDs are known — and the adaptive
+// scanner picks plain scans for short estimated ranges (section 4.3).
+package main
+
+import (
+	"fmt"
+
+	"pbtree"
+)
+
+const (
+	rows      = 1_000_000
+	tupleSize = 128 // two cache lines per row
+)
+
+func main() {
+	// Index and heap share one hierarchy and one address space, so
+	// they compete for the same simulated caches, as on real hardware.
+	mem := pbtree.DefaultHierarchy()
+	space := pbtree.NewAddressSpace(mem.Config().LineSize)
+	tab := pbtree.MustNewHeap(mem, space, tupleSize)
+
+	pairs := make([]pbtree.Pair, rows)
+	for i := range pairs {
+		k := pbtree.Key(8 * (i + 1))
+		pairs[i] = pbtree.Pair{Key: k, TID: tab.Append(k)}
+	}
+	idx := pbtree.MustNew(pbtree.Config{
+		Width: 8, Prefetch: true, JumpArray: pbtree.JumpExternal,
+		Mem: mem, Space: space,
+	})
+	if err := idx.Bulkload(pairs, 1.0); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s over a %d-row heap (%d B tuples)\n\n", idx.Name(), tab.Len(), tupleSize)
+
+	run := func(label string, lo, hi pbtree.Key, tuples bool) {
+		mem.FlushCaches()
+		mem.ResetStats()
+		start := mem.Now()
+		var n int
+		if tuples {
+			n = pbtree.SelectTuples(idx, tab, lo, hi, pbtree.QueryOptions{}, nil)
+		} else {
+			n = pbtree.SelectTIDs(idx, lo, hi, pbtree.QueryOptions{}, nil)
+		}
+		st := mem.Stats()
+		fmt.Printf("%-34s %8d rows %12d cycles  (%4.1f%% stalled)\n",
+			label, n, mem.Now()-start, 100*float64(st.Stall)/float64(st.Total()))
+	}
+
+	// Short range: the optimizer's estimate routes it to the plain
+	// scanner (no prefetch startup cost).
+	run("short range, tupleIDs (adaptive)", 8*1000, 8*1019, false)
+	// Long ranges: prefetching scans, with and without tuple fetch.
+	run("100K range, tupleIDs", 8*1000, 8*100_999, false)
+	run("100K range, full tuples", 8*1000, 8*100_999, true)
+
+	// Contrast: fetch the same tuples one miss at a time.
+	mem.FlushCaches()
+	start := mem.Now()
+	pbtree.SelectTIDs(idx, 8*1000, 8*100_999, pbtree.QueryOptions{}, func(b []pbtree.TID) {
+		for _, tid := range b {
+			tab.Read(tid)
+		}
+	})
+	fmt.Printf("%-34s %8d rows %12d cycles\n", "100K range, serial tuple fetch", 100_000, mem.Now()-start)
+
+	fmt.Println("\nsection 5: returning tuples costs only the additional step of")
+	fmt.Println("prefetching each tuple once its tupleID is identified.")
+}

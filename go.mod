@@ -1,0 +1,3 @@
+module pbtree
+
+go 1.22

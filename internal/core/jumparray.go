@@ -1,0 +1,267 @@
+package core
+
+// This file implements the external jump-pointer array of section 3.2:
+// a chunked linked list of leaf-node addresses used to prefetch
+// arbitrarily far ahead during range scans. Each leaf carries a hint
+// back-pointer: the chunk is always correct, the slot index may be
+// stale and is repaired for free whenever the precise position is
+// looked up.
+
+// chunkHeaderFields is the number of 4-byte fields (next, prev) at the
+// front of a chunk.
+const chunkHeaderFields = 2
+
+// chunk is one piece of the external jump-pointer array. slots[i] is
+// nil for an empty slot; occupied slots appear in leaf key order.
+type chunk struct {
+	addr       uint64
+	next, prev *chunk
+	slots      []*node
+	n          int // occupied slots
+}
+
+// slotAddr returns the simulated address of slots[i].
+func (c *chunk) slotAddr(i int) uint64 {
+	return c.addr + uint64((chunkHeaderFields+i)*fieldSize)
+}
+
+// chunkBytes is the allocation size of a chunk.
+func (t *Tree) chunkBytes() int {
+	return (t.jpCap + chunkHeaderFields) * fieldSize
+}
+
+// newChunk allocates an empty chunk.
+func (t *Tree) newChunk() *chunk {
+	return &chunk{
+		addr:  t.space.Alloc(t.chunkBytes()),
+		slots: make([]*node, t.jpCap),
+	}
+}
+
+// jpBulkload builds the jump-pointer array over the given leaves,
+// filling each chunk to the bulkload factor with the empty slots
+// evenly interleaved.
+func (t *Tree) jpBulkload(leaves []*node, fill float64) {
+	occ := fillCount(t.jpCap, fill)
+	var tail *chunk
+	for start := 0; start < len(leaves); start += occ {
+		end := start + occ
+		if end > len(leaves) {
+			end = len(leaves)
+		}
+		ck := t.newChunk()
+		t.mem.AccessRange(ck.addr, t.chunkBytes())
+		for j := start; j < end; j++ {
+			// Spread the occupied slots across the chunk so every
+			// insertion finds a nearby empty slot.
+			slot := t.jpSlotFor(j-start, occ)
+			ck.slots[slot] = leaves[j]
+			leaves[j].hint = hintPos{chunk: ck, slot: slot}
+			t.mem.Access(t.leafLay.hintAddr(leaves[j].addr))
+		}
+		ck.n = end - start
+		if tail == nil {
+			t.jpHead = ck
+		} else {
+			tail.next = ck
+			ck.prev = tail
+			t.mem.Access(tail.addr)
+			t.mem.Access(ck.addr)
+		}
+		tail = ck
+	}
+	if t.jpHead == nil { // no leaves at all: keep one empty chunk
+		t.jpHead = t.newChunk()
+	}
+}
+
+// jpLocate follows leaf's hint to its precise slot, searching outward
+// within the chunk when the hint is stale, and repairs the hint (for
+// free: the leaf is cached after the search that preceded this call).
+func (t *Tree) jpLocate(leaf *node) (*chunk, int) {
+	h := leaf.hint
+	ck := h.chunk
+	t.mem.Access(t.leafLay.hintAddr(leaf.addr))
+	t.mem.Access(ck.addr)
+	t.mem.Access(ck.slotAddr(h.slot))
+	if ck.slots[h.slot] == leaf {
+		return ck, h.slot
+	}
+	t.stats.HintRepairs++
+	for d := 1; d < len(ck.slots); d++ {
+		if i := h.slot + d; i < len(ck.slots) {
+			t.mem.Access(ck.slotAddr(i))
+			if ck.slots[i] == leaf {
+				leaf.hint.slot = i
+				return ck, i
+			}
+		}
+		if i := h.slot - d; i >= 0 {
+			t.mem.Access(ck.slotAddr(i))
+			if ck.slots[i] == leaf {
+				leaf.hint.slot = i
+				return ck, i
+			}
+		}
+	}
+	panic("core: leaf missing from its hinted jump-pointer chunk")
+}
+
+// jpInsertAfter inserts newLeaf's jump pointer immediately after
+// left's, shifting pointers toward the nearest empty slot, or
+// splitting the chunk when it is full (section 3.4, Insertion).
+func (t *Tree) jpInsertAfter(left, newLeaf *node) {
+	ck, p := t.jpLocate(left)
+	t.stats.JumpPointerInserts++
+
+	// Find the nearest empty slot, searching outward from p.
+	empty := -1
+	for d := 1; d < len(ck.slots); d++ {
+		if i := p + d; i < len(ck.slots) {
+			t.mem.Access(ck.slotAddr(i))
+			if ck.slots[i] == nil {
+				empty = i
+				break
+			}
+		}
+		if i := p - d; i >= 0 {
+			t.mem.Access(ck.slotAddr(i))
+			if ck.slots[i] == nil {
+				empty = i
+				break
+			}
+		}
+	}
+
+	switch {
+	case empty > p:
+		// Shift (p, empty) one slot right; newLeaf lands at p+1.
+		moved := empty - p - 1
+		copy(ck.slots[p+2:empty+1], ck.slots[p+1:empty])
+		ck.slots[p+1] = newLeaf
+		newLeaf.hint = hintPos{chunk: ck, slot: p + 1}
+		ck.n++
+		t.mem.AccessRange(ck.slotAddr(p+1), (moved+1)*fieldSize)
+		t.mem.Access(t.leafLay.hintAddr(newLeaf.addr))
+		t.mem.Compute(t.cost.Move * uint64(moved+1))
+		if t.cfg.Ablation.ExactHints {
+			t.jpRehint(ck, p+2, empty+1)
+		}
+	case empty >= 0:
+		// Shift (empty, p] one slot left; newLeaf lands at p. The
+		// hints of the moved leaves are NOT updated — they are hints.
+		moved := p - empty
+		copy(ck.slots[empty:p], ck.slots[empty+1:p+1])
+		ck.slots[p] = newLeaf
+		newLeaf.hint = hintPos{chunk: ck, slot: p}
+		left.hint.slot = p - 1 // left is cached: free update
+		ck.n++
+		t.mem.AccessRange(ck.slotAddr(empty), (moved+1)*fieldSize)
+		t.mem.Access(t.leafLay.hintAddr(newLeaf.addr))
+		t.mem.Compute(t.cost.Move * uint64(moved+1))
+		if t.cfg.Ablation.ExactHints {
+			t.jpRehint(ck, empty, p)
+		}
+	default:
+		t.jpSplitChunk(ck, p, newLeaf)
+	}
+}
+
+// jpSplitChunk splits a full chunk around the insertion of newLeaf
+// after slot p, redistributing the pointers evenly (with evenly
+// interleaved empty slots) across the two chunks and updating the
+// hints of every moved leaf.
+func (t *Tree) jpSplitChunk(ck *chunk, p int, newLeaf *node) {
+	t.stats.ChunkSplits++
+	nc := t.newChunk()
+	t.mem.PrefetchRange(nc.addr, t.chunkBytes())
+
+	// Combined pointer order: slots[0..p], newLeaf, slots[p+1..].
+	combined := make([]*node, 0, ck.n+1)
+	combined = append(combined, ck.slots[:p+1]...)
+	combined = append(combined, newLeaf)
+	combined = append(combined, ck.slots[p+1:]...)
+
+	half := (len(combined) + 1) / 2
+	for i := range ck.slots {
+		ck.slots[i] = nil
+	}
+	t.jpFill(ck, combined[:half])
+	t.jpFill(nc, combined[half:])
+
+	nc.next = ck.next
+	nc.prev = ck
+	if ck.next != nil {
+		ck.next.prev = nc
+		t.mem.Access(ck.next.addr)
+	}
+	ck.next = nc
+	t.mem.Access(ck.addr)
+	t.mem.Access(nc.addr)
+}
+
+// jpFill lays pointers into a chunk with empty slots evenly
+// interleaved and updates (and charges) each leaf's hint. The hint
+// lines are prefetched first so the writes overlap instead of paying
+// one full miss per leaf.
+func (t *Tree) jpFill(ck *chunk, leaves []*node) {
+	ck.n = len(leaves)
+	for _, leaf := range leaves {
+		t.mem.Prefetch(t.leafLay.hintAddr(leaf.addr))
+	}
+	for j, leaf := range leaves {
+		slot := t.jpSlotFor(j, len(leaves))
+		ck.slots[slot] = leaf
+		leaf.hint = hintPos{chunk: ck, slot: slot}
+		t.mem.Access(t.leafLay.hintAddr(leaf.addr))
+	}
+	t.mem.AccessRange(ck.addr, t.chunkBytes())
+	t.mem.Compute(t.cost.Move * uint64(len(leaves)))
+}
+
+// jpSlotFor places occupied entry j of occ within a chunk: evenly
+// interleaved with empties by default, packed left under the
+// PackChunks ablation.
+func (t *Tree) jpSlotFor(j, occ int) int {
+	if t.cfg.Ablation.PackChunks {
+		return j
+	}
+	return j * t.jpCap / occ
+}
+
+// jpRehint eagerly repairs the hints of the jump pointers in chunk
+// slots [lo, hi), charging one leaf write each — the cost the
+// hints-are-hints design avoids (ExactHints ablation only).
+func (t *Tree) jpRehint(ck *chunk, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if leaf := ck.slots[i]; leaf != nil {
+			leaf.hint = hintPos{chunk: ck, slot: i}
+			t.mem.Access(t.leafLay.hintAddr(leaf.addr))
+		}
+	}
+}
+
+// jpRemove deletes leaf's jump pointer: the slot is nulled, or the
+// chunk removed from the list when this was its last pointer
+// (section 3.4, Deletion).
+func (t *Tree) jpRemove(leaf *node) {
+	ck, p := t.jpLocate(leaf)
+	t.stats.JumpPointerRemovals++
+	if ck.n >= 2 {
+		ck.slots[p] = nil
+		ck.n--
+		t.mem.Access(ck.slotAddr(p))
+		return
+	}
+	t.stats.ChunkRemoves++
+	if ck.prev != nil {
+		ck.prev.next = ck.next
+		t.mem.Access(ck.prev.addr)
+	} else {
+		t.jpHead = ck.next
+	}
+	if ck.next != nil {
+		ck.next.prev = ck.prev
+		t.mem.Access(ck.next.addr)
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+// MaxKey is the largest possible key, usable as an open scan bound.
+const MaxKey = Key(^Key(0))
+
+// Scanner is a resumable range scan. It is created positioned on the
+// first qualifying pair; each Next call copies pairs into the caller's
+// return buffer until the buffer fills, the end key is passed, or the
+// index is exhausted — the segmented-scan protocol of section 3.
+//
+// Depending on the tree's configuration the scanner prefetches within
+// the current leaf only (p^w), or uses the external or internal
+// jump-pointer array to prefetch the leaf PrefetchDist nodes ahead
+// (sections 3.3-3.5).
+type Scanner struct {
+	t    *Tree
+	leaf *node
+	idx  int
+	end  Key
+	done bool
+
+	// External jump-pointer array cursor: the position of the most
+	// recently prefetched leaf.
+	ck    *chunk
+	ckIdx int
+
+	// Internal jump-pointer array cursor.
+	bn    *node
+	bnIdx int
+
+	cursorDone bool
+
+	// noPrefetch disables all scan prefetching for this scanner (the
+	// short-range fallback of section 4.3).
+	noPrefetch bool
+
+	// Simulated return buffer region, reused across Next calls.
+	bufAddr  uint64
+	bufBytes int
+	// bufPF is the prefetch write offset within the current Next
+	// call's buffer ("assume the leaf is full and prefetch the return
+	// buffer area accordingly").
+	bufPF int
+}
+
+// NewScan searches for the starting key and returns a scanner over
+// [start, end]. The search cost is charged like any index search.
+func (t *Tree) NewScan(start, end Key) *Scanner {
+	return t.newScan(start, end, false)
+}
+
+// NewScanNoPrefetch returns a scanner that performs no scan
+// prefetching at all. Section 4.3 observes that for ranges below
+// roughly 100 tupleIDs the prefetch startup cost is not repaid; a
+// query optimizer (see EstimateRange) can pick this scanner for short
+// ranges.
+func (t *Tree) NewScanNoPrefetch(start, end Key) *Scanner {
+	return t.newScan(start, end, true)
+}
+
+func (t *Tree) newScan(start, end Key, noPrefetch bool) *Scanner {
+	t.mem.Compute(t.cost.Op)
+	leaf, ub, found := t.findLeaf(start)
+	idx := ub
+	if found {
+		idx = ub - 1
+	}
+	s := &Scanner{t: t, leaf: leaf, idx: idx, end: end, noPrefetch: noPrefetch}
+
+	// The starting position may be one past the last key of this leaf.
+	if idx >= leaf.nkeys {
+		s.advanceLeafNoPrefetch()
+	}
+	if s.leaf == nil {
+		s.done = true
+		return s
+	}
+	if noPrefetch {
+		return s
+	}
+
+	switch t.cfg.JumpArray {
+	case JumpExternal:
+		s.startupExternal()
+	case JumpInternal:
+		s.startupInternal()
+	}
+	return s
+}
+
+// advanceLeafNoPrefetch steps to the next leaf without the prefetch
+// cursor (used only for the initial positioning edge case).
+func (s *Scanner) advanceLeafNoPrefetch() {
+	s.t.mem.Access(s.t.leafLay.nextAddr(s.leaf.addr))
+	s.leaf = s.leaf.next
+	s.idx = 0
+}
+
+// startupExternal performs the startup phase of section 3.3: locate
+// the starting leaf in the jump-pointer array, prefetch the current
+// and next chunks, and range-prefetch the first k leaves.
+func (s *Scanner) startupExternal() {
+	t := s.t
+	s.ck, s.ckIdx = t.jpLocate(s.leaf)
+	t.mem.PrefetchRange(s.ck.addr, t.chunkBytes())
+	if s.ck.next != nil {
+		t.mem.PrefetchRange(s.ck.next.addr, t.chunkBytes())
+	}
+	// The current leaf is already cached from the search; prefetch the
+	// k-1 following leaves, leaving the cursor on the last one.
+	for i := 1; i < t.cfg.PrefetchDist; i++ {
+		s.prefetchNextExternal()
+	}
+}
+
+// prefetchNextExternal advances the external cursor one occupied slot
+// and range-prefetches that leaf.
+func (s *Scanner) prefetchNextExternal() {
+	if s.cursorDone {
+		return
+	}
+	t := s.t
+	i := s.ckIdx + 1
+	ck := s.ck
+	for {
+		if i >= len(ck.slots) {
+			if ck.next == nil {
+				s.cursorDone = true
+				return
+			}
+			ck = ck.next
+			i = 0
+			// Entering a new chunk: prefetch the chunk after it so it
+			// is resident before we reach it (section 3.3).
+			if ck.next != nil {
+				t.mem.PrefetchRange(ck.next.addr, t.chunkBytes())
+			}
+			continue
+		}
+		t.mem.Access(ck.slotAddr(i))
+		if ck.slots[i] != nil {
+			break
+		}
+		i++
+	}
+	s.ck, s.ckIdx = ck, i
+	s.rangePrefetchLeaf(ck.slots[i])
+}
+
+// startupInternal initializes the internal jump-pointer array cursor
+// from the recorded descent and prefetches the first k leaves. The
+// starting position within the bottom non-leaf node was determined by
+// the search, so no lookup is needed (section 3.5).
+func (s *Scanner) startupInternal() {
+	t := s.t
+	if len(t.path) == 0 {
+		return // the root is a leaf: nothing to prefetch across
+	}
+	p := t.path[len(t.path)-1]
+	s.bn, s.bnIdx = p.n, p.idx
+	if s.bn.next != nil {
+		t.mem.PrefetchRange(s.bn.next.addr, t.bottomLay.size)
+	}
+	for i := 1; i < t.cfg.PrefetchDist; i++ {
+		s.prefetchNextInternal()
+	}
+}
+
+// prefetchNextInternal advances the internal cursor one child and
+// range-prefetches that leaf.
+func (s *Scanner) prefetchNextInternal() {
+	if s.cursorDone || s.bn == nil {
+		return
+	}
+	t := s.t
+	i := s.bnIdx + 1
+	bn := s.bn
+	if i > bn.nkeys {
+		if bn.next == nil {
+			s.cursorDone = true
+			return
+		}
+		bn = bn.next
+		i = 0
+		if bn.next != nil {
+			t.mem.PrefetchRange(bn.next.addr, t.bottomLay.size)
+		}
+	}
+	s.bn, s.bnIdx = bn, i
+	t.mem.Access(t.bottomLay.ptrAddr(bn.addr, i))
+	s.rangePrefetchLeaf(bn.children[i])
+}
+
+// rangePrefetchLeaf prefetches all lines of a leaf plus the return
+// buffer area it will be copied into.
+func (s *Scanner) rangePrefetchLeaf(leaf *node) {
+	t := s.t
+	t.mem.PrefetchRange(leaf.addr, t.leafLay.size)
+	if s.bufBytes > 0 && !t.cfg.Ablation.NoBufferPrefetch {
+		n := t.leafLay.maxKeys * fieldSize
+		if s.bufPF+n > s.bufBytes {
+			n = s.bufBytes - s.bufPF
+		}
+		if n > 0 {
+			t.mem.PrefetchRange(s.bufAddr+uint64(s.bufPF), n)
+			s.bufPF += n
+		}
+	}
+}
+
+// Next copies qualifying tupleIDs into buf and returns how many were
+// copied. A return of 0 means the scan is complete. A full buffer
+// pauses the scan; the next call resumes where it left off.
+func (s *Scanner) Next(buf []TID) int {
+	if s.done || len(buf) == 0 {
+		return 0
+	}
+	t := s.t
+
+	// (Re)use the simulated return buffer region.
+	if s.bufBytes < len(buf)*fieldSize {
+		s.bufBytes = len(buf) * fieldSize
+		s.bufAddr = t.space.Alloc(s.bufBytes)
+	}
+	// Prime the buffer prefetch k leaves ahead of the writer, mirroring
+	// the startup range prefetch of the leaves themselves ("we will
+	// assume that the leaf is full and prefetch the return buffer area
+	// accordingly"). Without a jump-pointer array the buffer is still
+	// prefetched, but only one leaf ahead.
+	s.bufPF = 0
+	if t.cfg.Prefetch && !s.noPrefetch && !t.cfg.Ablation.NoBufferPrefetch {
+		leaves := 1
+		if t.cfg.JumpArray != JumpNone {
+			leaves = t.cfg.PrefetchDist
+		}
+		ahead := leaves * t.leafLay.maxKeys * fieldSize
+		if ahead > len(buf)*fieldSize {
+			ahead = len(buf) * fieldSize
+		}
+		t.mem.PrefetchRange(s.bufAddr, ahead)
+		s.bufPF = ahead
+	}
+
+	written := 0
+	for {
+		leaf := s.leaf
+		lay := t.leafLay
+		for s.idx < leaf.nkeys {
+			// The boundary check touches the key line; its comparison
+			// is part of the per-tuple Copy cost (the paper's copy
+			// loop is count-driven, not a per-key binary search).
+			t.mem.Access(lay.keyAddr(leaf.addr, s.idx))
+			if leaf.keys[s.idx] > s.end {
+				s.done = true
+				return written
+			}
+			if written == len(buf) {
+				return written
+			}
+			t.mem.Access(lay.ptrAddr(leaf.addr, s.idx))
+			t.mem.Access(s.bufAddr + uint64(written*fieldSize))
+			t.mem.Compute(t.cost.Copy)
+			buf[written] = leaf.tids[s.idx]
+			written++
+			s.idx++
+		}
+		// Advance to the next leaf, keeping the prefetch cursor k
+		// nodes ahead.
+		t.mem.Access(lay.nextAddr(leaf.addr))
+		if !s.noPrefetch {
+			switch t.cfg.JumpArray {
+			case JumpExternal:
+				s.prefetchNextExternal()
+			case JumpInternal:
+				s.prefetchNextInternal()
+			}
+		}
+		s.leaf = leaf.next
+		s.idx = 0
+		if s.leaf == nil {
+			s.done = true
+			return written
+		}
+		s.visitLeafForScan(s.leaf, written)
+	}
+}
+
+// visitLeafForScan models arriving at a leaf mid-scan: with
+// prefetching but no jump-pointer array, all of the leaf's lines plus
+// its return-buffer area are prefetched here (they could not be
+// prefetched earlier); with a jump-pointer array they were prefetched
+// k nodes ago and this is free beyond the keynum read.
+func (s *Scanner) visitLeafForScan(n *node, written int) {
+	t := s.t
+	if t.cfg.Prefetch && !s.noPrefetch && t.cfg.JumpArray == JumpNone {
+		t.mem.PrefetchRange(n.addr, t.leafLay.size)
+		if s.bufBytes > 0 && !t.cfg.Ablation.NoBufferPrefetch {
+			sz := t.leafLay.maxKeys * fieldSize
+			off := written * fieldSize
+			if off+sz > s.bufBytes {
+				sz = s.bufBytes - off
+			}
+			if sz > 0 {
+				t.mem.PrefetchRange(s.bufAddr+uint64(off), sz)
+			}
+		}
+	}
+	t.mem.Access(n.addr)
+	t.mem.Compute(t.cost.Visit)
+}
+
+// Scan is a convenience wrapper: it scans from start until either
+// count pairs have been returned or end is passed, using a single
+// return buffer of size count, and reports the number of pairs
+// returned. It models the paper's "range scan request for m tupleIDs".
+func (t *Tree) Scan(start Key, count int) int {
+	s := t.NewScan(start, MaxKey)
+	buf := make([]TID, count)
+	return s.Next(buf)
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// collectScan drains a scanner with the given buffer size.
+func collectScan(s *Scanner, bufSize int) []TID {
+	var out []TID
+	buf := make([]TID, bufSize)
+	for {
+		n := s.Next(buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+func TestScanFullRange(t *testing.T) {
+	for _, cfg := range testVariants() {
+		t.Run(cfg.name(), func(t *testing.T) {
+			tr := newTestTree(t, cfg)
+			pairs := sortedPairs(3000)
+			if err := tr.Bulkload(pairs, 1.0); err != nil {
+				t.Fatal(err)
+			}
+			got := collectScan(tr.NewScan(0, MaxKey), 256)
+			if len(got) != len(pairs) {
+				t.Fatalf("scan returned %d pairs, want %d", len(got), len(pairs))
+			}
+			for i, tid := range got {
+				if tid != pairs[i].TID {
+					t.Fatalf("pair %d: tid %d, want %d", i, tid, pairs[i].TID)
+				}
+			}
+		})
+	}
+}
+
+func TestScanSubRange(t *testing.T) {
+	for _, cfg := range testVariants() {
+		tr := newTestTree(t, cfg)
+		pairs := sortedPairs(2000)
+		if err := tr.Bulkload(pairs, 0.8); err != nil {
+			t.Fatal(err)
+		}
+		// Start and end on existing keys.
+		got := collectScan(tr.NewScan(pairs[100].Key, pairs[199].Key), 64)
+		if len(got) != 100 {
+			t.Fatalf("%s: sub-range returned %d, want 100", tr.Name(), len(got))
+		}
+		if got[0] != pairs[100].TID || got[99] != pairs[199].TID {
+			t.Fatalf("%s: wrong boundary tids", tr.Name())
+		}
+		// Start and end between keys.
+		got = collectScan(tr.NewScan(pairs[100].Key+1, pairs[199].Key+1), 64)
+		if len(got) != 99 {
+			t.Fatalf("%s: between-keys range returned %d, want 99", tr.Name(), len(got))
+		}
+		if got[0] != pairs[101].TID {
+			t.Fatalf("%s: wrong first tid for between-keys start", tr.Name())
+		}
+	}
+}
+
+func TestScanCountLimited(t *testing.T) {
+	tr := newTestTree(t, Config{Width: 8, Prefetch: true, JumpArray: JumpExternal})
+	pairs := sortedPairs(5000)
+	if err := tr.Bulkload(pairs, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.Scan(pairs[10].Key, 1000); n != 1000 {
+		t.Fatalf("Scan returned %d, want 1000", n)
+	}
+	// Near the end of the index the scan runs out of pairs.
+	if n := tr.Scan(pairs[4990].Key, 1000); n != 10 {
+		t.Fatalf("Scan at tail returned %d, want 10", n)
+	}
+}
+
+func TestScanSegmented(t *testing.T) {
+	for _, cfg := range []Config{
+		{Width: 1},
+		{Width: 8, Prefetch: true},
+		{Width: 8, Prefetch: true, JumpArray: JumpExternal},
+		{Width: 8, Prefetch: true, JumpArray: JumpInternal},
+	} {
+		tr := newTestTree(t, cfg)
+		pairs := sortedPairs(4000)
+		if err := tr.Bulkload(pairs, 0.9); err != nil {
+			t.Fatal(err)
+		}
+		s := tr.NewScan(0, MaxKey)
+		buf := make([]TID, 137) // deliberately not a multiple of the leaf size
+		var got []TID
+		calls := 0
+		for {
+			n := s.Next(buf)
+			if n == 0 {
+				break
+			}
+			calls++
+			// Every call except the last must fill the buffer.
+			got = append(got, buf[:n]...)
+		}
+		if len(got) != 4000 {
+			t.Fatalf("%s: segmented scan got %d pairs", tr.Name(), len(got))
+		}
+		if calls != (4000+136)/137 {
+			t.Fatalf("%s: %d calls", tr.Name(), calls)
+		}
+		for i, tid := range got {
+			if tid != pairs[i].TID {
+				t.Fatalf("%s: pair %d wrong", tr.Name(), i)
+			}
+		}
+		// The scan stays exhausted.
+		if s.Next(buf) != 0 {
+			t.Fatalf("%s: exhausted scanner returned data", tr.Name())
+		}
+	}
+}
+
+func TestScanEmptyAndEdges(t *testing.T) {
+	for _, cfg := range testVariants() {
+		tr := newTestTree(t, cfg)
+		// Empty tree.
+		if got := collectScan(tr.NewScan(0, MaxKey), 8); len(got) != 0 {
+			t.Fatalf("%s: scan of empty tree returned %d", tr.Name(), len(got))
+		}
+		tr.Insert(100, 1)
+		// Start beyond every key.
+		if got := collectScan(tr.NewScan(101, MaxKey), 8); len(got) != 0 {
+			t.Fatalf("%s: scan past the end returned %d", tr.Name(), len(got))
+		}
+		// End before start yields nothing.
+		if got := collectScan(tr.NewScan(100, 99), 8); len(got) != 0 {
+			t.Fatalf("%s: inverted range returned %d", tr.Name(), len(got))
+		}
+		// Exact single-key range.
+		if got := collectScan(tr.NewScan(100, 100), 8); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("%s: single-key range returned %v", tr.Name(), got)
+		}
+		// Zero-length buffer is a no-op.
+		if tr.NewScan(0, MaxKey).Next(nil) != 0 {
+			t.Fatalf("%s: nil buffer returned data", tr.Name())
+		}
+	}
+}
+
+// TestScanAfterUpdates interleaves updates with scans, so the
+// jump-pointer structures are exercised in their updated state.
+func TestScanAfterUpdates(t *testing.T) {
+	for _, cfg := range []Config{
+		{Width: 8, Prefetch: true, JumpArray: JumpExternal},
+		{Width: 8, Prefetch: true, JumpArray: JumpInternal},
+		{Width: 2, Prefetch: true, JumpArray: JumpExternal, ChunkLines: 1},
+	} {
+		tr := newTestTree(t, cfg)
+		model := map[Key]TID{}
+		r := rand.New(rand.NewSource(77))
+		pairs := sortedPairs(1500)
+		if err := tr.Bulkload(pairs, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pairs {
+			model[p.Key] = p.TID
+		}
+		for round := 0; round < 10; round++ {
+			for i := 0; i < 300; i++ {
+				k := Key(r.Intn(16000) + 1)
+				if r.Intn(2) == 0 {
+					tr.Insert(k, TID(k))
+					model[k] = TID(k)
+				} else {
+					tr.Delete(k)
+					delete(model, k)
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("%s round %d: %v", tr.Name(), round, err)
+			}
+			got := collectScan(tr.NewScan(0, MaxKey), 97)
+			if len(got) != len(model) {
+				t.Fatalf("%s round %d: scan %d pairs, model %d", tr.Name(), round, len(got), len(model))
+			}
+		}
+	}
+}
+
+// TestQuickScanMatchesModel: scans over random trees and random ranges
+// agree with a sorted-model computation.
+func TestQuickScanMatchesModel(t *testing.T) {
+	cfg := Config{Width: 8, Prefetch: true, JumpArray: JumpExternal}
+	f := func(raw []uint16, lo, hi uint16) bool {
+		tr := newTestTree(t, cfg)
+		model := map[Key]TID{}
+		for _, v := range raw {
+			k := Key(v%4096) + 1
+			tr.Insert(k, TID(k))
+			model[k] = TID(k)
+		}
+		start, end := Key(lo%5000), Key(hi%5000)
+		want := 0
+		for k := range model {
+			if k >= start && k <= end {
+				want++
+			}
+		}
+		got := collectScan(tr.NewScan(start, end), 50)
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanPrefetchDistances checks correctness is independent of k and
+// chunk size (the Figure 16(c,d) parameter space).
+func TestScanPrefetchDistances(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 8, 16, 32} {
+		for _, c := range []int{1, 2, 8, 32} {
+			cfg := Config{Width: 8, Prefetch: true, JumpArray: JumpExternal,
+				PrefetchDist: k, ChunkLines: c}
+			tr := newTestTree(t, cfg)
+			pairs := sortedPairs(2000)
+			if err := tr.Bulkload(pairs, 1.0); err != nil {
+				t.Fatal(err)
+			}
+			got := collectScan(tr.NewScan(0, MaxKey), 333)
+			if len(got) != len(pairs) {
+				t.Fatalf("k=%d c=%d: got %d pairs", k, c, len(got))
+			}
+		}
+		cfg := Config{Width: 8, Prefetch: true, JumpArray: JumpInternal, PrefetchDist: k}
+		tr := newTestTree(t, cfg)
+		pairs := sortedPairs(2000)
+		if err := tr.Bulkload(pairs, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		if got := collectScan(tr.NewScan(0, MaxKey), 333); len(got) != len(pairs) {
+			t.Fatalf("internal k=%d: got %d pairs", k, len(got))
+		}
+	}
+}

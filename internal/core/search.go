@@ -1,0 +1,74 @@
+package core
+
+// visit models arriving at a node: if prefetching is enabled, all
+// lines of the node are prefetched (section 2.1), then the keynum
+// field is read. The per-node visit overhead is charged here.
+func (t *Tree) visit(n *node) {
+	if t.cfg.Prefetch {
+		t.mem.PrefetchRange(n.addr, t.lay(n).size)
+	}
+	t.mem.Access(n.addr) // keynum
+	t.mem.Compute(t.cost.Visit)
+}
+
+// searchKeys performs a binary search for key over n's keys, touching
+// the line of every probed key and charging one comparison per probe.
+// It returns the number of keys <= key (the upper bound), and whether
+// an exact match exists.
+func (t *Tree) searchKeys(n *node, key Key) (ub int, found bool) {
+	lay := t.lay(n)
+	lo, hi := 0, n.nkeys // invariant: keys[:lo] <= key < keys[hi:]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.mem.Access(lay.keyAddr(n.addr, mid))
+		t.mem.Compute(t.cost.Compare)
+		switch k := n.keys[mid]; {
+		case k == key:
+			return mid + 1, true
+		case k < key:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// descend walks from the root to the leaf that owns key, recording the
+// path (node and chosen child index per non-leaf level) in t.path.
+// It returns the leaf.
+func (t *Tree) descend(key Key) *node {
+	t.path = t.path[:0]
+	n := t.root
+	for !n.leaf {
+		t.visit(n)
+		idx, _ := t.searchKeys(n, key)
+		t.mem.Access(t.lay(n).ptrAddr(n.addr, idx))
+		t.path = append(t.path, pathEntry{n: n, idx: idx})
+		n = n.children[idx]
+	}
+	t.visit(n)
+	return n
+}
+
+// Search looks up key and returns its tupleID.
+func (t *Tree) Search(key Key) (TID, bool) {
+	t.mem.Compute(t.cost.Op)
+	n := t.descend(key)
+	ub, found := t.searchKeys(n, key)
+	if !found {
+		return 0, false
+	}
+	i := ub - 1
+	t.mem.Access(t.leafLay.ptrAddr(n.addr, i))
+	return n.tids[i], true
+}
+
+// findLeaf returns the leaf that owns key together with the position
+// of key within it (insertion position if absent). It is the shared
+// first phase of Insert, Delete and NewScan.
+func (t *Tree) findLeaf(key Key) (n *node, ub int, found bool) {
+	n = t.descend(key)
+	ub, found = t.searchKeys(n, key)
+	return n, ub, found
+}

@@ -1,0 +1,126 @@
+package core
+
+// Persistence: a Tree serializes to a compact binary stream (its
+// configuration plus the sorted pairs) and is rebuilt by bulkloading
+// on load, the way production systems persist and rebuild main-memory
+// indexes. Simulated cache state is not part of the stream.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pbtree/internal/memsys"
+)
+
+// serializeMagic identifies the stream format; bump the trailing digit
+// on incompatible changes.
+var serializeMagic = [4]byte{'P', 'B', 'T', '1'}
+
+// header is the fixed-size stream prologue.
+type header struct {
+	Magic        [4]byte
+	Width        uint16
+	JumpArray    uint8
+	Prefetch     uint8
+	PrefetchDist uint32
+	ChunkLines   uint32
+	Count        uint64
+}
+
+// WriteTo serializes the tree's configuration and contents. It
+// implements io.WriterTo.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	h := header{
+		Magic:        serializeMagic,
+		Width:        uint16(t.cfg.Width),
+		JumpArray:    uint8(t.cfg.JumpArray),
+		PrefetchDist: uint32(t.cfg.PrefetchDist),
+		ChunkLines:   uint32(t.cfg.ChunkLines),
+		Count:        uint64(t.count),
+	}
+	if t.cfg.Prefetch {
+		h.Prefetch = 1
+	}
+	if err := binary.Write(cw, binary.LittleEndian, h); err != nil {
+		return cw.n, err
+	}
+	// Stream the pairs in key order off the leaf chain.
+	buf := make([]uint32, 0, 2*512)
+	for n := t.leftmostLeaf(); n != nil; n = n.next {
+		for i := 0; i < n.nkeys; i++ {
+			buf = append(buf, uint32(n.keys[i]), uint32(n.tids[i]))
+			if len(buf) == cap(buf) {
+				if err := binary.Write(cw, binary.LittleEndian, buf); err != nil {
+					return cw.n, err
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		if err := binary.Write(cw, binary.LittleEndian, buf); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Load reconstructs a tree from a stream produced by WriteTo,
+// bulkloading it at the given fill factor onto the supplied hierarchy
+// (nil selects a fresh default hierarchy).
+func Load(r io.Reader, mem *memsys.Hierarchy, fill float64) (*Tree, error) {
+	br := bufio.NewReader(r)
+	var h header
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return nil, fmt.Errorf("core: reading header: %w", err)
+	}
+	if h.Magic != serializeMagic {
+		return nil, fmt.Errorf("core: bad magic %q", h.Magic[:])
+	}
+	if h.JumpArray > uint8(JumpInternal) {
+		return nil, fmt.Errorf("core: unknown jump-array kind %d", h.JumpArray)
+	}
+	cfg := Config{
+		Width:        int(h.Width),
+		Prefetch:     h.Prefetch == 1,
+		JumpArray:    JumpArrayKind(h.JumpArray),
+		PrefetchDist: int(h.PrefetchDist),
+		ChunkLines:   int(h.ChunkLines),
+		Mem:          mem,
+	}
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]Pair, h.Count)
+	raw := make([]uint32, 2*len(pairs))
+	if err := binary.Read(br, binary.LittleEndian, raw); err != nil {
+		return nil, fmt.Errorf("core: reading %d pairs: %w", h.Count, err)
+	}
+	for i := range pairs {
+		pairs[i] = Pair{Key: Key(raw[2*i]), TID: TID(raw[2*i+1])}
+	}
+	if err := t.Bulkload(pairs, fill); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// countingWriter tracks bytes written for the io.WriterTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		{Width: 1},
+		{Width: 8, Prefetch: true, JumpArray: JumpExternal, ChunkLines: 4},
+		{Width: 4, Prefetch: true, JumpArray: JumpInternal, PrefetchDist: 5},
+	} {
+		src := newTestTree(t, cfg)
+		pairs := sortedPairs(12345)
+		if err := src.Bulkload(pairs, 0.85); err != nil {
+			t.Fatal(err)
+		}
+		// Mutate after bulkload so the stream reflects live state.
+		src.Insert(3, 99)
+		src.Delete(pairs[100].Key)
+
+		var buf bytes.Buffer
+		n, err := src.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+		}
+
+		dst, err := Load(&buf, nil, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if dst.Len() != src.Len() {
+			t.Fatalf("Len %d, want %d", dst.Len(), src.Len())
+		}
+		c := dst.Config()
+		if c.Width != src.cfg.Width || c.JumpArray != src.cfg.JumpArray ||
+			c.Prefetch != src.cfg.Prefetch || c.ChunkLines != src.cfg.ChunkLines ||
+			c.PrefetchDist != src.cfg.PrefetchDist {
+			t.Fatalf("config not preserved: %+v", c)
+		}
+		if tid, ok := dst.Search(3); !ok || tid != 99 {
+			t.Fatal("post-bulkload insert lost")
+		}
+		if _, ok := dst.Search(pairs[100].Key); ok {
+			t.Fatal("deleted key resurrected")
+		}
+		for _, p := range pairs[:500] {
+			if p.Key == pairs[100].Key {
+				continue
+			}
+			if _, ok := dst.Search(p.Key); !ok {
+				t.Fatalf("key %d lost in round trip", p.Key)
+			}
+		}
+	}
+}
+
+func TestSerializeEmptyTree(t *testing.T) {
+	src := newTestTree(t, Config{Width: 8, Prefetch: true})
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Load(&buf, nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("Len = %d", dst.Len())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader(nil), nil, 1.0); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte("XXXX0000000000000000000000")), nil, 1.0); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated pair section.
+	src := newTestTree(t, Config{Width: 1})
+	src.Insert(1, 1)
+	src.Insert(2, 2)
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := Load(bytes.NewReader(trunc), nil, 1.0); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Corrupt jump-array kind.
+	full := buf.Bytes()
+	full[6] = 9 // JumpArray byte in the header
+	if _, err := Load(bytes.NewReader(full), nil, 1.0); err == nil {
+		t.Error("corrupt jump-array kind accepted")
+	}
+}
+
+// TestQuickSerializeRoundTrip: arbitrary contents survive the round
+// trip.
+func TestQuickSerializeRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		src := newTestTree(t, Config{Width: 8, Prefetch: true, JumpArray: JumpExternal})
+		model := map[Key]TID{}
+		for _, v := range raw {
+			k := Key(v) + 1
+			src.Insert(k, TID(v))
+			model[k] = TID(v)
+		}
+		var buf bytes.Buffer
+		if _, err := src.WriteTo(&buf); err != nil {
+			return false
+		}
+		dst, err := Load(&buf, nil, 0.9)
+		if err != nil {
+			return false
+		}
+		if dst.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, ok := dst.Search(k)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return dst.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"pbtree/internal/memsys"
+)
+
+// UpdateStats counts the structural events of insertions and
+// deletions, used by the Figure 13 analysis.
+type UpdateStats struct {
+	Inserts             uint64 // total insertions
+	InsertsWithSplit    uint64 // insertions that split at least one node
+	InsertsWithNLSplit  uint64 // insertions that split a non-leaf node too
+	LeafSplits          uint64
+	NonLeafSplits       uint64
+	Deletes             uint64 // total deletions of present keys
+	NodeDeletes         uint64 // nodes emptied and removed
+	Redistributions     uint64 // emptied nodes refilled from a sibling
+	ChunkSplits         uint64 // external jump-pointer array chunk splits
+	ChunkRemoves        uint64
+	HintRepairs         uint64 // hints found stale and repaired
+	JumpPointerInserts  uint64
+	JumpPointerRemovals uint64
+}
+
+// Tree is a B+-Tree variant over a simulated memory hierarchy. It is
+// not safe for concurrent use.
+type Tree struct {
+	cfg   Config
+	mem   *memsys.Hierarchy
+	space *memsys.AddressSpace
+	cost  CostModel
+
+	leafLay, nlLay, bottomLay layout
+
+	root   *node
+	height int // levels, counting the leaf level; 1 for a lone leaf
+	count  int // number of <key,tid> pairs
+
+	// External jump-pointer array (JumpExternal only).
+	jpHead *chunk
+	jpCap  int // pointer slots per chunk
+
+	// firstBottom is the head of the internal jump-pointer array
+	// (JumpInternal only): the leftmost bottom non-leaf node.
+	firstBottom *node
+
+	stats UpdateStats
+
+	// path is a scratch buffer for the root-to-leaf descent; the
+	// s-prefixed slices are scratch space for node splits.
+	path      []pathEntry
+	skeys     []Key
+	stids     []TID
+	schildren []*node
+}
+
+// pathEntry records one step of a root-to-leaf descent: node n was
+// left through children[idx].
+type pathEntry struct {
+	n   *node
+	idx int
+}
+
+// New creates an empty tree. See Config for the knobs; the zero Config
+// is the plain one-line-node B+-Tree on a default hierarchy.
+func New(cfg Config) (*Tree, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	mc := cfg.Mem.Config()
+	space := cfg.Space
+	if space == nil {
+		space = memsys.NewAddressSpace(mc.LineSize)
+	}
+	t := &Tree{
+		cfg:   cfg,
+		mem:   cfg.Mem,
+		space: space,
+		cost:  cfg.Cost,
+	}
+	t.leafLay, t.nlLay, t.bottomLay = layoutsFor(cfg, mc.LineSize)
+	if cfg.JumpArray == JumpExternal {
+		// A chunk is ChunkLines lines: two header pointers (next,
+		// prev) followed by leaf-pointer slots.
+		t.jpCap = (cfg.ChunkLines*mc.LineSize)/fieldSize - 2
+	}
+	t.root = t.newLeaf()
+	t.height = 1
+	if cfg.JumpArray == JumpExternal {
+		t.jpBulkload([]*node{t.root}, 1)
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error, for tests and examples where the
+// configuration is static.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the paper's name for this tree variant ("B+", "p8B+",
+// "p8eB+", "p8iB+", ...).
+func (t *Tree) Name() string { return t.cfg.name() }
+
+// Config returns the resolved configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Mem returns the simulated memory hierarchy the tree charges to.
+func (t *Tree) Mem() *memsys.Hierarchy { return t.mem }
+
+// Height reports the number of levels in the tree, counting the leaf
+// level (Table 3 of the paper).
+func (t *Tree) Height() int { return t.height }
+
+// Len reports the number of <key, tupleID> pairs in the index.
+func (t *Tree) Len() int { return t.count }
+
+// UpdateStats returns the accumulated structural counters.
+func (t *Tree) UpdateStats() UpdateStats { return t.stats }
+
+// ResetUpdateStats zeroes the structural counters.
+func (t *Tree) ResetUpdateStats() { t.stats = UpdateStats{} }
+
+// SpaceUsed reports the simulated bytes allocated for nodes and
+// jump-pointer array chunks.
+func (t *Tree) SpaceUsed() uint64 { return t.space.Used() }
+
+// LeafCapacity reports the maximum number of pairs per leaf node.
+func (t *Tree) LeafCapacity() int { return t.leafLay.maxKeys }
+
+// MaxFanout reports the maximum number of children of a non-leaf node.
+func (t *Tree) MaxFanout() int { return t.nlLay.maxKeys + 1 }

@@ -1,0 +1,420 @@
+// Package csbtree implements Cache-Sensitive B+-Trees (Rao and Ross,
+// SIGMOD 2000) over the simulated memory hierarchy, as the baseline
+// the paper compares Prefetching B+-Trees against, plus the combined
+// pCSB+-Tree (CSB+ layout with wide prefetched nodes).
+//
+// A CSB+-Tree non-leaf node keeps only one child pointer: all children
+// of a node are stored contiguously in a "node group", so the address
+// of child i is firstChild + i*nodeSize. With 4-byte keys this nearly
+// doubles the fanout of a cache-line-sized node (keynum + 14 keys +
+// 1 childptr in 64 bytes).
+//
+// Matching the paper's experimental scope, the package implements
+// bulkload and search (sections 4.1.2 and 4.2); updates are not
+// supported.
+package csbtree
+
+import (
+	"fmt"
+	"math"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+// Config describes a CSB+-Tree variant.
+type Config struct {
+	// Width is the node width in cache lines: 1 is the classic
+	// CSB+-Tree, 8 the paper's p8CSB+-Tree.
+	Width int
+
+	// Prefetch enables prefetching all lines of a node before
+	// searching it (the pCSB+ combination).
+	Prefetch bool
+
+	// Mem is the simulated hierarchy; nil selects memsys.Default().
+	Mem *memsys.Hierarchy
+
+	// Cost is the instruction cost model; zero value selects
+	// core.DefaultCostModel().
+	Cost core.CostModel
+}
+
+// node is a CSB+-Tree node. Children of a non-leaf live contiguously
+// in simulated memory; only the first child's address is stored in the
+// node (ptrOff), children[] is the Go-side view of the group.
+type node struct {
+	addr     uint64
+	leaf     bool
+	nkeys    int
+	keys     []core.Key
+	children []*node // non-leaf: the node group
+	tids     []core.TID
+	next     *node // leaf chain
+}
+
+// Tree is a CSB+-Tree over a simulated memory hierarchy. It is not
+// safe for concurrent use.
+type Tree struct {
+	cfg   Config
+	mem   *memsys.Hierarchy
+	space *memsys.AddressSpace
+	cost  core.CostModel
+
+	nodeSize   int // bytes
+	nlMaxKeys  int // non-leaf key capacity (2*w*m - 2)
+	leafMax    int // leaf pair capacity (w*m - 1)
+	nlKeyOff   int
+	nlPtrOff   int
+	leafKeyOff int
+	leafTIDOff int
+	leafNext   int
+
+	root   *node
+	height int
+	count  int
+}
+
+// New creates an empty CSB+-Tree.
+func New(cfg Config) (*Tree, error) {
+	if cfg.Width == 0 {
+		cfg.Width = 1
+	}
+	if cfg.Width < 0 {
+		return nil, fmt.Errorf("csbtree: width %d must be positive", cfg.Width)
+	}
+	if cfg.Mem == nil {
+		cfg.Mem = memsys.Default()
+	}
+	if cfg.Cost == (core.CostModel{}) {
+		cfg.Cost = core.DefaultCostModel()
+	}
+	line := cfg.Mem.Config().LineSize
+	t := &Tree{
+		cfg:   cfg,
+		mem:   cfg.Mem,
+		space: memsys.NewAddressSpace(line),
+		cost:  cfg.Cost,
+	}
+	size := cfg.Width * line
+	fields := size / 4
+	wm := fields / 2
+	t.nodeSize = size
+	t.nlMaxKeys = fields - 2 // keynum + keys + one childptr
+	t.leafMax = wm - 1
+	t.nlKeyOff = 4
+	t.nlPtrOff = 4 + 4*t.nlMaxKeys
+	t.leafKeyOff = 4
+	t.leafTIDOff = 4 + 4*t.leafMax
+	t.leafNext = size - 4
+	t.root = t.newLeaf()
+	t.root.addr = t.space.Alloc(t.nodeSize)
+	t.height = 1
+	return t, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns "CSB+" or "p<w>CSB+".
+func (t *Tree) Name() string {
+	if !t.cfg.Prefetch && t.cfg.Width == 1 {
+		return "CSB+"
+	}
+	return fmt.Sprintf("p%dCSB+", t.cfg.Width)
+}
+
+// Mem returns the simulated memory hierarchy the tree charges to.
+func (t *Tree) Mem() *memsys.Hierarchy { return t.mem }
+
+// Height reports the number of levels, counting the leaf level.
+func (t *Tree) Height() int { return t.height }
+
+// Len reports the number of pairs in the index.
+func (t *Tree) Len() int { return t.count }
+
+// SpaceUsed reports the simulated bytes allocated for nodes.
+func (t *Tree) SpaceUsed() uint64 { return t.space.Used() }
+
+// LeafCapacity reports the maximum pairs per leaf.
+func (t *Tree) LeafCapacity() int { return t.leafMax }
+
+// MaxFanout reports the maximum children per non-leaf node.
+func (t *Tree) MaxFanout() int { return t.nlMaxKeys + 1 }
+
+func (t *Tree) newLeaf() *node {
+	return &node{
+		leaf: true,
+		keys: make([]core.Key, t.leafMax),
+		tids: make([]core.TID, t.leafMax),
+	}
+}
+
+func (t *Tree) newNonLeaf() *node {
+	return &node{keys: make([]core.Key, t.nlMaxKeys)}
+}
+
+// Bulkload replaces the contents with the given sorted, duplicate-free
+// pairs at the given fill factor.
+func (t *Tree) Bulkload(pairs []core.Pair, fill float64) error {
+	if fill <= 0 || fill > 1 {
+		return fmt.Errorf("csbtree: bulkload factor %v outside (0, 1]", fill)
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Key <= pairs[i-1].Key {
+			return fmt.Errorf("csbtree: bulkload input not sorted/unique at %d", i)
+		}
+	}
+	t.count = len(pairs)
+	if len(pairs) == 0 {
+		t.root = t.newLeaf()
+		t.root.addr = t.space.Alloc(t.nodeSize)
+		t.height = 1
+		return nil
+	}
+
+	// Build the leaf level. Addresses are assigned when the parent
+	// group is formed, so each group is contiguous.
+	per := fillCount(t.leafMax, fill)
+	var leaves []*node
+	for start := 0; start < len(pairs); start += per {
+		end := start + per
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		n := t.newLeaf()
+		for i, p := range pairs[start:end] {
+			n.keys[i] = p.Key
+			n.tids[i] = p.TID
+		}
+		n.nkeys = end - start
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = n
+		}
+		leaves = append(leaves, n)
+	}
+
+	level := leaves
+	mins := make([]core.Key, len(level))
+	for i, n := range level {
+		mins[i] = n.keys[0]
+	}
+	t.height = 1
+	for len(level) > 1 {
+		level, mins = t.buildLevel(level, mins, fill)
+		t.height++
+	}
+	t.root = level[0]
+	t.root.addr = t.space.Alloc(t.nodeSize)
+	t.chargeNodeWrite(t.root)
+	return nil
+}
+
+// buildLevel groups children into non-leaf nodes, allocating each
+// group of children contiguously (the CSB+ invariant).
+func (t *Tree) buildLevel(children []*node, mins []core.Key, fill float64) ([]*node, []core.Key) {
+	per := fillCount(t.nlMaxKeys, fill) + 1
+	counts := groupCounts(len(children), per, t.nlMaxKeys+1)
+	level := make([]*node, 0, len(counts))
+	newMins := make([]core.Key, 0, len(counts))
+	start := 0
+	for _, cnt := range counts {
+		end := start + cnt
+		n := t.newNonLeaf()
+		// Allocate the child node group contiguously and assign the
+		// children their addresses.
+		base := t.space.Alloc(t.nodeSize * cnt)
+		for i := start; i < end; i++ {
+			c := children[i]
+			c.addr = base + uint64((i-start)*t.nodeSize)
+			t.chargeNodeWrite(c)
+			if i > start {
+				n.keys[i-start-1] = mins[i]
+			}
+		}
+		n.children = children[start:end]
+		n.nkeys = cnt - 1
+		level = append(level, n)
+		newMins = append(newMins, mins[start])
+		start = end
+	}
+	return level, newMins
+}
+
+// chargeNodeWrite charges the simulated writes of laying out a node.
+func (t *Tree) chargeNodeWrite(n *node) {
+	t.mem.AccessRange(n.addr, t.nodeSize)
+	t.mem.Compute(t.cost.Move * uint64(2*n.nkeys+2))
+}
+
+// fillCount mirrors the bulkload rounding of the core package.
+func fillCount(capacity int, fill float64) int {
+	n := int(math.Round(fill * float64(capacity)))
+	if n < 1 {
+		n = 1
+	}
+	if n > capacity {
+		n = capacity
+	}
+	return n
+}
+
+// groupCounts splits n children into groups of per (capped by cap),
+// avoiding a trailing single-child group.
+func groupCounts(n, per, cap int) []int {
+	counts := make([]int, 0, (n+per-1)/per)
+	for n > 0 {
+		c := per
+		if c > n {
+			c = n
+		}
+		counts = append(counts, c)
+		n -= c
+	}
+	last := len(counts) - 1
+	if last >= 1 && counts[last] == 1 {
+		if counts[last-1] < cap {
+			counts[last-1]++
+			counts = counts[:last]
+		} else {
+			total := counts[last-1] + 1
+			counts[last-1] = total - total/2
+			counts[last] = total / 2
+		}
+	}
+	return counts
+}
+
+// visit models arriving at a node (prefetch all lines if enabled, read
+// keynum, charge the visit overhead).
+func (t *Tree) visit(n *node) {
+	if t.cfg.Prefetch {
+		t.mem.PrefetchRange(n.addr, t.nodeSize)
+	}
+	t.mem.Access(n.addr)
+	t.mem.Compute(t.cost.Visit)
+}
+
+// searchKeys binary-searches n's keys, charging comparisons and key
+// line touches, returning the child index / upper bound.
+func (t *Tree) searchKeys(n *node, key core.Key, keyOff int) (int, bool) {
+	lo, hi := 0, n.nkeys
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.mem.Access(n.addr + uint64(keyOff+4*mid))
+		t.mem.Compute(t.cost.Compare)
+		switch k := n.keys[mid]; {
+		case k == key:
+			return mid + 1, true
+		case k < key:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// Search looks up key and returns its tupleID.
+func (t *Tree) Search(key core.Key) (core.TID, bool) {
+	t.mem.Compute(t.cost.Op)
+	n := t.root
+	for !n.leaf {
+		t.visit(n)
+		idx, _ := t.searchKeys(n, key, t.nlKeyOff)
+		// One pointer read: the child's address is computed from the
+		// group base, so no per-child pointer is fetched.
+		t.mem.Access(n.addr + uint64(t.nlPtrOff))
+		n = n.children[idx]
+	}
+	t.visit(n)
+	ub, found := t.searchKeys(n, key, t.leafKeyOff)
+	if !found {
+		return 0, false
+	}
+	i := ub - 1
+	t.mem.Access(n.addr + uint64(t.leafTIDOff+4*i))
+	return n.tids[i], true
+}
+
+// CheckInvariants verifies structure, ordering and the contiguous
+// node-group property. It charges nothing to the hierarchy.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return fmt.Errorf("nil root")
+	}
+	count := 0
+	var prevLeaf *node
+	var walk func(n *node, depth int, lo, hi *core.Key) error
+	walk = func(n *node, depth int, lo, hi *core.Key) error {
+		// Leaves may be empty: deletion is lazy and never merges.
+		if n != t.root && !n.leaf && n.nkeys < 1 {
+			return fmt.Errorf("underfull node at depth %d", depth)
+		}
+		max := t.nlMaxKeys
+		if n.leaf {
+			max = t.leafMax
+		}
+		if n.nkeys > max {
+			return fmt.Errorf("overfull node at depth %d", depth)
+		}
+		for i := 1; i < n.nkeys; i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				return fmt.Errorf("unsorted keys at depth %d", depth)
+			}
+		}
+		if n.nkeys > 0 {
+			if lo != nil && n.keys[0] < *lo {
+				return fmt.Errorf("key below bound at depth %d", depth)
+			}
+			if hi != nil && n.keys[n.nkeys-1] >= *hi {
+				return fmt.Errorf("key above bound at depth %d", depth)
+			}
+		}
+		if n.leaf {
+			if depth != t.height {
+				return fmt.Errorf("leaf at depth %d, height %d", depth, t.height)
+			}
+			if prevLeaf != nil && prevLeaf.next != n {
+				return fmt.Errorf("broken leaf chain")
+			}
+			prevLeaf = n
+			count += n.nkeys
+			return nil
+		}
+		if len(n.children) != n.nkeys+1 {
+			return fmt.Errorf("node group size %d, want %d", len(n.children), n.nkeys+1)
+		}
+		base := n.children[0].addr
+		for i, c := range n.children {
+			if c.addr != base+uint64(i*t.nodeSize) {
+				return fmt.Errorf("node group not contiguous at child %d", i)
+			}
+			var clo, chi *core.Key
+			clo, chi = lo, hi
+			if i > 0 {
+				clo = &n.keys[i-1]
+			}
+			if i < n.nkeys {
+				chi = &n.keys[i]
+			}
+			if err := walk(c, depth+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, nil, nil); err != nil {
+		return err
+	}
+	if count != t.count {
+		return fmt.Errorf("count %d, tree reports %d", count, t.count)
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package csbtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+func pairs(n int) []core.Pair {
+	ps := make([]core.Pair, n)
+	for i := range ps {
+		ps[i] = core.Pair{Key: core.Key(8 * (i + 1)), TID: core.TID(i + 1)}
+	}
+	return ps
+}
+
+// TestNodeCapacitiesMatchPaper pins section 4.1.2: a CSB+ non-leaf
+// node has a keynum field, 14 keys and one childptr.
+func TestNodeCapacitiesMatchPaper(t *testing.T) {
+	tr := MustNew(Config{Width: 1})
+	if tr.nlMaxKeys != 14 {
+		t.Errorf("CSB+ non-leaf keys = %d, want 14", tr.nlMaxKeys)
+	}
+	if tr.leafMax != 7 {
+		t.Errorf("CSB+ leaf pairs = %d, want 7", tr.leafMax)
+	}
+	p8 := MustNew(Config{Width: 8, Prefetch: true})
+	if p8.nlMaxKeys != 126 {
+		t.Errorf("p8CSB+ non-leaf keys = %d, want 126", p8.nlMaxKeys)
+	}
+	if p8.MaxFanout() != 127 {
+		t.Errorf("p8CSB+ fanout = %d, want 127", p8.MaxFanout())
+	}
+}
+
+func TestNames(t *testing.T) {
+	if got := MustNew(Config{Width: 1}).Name(); got != "CSB+" {
+		t.Errorf("name = %q", got)
+	}
+	if got := MustNew(Config{Width: 8, Prefetch: true}).Name(); got != "p8CSB+" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestBulkloadSearch(t *testing.T) {
+	for _, cfg := range []Config{{Width: 1}, {Width: 8, Prefetch: true}} {
+		tr := MustNew(cfg)
+		ps := pairs(20000)
+		if err := tr.Bulkload(ps, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ps {
+			tid, ok := tr.Search(p.Key)
+			if !ok || tid != p.TID {
+				t.Fatalf("%s: Search(%d) = %d,%v", tr.Name(), p.Key, tid, ok)
+			}
+		}
+		for _, k := range []core.Key{0, 3, 9, 8*20000 + 4} {
+			if _, ok := tr.Search(k); ok {
+				t.Fatalf("%s: phantom key %d", tr.Name(), k)
+			}
+		}
+	}
+}
+
+func TestBulkloadFillFactors(t *testing.T) {
+	for _, fill := range []float64{0.6, 0.75, 0.9, 1.0} {
+		tr := MustNew(Config{Width: 1})
+		ps := pairs(5000)
+		if err := tr.Bulkload(ps, fill); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("fill %v: %v", fill, err)
+		}
+		for _, p := range ps {
+			if _, ok := tr.Search(p.Key); !ok {
+				t.Fatalf("fill %v: key %d lost", fill, p.Key)
+			}
+		}
+	}
+}
+
+func TestBulkloadErrors(t *testing.T) {
+	tr := MustNew(Config{})
+	if err := tr.Bulkload(pairs(5), 0); err == nil {
+		t.Error("fill 0 accepted")
+	}
+	if err := tr.Bulkload([]core.Pair{{Key: 2}, {Key: 1}}, 1); err == nil {
+		t.Error("unsorted accepted")
+	}
+	if err := tr.Bulkload(nil, 1); err != nil {
+		t.Error("empty bulkload should succeed")
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Error("empty tree shape wrong")
+	}
+	if _, err := New(Config{Width: -3}); err == nil {
+		t.Error("negative width accepted")
+	}
+}
+
+// TestHeightBelowBPlusTree pins the motivation: the doubled fanout
+// makes CSB+ trees shorter than B+ trees of the same size.
+func TestHeightBelowBPlusTree(t *testing.T) {
+	ps := pairs(100000)
+	b := core.MustNew(core.Config{Width: 1, Mem: memsys.Default()})
+	if err := b.Bulkload(ps, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(Config{Width: 1})
+	if err := c.Bulkload(ps, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Height() >= b.Height() {
+		t.Errorf("CSB+ height %d not below B+ height %d", c.Height(), b.Height())
+	}
+}
+
+// TestPrefetchSpeedsUpSearch: p8CSB+ must beat CSB+ on cold searches.
+func TestPrefetchSpeedsUpSearch(t *testing.T) {
+	ps := pairs(200000)
+	run := func(cfg Config) uint64 {
+		tr := MustNew(cfg)
+		if err := tr.Bulkload(ps, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		tr.Mem().ResetStats()
+		r := rand.New(rand.NewSource(1))
+		start := tr.Mem().Now()
+		for i := 0; i < 2000; i++ {
+			tr.Mem().FlushCaches()
+			tr.Search(core.Key(8 * (r.Intn(len(ps)) + 1)))
+		}
+		return tr.Mem().Now() - start
+	}
+	tc := run(Config{Width: 1})
+	tp := run(Config{Width: 8, Prefetch: true})
+	if tp >= tc {
+		t.Errorf("p8CSB+ cold search (%d) not faster than CSB+ (%d)", tp, tc)
+	}
+}
+
+// TestCSBBeatsBPlusOnColdSearch pins the Figure 7(b) ordering.
+func TestCSBBeatsBPlusOnColdSearch(t *testing.T) {
+	ps := pairs(200000)
+	c := MustNew(Config{Width: 1})
+	if err := c.Bulkload(ps, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	b := core.MustNew(core.Config{Width: 1, Mem: memsys.Default()})
+	if err := b.Bulkload(ps, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	keys := make([]core.Key, 2000)
+	for i := range keys {
+		keys[i] = core.Key(8 * (r.Intn(len(ps)) + 1))
+	}
+	cStart := c.Mem().Now()
+	for _, k := range keys {
+		c.Mem().FlushCaches()
+		c.Search(k)
+	}
+	cTime := c.Mem().Now() - cStart
+	bStart := b.Mem().Now()
+	for _, k := range keys {
+		b.Mem().FlushCaches()
+		b.Search(k)
+	}
+	bTime := b.Mem().Now() - bStart
+	if cTime >= bTime {
+		t.Errorf("CSB+ cold search (%d) not faster than B+ (%d)", cTime, bTime)
+	}
+}
+
+// TestQuickSearchAgainstModel: arbitrary bulkloads answer arbitrary
+// lookups correctly.
+func TestQuickSearchAgainstModel(t *testing.T) {
+	f := func(raw []uint16, probes []uint16) bool {
+		set := map[core.Key]core.TID{}
+		for _, v := range raw {
+			set[core.Key(v)+1] = core.TID(v)
+		}
+		var ps []core.Pair
+		for k, tid := range set {
+			ps = append(ps, core.Pair{Key: k, TID: tid})
+		}
+		// Sort.
+		for i := 1; i < len(ps); i++ {
+			for j := i; j > 0 && ps[j].Key < ps[j-1].Key; j-- {
+				ps[j], ps[j-1] = ps[j-1], ps[j]
+			}
+		}
+		tr := MustNew(Config{Width: 8, Prefetch: true})
+		if tr.Bulkload(ps, 0.9) != nil {
+			return false
+		}
+		for _, p := range probes {
+			k := core.Key(p) + 1
+			tid, ok := tr.Search(k)
+			wtid, wok := set[k]
+			if ok != wok || (ok && tid != wtid) {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+package csbtree
+
+// Insertion and (lazy) deletion for CSB+-Trees, following Rao and
+// Ross's basic CSB+-Tree. The defining cost is that all children of a
+// node live in one contiguous node group: splitting a node means
+// reallocating the whole group and copying every sibling, which is why
+// CSB+-Trees lose to B+-Trees on updates (the "25% worse" result the
+// paper cites in section 4.5 — reproduced by the extcsb experiment).
+//
+// The paper itself implemented only bulkload and search for CSB+;
+// updates here are an extension so that the comparison can be measured
+// rather than quoted.
+
+import "pbtree/internal/core"
+
+// csbPath records the descent for structure modifications.
+type csbPath struct {
+	n   *node
+	idx int // child index taken
+}
+
+// Insert adds (or overwrites) a pair, reporting whether it was new.
+func (t *Tree) Insert(key core.Key, tid core.TID) bool {
+	t.mem.Compute(t.cost.Op)
+	path, leaf := t.descend(key)
+	ub, found := t.searchKeys(leaf, key, t.leafKeyOff)
+	if found {
+		i := ub - 1
+		t.mem.Access(leaf.addr + uint64(t.leafTIDOff+4*i))
+		t.mem.Compute(t.cost.Copy)
+		leaf.tids[i] = tid
+		return false
+	}
+	t.count++
+	if leaf.nkeys < t.leafMax {
+		t.leafInsertAt(leaf, ub, key, tid)
+		return true
+	}
+	t.splitLeaf(path, leaf, ub, key, tid)
+	return true
+}
+
+// Delete removes key, reporting whether it was present. Deletion is
+// lazy in the extreme (Rao-Ross style): the key is removed and an
+// emptied leaf simply stays empty; no groups are reallocated.
+func (t *Tree) Delete(key core.Key) bool {
+	t.mem.Compute(t.cost.Op)
+	_, leaf := t.descend(key)
+	ub, found := t.searchKeys(leaf, key, t.leafKeyOff)
+	if !found {
+		return false
+	}
+	i := ub - 1
+	moved := leaf.nkeys - i - 1
+	copy(leaf.keys[i:leaf.nkeys-1], leaf.keys[i+1:leaf.nkeys])
+	copy(leaf.tids[i:leaf.nkeys-1], leaf.tids[i+1:leaf.nkeys])
+	leaf.nkeys--
+	t.count--
+	if moved > 0 {
+		t.mem.AccessRange(leaf.addr+uint64(t.leafKeyOff+4*i), moved*4)
+		t.mem.AccessRange(leaf.addr+uint64(t.leafTIDOff+4*i), moved*4)
+	}
+	t.mem.Access(leaf.addr)
+	t.mem.Compute(t.cost.Move * uint64(2*moved))
+	return true
+}
+
+// descend walks to the leaf owning key, recording the path and
+// charging like Search does.
+func (t *Tree) descend(key core.Key) ([]csbPath, *node) {
+	var path []csbPath
+	n := t.root
+	for !n.leaf {
+		t.visit(n)
+		idx, _ := t.searchKeys(n, key, t.nlKeyOff)
+		t.mem.Access(n.addr + uint64(t.nlPtrOff))
+		path = append(path, csbPath{n: n, idx: idx})
+		n = n.children[idx]
+	}
+	t.visit(n)
+	return path, n
+}
+
+// leafInsertAt inserts into a non-full leaf.
+func (t *Tree) leafInsertAt(n *node, pos int, key core.Key, tid core.TID) {
+	moved := n.nkeys - pos
+	copy(n.keys[pos+1:n.nkeys+1], n.keys[pos:n.nkeys])
+	copy(n.tids[pos+1:n.nkeys+1], n.tids[pos:n.nkeys])
+	n.keys[pos] = key
+	n.tids[pos] = tid
+	n.nkeys++
+	t.mem.AccessRange(n.addr+uint64(t.leafKeyOff+4*pos), (moved+1)*4)
+	t.mem.AccessRange(n.addr+uint64(t.leafTIDOff+4*pos), (moved+1)*4)
+	t.mem.Access(n.addr)
+	t.mem.Compute(t.cost.Move * uint64(2*moved+2))
+}
+
+// splitLeaf splits a full leaf. Because all siblings share one node
+// group, the group is reallocated one node larger and every sibling is
+// copied into it; the separator then goes into the parent, which may
+// split in turn.
+func (t *Tree) splitLeaf(path []csbPath, leaf *node, pos int, key core.Key, tid core.TID) {
+	right := t.newLeaf()
+
+	// Redistribute the combined pairs across leaf and right.
+	total := leaf.nkeys + 1
+	half := total / 2
+	sk := make([]core.Key, total)
+	st := make([]core.TID, total)
+	copy(sk, leaf.keys[:pos])
+	copy(st, leaf.tids[:pos])
+	sk[pos] = key
+	st[pos] = tid
+	copy(sk[pos+1:], leaf.keys[pos:leaf.nkeys])
+	copy(st[pos+1:], leaf.tids[pos:leaf.nkeys])
+	copy(leaf.keys, sk[:half])
+	copy(leaf.tids, st[:half])
+	leaf.nkeys = half
+	copy(right.keys, sk[half:])
+	copy(right.tids, st[half:])
+	right.nkeys = total - half
+	right.next = leaf.next
+	leaf.next = right
+
+	t.insertIntoParent(path, leaf, right, right.keys[0])
+}
+
+// insertIntoParent places `right` immediately after `left` in the
+// parent's (reallocated) node group and pushes the separator up,
+// splitting ancestors as needed.
+func (t *Tree) insertIntoParent(path []csbPath, left, right *node, sep core.Key) {
+	for level := len(path) - 1; ; level-- {
+		if level < 0 {
+			t.growRoot(left, right, sep)
+			return
+		}
+		p := path[level]
+		n, idx := p.n, p.idx
+
+		// The child node group grows by one node (Go-level view first;
+		// the simulated reallocation is charged below).
+		group := append([]*node{}, n.children[:idx+1]...)
+		group = append(group, right)
+		group = append(group, n.children[idx+1:]...)
+
+		if n.nkeys < t.nlMaxKeys {
+			// Reallocate the grown group, copying every sibling.
+			t.reallocGroup(group)
+			n.children = group
+			moved := n.nkeys - idx
+			copy(n.keys[idx+1:n.nkeys+1], n.keys[idx:n.nkeys])
+			n.keys[idx] = sep
+			n.nkeys++
+			t.mem.AccessRange(n.addr+uint64(t.nlKeyOff+4*idx), (moved+1)*4)
+			t.mem.Access(n.addr)
+			t.mem.Compute(t.cost.Move * uint64(moved+1))
+			return
+		}
+
+		// The parent is full too: split it, dividing the child group
+		// into two contiguous groups (two more reallocations).
+		total := n.nkeys + 1
+		sk := make([]core.Key, total)
+		copy(sk, n.keys[:idx])
+		sk[idx] = sep
+		copy(sk[idx+1:], n.keys[idx:n.nkeys])
+
+		mid := total / 2
+		promoted := sk[mid]
+		nn := t.newNonLeaf()
+
+		leftGroup := append([]*node{}, group[:mid+1]...)
+		rightGroup := append([]*node{}, group[mid+1:]...)
+		t.reallocGroup(leftGroup)
+		t.reallocGroup(rightGroup)
+
+		copy(n.keys, sk[:mid])
+		n.nkeys = mid
+		n.children = leftGroup
+		copy(nn.keys, sk[mid+1:])
+		nn.nkeys = total - mid - 1
+		nn.children = rightGroup
+		t.mem.AccessRange(n.addr, t.nodeSize)
+		t.mem.Compute(t.cost.Move * uint64(total))
+
+		left, right, sep = n, nn, promoted
+	}
+}
+
+// growRoot replaces the root with a new node over {left, right}; the
+// pair becomes a two-node group.
+func (t *Tree) growRoot(left, right *node, sep core.Key) {
+	group := []*node{left, right}
+	t.reallocGroup(group)
+	newRoot := t.newNonLeaf()
+	newRoot.keys[0] = sep
+	newRoot.nkeys = 1
+	newRoot.children = group
+	newRoot.addr = t.space.Alloc(t.nodeSize)
+	t.chargeNodeWrite(newRoot)
+	t.root = newRoot
+	t.height++
+}
+
+// reallocGroup allocates a fresh contiguous region for the group and
+// charges copying every member node into it. This is the defining
+// CSB+ update cost.
+func (t *Tree) reallocGroup(group []*node) {
+	base := t.space.Alloc(t.nodeSize * len(group))
+	for i, c := range group {
+		c.addr = base + uint64(i*t.nodeSize)
+		t.mem.AccessRange(c.addr, t.nodeSize)
+		t.mem.Compute(t.cost.Move * uint64(2*c.nkeys+2))
+	}
+}

@@ -1,0 +1,234 @@
+package csbtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+func TestInsertFromEmpty(t *testing.T) {
+	for _, cfg := range []Config{{Width: 1}, {Width: 8, Prefetch: true}} {
+		tr := MustNew(cfg)
+		r := rand.New(rand.NewSource(1))
+		const n = 5000
+		keys := make([]core.Key, n)
+		for i := range keys {
+			keys[i] = core.Key(8 * (i + 1))
+		}
+		r.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		for _, k := range keys {
+			if !tr.Insert(k, core.TID(k)) {
+				t.Fatalf("Insert(%d) reported duplicate", k)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		for _, k := range keys {
+			tid, ok := tr.Search(k)
+			if !ok || tid != core.TID(k) {
+				t.Fatalf("Search(%d) = %d,%v", k, tid, ok)
+			}
+		}
+	}
+}
+
+func TestInsertDuplicateUpdates(t *testing.T) {
+	tr := MustNew(Config{Width: 1})
+	tr.Insert(10, 1)
+	if tr.Insert(10, 2) {
+		t.Fatal("duplicate insert reported new")
+	}
+	if tid, _ := tr.Search(10); tid != 2 {
+		t.Fatalf("tid = %d", tid)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertIntoBulkloaded(t *testing.T) {
+	tr := MustNew(Config{Width: 1})
+	ps := pairs(10000)
+	if err := tr.Bulkload(ps, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	var extra []core.Key
+	for i := 0; i < 5000; i++ {
+		extra = append(extra, core.Key(8*(r.Intn(10000)+1)+1+r.Intn(7)))
+	}
+	for _, k := range extra {
+		tr.Insert(k, 1)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if _, ok := tr.Search(p.Key); !ok {
+			t.Fatalf("bulkloaded key %d lost", p.Key)
+		}
+	}
+	for _, k := range extra {
+		if _, ok := tr.Search(k); !ok {
+			t.Fatalf("inserted key %d lost", k)
+		}
+	}
+}
+
+func TestDeleteLazy(t *testing.T) {
+	tr := MustNew(Config{Width: 1})
+	ps := pairs(3000)
+	if err := tr.Bulkload(ps, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	keys := make([]core.Key, len(ps))
+	for i, p := range ps {
+		keys[i] = p.Key
+	}
+	r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for _, k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if tr.Delete(k) {
+			t.Fatalf("Delete(%d) twice succeeded", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Reinsertion into the emptied (lazy) structure works.
+	for _, k := range keys[:500] {
+		tr.Insert(k, core.TID(k))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:500] {
+		if _, ok := tr.Search(k); !ok {
+			t.Fatalf("reinserted key %d lost", k)
+		}
+	}
+}
+
+// TestMixedAgainstModel drives CSB+ updates against a map model.
+func TestMixedAgainstModel(t *testing.T) {
+	tr := MustNew(Config{Width: 1})
+	model := map[core.Key]core.TID{}
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		k := core.Key(r.Intn(4000) + 1)
+		switch r.Intn(4) {
+		case 0, 1:
+			tid := core.TID(r.Uint32())
+			_, existed := model[k]
+			if tr.Insert(k, tid) == existed {
+				t.Fatalf("op %d: Insert mismatch", i)
+			}
+			model[k] = tid
+		case 2:
+			_, existed := model[k]
+			if tr.Delete(k) != existed {
+				t.Fatalf("op %d: Delete mismatch", i)
+			}
+			delete(model, k)
+		case 3:
+			tid, ok := tr.Search(k)
+			wtid, wok := model[k]
+			if ok != wok || (ok && tid != wtid) {
+				t.Fatalf("op %d: Search mismatch", i)
+			}
+		}
+		if i%4000 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", tr.Len(), len(model))
+	}
+}
+
+// TestQuickInsertSearch is a property test over arbitrary key sets.
+func TestQuickInsertSearch(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := MustNew(Config{Width: 2, Prefetch: true})
+		model := map[core.Key]core.TID{}
+		for _, v := range raw {
+			k := core.Key(v%2000) + 1
+			tr.Insert(k, core.TID(v))
+			model[k] = core.TID(v)
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, ok := tr.Search(k)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCSBInsertSlowerThanBPlus reproduces the claim the paper quotes
+// from Rao and Ross: CSB+ insertion is noticeably slower than B+
+// insertion, because splits reallocate and copy whole node groups.
+func TestCSBInsertSlowerThanBPlus(t *testing.T) {
+	const n = 200000
+	const ops = 5000
+	ps := pairs(n)
+
+	csb := MustNew(Config{Width: 1})
+	if err := csb.Bulkload(ps, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	bp := core.MustNew(core.Config{Width: 1, Mem: memsys.Default()})
+	if err := bp.Bulkload(ps, 1.0); err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(5))
+	keys := make([]core.Key, ops)
+	for i := range keys {
+		keys[i] = core.Key(8*(r.Intn(n)+1) + 1 + r.Intn(7))
+	}
+
+	cStart := csb.Mem().Now()
+	for _, k := range keys {
+		csb.Mem().FlushCaches()
+		csb.Insert(k, 1)
+	}
+	cTime := csb.Mem().Now() - cStart
+
+	bStart := bp.Mem().Now()
+	for _, k := range keys {
+		bp.Mem().FlushCaches()
+		bp.Insert(k, 1)
+	}
+	bTime := bp.Mem().Now() - bStart
+
+	if cTime <= bTime {
+		t.Errorf("CSB+ insert (%d) should be slower than B+ (%d)", cTime, bTime)
+	}
+	if float64(cTime) > 3.0*float64(bTime) {
+		t.Errorf("CSB+ insert %.2fx slower than B+: implausibly high (Rao-Ross: ~1.25x)",
+			float64(cTime)/float64(bTime))
+	}
+}

@@ -1,0 +1,262 @@
+// Package csstree implements Cache-Sensitive Search Trees (Rao and
+// Ross, VLDB 1999), the read-only predecessor of CSB+-Trees described
+// in section 1.2 of the paper: by laying every directory node out
+// contiguously and computing child positions arithmetically, ALL child
+// pointers are eliminated, so a 64-byte node holds 16 keys (fanout
+// 17) — at the price of supporting no incremental updates.
+//
+// The tree is a directory over a sorted <key, tupleID> array: each
+// directory level is one contiguous run of full nodes; the leaf level
+// is the data array itself (stored column-wise: keys, then tupleIDs).
+package csstree
+
+import (
+	"fmt"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+// Config describes a CSS-Tree.
+type Config struct {
+	// Width is the node width in cache lines (1 is the classic tree).
+	Width int
+
+	// Prefetch enables whole-node prefetching (a pCSS-Tree, by
+	// analogy with the paper's pCSB+).
+	Prefetch bool
+
+	// Mem is the simulated hierarchy; nil selects memsys.Default().
+	Mem *memsys.Hierarchy
+
+	// Cost is the instruction cost model; zero selects the default.
+	Cost core.CostModel
+}
+
+// level is one directory level: a contiguous array of keys, logically
+// split into nodes of keysPerNode keys.
+type level struct {
+	addr uint64
+	keys []core.Key
+}
+
+// Tree is a read-only CSS-Tree. Build it with Bulkload; Search is the
+// only query operation (range scans would simply scan the sorted
+// array).
+type Tree struct {
+	cfg   Config
+	mem   *memsys.Hierarchy
+	space *memsys.AddressSpace
+	cost  core.CostModel
+
+	keysPerNode int // keys per directory node
+	fanout      int // keysPerNode + 1
+	nodeSize    int
+
+	levels   []level // root first
+	keysAddr uint64  // leaf key column
+	tidsAddr uint64
+	keys     []core.Key
+	tids     []core.TID
+}
+
+// New creates an empty CSS-Tree.
+func New(cfg Config) (*Tree, error) {
+	if cfg.Width == 0 {
+		cfg.Width = 1
+	}
+	if cfg.Width < 0 {
+		return nil, fmt.Errorf("csstree: width %d must be positive", cfg.Width)
+	}
+	if cfg.Mem == nil {
+		cfg.Mem = memsys.Default()
+	}
+	if cfg.Cost == (core.CostModel{}) {
+		cfg.Cost = core.DefaultCostModel()
+	}
+	line := cfg.Mem.Config().LineSize
+	size := cfg.Width * line
+	return &Tree{
+		cfg:         cfg,
+		mem:         cfg.Mem,
+		space:       memsys.NewAddressSpace(line),
+		cost:        cfg.Cost,
+		keysPerNode: size / 4,
+		fanout:      size/4 + 1,
+		nodeSize:    size,
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns "CSS" or "p<w>CSS".
+func (t *Tree) Name() string {
+	if !t.cfg.Prefetch && t.cfg.Width == 1 {
+		return "CSS"
+	}
+	return fmt.Sprintf("p%dCSS", t.cfg.Width)
+}
+
+// Mem returns the simulated hierarchy.
+func (t *Tree) Mem() *memsys.Hierarchy { return t.mem }
+
+// Len reports the number of pairs.
+func (t *Tree) Len() int { return len(t.keys) }
+
+// Height reports the number of levels including the leaf array.
+func (t *Tree) Height() int {
+	if len(t.keys) == 0 {
+		return 1
+	}
+	return len(t.levels) + 1
+}
+
+// SpaceUsed reports simulated bytes (directory + data columns).
+func (t *Tree) SpaceUsed() uint64 { return t.space.Used() }
+
+// Bulkload builds the tree over the given sorted, duplicate-free
+// pairs. CSS-Trees are always built 100% full.
+func (t *Tree) Bulkload(pairs []core.Pair) error {
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Key <= pairs[i-1].Key {
+			return fmt.Errorf("csstree: input not sorted/unique at %d", i)
+		}
+	}
+	if n := len(pairs); n > 0 && pairs[n-1].Key == core.MaxKey {
+		return fmt.Errorf("csstree: MaxKey is reserved as the directory sentinel")
+	}
+	t.levels = nil
+	t.keys = make([]core.Key, len(pairs))
+	t.tids = make([]core.TID, len(pairs))
+	for i, p := range pairs {
+		t.keys[i] = p.Key
+		t.tids[i] = p.TID
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	t.keysAddr = t.space.Alloc(4 * len(pairs))
+	t.tidsAddr = t.space.Alloc(4 * len(pairs))
+	t.mem.AccessRange(t.keysAddr, 4*len(pairs))
+	t.mem.AccessRange(t.tidsAddr, 4*len(pairs))
+	t.mem.Compute(t.cost.Move * uint64(2*len(pairs)))
+
+	// Build directory levels bottom-up: each directory node holds the
+	// minimum key of each child group except the first (a separator
+	// per child after the first), with fanout = keysPerNode+1.
+	// mins[i] is the minimum key of child i on the level below.
+	mins := make([]core.Key, 0, (len(pairs)+t.keysPerNode)/t.keysPerNode)
+	for i := 0; i < len(pairs); i += t.keysPerNode {
+		mins = append(mins, pairs[i].Key)
+	}
+	// The leaf level is grouped in runs of keysPerNode pairs; each
+	// directory level then groups fanout children per node.
+	for len(mins) > 1 {
+		nNodes := (len(mins) + t.fanout - 1) / t.fanout
+		lv := level{keys: make([]core.Key, 0, nNodes*t.keysPerNode)}
+		next := make([]core.Key, 0, nNodes)
+		for start := 0; start < len(mins); start += t.fanout {
+			end := start + t.fanout
+			if end > len(mins) {
+				end = len(mins)
+			}
+			next = append(next, mins[start])
+			for i := start + 1; i < end; i++ {
+				lv.keys = append(lv.keys, mins[i])
+			}
+			// Pad the node to full width with +inf sentinels so child
+			// arithmetic stays uniform.
+			for i := end - start - 1; i < t.keysPerNode; i++ {
+				lv.keys = append(lv.keys, core.MaxKey)
+			}
+		}
+		lv.addr = t.space.Alloc(4 * len(lv.keys))
+		t.mem.AccessRange(lv.addr, 4*len(lv.keys))
+		t.mem.Compute(t.cost.Move * uint64(len(lv.keys)))
+		t.levels = append([]level{lv}, t.levels...)
+		mins = next
+	}
+	return nil
+}
+
+// Search looks up key. Each directory level costs one binary search in
+// a contiguous node whose position was computed, not loaded — no child
+// pointer is ever read.
+func (t *Tree) Search(key core.Key) (core.TID, bool) {
+	t.mem.Compute(t.cost.Op)
+	if len(t.keys) == 0 {
+		return 0, false
+	}
+	nodeIdx := 0
+	for _, lv := range t.levels {
+		base := nodeIdx * t.keysPerNode
+		if t.cfg.Prefetch {
+			t.mem.PrefetchRange(lv.addr+uint64(4*base), t.nodeSize)
+		}
+		t.mem.Compute(t.cost.Visit)
+		ub := t.searchRun(lv.addr, lv.keys, base, base+t.keysPerNode, key)
+		nodeIdx = nodeIdx*t.fanout + (ub - base)
+	}
+	// nodeIdx now names a run of keysPerNode leaf pairs.
+	lo := nodeIdx * t.keysPerNode
+	if lo >= len(t.keys) {
+		return 0, false
+	}
+	hi := lo + t.keysPerNode
+	if hi > len(t.keys) {
+		hi = len(t.keys)
+	}
+	if t.cfg.Prefetch {
+		t.mem.PrefetchRange(t.keysAddr+uint64(4*lo), t.nodeSize)
+	}
+	t.mem.Compute(t.cost.Visit)
+	ub := t.searchRun(t.keysAddr, t.keys, lo, hi, key)
+	if ub > lo && t.keys[ub-1] == key {
+		// In the original CSS-Tree the record id is computed from the
+		// position in the sorted column (decision-support setting), so
+		// no further memory access is charged here.
+		return t.tids[ub-1], true
+	}
+	return 0, false
+}
+
+// searchRun binary-searches keys[lo:hi] (simulated at addr), returning
+// the upper bound position.
+func (t *Tree) searchRun(addr uint64, keys []core.Key, lo, hi int, key core.Key) int {
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.mem.Access(addr + uint64(4*mid))
+		t.mem.Compute(t.cost.Compare)
+		switch k := keys[mid]; {
+		case k == key:
+			return mid + 1
+		case k < key:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CheckInvariants verifies the directory routes every key to its run.
+func (t *Tree) CheckInvariants() error {
+	for i := 1; i < len(t.keys); i++ {
+		if t.keys[i-1] >= t.keys[i] {
+			return fmt.Errorf("data not sorted at %d", i)
+		}
+	}
+	for li, lv := range t.levels {
+		if len(lv.keys)%t.keysPerNode != 0 {
+			return fmt.Errorf("level %d not node-aligned", li)
+		}
+	}
+	return nil
+}

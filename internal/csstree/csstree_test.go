@@ -1,0 +1,163 @@
+package csstree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+func pairs(n int) []core.Pair {
+	ps := make([]core.Pair, n)
+	for i := range ps {
+		ps[i] = core.Pair{Key: core.Key(8 * (i + 1)), TID: core.TID(i + 1)}
+	}
+	return ps
+}
+
+func TestBulkloadSearch(t *testing.T) {
+	for _, cfg := range []Config{{Width: 1}, {Width: 8, Prefetch: true}} {
+		tr := MustNew(cfg)
+		ps := pairs(50000)
+		if err := tr.Bulkload(ps); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ps {
+			tid, ok := tr.Search(p.Key)
+			if !ok || tid != p.TID {
+				t.Fatalf("%s: Search(%d)=%d,%v", tr.Name(), p.Key, tid, ok)
+			}
+		}
+		for _, k := range []core.Key{0, 5, 11, 8*50000 + 4} {
+			if _, ok := tr.Search(k); ok {
+				t.Fatalf("%s: phantom %d", tr.Name(), k)
+			}
+		}
+	}
+}
+
+func TestSmallAndEmpty(t *testing.T) {
+	tr := MustNew(Config{})
+	if err := tr.Bulkload(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Search(1); ok {
+		t.Fatal("found key in empty tree")
+	}
+	if tr.Height() != 1 || tr.Len() != 0 {
+		t.Fatalf("empty shape: h=%d len=%d", tr.Height(), tr.Len())
+	}
+	for n := 1; n <= 40; n++ {
+		tr := MustNew(Config{})
+		ps := pairs(n)
+		if err := tr.Bulkload(ps); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ps {
+			if tid, ok := tr.Search(p.Key); !ok || tid != p.TID {
+				t.Fatalf("n=%d: Search(%d) failed", n, p.Key)
+			}
+		}
+	}
+}
+
+func TestBulkloadErrors(t *testing.T) {
+	tr := MustNew(Config{})
+	if err := tr.Bulkload([]core.Pair{{Key: 2}, {Key: 1}}); err == nil {
+		t.Error("unsorted accepted")
+	}
+	if err := tr.Bulkload([]core.Pair{{Key: 1}, {Key: core.MaxKey}}); err == nil {
+		t.Error("sentinel key accepted")
+	}
+	if _, err := New(Config{Width: -1}); err == nil {
+		t.Error("negative width accepted")
+	}
+}
+
+// TestFanoutBeatsPointerTrees pins the structural claim of 1.2: a CSS
+// node has 16 keys per line (vs 14+1 pointer for CSB+ and 7+8 for B+),
+// so CSS trees are the shallowest.
+func TestFanoutBeatsPointerTrees(t *testing.T) {
+	tr := MustNew(Config{Width: 1})
+	if tr.keysPerNode != 16 || tr.fanout != 17 {
+		t.Fatalf("keys/node=%d fanout=%d, want 16/17", tr.keysPerNode, tr.fanout)
+	}
+	ps := pairs(1_000_000)
+	if err := tr.Bulkload(ps); err != nil {
+		t.Fatal(err)
+	}
+	bp := core.MustNew(core.Config{Width: 1, Mem: memsys.Default()})
+	if err := bp.Bulkload(ps, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() >= bp.Height() {
+		t.Errorf("CSS height %d not below B+ height %d", tr.Height(), bp.Height())
+	}
+}
+
+// TestColdSearchOrdering: CSS < B+ on cold searches (it was designed
+// for exactly that).
+func TestColdSearchOrdering(t *testing.T) {
+	ps := pairs(200000)
+	css := MustNew(Config{Width: 1})
+	if err := css.Bulkload(ps); err != nil {
+		t.Fatal(err)
+	}
+	bp := core.MustNew(core.Config{Width: 1, Mem: memsys.Default()})
+	if err := bp.Bulkload(ps, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	probe := func(search func(core.Key) (core.TID, bool), mem *memsys.Hierarchy) uint64 {
+		r := rand.New(rand.NewSource(1))
+		start := mem.Now()
+		for i := 0; i < 2000; i++ {
+			mem.FlushCaches()
+			if _, ok := search(core.Key(8 * (r.Intn(len(ps)) + 1))); !ok {
+				t.Fatal("lost key")
+			}
+		}
+		return mem.Now() - start
+	}
+	cssT := probe(css.Search, css.Mem())
+	bpT := probe(bp.Search, bp.Mem())
+	if cssT >= bpT {
+		t.Errorf("CSS cold search (%d) should beat B+ (%d)", cssT, bpT)
+	}
+}
+
+// TestQuickSearchAgainstModel over arbitrary key sets and probes.
+func TestQuickSearchAgainstModel(t *testing.T) {
+	f := func(raw []uint16, probes []uint16) bool {
+		set := map[core.Key]core.TID{}
+		for _, v := range raw {
+			set[core.Key(v)+1] = core.TID(v)
+		}
+		ps := make([]core.Pair, 0, len(set))
+		for k, tid := range set {
+			ps = append(ps, core.Pair{Key: k, TID: tid})
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Key < ps[j].Key })
+		tr := MustNew(Config{Width: 2, Prefetch: true})
+		if tr.Bulkload(ps) != nil {
+			return false
+		}
+		for _, p := range probes {
+			k := core.Key(p) + 1
+			tid, ok := tr.Search(k)
+			wtid, wok := set[k]
+			if ok != wok || (ok && tid != wtid) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package dup adds duplicate-key support on top of a pB+-Tree, the
+// way section 5 of the paper sketches: each distinct key maps to a
+// separate tupleID list, and range scans prefetch in stages — first
+// the list headers discovered by the index scan, then the tupleID
+// arrays, then (via package heap) the tuples themselves.
+package dup
+
+import (
+	"fmt"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+// listHeaderBytes is the simulated size of a list header (count, cap).
+const listHeaderBytes = 8
+
+// tidList is one key's tupleID list, stored at a simulated address:
+// a header line followed by the packed tupleIDs. Growth doubles the
+// allocation (old space is abandoned; the simulator never frees).
+type tidList struct {
+	addr uint64
+	cap  int
+	tids []core.TID
+}
+
+// Index is a duplicate-key index: a pB+-Tree whose "tupleIDs" are
+// list handles. It is not safe for concurrent use.
+type Index struct {
+	tree  *core.Tree
+	mem   *memsys.Hierarchy
+	space *memsys.AddressSpace
+	cost  core.CostModel
+	lists []*tidList // handle N is lists[N-1]
+	count int        // total <key, tid> entries
+}
+
+// New creates a duplicate-key index over a tree built from cfg. The
+// tree must be empty; the index owns it from here on. A shared address
+// space keeps lists and nodes in one simulated cache.
+func New(cfg core.Config) (*Index, error) {
+	if cfg.Mem == nil {
+		cfg.Mem = memsys.Default()
+	}
+	if cfg.Space == nil {
+		cfg.Space = memsys.NewAddressSpace(cfg.Mem.Config().LineSize)
+	}
+	t, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if t.Len() != 0 {
+		return nil, fmt.Errorf("dup: tree must start empty")
+	}
+	return &Index{
+		tree:  t,
+		mem:   cfg.Mem,
+		space: cfg.Space,
+		cost:  core.DefaultCostModel(),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg core.Config) *Index {
+	ix, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// Tree exposes the underlying pB+-Tree (for stats and invariants).
+func (ix *Index) Tree() *core.Tree { return ix.tree }
+
+// Mem returns the simulated hierarchy.
+func (ix *Index) Mem() *memsys.Hierarchy { return ix.mem }
+
+// Len reports the total number of <key, tupleID> entries.
+func (ix *Index) Len() int { return ix.count }
+
+// Keys reports the number of distinct keys.
+func (ix *Index) Keys() int { return ix.tree.Len() }
+
+// newList allocates a list with capacity for one tid.
+func (ix *Index) newList() (core.TID, *tidList) {
+	l := &tidList{cap: 1}
+	l.addr = ix.space.Alloc(listHeaderBytes + 4*l.cap)
+	ix.lists = append(ix.lists, l)
+	return core.TID(len(ix.lists)), l
+}
+
+// grow doubles the list's simulated allocation and charges copying the
+// existing tids across.
+func (ix *Index) grow(l *tidList) {
+	l.cap *= 2
+	l.addr = ix.space.Alloc(listHeaderBytes + 4*l.cap)
+	ix.mem.AccessRange(l.addr, listHeaderBytes+4*len(l.tids))
+	ix.mem.Compute(ix.cost.Move * uint64(len(l.tids)))
+}
+
+// Insert adds a <key, tid> entry; duplicate keys accumulate in the
+// key's list.
+func (ix *Index) Insert(key core.Key, tid core.TID) {
+	ix.count++
+	if handle, ok := ix.tree.Search(key); ok {
+		l := ix.lists[handle-1]
+		ix.mem.Access(l.addr) // header
+		if len(l.tids) == l.cap {
+			ix.grow(l)
+		}
+		l.tids = append(l.tids, tid)
+		ix.mem.Access(l.addr + uint64(listHeaderBytes+4*(len(l.tids)-1)))
+		ix.mem.Access(l.addr)
+		ix.mem.Compute(ix.cost.Move)
+		return
+	}
+	handle, l := ix.newList()
+	l.tids = append(l.tids, tid)
+	ix.mem.AccessRange(l.addr, listHeaderBytes+4)
+	ix.mem.Compute(ix.cost.Move)
+	ix.tree.Insert(key, handle)
+}
+
+// Delete removes one occurrence of <key, tid>, reporting whether it
+// was present. Deleting the last occurrence of a key removes the key.
+func (ix *Index) Delete(key core.Key, tid core.TID) bool {
+	handle, ok := ix.tree.Search(key)
+	if !ok {
+		return false
+	}
+	l := ix.lists[handle-1]
+	ix.mem.AccessRange(l.addr, listHeaderBytes+4*len(l.tids))
+	for i, v := range l.tids {
+		if v == tid {
+			copy(l.tids[i:], l.tids[i+1:])
+			l.tids = l.tids[:len(l.tids)-1]
+			ix.mem.Compute(ix.cost.Move * uint64(len(l.tids)-i))
+			ix.mem.Access(l.addr)
+			ix.count--
+			if len(l.tids) == 0 {
+				ix.tree.Delete(key)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Search returns the tupleIDs of key (nil if absent). The list fetch
+// is prefetched as a whole.
+func (ix *Index) Search(key core.Key) []core.TID {
+	handle, ok := ix.tree.Search(key)
+	if !ok {
+		return nil
+	}
+	l := ix.lists[handle-1]
+	ix.mem.PrefetchRange(l.addr, listHeaderBytes+4*len(l.tids))
+	ix.mem.AccessRange(l.addr, listHeaderBytes+4*len(l.tids))
+	ix.mem.Compute(ix.cost.Copy * uint64(len(l.tids)))
+	out := make([]core.TID, len(l.tids))
+	copy(out, l.tids)
+	return out
+}
+
+// ScanRange emits every tupleID with key in [start, end], in key
+// order, and returns the count. With prefetch enabled it runs the
+// staged pipeline of section 5: the index scan yields a batch of list
+// handles, all list headers+bodies of the batch are prefetched
+// together, then the lists are read.
+func (ix *Index) ScanRange(start, end core.Key, prefetch bool, emit func(core.TID)) int {
+	var sc *core.Scanner
+	if prefetch {
+		sc = ix.tree.NewScan(start, end)
+	} else {
+		sc = ix.tree.NewScanNoPrefetch(start, end)
+	}
+	buf := make([]core.TID, 256)
+	total := 0
+	for {
+		n := sc.Next(buf)
+		if n == 0 {
+			return total
+		}
+		if prefetch {
+			for _, h := range buf[:n] {
+				l := ix.lists[h-1]
+				ix.mem.PrefetchRange(l.addr, listHeaderBytes+4*len(l.tids))
+			}
+		}
+		for _, h := range buf[:n] {
+			l := ix.lists[h-1]
+			ix.mem.AccessRange(l.addr, listHeaderBytes+4*len(l.tids))
+			ix.mem.Compute(ix.cost.Copy * uint64(len(l.tids)))
+			for _, tid := range l.tids {
+				if emit != nil {
+					emit(tid)
+				}
+				total++
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package dup
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pbtree/internal/core"
+)
+
+func p8e() core.Config {
+	return core.Config{Width: 8, Prefetch: true, JumpArray: core.JumpExternal}
+}
+
+func TestInsertSearchDuplicates(t *testing.T) {
+	ix := MustNew(p8e())
+	for rep := 0; rep < 5; rep++ {
+		for k := 1; k <= 1000; k++ {
+			ix.Insert(core.Key(k), core.TID(k*10+rep))
+		}
+	}
+	if ix.Len() != 5000 || ix.Keys() != 1000 {
+		t.Fatalf("Len=%d Keys=%d", ix.Len(), ix.Keys())
+	}
+	tids := ix.Search(42)
+	if len(tids) != 5 {
+		t.Fatalf("Search(42) returned %d tids", len(tids))
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for rep := 0; rep < 5; rep++ {
+		if tids[rep] != core.TID(420+rep) {
+			t.Fatalf("tids = %v", tids)
+		}
+	}
+	if ix.Search(2000) != nil {
+		t.Fatal("phantom key")
+	}
+	if err := ix.Tree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteOccurrences(t *testing.T) {
+	ix := MustNew(p8e())
+	ix.Insert(7, 1)
+	ix.Insert(7, 2)
+	ix.Insert(7, 3)
+	if !ix.Delete(7, 2) {
+		t.Fatal("delete failed")
+	}
+	if ix.Delete(7, 2) {
+		t.Fatal("double delete succeeded")
+	}
+	if got := ix.Search(7); len(got) != 2 {
+		t.Fatalf("remaining %v", got)
+	}
+	ix.Delete(7, 1)
+	ix.Delete(7, 3)
+	if ix.Search(7) != nil {
+		t.Fatal("key should be gone with its last tid")
+	}
+	if ix.Keys() != 0 || ix.Len() != 0 {
+		t.Fatalf("Keys=%d Len=%d", ix.Keys(), ix.Len())
+	}
+	if ix.Delete(8, 1) {
+		t.Fatal("deleting absent key succeeded")
+	}
+}
+
+func TestScanRangeOrderAndCount(t *testing.T) {
+	ix := MustNew(p8e())
+	r := rand.New(rand.NewSource(1))
+	model := map[core.Key][]core.TID{}
+	for i := 0; i < 20000; i++ {
+		k := core.Key(r.Intn(2000) + 1)
+		tid := core.TID(i + 1)
+		ix.Insert(k, tid)
+		model[k] = append(model[k], tid)
+	}
+	lo, hi := core.Key(500), core.Key(1500)
+	want := 0
+	for k, tids := range model {
+		if k >= lo && k <= hi {
+			want += len(tids)
+		}
+	}
+	for _, prefetch := range []bool{true, false} {
+		got := 0
+		var lastKeyMax core.TID
+		_ = lastKeyMax
+		n := ix.ScanRange(lo, hi, prefetch, func(core.TID) { got++ })
+		if n != want || got != want {
+			t.Fatalf("prefetch=%v: scanned %d, want %d", prefetch, n, want)
+		}
+	}
+}
+
+// TestScanPrefetchPays: the staged prefetch pipeline beats the plain
+// scan on long ranges with duplicates.
+func TestScanPrefetchPays(t *testing.T) {
+	ix := MustNew(p8e())
+	for k := 1; k <= 30000; k++ {
+		for d := 0; d < 3; d++ {
+			ix.Insert(core.Key(k), core.TID(k*4+d))
+		}
+	}
+	mem := ix.Mem()
+	mem.FlushCaches()
+	before := mem.Now()
+	ix.ScanRange(1, 30000, true, nil)
+	withPF := mem.Now() - before
+
+	mem.FlushCaches()
+	before = mem.Now()
+	ix.ScanRange(1, 30000, false, nil)
+	without := mem.Now() - before
+	if withPF >= without {
+		t.Errorf("staged prefetch scan (%d) not faster than plain (%d)", withPF, without)
+	}
+}
+
+func TestListGrowthDoubling(t *testing.T) {
+	ix := MustNew(p8e())
+	for i := 0; i < 1000; i++ {
+		ix.Insert(5, core.TID(i+1))
+	}
+	l := ix.lists[0]
+	if len(l.tids) != 1000 {
+		t.Fatalf("list len %d", len(l.tids))
+	}
+	if l.cap < 1000 || l.cap > 2048 {
+		t.Fatalf("cap %d after doubling growth", l.cap)
+	}
+}
+
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(raw []uint16) bool {
+		ix := MustNew(core.Config{Width: 2, Prefetch: true, JumpArray: core.JumpInternal})
+		model := map[core.Key]map[core.TID]bool{}
+		count := 0
+		for i, v := range raw {
+			k := core.Key(v%200) + 1
+			tid := core.TID(i + 1)
+			ix.Insert(k, tid)
+			if model[k] == nil {
+				model[k] = map[core.TID]bool{}
+			}
+			model[k][tid] = true
+			count++
+		}
+		if ix.Len() != count || ix.Keys() != len(model) {
+			return false
+		}
+		for k, tids := range model {
+			got := ix.Search(k)
+			if len(got) != len(tids) {
+				return false
+			}
+			for _, tid := range got {
+				if !tids[tid] {
+					return false
+				}
+			}
+		}
+		return ix.Tree().CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsNonEmpty(t *testing.T) {
+	if _, err := New(core.Config{Width: -1}); err == nil {
+		t.Error("bad config accepted")
+	}
+}

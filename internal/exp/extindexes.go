@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"pbtree/internal/core"
+	"pbtree/internal/csstree"
+	"pbtree/internal/memsys"
+	"pbtree/internal/ttree"
+	"pbtree/internal/workload"
+)
+
+// ExtIndexes compares the generations of main-memory index structures
+// the paper situates itself among (sections 1.2 and 5): the T-Tree
+// (Lehman-Carey 1986), the read-only CSS-Tree and the CSB+-Tree
+// (Rao-Ross), the B+-Tree, and the prefetching trees. On a modern
+// memory system the T-Tree loses badly — one miss per binary level —
+// and each cache-conscious step flattens the tree further.
+func ExtIndexes(o Options) []Table {
+	n := o.keys(3_000_000)
+	ops := o.ops(100_000)
+	pairs := workload.SortedPairs(n)
+
+	build := []func() index{
+		func() index {
+			t := ttree.MustNew(ttree.Config{Width: 1, Mem: memsys.Default()})
+			for _, k := range workload.DeleteKeys(o.rng(81), n, n) { // all keys, shuffled
+				t.Insert(k, core.TID(k))
+			}
+			return t
+		},
+		func() index {
+			t := csstree.MustNew(csstree.Config{Width: 1, Mem: memsys.Default()})
+			if err := t.Bulkload(pairs); err != nil {
+				panic(err)
+			}
+			return t
+		},
+		func() index { return vBPlus.build(memsys.DefaultConfig(), pairs, 1.0) },
+		func() index { return vCSB.build(memsys.DefaultConfig(), pairs, 1.0) },
+		func() index { return vP8.build(memsys.DefaultConfig(), pairs, 1.0) },
+		func() index { return vP8CSB.build(memsys.DefaultConfig(), pairs, 1.0) },
+	}
+
+	t := Table{ID: "extindexes",
+		Title:   "index-structure generations: searches on 3M keys (scaled)",
+		Columns: []string{"index", "levels", "warm (M)", "cold (M)", "cold vs B+"}}
+
+	r := o.rng(82)
+	keys := workload.SearchKeys(r, n, ops)
+	wk := workload.SearchKeys(r, n, ops/10+1)
+
+	type row struct {
+		name       string
+		levels     int
+		warm, cold uint64
+	}
+	var rows []row
+	var baseCold uint64
+	for _, mk := range build {
+		idx := mk()
+		idx.Mem().ResetStats()
+		warmup(idx, wk)
+		warm := searchCycles(idx, keys, false)
+
+		idx = mk()
+		idx.Mem().ResetStats()
+		cold := searchCycles(idx, keys, true)
+		if idx.Name() == "B+" {
+			baseCold = cold
+		}
+		rows = append(rows, row{idx.Name(), idx.Height(), warm, cold})
+	}
+	for _, rw := range rows {
+		t.AddRow(rw.name, count(rw.levels), cycles(rw.warm), cycles(rw.cold),
+			ratio(100*rw.cold, baseCold)+"%")
+	}
+	t.Notes = append(t.Notes,
+		"section 5: T-Trees lost their crown to B+-Trees as miss latency grew; prefetching flattens further")
+	return []Table{t}
+}

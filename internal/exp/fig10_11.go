@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+
+	"pbtree/internal/memsys"
+	"pbtree/internal/workload"
+)
+
+// scanLengths are the per-request tupleID counts of Figure 10(a).
+var scanLengths = []int{10, 100, 1_000, 10_000, 100_000, 1_000_000}
+
+// Figure10 reproduces Figure 10: (a) range scans of 10..1M tupleIDs on
+// a 3M-key tree, and (b) 1000-tupleID scans at bulkload factors
+// 60..100%. Caches are cleared between scan requests.
+func Figure10(o Options) []Table {
+	n := o.keys(3_000_000)
+	cols := []string{"tupleIDs"}
+	cols = append(cols, scanOrder...)
+	a := Table{ID: "fig10a", Title: "range scans of m tupleIDs, 3M keys (cycles per request)", Columns: cols}
+	pairs := workload.SortedPairs(n)
+	for _, m := range scanLengths {
+		want := m
+		if want > n/2 {
+			want = n / 2 // keep the request inside the scaled tree
+		}
+		row := []string{count(want)}
+		for _, name := range scanOrder {
+			t := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, 1.0)
+			starts := workload.ScanStarts(o.rng(int64(m)), n, want, o.starts())
+			row = append(row, fmt.Sprint(scanOnceCycles(t, starts, want)))
+		}
+		a.AddRow(row...)
+	}
+	a.Notes = append(a.Notes,
+		"paper: 6.5-8.7x speedup for p8e/p8i at 1K-1M tupleIDs; near parity at 10")
+
+	colsB := []string{"fill"}
+	colsB = append(colsB, scanOrder...)
+	b := Table{ID: "fig10b", Title: "1000-tupleID scans vs bulkload factor (cycles per request)", Columns: colsB}
+	const want = 1000
+	for _, fill := range paperFills {
+		row := []string{fmt.Sprintf("%.0f%%", fill*100)}
+		for _, name := range scanOrder {
+			t := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+			starts := workload.ScanStarts(o.rng(int64(fill*100)), n, want, o.starts())
+			row = append(row, fmt.Sprint(scanOnceCycles(t, starts, want)))
+		}
+		b.AddRow(row...)
+	}
+	return []Table{a, b}
+}
+
+// Figure11 reproduces Figure 11: large segmented range scans — a
+// search for the starting key followed by 1000 scan calls of 1000
+// pairs each (1M pairs total), at bulkload factors 60..100%.
+func Figure11(o Options) []Table {
+	n := o.keys(3_000_000)
+	segSize := 1000
+	calls := o.ops(1000)
+	if calls*segSize > n/2 {
+		calls = n / 2 / segSize
+		if calls < 1 {
+			calls = 1
+		}
+	}
+	cols := []string{"fill"}
+	cols = append(cols, scanOrder...)
+	t := Table{ID: "fig11",
+		Title:   fmt.Sprintf("segmented scans: %d calls x %d pairs (cycles per scan)", calls, segSize),
+		Columns: cols}
+	pairs := workload.SortedPairs(n)
+	for _, fill := range paperFills {
+		row := []string{fmt.Sprintf("%.0f%%", fill*100)}
+		for _, name := range scanOrder {
+			tr := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+			starts := workload.ScanStarts(o.rng(int64(fill*10)), n, calls*segSize, o.starts())
+			row = append(row, fmt.Sprint(segmentedScanCycles(tr, starts, calls, segSize)))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}
+}

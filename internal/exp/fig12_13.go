@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"fmt"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+	"pbtree/internal/workload"
+)
+
+// updateLineup is the Figure 12/13 variant set.
+var updateLineup = []string{"B+tree", "p8B+tree", "p8eB+tree", "p8iB+tree"}
+
+// Figure12 reproduces Figure 12: 100K random insertions or deletions
+// on a 3M-key tree at bulkload factors 60..100%, warm and cold cache.
+func Figure12(o Options) []Table {
+	n := o.keys(3_000_000)
+	ops := o.ops(100_000)
+	pairs := workload.SortedPairs(n)
+	cols := []string{"fill"}
+	cols = append(cols, updateLineup...)
+
+	mk := func(id, title string) Table {
+		return Table{ID: id, Title: title, Columns: cols}
+	}
+	tables := []Table{
+		mk("fig12a", fmt.Sprintf("%d insertions (warm, M cycles)", ops)),
+		mk("fig12b", fmt.Sprintf("%d insertions (cold, M cycles)", ops)),
+		mk("fig12c", fmt.Sprintf("%d deletions (warm, M cycles)", ops)),
+		mk("fig12d", fmt.Sprintf("%d deletions (cold, M cycles)", ops)),
+	}
+
+	for _, fill := range paperFills {
+		rows := [4][]string{}
+		for i := range rows {
+			rows[i] = []string{fmt.Sprintf("%.0f%%", fill*100)}
+		}
+		for _, name := range updateLineup {
+			ikeys := workload.InsertKeys(o.rng(int64(fill*100)), n, ops)
+			dkeys := workload.DeleteKeys(o.rng(int64(fill*100)+1), n, ops)
+			for mode := 0; mode < 2; mode++ {
+				cold := mode == 1
+				t := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+				rows[mode] = append(rows[mode], cycles(insertCycles(t, ikeys, cold)))
+				t = scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+				rows[2+mode] = append(rows[2+mode], cycles(deleteCycles(t, dkeys, cold)))
+			}
+		}
+		for i := range tables {
+			tables[i].AddRow(rows[i]...)
+		}
+	}
+	return tables
+}
+
+// Figure13 reproduces Figure 13: (a) the number of insertions causing
+// node splits at bulkload factors 60..90%, and (b) the split breakdown
+// (no split / one split / more splits) on 100%-full trees.
+func Figure13(o Options) []Table {
+	n := o.keys(3_000_000)
+	ops := o.ops(100_000)
+	pairs := workload.SortedPairs(n)
+
+	cols := []string{"fill"}
+	cols = append(cols, updateLineup...)
+	a := Table{ID: "fig13a",
+		Title:   fmt.Sprintf("insertions (of %d) causing node splits", ops),
+		Columns: cols}
+	for _, fill := range []float64{0.6, 0.7, 0.8, 0.9} {
+		row := []string{fmt.Sprintf("%.0f%%", fill*100)}
+		for _, name := range updateLineup {
+			t := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+			t.ResetUpdateStats()
+			insertCycles(t, workload.InsertKeys(o.rng(int64(fill*100)), n, ops), false)
+			row = append(row, count(int(t.UpdateStats().InsertsWithSplit)))
+		}
+		a.AddRow(row...)
+	}
+
+	b := Table{ID: "fig13b",
+		Title:   fmt.Sprintf("split breakdown of %d insertions into 100%%-full trees", ops),
+		Columns: []string{"tree", "no split", "one split (leaf only)", "more splits"}}
+	for _, name := range updateLineup {
+		t := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, 1.0)
+		t.ResetUpdateStats()
+		insertCycles(t, workload.InsertKeys(o.rng(99), n, ops), false)
+		st := t.UpdateStats()
+		none := st.Inserts - st.InsertsWithSplit
+		one := st.InsertsWithSplit - st.InsertsWithNLSplit
+		b.AddRow(name, count(int(none)), count(int(one)), count(int(st.InsertsWithNLSplit)))
+	}
+	b.Notes = append(b.Notes,
+		"paper: over 40% of B+ insertions cause a non-leaf split at 100% full; far fewer with wide nodes")
+	return []Table{a, b}
+}
+
+// buildUpdateTree builds one of the update-lineup trees (exported for
+// benchmarks).
+func buildUpdateTree(name string, pairs []core.Pair, fill float64) *core.Tree {
+	return scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+}

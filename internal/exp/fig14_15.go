@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+
+	"pbtree/internal/memsys"
+	"pbtree/internal/workload"
+)
+
+// matureOpCounts are the x-axis of Figure 14 (cumulative operation
+// counts).
+var matureOpCounts = []int{40_000, 80_000, 120_000, 160_000, 200_000}
+
+// Figure14 reproduces Figure 14: up to 200K random searches,
+// insertions or deletions on mature trees (bulkload 10% of the keys,
+// insert the rest; section 4.5), warm and cold cache. As in the paper
+// the curves are cumulative: each point extends the previous one on
+// the same tree.
+func Figure14(o Options) []Table {
+	total := o.keys(4_000_000)
+	cols := []string{"operations"}
+	cols = append(cols, updateLineup...)
+	mk := func(id, title string) Table {
+		return Table{ID: id, Title: title + " on mature trees (M cycles, cumulative)", Columns: cols}
+	}
+	tables := []Table{
+		mk("fig14a", "searches (warm)"),
+		mk("fig14b", "insertions (warm)"),
+		mk("fig14c", "deletions (warm)"),
+		mk("fig14d", "searches (cold)"),
+		mk("fig14e", "insertions (cold)"),
+		mk("fig14f", "deletions (cold)"),
+	}
+	maxOps := o.ops(matureOpCounts[len(matureOpCounts)-1])
+
+	// cells[tableIdx][point] accumulates per-variant columns.
+	cells := make([][][]string, 6)
+	for i := range cells {
+		cells[i] = make([][]string, len(matureOpCounts))
+	}
+
+	for _, name := range updateLineup {
+		for mode := 0; mode < 2; mode++ {
+			cold := mode == 1
+			// One tree per operation type, measured cumulatively.
+			searchT := matureTree(scanConfigs[name], memsys.DefaultConfig(), o.rng(14), total)
+			insertT := matureTree(scanConfigs[name], memsys.DefaultConfig(), o.rng(14), total)
+			deleteT := matureTree(scanConfigs[name], memsys.DefaultConfig(), o.rng(14), total)
+			skeys := workload.SearchKeys(o.rng(41), total, maxOps)
+			ikeys := workload.InsertKeys(o.rng(42), total, maxOps)
+			dkeys := workload.DeleteKeys(o.rng(43), total, maxOps)
+			if !cold {
+				warmup(searchT, workload.SearchKeys(o.rng(44), total, maxOps/10+1))
+			}
+			var sSum, iSum, dSum uint64
+			prev := 0
+			for pt, rawOps := range matureOpCounts {
+				ops := o.ops(rawOps)
+				if ops > maxOps {
+					ops = maxOps
+				}
+				if ops > prev {
+					sSum += searchCycles(searchT, skeys[prev:ops], cold)
+					iSum += insertCycles(insertT, ikeys[prev:ops], cold)
+					dSum += deleteCycles(deleteT, dkeys[prev:ops], cold)
+					prev = ops
+				}
+				cells[3*mode][pt] = append(cells[3*mode][pt], cycles(sSum))
+				cells[3*mode+1][pt] = append(cells[3*mode+1][pt], cycles(iSum))
+				cells[3*mode+2][pt] = append(cells[3*mode+2][pt], cycles(dSum))
+			}
+		}
+	}
+
+	for ti := range tables {
+		for pt, rawOps := range matureOpCounts {
+			row := append([]string{count(o.ops(rawOps))}, cells[ti][pt]...)
+			tables[ti].AddRow(row...)
+		}
+	}
+	return tables
+}
+
+// Figure15 reproduces Figure 15: range scans on mature trees — (a)
+// scans of 10..1M tupleIDs per request and (b) large segmented scans
+// (1000 calls x 1000 pairs).
+func Figure15(o Options) []Table {
+	total := o.keys(4_000_000)
+	cols := []string{"tupleIDs"}
+	cols = append(cols, scanOrder...)
+	a := Table{ID: "fig15a", Title: "scans of m tupleIDs on mature trees (cycles per request)", Columns: cols}
+	rows := make(map[int][]string)
+	wants := make([]int, 0, len(scanLengths))
+	for _, m := range scanLengths {
+		want := m
+		if want > total/2 {
+			want = total / 2
+		}
+		if _, dup := rows[want]; dup {
+			continue // scaled lengths can collide
+		}
+		wants = append(wants, want)
+		rows[want] = []string{count(want)}
+	}
+	for _, name := range scanOrder {
+		// One mature tree per variant, reused across scan lengths.
+		t := matureTree(scanConfigs[name], memsys.DefaultConfig(), o.rng(15), total)
+		for _, want := range wants {
+			starts := workload.ScanStarts(o.rng(int64(want)+3), total, want, o.starts())
+			rows[want] = append(rows[want], fmt.Sprint(scanOnceCycles(t, starts, want)))
+		}
+	}
+	for _, want := range wants {
+		a.AddRow(rows[want]...)
+	}
+
+	segSize := 1000
+	calls := o.ops(1000)
+	if calls*segSize > total/2 {
+		calls = total / 2 / segSize
+		if calls < 1 {
+			calls = 1
+		}
+	}
+	b := Table{ID: "fig15b",
+		Title:   fmt.Sprintf("segmented scans on mature trees: %d calls x %d pairs (cycles)", calls, segSize),
+		Columns: []string{"tree", "cycles per scan"}}
+	for _, name := range scanOrder {
+		t := matureTree(scanConfigs[name], memsys.DefaultConfig(), o.rng(16), total)
+		starts := workload.ScanStarts(o.rng(7), total, calls*segSize, o.starts())
+		b.AddRow(name, fmt.Sprint(segmentedScanCycles(t, starts, calls, segSize)))
+	}
+	b.Notes = append(b.Notes, "paper (fig 15b): B+ 3537, p8 825, p8e 479, p8i 452 M cycles")
+	return []Table{a, b}
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+	"pbtree/internal/workload"
+)
+
+// bandwidths are the normalized-bandwidth values of Figure 16(a,b).
+var bandwidths = []int{5, 10, 15, 20, 25, 30}
+
+// Figure16 reproduces the sensitivity analysis: (a,b) search time of
+// p^wB+-Trees normalized to the B+-Tree while the memory system's
+// normalized bandwidth B varies, and (c,d) scan time while the
+// prefetching distance k and the chunk size c vary.
+func Figure16(o Options) []Table {
+	n := o.keys(3_000_000)
+	ops := o.ops(100_000)
+	pairs := workload.SortedPairs(n)
+	widths := []variant{pWidth(2), pWidth(4), pWidth(8), pWidth(16), pWidth(19)}
+
+	cols := []string{"B"}
+	for _, v := range widths {
+		cols = append(cols, v.name)
+	}
+	warm := Table{ID: "fig16a", Title: "search vs memory bandwidth, normalized to B+ = 100 (warm)", Columns: cols}
+	cold := Table{ID: "fig16b", Title: "search vs memory bandwidth, normalized to B+ = 100 (cold)", Columns: cols}
+	for _, b := range bandwidths {
+		mcfg := memsys.DefaultConfig().WithBandwidth(b)
+		r := o.rng(int64(b))
+		keys := workload.SearchKeys(r, n, ops)
+		wk := workload.SearchKeys(r, n, ops/10+1)
+
+		base := vBPlus.build(mcfg, pairs, 1.0)
+		warmup(base, wk)
+		baseWarm := searchCycles(base, keys, false)
+		base = vBPlus.build(mcfg, pairs, 1.0)
+		baseCold := searchCycles(base, keys, true)
+
+		wRow := []string{count(b)}
+		cRow := []string{count(b)}
+		for _, v := range widths {
+			ix := v.build(mcfg, pairs, 1.0)
+			warmup(ix, wk)
+			wRow = append(wRow, ratio(100*searchCycles(ix, keys, false), baseWarm))
+			ix = v.build(mcfg, pairs, 1.0)
+			cRow = append(cRow, ratio(100*searchCycles(ix, keys, true), baseCold))
+		}
+		warm.AddRow(wRow...)
+		cold.AddRow(cRow...)
+	}
+	cold.Notes = append(cold.Notes,
+		"paper: larger B favours wider nodes; p8 best at low B, p16/p19 best at B >= 15")
+
+	c := scanParamSweep(o, "fig16c", "scan vs prefetching distance k (p8e, cycles per request)",
+		"k", []int{2, 3, 4, 8, 16, 32},
+		func(k int) core.Config {
+			return core.Config{Width: 8, Prefetch: true, JumpArray: core.JumpExternal, PrefetchDist: k}
+		})
+	d := scanParamSweep(o, "fig16d", "scan vs chunk size c (p8e, cycles per request)",
+		"c", []int{2, 4, 8, 16, 32},
+		func(cl int) core.Config {
+			return core.Config{Width: 8, Prefetch: true, JumpArray: core.JumpExternal, ChunkLines: cl}
+		})
+	return []Table{warm, cold, c, d}
+}
+
+// scanParamSweep measures Figure 10(a)-style scans for each value of a
+// p8e parameter.
+func scanParamSweep(o Options, id, title, param string, values []int, mkCfg func(int) core.Config) Table {
+	n := o.keys(3_000_000)
+	pairs := workload.SortedPairs(n)
+	cols := []string{"tupleIDs"}
+	for _, v := range values {
+		cols = append(cols, fmt.Sprintf("%s=%d", param, v))
+	}
+	t := Table{ID: id, Title: title, Columns: cols}
+	for _, m := range scanLengths {
+		want := m
+		if want > n/2 {
+			want = n / 2
+		}
+		row := []string{count(want)}
+		for _, v := range values {
+			tr := scanTree(mkCfg(v), memsys.DefaultConfig(), pairs, 1.0)
+			starts := workload.ScanStarts(o.rng(int64(m+v)), n, want, o.starts())
+			row = append(row, fmt.Sprint(scanOnceCycles(tr, starts, want)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+	"pbtree/internal/workload"
+)
+
+// searchBreakdown measures the busy/stall split of warm random
+// searches on a freshly bulkloaded tree.
+func searchBreakdown(o Options, v variant, n, ops int) memsys.Stats {
+	pairs := workload.SortedPairs(n)
+	ix := v.build(memsys.DefaultConfig(), pairs, 1.0)
+	r := o.rng(17)
+	warmup(ix, workload.SearchKeys(r, n, ops/10+1))
+	keys := workload.SearchKeys(r, n, ops)
+	return breakdown(ix.Mem(), func() { searchCycles(ix, keys, false) })
+}
+
+// scanBreakdown measures the busy/stall split of cold range scans of
+// `want` tupleIDs on a freshly bulkloaded tree.
+func scanBreakdown(o Options, cfg core.Config, n, want, starts int) memsys.Stats {
+	pairs := workload.SortedPairs(n)
+	t := scanTree(cfg, memsys.DefaultConfig(), pairs, 1.0)
+	r := o.rng(18)
+	sk := workload.ScanStarts(r, n, want, starts)
+	return breakdown(t.Mem(), func() { scanOnceCycles(t, sk, want) })
+}
+
+// breakdownRow appends one bar of a Figure 1/17-style table: absolute
+// busy/stall cycles plus the execution time normalized to the
+// baseline.
+func breakdownRow(t *Table, name string, s memsys.Stats, base uint64) {
+	t.AddRow(name, cycles(s.Busy), cycles(s.Stall), percent(s.Stall, s.Total()),
+		cycles(s.Total()), ratio(100*s.Total(), base))
+}
+
+var breakdownCols = []string{"tree", "busy (M)", "dcache stall (M)", "stall frac", "total (M)", "normalized (%/100)"}
+
+// Figure1 reproduces Figure 1: the execution-time breakdown of B+ and
+// CSB+ searches and of B+ range scans, showing that both access
+// patterns are dominated by data cache stalls.
+func Figure1(o Options) []Table {
+	nSearch := o.keys(10_000_000)
+	searches := o.ops(100_000)
+	search := Table{ID: "fig1-search", Title: "breakdown, 100K warm searches on a 10M-key tree (scaled)",
+		Columns: breakdownCols}
+	sb := searchBreakdown(o, vBPlus, nSearch, searches)
+	base := sb.Total()
+	breakdownRow(&search, "B+tree", sb, base)
+	breakdownRow(&search, "CSB+", searchBreakdown(o, vCSB, nSearch, searches), base)
+
+	nScan := o.keys(10_000_000)
+	want := o.ops(1_000_000)
+	scan := Table{ID: "fig1-scan", Title: "breakdown, range scans of 1M tupleIDs (scaled)",
+		Columns: breakdownCols}
+	cb := scanBreakdown(o, scanConfigs["B+tree"], nScan, want, o.starts())
+	breakdownRow(&scan, "B+tree", cb, cb.Total())
+	scan.Notes = append(scan.Notes,
+		"paper: search loses 65% and scan 84% of execution time to dcache stalls")
+	return []Table{search, scan}
+}
+
+// Figure17 reproduces Figure 17: the cache-performance breakdown of
+// the pB+-Tree variants for index search (a) and range scan (b).
+func Figure17(o Options) []Table {
+	nSearch := o.keys(10_000_000)
+	searches := o.ops(100_000)
+	a := Table{ID: "fig17a", Title: "breakdown, search (10M keys, 100K warm searches, scaled)",
+		Columns: breakdownCols}
+	var base uint64
+	for _, v := range []variant{vBPlus, vCSB, vP8, vP8CSB} {
+		s := searchBreakdown(o, v, nSearch, searches)
+		if base == 0 {
+			base = s.Total()
+		}
+		breakdownRow(&a, v.name, s, base)
+	}
+
+	nScan := o.keys(3_000_000)
+	want := o.ops(1_000_000)
+	b := Table{ID: "fig17b", Title: "breakdown, range scan of 1M tupleIDs (3M keys, scaled)",
+		Columns: breakdownCols}
+	base = 0
+	for _, name := range scanOrder {
+		s := scanBreakdown(o, scanConfigs[name], nScan, want, o.starts())
+		if base == 0 {
+			base = s.Total()
+		}
+		breakdownRow(&b, name, s, base)
+	}
+	b.Notes = append(b.Notes,
+		"paper: p8e/p8i eliminate ~97% of the scan dcache stall time (8x speedup)")
+	return []Table{a, b}
+}

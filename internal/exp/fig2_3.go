@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+
+	"pbtree/internal/memsys"
+)
+
+// Figure2 reproduces the cache-behaviour illustration of Figure 2:
+// the cost of a root-to-leaf traversal for (a) four one-line nodes,
+// (b) three two-line nodes without prefetching, and (c) three two-line
+// nodes with the lines of each node prefetched in parallel. The paper
+// quotes 600, 900 and 480 cycles on the ES40 model.
+func Figure2(Options) []Table {
+	cfg := memsys.DefaultConfig()
+	cfg.PrefetchIssue = 0 // the figure abstracts away issue cost
+
+	run := func(nodes, lines int, prefetch bool) uint64 {
+		h := memsys.New(cfg)
+		for n := 0; n < nodes; n++ {
+			base := uint64(n) * 4096
+			if prefetch {
+				for l := 0; l < lines; l++ {
+					h.Prefetch(base + uint64(64*l))
+				}
+			}
+			for l := 0; l < lines; l++ {
+				h.Access(base + uint64(64*l))
+			}
+		}
+		return h.Now()
+	}
+
+	t := Table{ID: "fig2", Title: "cache behaviour of B+-Tree searches (cycles)",
+		Columns: []string{"scenario", "cycles", "paper"}}
+	t.AddRow("(a) 4 levels, 1-line nodes", fmt.Sprint(run(4, 1, false)), "600")
+	t.AddRow("(b) 3 levels, 2-line nodes, no prefetch", fmt.Sprint(run(3, 2, false)), "900")
+	t.AddRow("(c) 3 levels, 2-line nodes, prefetched", fmt.Sprint(run(3, 2, true)), "480")
+	return []Table{t}
+}
+
+// Figure3 reproduces the range-scan illustration of Figure 3: the cost
+// of visiting four leaves' worth of data as (a) four serial one-line
+// leaves, (b) two two-line leaves with within-node prefetching, and
+// (c) fully pipelined prefetching across leaves.
+func Figure3(Options) []Table {
+	cfg := memsys.DefaultConfig()
+	cfg.PrefetchIssue = 0
+
+	// (a) four dependent leaf misses.
+	a := memsys.New(cfg)
+	for n := uint64(0); n < 4; n++ {
+		a.Access(n * 4096)
+	}
+
+	// (b) two 2-line leaves, each prefetched on arrival.
+	b := memsys.New(cfg)
+	for n := uint64(0); n < 2; n++ {
+		base := n * 4096
+		b.Prefetch(base)
+		b.Prefetch(base + 64)
+		b.Access(base)
+		b.Access(base + 64)
+	}
+
+	// (c) all four lines prefetched ahead (jump-pointer style).
+	c := memsys.New(cfg)
+	for n := uint64(0); n < 4; n++ {
+		c.Prefetch(n * 4096)
+	}
+	for n := uint64(0); n < 4; n++ {
+		c.Access(n * 4096)
+	}
+
+	t := Table{ID: "fig3", Title: "cache behaviour of index range scans (cycles)",
+		Columns: []string{"scenario", "cycles", "paper"}}
+	t.AddRow("(a) 4 one-line leaves, serial", fmt.Sprint(a.Now()), "600")
+	t.AddRow("(b) 2 two-line leaves, node prefetch", fmt.Sprint(b.Now()), "320")
+	t.AddRow("(c) prefetching ahead across leaves", fmt.Sprint(c.Now()), "180")
+	return []Table{t}
+}

@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"fmt"
+
+	"pbtree/internal/memsys"
+	"pbtree/internal/workload"
+)
+
+// paperSizes are the leaf-entry counts of Figures 7 and 9.
+var paperSizes = []int{10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000}
+
+// paperFills are the bulkload factors of Figures 8 and 10-12.
+var paperFills = []float64{0.6, 0.7, 0.8, 0.9, 1.0}
+
+// searchSweep measures warm and cold search time for each variant over
+// each tree size at the given fill, returning one table per cache
+// mode.
+func searchSweep(o Options, idPrefix, title string, vs []variant, sizes []int, fill float64) []Table {
+	ops := o.ops(100_000)
+	cols := []string{"keys"}
+	for _, v := range vs {
+		cols = append(cols, v.name)
+	}
+	warm := Table{ID: idPrefix + "a", Title: title + " (warm cache, M cycles)", Columns: cols}
+	cold := Table{ID: idPrefix + "b", Title: title + " (cold cache, M cycles)", Columns: cols}
+	for _, n := range sizes {
+		wRow := []string{count(n)}
+		cRow := []string{count(n)}
+		pairs := workload.SortedPairs(n)
+		for _, v := range vs {
+			r := o.rng(int64(n))
+			keys := workload.SearchKeys(r, n, ops)
+
+			ix := v.build(memsys.DefaultConfig(), pairs, fill)
+			warmup(ix, workload.SearchKeys(r, n, ops/10+1))
+			wRow = append(wRow, cycles(searchCycles(ix, keys, false)))
+
+			ix = v.build(memsys.DefaultConfig(), pairs, fill)
+			cRow = append(cRow, cycles(searchCycles(ix, keys, true)))
+		}
+		warm.AddRow(wRow...)
+		cold.AddRow(cRow...)
+	}
+	return []Table{warm, cold}
+}
+
+// Figure7 reproduces Figure 7: 100K random searches after bulkloading
+// 10K..10M keys, warm and cold cache, for the full search lineup.
+func Figure7(o Options) []Table {
+	sizes := make([]int, len(paperSizes))
+	for i, s := range paperSizes {
+		sizes[i] = o.keys(s)
+	}
+	return searchSweep(o, "fig7", "100K searches after bulkload (scaled)", searchLineup, sizes, 1.0)
+}
+
+// Table3 reproduces Table 3: the number of levels in each tree of
+// Figure 7.
+func Table3(o Options) []Table {
+	cols := []string{"tree"}
+	sizes := make([]int, len(paperSizes))
+	for i, s := range paperSizes {
+		sizes[i] = o.keys(s)
+		cols = append(cols, count(sizes[i]))
+	}
+	t := Table{ID: "tab3", Title: "number of levels in the trees of Figure 7", Columns: cols}
+	for _, v := range searchLineup {
+		row := []string{v.name}
+		for _, n := range sizes {
+			ix := v.build(memsys.DefaultConfig(), workload.SortedPairs(n), 1.0)
+			row = append(row, count(ix.Height()))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}
+}
+
+// Figure8 reproduces Figure 8: 100K searches after bulkloading 3M keys
+// at bulkload factors 60%..100%.
+func Figure8(o Options) []Table {
+	n := o.keys(3_000_000)
+	ops := o.ops(100_000)
+	cols := []string{"fill"}
+	for _, v := range searchLineup {
+		cols = append(cols, v.name)
+	}
+	warm := Table{ID: "fig8a", Title: "searches vs bulkload factor, 3M keys (warm, M cycles)", Columns: cols}
+	cold := Table{ID: "fig8b", Title: "searches vs bulkload factor, 3M keys (cold, M cycles)", Columns: cols}
+	pairs := workload.SortedPairs(n)
+	for _, fill := range paperFills {
+		wRow := []string{fmt.Sprintf("%.0f%%", fill*100)}
+		cRow := []string{fmt.Sprintf("%.0f%%", fill*100)}
+		for _, v := range searchLineup {
+			r := o.rng(int64(fill * 1000))
+			keys := workload.SearchKeys(r, n, ops)
+
+			ix := v.build(memsys.DefaultConfig(), pairs, fill)
+			warmup(ix, workload.SearchKeys(r, n, ops/10+1))
+			wRow = append(wRow, cycles(searchCycles(ix, keys, false)))
+
+			ix = v.build(memsys.DefaultConfig(), pairs, fill)
+			cRow = append(cRow, cycles(searchCycles(ix, keys, true)))
+		}
+		warm.AddRow(wRow...)
+		cold.AddRow(cRow...)
+	}
+	return []Table{warm, cold}
+}
+
+// Figure9 reproduces Figure 9: search performance of the p8B+-Tree
+// with and without range-scan prefetching structures (p8e, p8i).
+func Figure9(o Options) []Table {
+	sizes := make([]int, len(paperSizes))
+	for i, s := range paperSizes {
+		sizes[i] = o.keys(s)
+	}
+	return searchSweep(o, "fig9",
+		"searches on p8 trees with scan-prefetch structures (scaled)",
+		[]variant{vP8, vP8E, vP8I}, sizes, 1.0)
+}

@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+	"pbtree/internal/workload"
+)
+
+// Options controls experiment sizing.
+type Options struct {
+	// Scale multiplies the paper's key and operation counts. 1.0 is
+	// paper scale; the CLI default is 0.1.
+	Scale float64
+	// Seed drives all workload generation.
+	Seed int64
+}
+
+// DefaultOptions returns the CLI defaults.
+func DefaultOptions() Options { return Options{Scale: 0.1, Seed: 1} }
+
+func (o Options) rng(offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(o.Seed + offset))
+}
+
+// keys scales a paper-sized key count (minimum 1000 so trees keep
+// multiple levels).
+func (o Options) keys(n int) int { return workload.Scaled(n, o.Scale, 1000) }
+
+// ops scales a paper-sized operation count.
+func (o Options) ops(n int) int { return workload.Scaled(n, o.Scale, 200) }
+
+// starts scales the paper's 100 random scan starting keys.
+func (o Options) starts() int { return workload.Scaled(100, o.Scale, 10) }
+
+// searchCycles runs the given searches and returns simulated cycles.
+// cold clears the caches before every search (the paper's cold-cache
+// protocol).
+func searchCycles(ix index, keys []core.Key, cold bool) uint64 {
+	mem := ix.Mem()
+	start := mem.Now()
+	for _, k := range keys {
+		if cold {
+			mem.FlushCaches()
+		}
+		if _, ok := ix.Search(k); !ok {
+			panic(fmt.Sprintf("%s: search lost key %d", ix.Name(), k))
+		}
+	}
+	return mem.Now() - start
+}
+
+// warmup performs a round of searches without measuring, settling the
+// cache contents for warm-cache runs.
+func warmup(ix index, keys []core.Key) {
+	for _, k := range keys {
+		ix.Search(k)
+	}
+}
+
+// insertCycles runs the insertions and returns simulated cycles.
+func insertCycles(t *core.Tree, keys []core.Key, cold bool) uint64 {
+	mem := t.Mem()
+	start := mem.Now()
+	for _, k := range keys {
+		if cold {
+			mem.FlushCaches()
+		}
+		t.Insert(k, core.TID(k))
+	}
+	return mem.Now() - start
+}
+
+// deleteCycles runs the deletions and returns simulated cycles.
+func deleteCycles(t *core.Tree, keys []core.Key, cold bool) uint64 {
+	mem := t.Mem()
+	start := mem.Now()
+	for _, k := range keys {
+		if cold {
+			mem.FlushCaches()
+		}
+		t.Delete(k)
+	}
+	return mem.Now() - start
+}
+
+// scanOnceCycles measures a single scan request of want tupleIDs
+// starting at each start key, clearing the caches between requests as
+// the paper does, and returns the average cycles per request.
+func scanOnceCycles(t *core.Tree, starts []core.Key, want int) uint64 {
+	mem := t.Mem()
+	var total uint64
+	buf := make([]core.TID, want)
+	for _, s := range starts {
+		mem.FlushCaches()
+		before := mem.Now()
+		sc := t.NewScan(s, core.MaxKey)
+		if got := sc.Next(buf); got != want {
+			panic(fmt.Sprintf("%s: scan returned %d of %d", t.Name(), got, want))
+		}
+		total += mem.Now() - before
+	}
+	return total / uint64(len(starts))
+}
+
+// segmentedScanCycles measures a segmented scan: one search plus calls
+// segments of segSize pairs each, returning average cycles per full
+// segmented scan.
+func segmentedScanCycles(t *core.Tree, starts []core.Key, calls, segSize int) uint64 {
+	mem := t.Mem()
+	var total uint64
+	buf := make([]core.TID, segSize)
+	for _, s := range starts {
+		mem.FlushCaches()
+		before := mem.Now()
+		sc := t.NewScan(s, core.MaxKey)
+		for c := 0; c < calls; c++ {
+			if got := sc.Next(buf); got != segSize {
+				panic(fmt.Sprintf("%s: segment returned %d of %d", t.Name(), got, segSize))
+			}
+		}
+		total += mem.Now() - before
+	}
+	return total / uint64(len(starts))
+}
+
+// breakdown captures a busy/stall split over an operation run.
+func breakdown(mem *memsys.Hierarchy, run func()) memsys.Stats {
+	before := mem.Stats()
+	run()
+	return mem.Stats().Sub(before)
+}
+
+// matureTree builds a mature core tree per section 4.5: bulkload 10%
+// of the keys, insert the rest. Stats are reset afterwards.
+func matureTree(cfg core.Config, mcfg memsys.Config, r *rand.Rand, total int) *core.Tree {
+	bulk, inserts := workload.MatureKeys(r, total)
+	cfg.Mem = memsys.New(mcfg)
+	t := core.MustNew(cfg)
+	if err := t.Bulkload(bulk, 1.0); err != nil {
+		panic(err)
+	}
+	for _, k := range inserts {
+		t.Insert(k, core.TID(k))
+	}
+	t.Mem().ResetStats()
+	t.ResetUpdateStats()
+	return t
+}

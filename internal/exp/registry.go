@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a runnable reproduction of one paper table or figure.
+type Experiment struct {
+	ID    string
+	Brief string
+	Run   func(Options) []Table
+}
+
+// registry maps experiment ids to runners, in paper order.
+var registry = []Experiment{
+	{"fig1", "execution-time breakdown of B+/CSB+ search and B+ scan", Figure1},
+	{"fig2", "timing of serial vs prefetched node fetches (600/900/480 cycles)", Figure2},
+	{"fig3", "timing of serial vs prefetched leaf scans", Figure3},
+	{"fig7", "searches vs tree size, warm and cold, all variants", Figure7},
+	{"tab3", "number of levels in the trees of Figure 7", Table3},
+	{"fig8", "searches vs bulkload factor", Figure8},
+	{"fig9", "search cost of scan-prefetch structures (p8/p8e/p8i)", Figure9},
+	{"fig10", "range scans vs length and bulkload factor", Figure10},
+	{"fig11", "large segmented range scans", Figure11},
+	{"fig12", "insertions and deletions vs bulkload factor", Figure12},
+	{"fig13", "node-split analysis of insertions", Figure13},
+	{"fig14", "operations on mature trees", Figure14},
+	{"fig15", "range scans on mature trees", Figure15},
+	{"fig16", "sensitivity to bandwidth B, prefetch distance k, chunk size c", Figure16},
+	{"fig17", "cache-performance breakdown of pB+-Tree variants", Figure17},
+	{"extdisk", "extension: disk-resident pB+-Trees (section 5)", ExtDisk},
+	{"extablation", "extension: ablations of the design choices", ExtAblation},
+	{"extcsb", "extension: CSB+ insertion cost on mature trees (section 4.5)", ExtCSB},
+	{"extindexes", "extension: T-Tree/CSS/CSB+/B+/pB+ generations compared", ExtIndexes},
+}
+
+// Experiments returns the registry in paper order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, o Options) ([]Table, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Run(o), nil
+		}
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
+}

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOptions shrinks everything so the whole suite runs in seconds.
+func tinyOptions() Options { return Options{Scale: 0.002, Seed: 1} }
+
+// TestAllExperimentsRun smoke-tests every registered experiment at a
+// tiny scale: they must run, produce non-empty tables with consistent
+// row widths, and print.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(tinyOptions())
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if tb.ID == "" || tb.Title == "" || len(tb.Columns) == 0 {
+					t.Fatalf("malformed table %+v", tb)
+				}
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s: no rows", tb.ID)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("%s: row width %d, want %d", tb.ID, len(row), len(tb.Columns))
+					}
+				}
+				var buf bytes.Buffer
+				tb.Fprint(&buf)
+				if !strings.Contains(buf.String(), tb.ID) {
+					t.Fatalf("%s: print missing id", tb.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", tinyOptions()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if _, err := Run("fig2", tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure2ExactCycles pins the paper's 600/900/480 numbers, which
+// are scale-independent.
+func TestFigure2ExactCycles(t *testing.T) {
+	tables := Figure2(tinyOptions())
+	want := []string{"600", "900", "480"}
+	for i, row := range tables[0].Rows {
+		if row[1] != want[i] {
+			t.Errorf("row %d: got %s cycles, want %s", i, row[1], want[i])
+		}
+	}
+}
+
+// TestTable3HeightsDecrease verifies wider nodes yield shorter trees
+// in every column of Table 3.
+func TestTable3HeightsDecrease(t *testing.T) {
+	tb := Table3(Options{Scale: 0.01, Seed: 1})[0]
+	byName := map[string][]string{}
+	for _, row := range tb.Rows {
+		byName[row[0]] = row[1:]
+	}
+	bp := byName["B+tree"]
+	p8 := byName["p8B+tree"]
+	for i := range bp {
+		b, _ := strconv.Atoi(bp[i])
+		p, _ := strconv.Atoi(p8[i])
+		if p > b {
+			t.Errorf("size col %d: p8 height %d > B+ height %d", i, p, b)
+		}
+	}
+}
+
+// TestFigure10Ladder asserts the headline ordering at a small scale:
+// for the longest scan row, B+ > p8 > p8e and p8e ~ p8i.
+func TestFigure10Ladder(t *testing.T) {
+	tables := Figure10(Options{Scale: 0.01, Seed: 1})
+	a := tables[0]
+	last := a.Rows[len(a.Rows)-1]
+	var vals []float64
+	for _, cell := range last[1:] {
+		var v float64
+		if _, err := fmt.Sscan(cell, &v); err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, v)
+	}
+	bplus, p8, p8e, p8i := vals[0], vals[1], vals[2], vals[3]
+	if !(bplus > p8 && p8 > p8e) {
+		t.Errorf("ladder broken: B+=%v p8=%v p8e=%v", bplus, p8, p8e)
+	}
+	if r := p8e / p8i; r < 0.8 || r > 1.25 {
+		t.Errorf("p8e/p8i = %.2f, want near 1", r)
+	}
+	if spd := bplus / p8e; spd < 3 {
+		t.Errorf("p8e long-scan speedup %.1f too small", spd)
+	}
+}
+
+// TestExtAblationWins asserts the paper design beats each ablation in
+// its column.
+func TestExtAblationWins(t *testing.T) {
+	tb := ExtAblation(Options{Scale: 0.01, Seed: 1})[0]
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscan(s, &v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	baseScan := parse(tb.Rows[0][1])
+	baseIns := parse(tb.Rows[0][2])
+	if noBuf := parse(tb.Rows[1][1]); noBuf <= baseScan {
+		t.Errorf("buffer prefetch should help scans: %v vs %v", noBuf, baseScan)
+	}
+	if packed := parse(tb.Rows[2][2]); packed <= baseIns {
+		t.Errorf("even interleaving should help inserts: %v vs %v", packed, baseIns)
+	}
+}

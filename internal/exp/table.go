@@ -1,0 +1,99 @@
+// Package exp reproduces every table and figure of the paper's
+// evaluation (section 4). Each FigureN/TableN function runs the
+// corresponding experiment on the simulated memory hierarchy and
+// returns text tables with the same rows/series the paper plots.
+//
+// All experiments accept a scale factor: 1.0 reproduces paper-sized
+// workloads (up to 10M keys and 100K operations), smaller values
+// shrink both the trees and the operation counts proportionally so the
+// whole suite runs in seconds. Shapes (who wins, by what factor, where
+// crossovers fall) are stable across scales; absolute cycle counts are
+// not comparable to the paper's hardware.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one reproduced table or figure panel, formatted as text.
+type Table struct {
+	ID      string // e.g. "fig7a"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint writes the table in aligned plain text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			if i == 0 {
+				b.WriteString(cell + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + cell)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// cycles formats a cycle count in millions with three decimals, the
+// paper's usual unit ("M cycles").
+func cycles(c uint64) string {
+	return fmt.Sprintf("%.3f", float64(c)/1e6)
+}
+
+// ratio formats a speedup/normalized value.
+func ratio(num, den uint64) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(num)/float64(den))
+}
+
+// percent formats part/whole as a percentage.
+func percent(part, whole uint64) string {
+	if whole == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+// count formats an integer cell.
+func count(n int) string { return fmt.Sprintf("%d", n) }

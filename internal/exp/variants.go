@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+
+	"pbtree/internal/core"
+	"pbtree/internal/csbtree"
+	"pbtree/internal/memsys"
+)
+
+// index is the operation surface shared by core.Tree and csbtree.Tree
+// that the search experiments need.
+type index interface {
+	Name() string
+	Mem() *memsys.Hierarchy
+	Height() int
+	Search(core.Key) (core.TID, bool)
+	SpaceUsed() uint64
+}
+
+// variant names one tree configuration of the paper and knows how to
+// build it, bulkloaded, on a fresh hierarchy.
+type variant struct {
+	name  string
+	build func(mcfg memsys.Config, pairs []core.Pair, fill float64) index
+}
+
+// coreVariant builds a pB+-Tree variant.
+func coreVariant(name string, cfg core.Config) variant {
+	return variant{name: name, build: func(mcfg memsys.Config, pairs []core.Pair, fill float64) index {
+		c := cfg
+		c.Mem = memsys.New(mcfg)
+		t := core.MustNew(c)
+		if err := t.Bulkload(pairs, fill); err != nil {
+			panic(fmt.Sprintf("bulkload %s: %v", name, err))
+		}
+		t.Mem().ResetStats()
+		return t
+	}}
+}
+
+// csbVariant builds a CSB+-Tree variant.
+func csbVariant(name string, cfg csbtree.Config) variant {
+	return variant{name: name, build: func(mcfg memsys.Config, pairs []core.Pair, fill float64) index {
+		c := cfg
+		c.Mem = memsys.New(mcfg)
+		t := csbtree.MustNew(c)
+		if err := t.Bulkload(pairs, fill); err != nil {
+			panic(fmt.Sprintf("bulkload %s: %v", name, err))
+		}
+		t.Mem().ResetStats()
+		return t
+	}}
+}
+
+// The paper's tree lineup.
+var (
+	vBPlus = coreVariant("B+tree", core.Config{Width: 1})
+	vCSB   = csbVariant("CSB+", csbtree.Config{Width: 1})
+	vP2    = coreVariant("p2B+tree", core.Config{Width: 2, Prefetch: true})
+	vP4    = coreVariant("p4B+tree", core.Config{Width: 4, Prefetch: true})
+	vP8    = coreVariant("p8B+tree", core.Config{Width: 8, Prefetch: true})
+	vP16   = coreVariant("p16B+tree", core.Config{Width: 16, Prefetch: true})
+	vP8CSB = csbVariant("p8CSB+", csbtree.Config{Width: 8, Prefetch: true})
+	vP8E   = coreVariant("p8eB+tree", core.Config{Width: 8, Prefetch: true, JumpArray: core.JumpExternal})
+	vP8I   = coreVariant("p8iB+tree", core.Config{Width: 8, Prefetch: true, JumpArray: core.JumpInternal})
+	vWide8 = coreVariant("w8-noprefetch", core.Config{Width: 8})
+)
+
+// searchLineup is the Figure 7/8 variant set.
+var searchLineup = []variant{vBPlus, vCSB, vP2, vP4, vP8, vP16, vP8CSB}
+
+// scanLineup is the Figure 10/11/15 variant set (core trees only,
+// since CSB+ implements no scans).
+var scanLineup = []variant{vBPlus, vP8, vP8E, vP8I}
+
+// pWidth builds a p^wB+-Tree variant for the sensitivity sweeps.
+func pWidth(w int) variant {
+	return coreVariant(fmt.Sprintf("p%dB+tree", w), core.Config{Width: w, Prefetch: true})
+}
+
+// scanTree builds a *core.Tree directly (the scan experiments need the
+// Scanner API, which the index interface does not carry).
+func scanTree(cfg core.Config, mcfg memsys.Config, pairs []core.Pair, fill float64) *core.Tree {
+	cfg.Mem = memsys.New(mcfg)
+	t := core.MustNew(cfg)
+	if err := t.Bulkload(pairs, fill); err != nil {
+		panic(err)
+	}
+	t.Mem().ResetStats()
+	return t
+}
+
+// scanConfigs are the core.Config values behind scanLineup, used where
+// the concrete tree type is required.
+var scanConfigs = map[string]core.Config{
+	"B+tree":    {Width: 1},
+	"p8B+tree":  {Width: 8, Prefetch: true},
+	"p8eB+tree": {Width: 8, Prefetch: true, JumpArray: core.JumpExternal},
+	"p8iB+tree": {Width: 8, Prefetch: true, JumpArray: core.JumpInternal},
+}
+
+// scanOrder fixes the presentation order of scanConfigs.
+var scanOrder = []string{"B+tree", "p8B+tree", "p8eB+tree", "p8iB+tree"}

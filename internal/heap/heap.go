@@ -1,0 +1,106 @@
+// Package heap simulates a heap file of fixed-size tuples, the
+// storage that index tupleIDs point into. It exists for the section 5
+// extension of the paper: a range selection that returns tuples (not
+// just tupleIDs) hides the tuple fetches too, by prefetching each
+// tuple as soon as its tupleID has been identified.
+//
+// Like the index nodes, tuple bytes live at simulated addresses, so
+// tuple fetches exercise the same simulated cache hierarchy. Tuples
+// are fixed-size records appended to segments; TID t (1-based) lives
+// at a fixed computable address.
+package heap
+
+import (
+	"fmt"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+// segmentTuples is the number of tuples per allocated segment.
+const segmentTuples = 1024
+
+// Table is a simulated heap file. It is not safe for concurrent use.
+type Table struct {
+	mem       *memsys.Hierarchy
+	space     *memsys.AddressSpace
+	cost      core.CostModel
+	tupleSize int
+
+	segs []uint64   // segment base addresses
+	keys []core.Key // tuple contents (the key field), for verification
+}
+
+// New creates an empty heap file with tupleSize-byte tuples, allocated
+// from the given address space (pass the space shared with the index
+// so both live in the same simulated cache). tupleSize must be a
+// positive multiple of 4.
+func New(mem *memsys.Hierarchy, space *memsys.AddressSpace, tupleSize int) (*Table, error) {
+	if mem == nil {
+		return nil, fmt.Errorf("heap: nil hierarchy")
+	}
+	if space == nil {
+		return nil, fmt.Errorf("heap: nil address space")
+	}
+	if tupleSize <= 0 || tupleSize%4 != 0 {
+		return nil, fmt.Errorf("heap: tuple size %d must be a positive multiple of 4", tupleSize)
+	}
+	return &Table{
+		mem:       mem,
+		space:     space,
+		cost:      core.DefaultCostModel(),
+		tupleSize: tupleSize,
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(mem *memsys.Hierarchy, space *memsys.AddressSpace, tupleSize int) *Table {
+	t, err := New(mem, space, tupleSize)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len reports the number of tuples in the file.
+func (t *Table) Len() int { return len(t.keys) }
+
+// TupleSize reports the tuple size in bytes.
+func (t *Table) TupleSize() int { return t.tupleSize }
+
+// Append adds a tuple whose key field is key and returns its TID
+// (1-based). The write is charged to the hierarchy.
+func (t *Table) Append(key core.Key) core.TID {
+	idx := len(t.keys)
+	if idx%segmentTuples == 0 {
+		t.segs = append(t.segs, t.space.Alloc(segmentTuples*t.tupleSize))
+	}
+	t.keys = append(t.keys, key)
+	tid := core.TID(idx + 1)
+	t.mem.AccessRange(t.addr(tid), t.tupleSize)
+	t.mem.Compute(t.cost.Move * uint64(t.tupleSize/4))
+	return tid
+}
+
+// addr returns the simulated address of tuple tid. It panics on an
+// invalid tid, which is always a caller bug.
+func (t *Table) addr(tid core.TID) uint64 {
+	idx := int(tid) - 1
+	if idx < 0 || idx >= len(t.keys) {
+		panic(fmt.Sprintf("heap: tid %d out of range [1, %d]", tid, len(t.keys)))
+	}
+	return t.segs[idx/segmentTuples] + uint64((idx%segmentTuples)*t.tupleSize)
+}
+
+// Prefetch issues prefetches for all lines of tuple tid.
+func (t *Table) Prefetch(tid core.TID) {
+	t.mem.PrefetchRange(t.addr(tid), t.tupleSize)
+}
+
+// Read fetches tuple tid, charging the accesses and the per-field copy
+// into the query's output, and returns its key field.
+func (t *Table) Read(tid core.TID) core.Key {
+	t.mem.AccessRange(t.addr(tid), t.tupleSize)
+	t.mem.Compute(t.cost.Move * uint64(t.tupleSize/4))
+	return t.keys[int(tid)-1]
+}

@@ -1,0 +1,113 @@
+package heap
+
+import (
+	"testing"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+func newTable(t *testing.T, tupleSize int) *Table {
+	t.Helper()
+	mem := memsys.Default()
+	return MustNew(mem, memsys.NewAddressSpace(mem.Config().LineSize), tupleSize)
+}
+
+func TestAppendRead(t *testing.T) {
+	tab := newTable(t, 64)
+	var tids []core.TID
+	for i := 0; i < 5000; i++ {
+		tids = append(tids, tab.Append(core.Key(i*3+1)))
+	}
+	if tab.Len() != 5000 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for i, tid := range tids {
+		if got := tab.Read(tid); got != core.Key(i*3+1) {
+			t.Fatalf("tuple %d: key %d", i, got)
+		}
+	}
+}
+
+func TestTIDsAreStable(t *testing.T) {
+	tab := newTable(t, 100)
+	a := tab.Append(1)
+	b := tab.Append(2)
+	if a != 1 || b != 2 {
+		t.Fatalf("tids %d, %d; want 1, 2", a, b)
+	}
+	if tab.addr(a) == tab.addr(b) {
+		t.Fatal("tuples alias")
+	}
+}
+
+func TestSegmentBoundaries(t *testing.T) {
+	tab := newTable(t, 32)
+	for i := 0; i < segmentTuples*3+7; i++ {
+		tab.Append(core.Key(i))
+	}
+	// Every tuple address is distinct and non-overlapping.
+	seen := map[uint64]bool{}
+	for tid := core.TID(1); int(tid) <= tab.Len(); tid++ {
+		a := tab.addr(tid)
+		if seen[a] {
+			t.Fatal("duplicate tuple address")
+		}
+		seen[a] = true
+	}
+	if len(tab.segs) != 4 {
+		t.Fatalf("segments = %d, want 4", len(tab.segs))
+	}
+}
+
+func TestPrefetchHidesReadLatency(t *testing.T) {
+	mem := memsys.Default()
+	tab := MustNew(mem, memsys.NewAddressSpace(64), 64)
+	for i := 0; i < 1000; i++ {
+		tab.Append(core.Key(i))
+	}
+	// Cold read of 64 scattered tuples, no prefetch.
+	mem.FlushCaches()
+	before := mem.Now()
+	for tid := core.TID(1); tid <= 64; tid++ {
+		tab.Read(tid * 13 % 1000)
+	}
+	serial := mem.Now() - before
+	// Same reads with batch prefetching.
+	mem.FlushCaches()
+	before = mem.Now()
+	for tid := core.TID(1); tid <= 64; tid++ {
+		tab.Prefetch(tid * 13 % 1000)
+	}
+	for tid := core.TID(1); tid <= 64; tid++ {
+		tab.Read(tid * 13 % 1000)
+	}
+	pipelined := mem.Now() - before
+	if pipelined >= serial {
+		t.Errorf("prefetched reads (%d) not faster than serial (%d)", pipelined, serial)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	mem := memsys.Default()
+	if _, err := New(nil, memsys.NewAddressSpace(64), 64); err == nil {
+		t.Error("nil hierarchy accepted")
+	}
+	if _, err := New(mem, nil, 64); err == nil {
+		t.Error("nil space accepted")
+	}
+	if _, err := New(mem, memsys.NewAddressSpace(64), 30); err == nil {
+		t.Error("unaligned tuple size accepted")
+	}
+	if _, err := New(mem, memsys.NewAddressSpace(64), 0); err == nil {
+		t.Error("zero tuple size accepted")
+	}
+	tab := newTable(t, 64)
+	tab.Append(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range tid should panic")
+		}
+	}()
+	tab.Read(5)
+}

@@ -1,0 +1,83 @@
+package memsys
+
+// cache is a set-associative cache with true-LRU replacement. It
+// tracks only line addresses (tags); data lives in ordinary Go values
+// owned by the index structures.
+type cache struct {
+	sets  [][]uint64 // each set is ordered MRU-first
+	assoc int
+	// setOf maps a line address to its set index.
+	nsets     uint64
+	lineShift uint
+}
+
+func newCache(sizeBytes, lineSize, assoc int) *cache {
+	nlines := sizeBytes / lineSize
+	nsets := nlines / assoc
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	sets := make([][]uint64, nsets)
+	for i := range sets {
+		sets[i] = make([]uint64, 0, assoc)
+	}
+	return &cache{sets: sets, assoc: assoc, nsets: uint64(nsets), lineShift: shift}
+}
+
+func (c *cache) setOf(line uint64) []uint64 {
+	return c.sets[(line>>c.lineShift)%c.nsets]
+}
+
+// lookup reports whether line is present, promoting it to MRU if so.
+func (c *cache) lookup(line uint64) bool {
+	set := c.setOf(line)
+	for i, l := range set {
+		if l == line {
+			if i != 0 {
+				copy(set[1:i+1], set[:i])
+				set[0] = line
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// insert places line at MRU position, evicting the LRU line if the set
+// is full. Inserting an already-present line just promotes it.
+func (c *cache) insert(line uint64) {
+	idx := (line >> c.lineShift) % c.nsets
+	set := c.sets[idx]
+	for i, l := range set {
+		if l == line {
+			if i != 0 {
+				copy(set[1:i+1], set[:i])
+				set[0] = line
+			}
+			return
+		}
+	}
+	if len(set) < c.assoc {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[idx] = set
+}
+
+// flush empties the cache.
+func (c *cache) flush() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+}
+
+// lines reports the number of resident lines (used by tests).
+func (c *cache) lines() int {
+	n := 0
+	for _, s := range c.sets {
+		n += len(s)
+	}
+	return n
+}

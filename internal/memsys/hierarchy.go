@@ -1,0 +1,270 @@
+package memsys
+
+import "fmt"
+
+// Stats accumulates the cycle and event counters of a Hierarchy.
+type Stats struct {
+	Busy      uint64 // cycles spent computing (Compute + prefetch issue)
+	Stall     uint64 // cycles stalled waiting for data cache misses
+	L1Hits    uint64
+	L2Hits    uint64
+	MemMisses uint64 // demand misses serviced by main memory
+	PFHits    uint64 // demand accesses satisfied by an in-flight or completed prefetch
+	Prefetch  uint64 // prefetch instructions issued
+	PFMem     uint64 // prefetches that went to main memory
+}
+
+// Total reports the total simulated cycles covered by the stats.
+func (s Stats) Total() uint64 { return s.Busy + s.Stall }
+
+// Sub returns the difference s - t, counter by counter. It is used to
+// measure an interval: snapshot stats, run the operation, subtract.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Busy:      s.Busy - t.Busy,
+		Stall:     s.Stall - t.Stall,
+		L1Hits:    s.L1Hits - t.L1Hits,
+		L2Hits:    s.L2Hits - t.L2Hits,
+		MemMisses: s.MemMisses - t.MemMisses,
+		PFHits:    s.PFHits - t.PFHits,
+		Prefetch:  s.Prefetch - t.Prefetch,
+		PFMem:     s.PFMem - t.PFMem,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d busy=%d stall=%d l1=%d l2=%d mem=%d pfhit=%d pf=%d",
+		s.Total(), s.Busy, s.Stall, s.L1Hits, s.L2Hits, s.MemMisses, s.PFHits, s.Prefetch)
+}
+
+// inflightLine records an outstanding fill started by a prefetch.
+type inflightLine struct {
+	line  uint64
+	ready uint64 // cycle at which the line arrives in L1
+}
+
+// Hierarchy is a simulated two-level cache hierarchy in front of a
+// pipelined main memory. It is not safe for concurrent use; each
+// simulation owns one Hierarchy.
+type Hierarchy struct {
+	cfg      Config
+	lineMask uint64
+
+	now     uint64 // simulated cycle clock
+	memFree uint64 // completion cycle of the most recent memory transfer
+
+	l1, l2   *cache
+	inflight []inflightLine // outstanding prefetch fills, small (<= MissHandlers)
+
+	stats Stats
+}
+
+// New creates a Hierarchy with the given configuration. It panics if
+// the configuration is invalid, since that is always a programming
+// error in this codebase.
+func New(cfg Config) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Hierarchy{
+		cfg:      cfg,
+		lineMask: ^uint64(cfg.LineSize - 1),
+		l1:       newCache(cfg.L1Size, cfg.LineSize, cfg.L1Assoc),
+		l2:       newCache(cfg.L2Size, cfg.LineSize, cfg.L2Assoc),
+	}
+}
+
+// Default creates a Hierarchy with DefaultConfig.
+func Default() *Hierarchy { return New(DefaultConfig()) }
+
+// Config returns the configuration the hierarchy was built with.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Now reports the current simulated cycle.
+func (h *Hierarchy) Now() uint64 { return h.now }
+
+// Stats returns a snapshot of the accumulated counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Compute advances the clock by c busy cycles of instruction work.
+func (h *Hierarchy) Compute(c uint64) {
+	h.now += c
+	h.stats.Busy += c
+}
+
+// collect installs any in-flight prefetched lines that have arrived by
+// the current cycle into the caches.
+func (h *Hierarchy) collect() {
+	if len(h.inflight) == 0 {
+		return
+	}
+	kept := h.inflight[:0]
+	for _, f := range h.inflight {
+		if f.ready <= h.now {
+			h.l1.insert(f.line)
+			h.l2.insert(f.line)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	h.inflight = kept
+}
+
+// findInflight returns the index of line in the in-flight list, or -1.
+func (h *Hierarchy) findInflight(line uint64) int {
+	for i, f := range h.inflight {
+		if f.line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// Access performs a demand load or store of the line containing addr,
+// advancing the clock by however long the processor stalls. Writes are
+// modeled identically to reads (write-allocate, no write buffer).
+func (h *Hierarchy) Access(addr uint64) {
+	line := addr & h.lineMask
+	if i := h.findInflight(line); i >= 0 {
+		// Prefetch hit: wait for the arrival of the fill (which may
+		// already have happened).
+		f := h.inflight[i]
+		h.inflight = append(h.inflight[:i], h.inflight[i+1:]...)
+		if f.ready > h.now {
+			h.stats.Stall += f.ready - h.now
+			h.now = f.ready
+		}
+		h.l1.insert(line)
+		h.l2.insert(line)
+		h.stats.PFHits++
+		return
+	}
+	h.collect()
+	if h.l1.lookup(line) {
+		h.stats.L1Hits++
+		return
+	}
+	if h.l2.lookup(line) {
+		h.stats.L2Hits++
+		h.stats.Stall += h.cfg.L2Latency
+		h.now += h.cfg.L2Latency
+		h.l1.insert(line)
+		return
+	}
+	// Full miss to memory: the transfer starts now but completes no
+	// sooner than Tnext after the previous memory transfer.
+	complete := h.now + h.cfg.MemLatency
+	if c := h.memFree + h.cfg.MemNext; c > complete {
+		complete = c
+	}
+	h.memFree = complete
+	h.stats.MemMisses++
+	h.stats.Stall += complete - h.now
+	h.now = complete
+	h.l1.insert(line)
+	h.l2.insert(line)
+}
+
+// Prefetch issues a non-binding software prefetch for the line
+// containing addr. It charges the prefetch instruction's issue cost
+// but does not wait for the data; a later Access to the same line
+// waits only for the remaining fill time. If all miss handlers are
+// busy the processor stalls until one frees up, as on real hardware.
+func (h *Hierarchy) Prefetch(addr uint64) {
+	line := addr & h.lineMask
+	h.collect()
+	h.stats.Prefetch++
+	h.stats.Busy += h.cfg.PrefetchIssue
+	h.now += h.cfg.PrefetchIssue
+	if h.findInflight(line) >= 0 || h.l1.lookup(line) {
+		return // already present or on the way
+	}
+	if len(h.inflight) >= h.cfg.MissHandlers {
+		// Stall until the earliest outstanding fill retires.
+		earliest := h.inflight[0].ready
+		for _, f := range h.inflight[1:] {
+			if f.ready < earliest {
+				earliest = f.ready
+			}
+		}
+		if earliest > h.now {
+			h.stats.Stall += earliest - h.now
+			h.now = earliest
+		}
+		h.collect()
+	}
+	var ready uint64
+	if h.l2.lookup(line) {
+		ready = h.now + h.cfg.L2Latency
+	} else {
+		ready = h.now + h.cfg.MemLatency
+		if c := h.memFree + h.cfg.MemNext; c > ready {
+			ready = c
+		}
+		h.memFree = ready
+		h.stats.PFMem++
+	}
+	h.inflight = append(h.inflight, inflightLine{line: line, ready: ready})
+}
+
+// AccessRange issues demand accesses for every line overlapped by
+// [addr, addr+size).
+func (h *Hierarchy) AccessRange(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	first := addr & h.lineMask
+	last := (addr + uint64(size) - 1) & h.lineMask
+	for line := first; ; line += uint64(h.cfg.LineSize) {
+		h.Access(line)
+		if line == last {
+			break
+		}
+	}
+}
+
+// PrefetchRange issues prefetches for every line overlapped by
+// [addr, addr+size).
+func (h *Hierarchy) PrefetchRange(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	first := addr & h.lineMask
+	last := (addr + uint64(size) - 1) & h.lineMask
+	for line := first; ; line += uint64(h.cfg.LineSize) {
+		h.Prefetch(line)
+		if line == last {
+			break
+		}
+	}
+}
+
+// FlushCaches empties both cache levels and abandons in-flight
+// prefetches. It models the cold-cache experiments, where the caches
+// are cleared between operations. The clock is not changed.
+func (h *Hierarchy) FlushCaches() {
+	h.l1.flush()
+	h.l2.flush()
+	h.inflight = h.inflight[:0]
+}
+
+// ResetStats zeroes the counters without touching cache contents or
+// the clock.
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+// Contains reports which cache level (1, 2) holds the line containing
+// addr, or 0 if it is uncached. In-flight prefetches that have arrived
+// are collected first. Intended for tests.
+func (h *Hierarchy) Contains(addr uint64) int {
+	line := addr & h.lineMask
+	h.collect()
+	// Peek without disturbing LRU order: lookup promotes, which is
+	// acceptable for test use.
+	if h.l1.lookup(line) {
+		return 1
+	}
+	if h.l2.lookup(line) {
+		return 2
+	}
+	return 0
+}

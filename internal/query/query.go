@@ -1,0 +1,151 @@
+// Package query provides the minimal query-operator layer the paper's
+// workloads come from: adaptive range selection (section 4.3), range
+// selection returning tuples via tuple prefetching (section 5), and
+// nested-loop index join probes.
+package query
+
+import (
+	"pbtree/internal/core"
+	"pbtree/internal/heap"
+)
+
+// Options controls range selections.
+type Options struct {
+	// PrefetchThreshold is the estimated range size below which the
+	// plain (non-prefetching) scanner is used. Section 4.3 observes
+	// prefetching only pays off above roughly 100 tupleIDs. Zero
+	// selects 100.
+	PrefetchThreshold int
+
+	// BufferSize is the return-buffer size in tupleIDs (one scan call
+	// per buffer). Zero selects 4096.
+	BufferSize int
+
+	// NoEstimate skips the range estimation (two extra boundary
+	// searches) and always uses the prefetching scanner.
+	NoEstimate bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.PrefetchThreshold == 0 {
+		o.PrefetchThreshold = 100
+	}
+	if o.BufferSize <= 0 {
+		o.BufferSize = 4096
+	}
+	return o
+}
+
+// SelectTIDs runs a range selection over [start, end] and calls emit
+// for every filled return buffer. It returns the number of tupleIDs
+// selected. The scanner is chosen adaptively: if the estimated range
+// is below the prefetch threshold, the plain scanner is used, skipping
+// the prefetch startup cost.
+func SelectTIDs(t *core.Tree, start, end core.Key, opt Options, emit func([]core.TID)) int {
+	opt = opt.withDefaults()
+	sc := chooseScanner(t, start, end, opt)
+	buf := make([]core.TID, opt.BufferSize)
+	total := 0
+	for {
+		n := sc.Next(buf)
+		if n == 0 {
+			return total
+		}
+		if emit != nil {
+			emit(buf[:n])
+		}
+		total += n
+	}
+}
+
+// chooseScanner applies the section 4.3 heuristic.
+func chooseScanner(t *core.Tree, start, end core.Key, opt Options) *core.Scanner {
+	if !opt.NoEstimate && t.Config().JumpArray != core.JumpNone {
+		if t.EstimateRange(start, end) < opt.PrefetchThreshold {
+			return t.NewScanNoPrefetch(start, end)
+		}
+	}
+	return t.NewScan(start, end)
+}
+
+// SelectTuples runs a range selection that returns tuples: tupleIDs
+// are scanned from the index, and each buffer of tuples is prefetched
+// before being read, so the tuple fetches overlap like the leaf
+// fetches do (section 5).
+//
+// emit is called with the key field of every selected tuple, in order.
+// It returns the number of tuples selected.
+func SelectTuples(t *core.Tree, tab *heap.Table, start, end core.Key, opt Options, emit func(core.Key)) int {
+	opt = opt.withDefaults()
+	sc := chooseScanner(t, start, end, opt)
+	buf := make([]core.TID, opt.BufferSize)
+	total := 0
+	for {
+		n := sc.Next(buf)
+		if n == 0 {
+			return total
+		}
+		// Prefetch the whole batch of tuples, then read them: the
+		// reads find every line in flight or resident.
+		for _, tid := range buf[:n] {
+			tab.Prefetch(tid)
+		}
+		for _, tid := range buf[:n] {
+			k := tab.Read(tid)
+			if emit != nil {
+				emit(k)
+			}
+		}
+		total += n
+	}
+}
+
+// IndexJoin probes the inner index once per outer key (a nested-loop
+// index join) and calls emit for every match. It returns the match
+// count.
+func IndexJoin(outer []core.Key, inner *core.Tree, emit func(core.Key, core.TID)) int {
+	matches := 0
+	for _, k := range outer {
+		if tid, ok := inner.Search(k); ok {
+			matches++
+			if emit != nil {
+				emit(k, tid)
+			}
+		}
+	}
+	return matches
+}
+
+// IndexJoinTuples is IndexJoin followed by a prefetched tuple fetch
+// per probe batch: outer keys are probed in batches of batchSize, the
+// matched tuples prefetched together, then read.
+func IndexJoinTuples(outer []core.Key, inner *core.Tree, tab *heap.Table, batchSize int, emit func(core.Key)) int {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	tids := make([]core.TID, 0, batchSize)
+	matches := 0
+	flush := func() {
+		for _, tid := range tids {
+			tab.Prefetch(tid)
+		}
+		for _, tid := range tids {
+			k := tab.Read(tid)
+			if emit != nil {
+				emit(k)
+			}
+		}
+		tids = tids[:0]
+	}
+	for _, k := range outer {
+		if tid, ok := inner.Search(k); ok {
+			matches++
+			tids = append(tids, tid)
+			if len(tids) == batchSize {
+				flush()
+			}
+		}
+	}
+	flush()
+	return matches
+}

@@ -1,0 +1,183 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbtree/internal/core"
+	"pbtree/internal/heap"
+	"pbtree/internal/memsys"
+)
+
+// fixture builds a p8e index and a heap table sharing one hierarchy
+// and address space, with n rows keyed 8, 16, ...
+func fixture(t testing.TB, n int) (*core.Tree, *heap.Table) {
+	t.Helper()
+	mem := memsys.Default()
+	space := memsys.NewAddressSpace(mem.Config().LineSize)
+	tab := heap.MustNew(mem, space, 64)
+	pairs := make([]core.Pair, n)
+	for i := range pairs {
+		k := core.Key(8 * (i + 1))
+		pairs[i] = core.Pair{Key: k, TID: tab.Append(k)}
+	}
+	tr := core.MustNew(core.Config{
+		Width: 8, Prefetch: true, JumpArray: core.JumpExternal,
+		Mem: mem, Space: space,
+	})
+	if err := tr.Bulkload(pairs, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	mem.ResetStats()
+	return tr, tab
+}
+
+func TestSelectTIDsMatchesRange(t *testing.T) {
+	tr, _ := fixture(t, 20000)
+	var got []core.TID
+	n := SelectTIDs(tr, 8*100, 8*250, Options{}, func(b []core.TID) {
+		got = append(got, b...)
+	})
+	if n != 151 || len(got) != 151 {
+		t.Fatalf("selected %d (emitted %d), want 151", n, len(got))
+	}
+	for i, tid := range got {
+		if tid != core.TID(100+i) { // heap TIDs are ordinal positions
+			t.Fatalf("tid %d = %d", i, tid)
+		}
+	}
+}
+
+func TestSelectTIDsAdaptive(t *testing.T) {
+	tr, _ := fixture(t, 50000)
+	mem := tr.Mem()
+
+	short := func(opt Options) uint64 {
+		mem.FlushCaches()
+		before := mem.Now()
+		if n := SelectTIDs(tr, 8*1000, 8*1009, opt, nil); n != 10 {
+			t.Fatalf("selected %d, want 10", n)
+		}
+		return mem.Now() - before
+	}
+	adaptive := short(Options{})
+	forced := short(Options{NoEstimate: true})
+	// The adaptive path pays two estimation searches but skips the
+	// prefetch startup; it must not be wildly worse, and the plain
+	// scan portion must be cheaper. Just require sanity here:
+	if adaptive > 3*forced {
+		t.Errorf("adaptive short scan (%d) unreasonably above forced (%d)", adaptive, forced)
+	}
+
+	// Long ranges must use the prefetching scanner: compare against a
+	// scan forced through the plain scanner.
+	mem.FlushCaches()
+	before := mem.Now()
+	SelectTIDs(tr, 8, 8*40000, Options{}, nil)
+	long := mem.Now() - before
+
+	mem.FlushCaches()
+	before = mem.Now()
+	sc := tr.NewScanNoPrefetch(8, 8*40000)
+	buf := make([]core.TID, 4096)
+	for sc.Next(buf) > 0 {
+	}
+	plainLong := mem.Now() - before
+	if long >= plainLong {
+		t.Errorf("adaptive long scan (%d) not faster than plain (%d)", long, plainLong)
+	}
+}
+
+func TestSelectTuples(t *testing.T) {
+	tr, tab := fixture(t, 20000)
+	var keys []core.Key
+	n := SelectTuples(tr, tab, 8*500, 8*999, Options{}, func(k core.Key) {
+		keys = append(keys, k)
+	})
+	if n != 500 || len(keys) != 500 {
+		t.Fatalf("selected %d tuples", n)
+	}
+	for i, k := range keys {
+		if k != core.Key(8*(500+i)) {
+			t.Fatalf("tuple %d: key %d", i, k)
+		}
+	}
+}
+
+// TestSelectTuplesPrefetchPays verifies the section 5 claim: fetching
+// tuples with batch prefetching beats fetching them one miss at a
+// time.
+func TestSelectTuplesPrefetchPays(t *testing.T) {
+	tr, tab := fixture(t, 50000)
+	mem := tr.Mem()
+
+	mem.FlushCaches()
+	before := mem.Now()
+	SelectTuples(tr, tab, 8, 8*20000, Options{}, nil)
+	prefetched := mem.Now() - before
+
+	// Serial variant: read each tuple as its tid is seen.
+	mem.FlushCaches()
+	before = mem.Now()
+	SelectTIDs(tr, 8, 8*20000, Options{}, func(b []core.TID) {
+		for _, tid := range b {
+			tab.Read(tid)
+		}
+	})
+	serial := mem.Now() - before
+	if prefetched >= serial {
+		t.Errorf("prefetched tuple fetch (%d) not faster than serial (%d)", prefetched, serial)
+	}
+}
+
+func TestIndexJoin(t *testing.T) {
+	tr, tab := fixture(t, 10000)
+	r := rand.New(rand.NewSource(1))
+	outer := make([]core.Key, 2000)
+	wantMatches := 0
+	for i := range outer {
+		if r.Intn(2) == 0 {
+			outer[i] = core.Key(8 * (r.Intn(10000) + 1)) // hit
+			wantMatches++
+		} else {
+			outer[i] = core.Key(8*(r.Intn(10000)+1) + 3) // miss
+		}
+	}
+	pairs := 0
+	if got := IndexJoin(outer, tr, func(core.Key, core.TID) { pairs++ }); got != wantMatches {
+		t.Fatalf("matches = %d, want %d", got, wantMatches)
+	}
+	if pairs != wantMatches {
+		t.Fatalf("emitted %d", pairs)
+	}
+	got := IndexJoinTuples(outer, tr, tab, 64, nil)
+	if got != wantMatches {
+		t.Fatalf("tuple join matches = %d, want %d", got, wantMatches)
+	}
+}
+
+func TestIndexJoinTuplesEmitsKeys(t *testing.T) {
+	tr, tab := fixture(t, 1000)
+	outer := []core.Key{8, 16, 24, 25}
+	var keys []core.Key
+	n := IndexJoinTuples(outer, tr, tab, 2, func(k core.Key) { keys = append(keys, k) })
+	if n != 3 || len(keys) != 3 {
+		t.Fatalf("matches %d, emitted %d", n, len(keys))
+	}
+	for i, want := range []core.Key{8, 16, 24} {
+		if keys[i] != want {
+			t.Fatalf("key %d = %d", i, keys[i])
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.PrefetchThreshold != 100 || o.BufferSize != 4096 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	o = Options{PrefetchThreshold: 5, BufferSize: 7}.withDefaults()
+	if o.PrefetchThreshold != 5 || o.BufferSize != 7 {
+		t.Fatalf("overrides lost: %+v", o)
+	}
+}

@@ -1,0 +1,505 @@
+// Package ttree implements T-Trees (Lehman and Carey, VLDB 1986), the
+// index structure that preceded cache-conscious B+-Trees for main
+// memory databases. Section 5 of the paper recounts that the T-Tree
+// was "the index structure of choice for main memory databases for
+// over a decade" until modern cache-miss latencies made B+-Trees win;
+// implementing it over the simulated hierarchy lets that claim be
+// measured (see the extindexes experiment).
+//
+// A T-Tree is a balanced (AVL) binary tree whose nodes each hold many
+// sorted <key, tupleID> pairs. A search walks the binary tree
+// comparing against node bounds — one likely cache miss per binary
+// level — which is exactly why deep T-Trees lose to shallow wide
+// B+-Trees once misses cost hundreds of cycles.
+package ttree
+
+import (
+	"fmt"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+// Config describes a T-Tree.
+type Config struct {
+	// Width is the node size in cache lines. One 64-byte line holds 6
+	// pairs beside the header; Lehman and Carey used larger nodes, so
+	// widths above 1 are common.
+	Width int
+
+	// MinFill is the minimum number of pairs in an internal node
+	// (nodes with two children) before deletion borrows from a leaf.
+	// Zero selects capacity-2.
+	MinFill int
+
+	// Mem is the simulated hierarchy; nil selects memsys.Default().
+	Mem *memsys.Hierarchy
+
+	// Cost is the instruction cost model; zero selects the default.
+	Cost core.CostModel
+}
+
+// node is a T-Tree node: an AVL-tree node holding a sorted run of
+// pairs. Layout (simulated): left(4) right(4) height(4) keynum(4),
+// then keys, then tupleIDs.
+type node struct {
+	addr        uint64
+	left, right *node
+	height      int
+	nkeys       int
+	keys        []core.Key
+	tids        []core.TID
+}
+
+// Tree is a T-Tree over a simulated memory hierarchy. It is not safe
+// for concurrent use.
+type Tree struct {
+	cfg   Config
+	mem   *memsys.Hierarchy
+	space *memsys.AddressSpace
+	cost  core.CostModel
+
+	nodeSize int
+	capacity int // pairs per node
+	minFill  int
+	keyOff   int
+	tidOff   int
+
+	root  *node
+	count int
+}
+
+// New creates an empty T-Tree.
+func New(cfg Config) (*Tree, error) {
+	if cfg.Width == 0 {
+		cfg.Width = 1
+	}
+	if cfg.Width < 0 {
+		return nil, fmt.Errorf("ttree: width %d must be positive", cfg.Width)
+	}
+	if cfg.Mem == nil {
+		cfg.Mem = memsys.Default()
+	}
+	if cfg.Cost == (core.CostModel{}) {
+		cfg.Cost = core.DefaultCostModel()
+	}
+	line := cfg.Mem.Config().LineSize
+	size := cfg.Width * line
+	capacity := (size - 16) / 8 // header is 4 fields; pairs are 8 bytes
+	if capacity < 2 {
+		return nil, fmt.Errorf("ttree: node width %d too small", cfg.Width)
+	}
+	if cfg.MinFill == 0 {
+		cfg.MinFill = capacity - 2
+	}
+	if cfg.MinFill < 1 || cfg.MinFill > capacity {
+		return nil, fmt.Errorf("ttree: min fill %d outside [1, %d]", cfg.MinFill, capacity)
+	}
+	return &Tree{
+		cfg:      cfg,
+		mem:      cfg.Mem,
+		space:    memsys.NewAddressSpace(line),
+		cost:     cfg.Cost,
+		nodeSize: size,
+		capacity: capacity,
+		minFill:  cfg.MinFill,
+		keyOff:   16,
+		tidOff:   16 + 4*capacity,
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns "T-tree" or "T<w>-tree".
+func (t *Tree) Name() string {
+	if t.cfg.Width == 1 {
+		return "T-tree"
+	}
+	return fmt.Sprintf("T%d-tree", t.cfg.Width)
+}
+
+// Mem returns the simulated hierarchy.
+func (t *Tree) Mem() *memsys.Hierarchy { return t.mem }
+
+// Len reports the number of pairs.
+func (t *Tree) Len() int { return t.count }
+
+// Height reports the binary-tree height (0 for an empty tree).
+func (t *Tree) Height() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.height
+}
+
+// Capacity reports pairs per node.
+func (t *Tree) Capacity() int { return t.capacity }
+
+// SpaceUsed reports the simulated bytes allocated for nodes.
+func (t *Tree) SpaceUsed() uint64 { return t.space.Used() }
+
+func (t *Tree) newNode() *node {
+	return &node{
+		addr:   t.space.Alloc(t.nodeSize),
+		height: 1,
+		keys:   make([]core.Key, t.capacity),
+		tids:   make([]core.TID, t.capacity),
+	}
+}
+
+// visit charges arriving at a node: the header line is read and the
+// per-node overhead paid.
+func (t *Tree) visit(n *node) {
+	t.mem.Access(n.addr)
+	t.mem.Compute(t.cost.Visit)
+}
+
+// boundCheck charges reading the node's min and max keys.
+func (t *Tree) boundCheck(n *node) {
+	t.mem.Access(n.addr + uint64(t.keyOff))
+	if n.nkeys > 0 {
+		t.mem.Access(n.addr + uint64(t.keyOff+4*(n.nkeys-1)))
+	}
+	t.mem.Compute(2 * t.cost.Compare)
+}
+
+// searchNode binary-searches within a node.
+func (t *Tree) searchNode(n *node, key core.Key) (int, bool) {
+	lo, hi := 0, n.nkeys
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.mem.Access(n.addr + uint64(t.keyOff+4*mid))
+		t.mem.Compute(t.cost.Compare)
+		switch k := n.keys[mid]; {
+		case k == key:
+			return mid, true
+		case k < key:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// Search looks up key.
+func (t *Tree) Search(key core.Key) (core.TID, bool) {
+	t.mem.Compute(t.cost.Op)
+	n := t.root
+	for n != nil {
+		t.visit(n)
+		t.boundCheck(n)
+		switch {
+		case n.nkeys > 0 && key < n.keys[0]:
+			n = n.left
+		case n.nkeys > 0 && key > n.keys[n.nkeys-1]:
+			n = n.right
+		default:
+			i, found := t.searchNode(n, key)
+			if !found {
+				return 0, false
+			}
+			t.mem.Access(n.addr + uint64(t.tidOff+4*i))
+			return n.tids[i], true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds (or overwrites) a pair, reporting whether it was new.
+func (t *Tree) Insert(key core.Key, tid core.TID) bool {
+	t.mem.Compute(t.cost.Op)
+	var isNew bool
+	t.root, isNew = t.insert(t.root, key, tid)
+	if isNew {
+		t.count++
+	}
+	return isNew
+}
+
+// insert adds the pair below n, returning the (possibly rotated) new
+// subtree root.
+func (t *Tree) insert(n *node, key core.Key, tid core.TID) (*node, bool) {
+	if n == nil {
+		nn := t.newNode()
+		nn.keys[0] = key
+		nn.tids[0] = tid
+		nn.nkeys = 1
+		t.mem.AccessRange(nn.addr, 16+4) // header + first pair touch
+		t.mem.Access(nn.addr + uint64(t.tidOff))
+		t.mem.Compute(t.cost.Move * 2)
+		return nn, true
+	}
+	t.visit(n)
+	t.boundCheck(n)
+	var isNew bool
+	switch {
+	case key < n.keys[0]:
+		if n.left == nil && n.nkeys < t.capacity {
+			// Extend the bounding run downward instead of allocating.
+			t.insertAt(n, 0, key, tid)
+			return n, true
+		}
+		n.left, isNew = t.insert(n.left, key, tid)
+	case key > n.keys[n.nkeys-1]:
+		if n.right == nil && n.nkeys < t.capacity {
+			t.insertAt(n, n.nkeys, key, tid)
+			return n, true
+		}
+		n.right, isNew = t.insert(n.right, key, tid)
+	default:
+		i, found := t.searchNode(n, key)
+		if found {
+			n.tids[i] = tid
+			t.mem.Access(n.addr + uint64(t.tidOff+4*i))
+			t.mem.Compute(t.cost.Copy)
+			return n, false
+		}
+		if n.nkeys < t.capacity {
+			t.insertAt(n, i, key, tid)
+			return n, true
+		}
+		// Bounding node is full: insert here and push the minimum
+		// down into the left subtree (the classic T-Tree overflow).
+		minK, minT := n.keys[0], n.tids[0]
+		copy(n.keys[0:i-1], n.keys[1:i])
+		copy(n.tids[0:i-1], n.tids[1:i])
+		n.keys[i-1] = key
+		n.tids[i-1] = tid
+		t.mem.AccessRange(n.addr+uint64(t.keyOff), 4*i)
+		t.mem.AccessRange(n.addr+uint64(t.tidOff), 4*i)
+		t.mem.Compute(t.cost.Move * uint64(2*i))
+		n.left, isNew = t.insert(n.left, minK, minT)
+	}
+	return t.rebalance(n), isNew
+}
+
+// insertAt places the pair at position i of a non-full node.
+func (t *Tree) insertAt(n *node, i int, key core.Key, tid core.TID) {
+	moved := n.nkeys - i
+	copy(n.keys[i+1:n.nkeys+1], n.keys[i:n.nkeys])
+	copy(n.tids[i+1:n.nkeys+1], n.tids[i:n.nkeys])
+	n.keys[i] = key
+	n.tids[i] = tid
+	n.nkeys++
+	t.mem.AccessRange(n.addr+uint64(t.keyOff+4*i), (moved+1)*4)
+	t.mem.AccessRange(n.addr+uint64(t.tidOff+4*i), (moved+1)*4)
+	t.mem.Access(n.addr)
+	t.mem.Compute(t.cost.Move * uint64(2*moved+2))
+}
+
+// Delete removes key, reporting whether it was present. Underflowing
+// internal nodes borrow the greatest lower bound from their left
+// subtree; empty nodes are unlinked, with AVL rebalancing throughout.
+func (t *Tree) Delete(key core.Key) bool {
+	t.mem.Compute(t.cost.Op)
+	var deleted bool
+	t.root, deleted = t.delete(t.root, key)
+	if deleted {
+		t.count--
+	}
+	return deleted
+}
+
+func (t *Tree) delete(n *node, key core.Key) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	t.visit(n)
+	t.boundCheck(n)
+	var deleted bool
+	switch {
+	case n.nkeys > 0 && key < n.keys[0]:
+		n.left, deleted = t.delete(n.left, key)
+	case n.nkeys > 0 && key > n.keys[n.nkeys-1]:
+		n.right, deleted = t.delete(n.right, key)
+	default:
+		i, found := t.searchNode(n, key)
+		if !found {
+			return n, false
+		}
+		t.removeAt(n, i)
+		deleted = true
+		// Refill an underflowing internal node from the greatest
+		// lower bound in its left subtree.
+		if n.left != nil && n.right != nil && n.nkeys < t.minFill {
+			glbK, glbT := t.takeMax(&n.left)
+			t.insertAt(n, 0, glbK, glbT)
+		}
+		if n.nkeys == 0 {
+			// Remove the empty node, promoting a subtree.
+			switch {
+			case n.left == nil:
+				return n.right, true
+			case n.right == nil:
+				return n.left, true
+			default:
+				// Replace with the greatest lower bound.
+				glbK, glbT := t.takeMax(&n.left)
+				t.insertAt(n, 0, glbK, glbT)
+			}
+		}
+	}
+	return t.rebalance(n), deleted
+}
+
+// removeAt deletes entry i of a node.
+func (t *Tree) removeAt(n *node, i int) {
+	moved := n.nkeys - i - 1
+	copy(n.keys[i:n.nkeys-1], n.keys[i+1:n.nkeys])
+	copy(n.tids[i:n.nkeys-1], n.tids[i+1:n.nkeys])
+	n.nkeys--
+	if moved > 0 {
+		t.mem.AccessRange(n.addr+uint64(t.keyOff+4*i), moved*4)
+		t.mem.AccessRange(n.addr+uint64(t.tidOff+4*i), moved*4)
+	}
+	t.mem.Access(n.addr)
+	t.mem.Compute(t.cost.Move * uint64(2*moved))
+}
+
+// takeMax removes and returns the maximum pair of the subtree rooted
+// at *np, rebalancing on the way back up. The subtree is non-empty.
+func (t *Tree) takeMax(np **node) (core.Key, core.TID) {
+	n := *np
+	t.visit(n)
+	if n.right != nil {
+		k, tid := t.takeMax(&n.right)
+		*np = t.rebalance(n)
+		return k, tid
+	}
+	k, tid := n.keys[n.nkeys-1], n.tids[n.nkeys-1]
+	t.mem.Access(n.addr + uint64(t.keyOff+4*(n.nkeys-1)))
+	t.mem.Access(n.addr + uint64(t.tidOff+4*(n.nkeys-1)))
+	n.nkeys--
+	t.mem.Access(n.addr)
+	if n.nkeys == 0 {
+		*np = n.left // may be nil
+		if n.left != nil {
+			*np = t.rebalance(n.left)
+		}
+	} else {
+		*np = t.rebalance(n)
+	}
+	return k, tid
+}
+
+// --- AVL machinery ------------------------------------------------
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (t *Tree) fix(n *node) {
+	h := height(n.left)
+	if r := height(n.right); r > h {
+		h = r
+	}
+	n.height = h + 1
+}
+
+func balance(n *node) int { return height(n.left) - height(n.right) }
+
+// rebalance restores the AVL property at n, charging the pointer
+// writes of any rotation.
+func (t *Tree) rebalance(n *node) *node {
+	t.fix(n)
+	b := balance(n)
+	switch {
+	case b > 1:
+		if balance(n.left) < 0 {
+			n.left = t.rotateLeft(n.left)
+		}
+		return t.rotateRight(n)
+	case b < -1:
+		if balance(n.right) > 0 {
+			n.right = t.rotateRight(n.right)
+		}
+		return t.rotateLeft(n)
+	}
+	return n
+}
+
+func (t *Tree) rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	t.fix(n)
+	t.fix(l)
+	t.mem.Access(n.addr)
+	t.mem.Access(l.addr)
+	t.mem.Compute(t.cost.Move * 4)
+	return l
+}
+
+func (t *Tree) rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	t.fix(n)
+	t.fix(r)
+	t.mem.Access(n.addr)
+	t.mem.Access(r.addr)
+	t.mem.Compute(t.cost.Move * 4)
+	return r
+}
+
+// CheckInvariants verifies AVL balance, key ordering across the whole
+// tree, and the pair count. It charges nothing.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	var last *core.Key
+	var walk func(n *node) (int, error)
+	walk = func(n *node) (int, error) {
+		if n == nil {
+			return 0, nil
+		}
+		lh, err := walk(n.left)
+		if err != nil {
+			return 0, err
+		}
+		if n.nkeys < 1 {
+			return 0, fmt.Errorf("empty node in tree")
+		}
+		for i := 0; i < n.nkeys; i++ {
+			if last != nil && *last >= n.keys[i] {
+				return 0, fmt.Errorf("keys out of order: %d then %d", *last, n.keys[i])
+			}
+			k := n.keys[i]
+			last = &k
+			count++
+		}
+		rh, err := walk(n.right)
+		if err != nil {
+			return 0, err
+		}
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		h++
+		if n.height != h {
+			return 0, fmt.Errorf("stale height %d, want %d", n.height, h)
+		}
+		if lh-rh > 1 || rh-lh > 1 {
+			return 0, fmt.Errorf("AVL imbalance %d", lh-rh)
+		}
+		return h, nil
+	}
+	if _, err := walk(t.root); err != nil {
+		return err
+	}
+	if count != t.count {
+		return fmt.Errorf("count %d, tree reports %d", count, t.count)
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package ttree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+func TestInsertSearch(t *testing.T) {
+	for _, w := range []int{1, 2, 4} {
+		tr := MustNew(Config{Width: w})
+		r := rand.New(rand.NewSource(1))
+		const n = 5000
+		keys := make([]core.Key, n)
+		for i := range keys {
+			keys[i] = core.Key(8 * (i + 1))
+		}
+		r.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		for _, k := range keys {
+			if !tr.Insert(k, core.TID(k)) {
+				t.Fatalf("w=%d: Insert(%d) duplicate", w, k)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("w=%d: Len=%d", w, tr.Len())
+		}
+		for _, k := range keys {
+			tid, ok := tr.Search(k)
+			if !ok || tid != core.TID(k) {
+				t.Fatalf("w=%d: Search(%d)=%d,%v", w, k, tid, ok)
+			}
+		}
+		for _, k := range []core.Key{0, 3, 11, 8*n + 8} {
+			if _, ok := tr.Search(k); ok {
+				t.Fatalf("w=%d: phantom %d", w, k)
+			}
+		}
+	}
+}
+
+func TestInsertDuplicateUpdates(t *testing.T) {
+	tr := MustNew(Config{})
+	tr.Insert(5, 1)
+	if tr.Insert(5, 9) {
+		t.Fatal("duplicate reported new")
+	}
+	if tid, _ := tr.Search(5); tid != 9 {
+		t.Fatalf("tid=%d", tid)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := MustNew(Config{Width: 1})
+	r := rand.New(rand.NewSource(2))
+	const n = 3000
+	keys := make([]core.Key, n)
+	for i := range keys {
+		keys[i] = core.Key(i + 1)
+	}
+	r.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for _, k := range keys {
+		tr.Insert(k, core.TID(k))
+	}
+	r.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for i, k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if tr.Delete(k) {
+			t.Fatalf("Delete(%d) twice", k)
+		}
+		if i%331 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestMixedAgainstModel(t *testing.T) {
+	tr := MustNew(Config{Width: 2})
+	model := map[core.Key]core.TID{}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 30000; i++ {
+		k := core.Key(r.Intn(5000) + 1)
+		switch r.Intn(4) {
+		case 0, 1:
+			tid := core.TID(r.Uint32())
+			_, existed := model[k]
+			if tr.Insert(k, tid) == existed {
+				t.Fatalf("op %d: Insert mismatch", i)
+			}
+			model[k] = tid
+		case 2:
+			_, existed := model[k]
+			if tr.Delete(k) != existed {
+				t.Fatalf("op %d: Delete(%d) mismatch", i, k)
+			}
+			delete(model, k)
+		case 3:
+			tid, ok := tr.Search(k)
+			wtid, wok := model[k]
+			if ok != wok || (ok && tid != wtid) {
+				t.Fatalf("op %d: Search mismatch", i)
+			}
+		}
+		if i%5000 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("op %d: Len=%d model=%d", i, tr.Len(), len(model))
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInsertDelete(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := MustNew(Config{Width: 1})
+		model := map[core.Key]bool{}
+		for _, v := range raw {
+			k := core.Key(v%1024) + 1
+			tr.Insert(k, 1)
+			model[k] = true
+		}
+		if tr.Len() != len(model) || tr.CheckInvariants() != nil {
+			return false
+		}
+		for k := range model {
+			if !tr.Delete(k) {
+				return false
+			}
+		}
+		return tr.Len() == 0 && tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightBalanced(t *testing.T) {
+	tr := MustNew(Config{Width: 1})
+	// Ascending insertion is the AVL worst case without rotations.
+	const n = 20000
+	for i := 1; i <= n; i++ {
+		tr.Insert(core.Key(i), core.TID(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// ~n/capacity nodes; AVL height <= 1.44 log2(nodes) + 2.
+	nodes := n/tr.Capacity() + 1
+	maxH := 2
+	for v := 1; v < nodes; v *= 2 {
+		maxH++
+	}
+	if tr.Height() > maxH*3/2+2 {
+		t.Fatalf("height %d too large for %d nodes", tr.Height(), nodes)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := New(Config{Width: -1}); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := New(Config{MinFill: 1000}); err == nil {
+		t.Error("oversized min fill accepted")
+	}
+	if MustNew(Config{Width: 2}).Name() != "T2-tree" {
+		t.Error("name mismatch")
+	}
+	if MustNew(Config{}).Name() != "T-tree" {
+		t.Error("name mismatch")
+	}
+}
+
+// TestBPlusBeatsTTree reproduces the section 5 claim: on a modern
+// memory hierarchy the B+-Tree outperforms the T-Tree on searches,
+// because the T-Tree pays roughly one miss per binary level.
+func TestBPlusBeatsTTree(t *testing.T) {
+	const n = 200000
+	keys := make([]core.Key, n)
+	for i := range keys {
+		keys[i] = core.Key(8 * (i + 1))
+	}
+	r := rand.New(rand.NewSource(4))
+	r.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+
+	tt := MustNew(Config{Width: 1})
+	for _, k := range keys {
+		tt.Insert(k, 1)
+	}
+	bp := core.MustNew(core.Config{Width: 1, Mem: memsys.Default()})
+	pairs := make([]core.Pair, n)
+	for i := range pairs {
+		pairs[i] = core.Pair{Key: core.Key(8 * (i + 1)), TID: 1}
+	}
+	if err := bp.Bulkload(pairs, 1.0); err != nil {
+		t.Fatal(err)
+	}
+
+	probe := func(search func(core.Key) (core.TID, bool), mem *memsys.Hierarchy) uint64 {
+		r := rand.New(rand.NewSource(5))
+		start := mem.Now()
+		for i := 0; i < 2000; i++ {
+			mem.FlushCaches()
+			if _, ok := search(core.Key(8 * (r.Intn(n) + 1))); !ok {
+				t.Fatal("lost key")
+			}
+		}
+		return mem.Now() - start
+	}
+	ttTime := probe(tt.Search, tt.Mem())
+	bpTime := probe(bp.Search, bp.Mem())
+	if bpTime >= ttTime {
+		t.Errorf("B+ search (%d) should beat T-tree (%d) on modern memory", bpTime, ttTime)
+	}
+}

@@ -1,0 +1,131 @@
+// Package workload generates the deterministic key sets and operation
+// streams used by the paper's experiments: bulkloads of N random keys,
+// random search/insert/delete streams, range-scan start keys, and the
+// "mature tree" recipe of section 4.5.
+//
+// Keys are multiples of keySpacing so that experiments can probe and
+// insert between existing keys. All generation is driven by explicit
+// rand sources, so every experiment is reproducible.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"pbtree/internal/core"
+)
+
+// keySpacing is the gap between generated keys; inserted "new" keys
+// fall strictly inside the gaps.
+const keySpacing = 8
+
+// SortedPairs returns n pairs with keys keySpacing, 2*keySpacing, ...
+// in ascending order, ready for bulkloading. TupleIDs are the ordinal
+// positions.
+func SortedPairs(n int) []core.Pair {
+	ps := make([]core.Pair, n)
+	for i := range ps {
+		ps[i] = core.Pair{Key: core.Key(keySpacing * (i + 1)), TID: core.TID(i + 1)}
+	}
+	return ps
+}
+
+// ExistingKey returns a uniformly random key present in a tree built
+// from SortedPairs(n).
+func ExistingKey(r *rand.Rand, n int) core.Key {
+	return core.Key(keySpacing * (r.Intn(n) + 1))
+}
+
+// NewKey returns a uniformly random key absent from SortedPairs(n):
+// it falls strictly between two existing keys (or below the first).
+func NewKey(r *rand.Rand, n int) core.Key {
+	base := keySpacing * r.Intn(n+1)
+	return core.Key(base + 1 + r.Intn(keySpacing-1))
+}
+
+// SearchKeys returns cnt random existing keys for a SortedPairs(n)
+// tree.
+func SearchKeys(r *rand.Rand, n, cnt int) []core.Key {
+	keys := make([]core.Key, cnt)
+	for i := range keys {
+		keys[i] = ExistingKey(r, n)
+	}
+	return keys
+}
+
+// InsertKeys returns cnt distinct random keys absent from a
+// SortedPairs(n) tree.
+func InsertKeys(r *rand.Rand, n, cnt int) []core.Key {
+	seen := make(map[core.Key]bool, cnt)
+	keys := make([]core.Key, 0, cnt)
+	for len(keys) < cnt {
+		k := NewKey(r, n)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// DeleteKeys returns cnt distinct random existing keys of a
+// SortedPairs(n) tree.
+func DeleteKeys(r *rand.Rand, n, cnt int) []core.Key {
+	if cnt > n {
+		cnt = n
+	}
+	perm := r.Perm(n)[:cnt]
+	keys := make([]core.Key, cnt)
+	for i, p := range perm {
+		keys[i] = core.Key(keySpacing * (p + 1))
+	}
+	return keys
+}
+
+// MatureKeys implements the mature-tree recipe of section 4.5 (after
+// Rao and Ross): of total distinct keys, the first 10% (sorted) by
+// position in a random permutation are bulkloaded and the remaining
+// 90% are inserted afterwards in random order.
+//
+// It returns the sorted bulkload pairs and the insertion key stream.
+func MatureKeys(r *rand.Rand, total int) (bulk []core.Pair, inserts []core.Key) {
+	perm := r.Perm(total)
+	nBulk := total / 10
+	bulk = make([]core.Pair, nBulk)
+	for i, p := range perm[:nBulk] {
+		k := core.Key(keySpacing * (p + 1))
+		bulk[i] = core.Pair{Key: k, TID: core.TID(p + 1)}
+	}
+	sort.Slice(bulk, func(i, j int) bool { return bulk[i].Key < bulk[j].Key })
+	inserts = make([]core.Key, 0, total-nBulk)
+	for _, p := range perm[nBulk:] {
+		inserts = append(inserts, core.Key(keySpacing*(p+1)))
+	}
+	return bulk, inserts
+}
+
+// ScanStarts returns cnt random scan starting keys such that a scan of
+// length want pairs starting there does not run off the end of a
+// SortedPairs(n) tree (the paper's experiments average over 100 random
+// starting keys).
+func ScanStarts(r *rand.Rand, n, want, cnt int) []core.Key {
+	maxStart := n - want
+	if maxStart < 1 {
+		maxStart = 1
+	}
+	keys := make([]core.Key, cnt)
+	for i := range keys {
+		keys[i] = core.Key(keySpacing * (r.Intn(maxStart) + 1))
+	}
+	return keys
+}
+
+// Scaled scales a paper-sized count by the experiment scale factor,
+// clamping below at min.
+func Scaled(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pbtree/internal/core"
+)
+
+func TestSortedPairs(t *testing.T) {
+	ps := SortedPairs(100)
+	if len(ps) != 100 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Key <= ps[i-1].Key {
+			t.Fatal("not strictly increasing")
+		}
+	}
+	if ps[0].Key != keySpacing {
+		t.Fatalf("first key = %d", ps[0].Key)
+	}
+}
+
+func TestExistingAndNewKeysDisjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	const n = 500
+	present := map[core.Key]bool{}
+	for _, p := range SortedPairs(n) {
+		present[p.Key] = true
+	}
+	for i := 0; i < 2000; i++ {
+		if k := ExistingKey(r, n); !present[k] {
+			t.Fatalf("ExistingKey returned absent key %d", k)
+		}
+		if k := NewKey(r, n); present[k] {
+			t.Fatalf("NewKey returned present key %d", k)
+		}
+	}
+}
+
+func TestInsertKeysDistinct(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	keys := InsertKeys(r, 1000, 500)
+	seen := map[core.Key]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatal("duplicate insert key")
+		}
+		seen[k] = true
+	}
+	if len(keys) != 500 {
+		t.Fatalf("len = %d", len(keys))
+	}
+}
+
+func TestDeleteKeysDistinctAndPresent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	keys := DeleteKeys(r, 100, 60)
+	seen := map[core.Key]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatal("duplicate delete key")
+		}
+		seen[k] = true
+		if k%keySpacing != 0 || k == 0 || int(k) > 100*keySpacing {
+			t.Fatalf("delete key %d out of range", k)
+		}
+	}
+	if got := DeleteKeys(r, 10, 50); len(got) != 10 {
+		t.Fatalf("over-asking should clamp: %d", len(got))
+	}
+}
+
+func TestMatureKeys(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const total = 4000
+	bulk, inserts := MatureKeys(r, total)
+	if len(bulk) != total/10 || len(inserts) != total-total/10 {
+		t.Fatalf("sizes %d/%d", len(bulk), len(inserts))
+	}
+	seen := map[core.Key]bool{}
+	for i := 1; i < len(bulk); i++ {
+		if bulk[i].Key <= bulk[i-1].Key {
+			t.Fatal("bulk not sorted")
+		}
+	}
+	for _, p := range bulk {
+		seen[p.Key] = true
+	}
+	for _, k := range inserts {
+		if seen[k] {
+			t.Fatal("insert key collides with bulk or repeats")
+		}
+		seen[k] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("total distinct = %d", len(seen))
+	}
+}
+
+func TestScanStartsWithinRange(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, k := range ScanStarts(r, 1000, 900, 200) {
+		if int(k) > (1000-900)*keySpacing {
+			t.Fatalf("start %d too close to the end", k)
+		}
+	}
+	// Degenerate: want >= n still yields valid keys.
+	for _, k := range ScanStarts(r, 10, 100, 10) {
+		if k == 0 || int(k) > 10*keySpacing {
+			t.Fatalf("bad start %d", k)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if Scaled(1000, 0.1, 1) != 100 {
+		t.Fatal("scale 0.1")
+	}
+	if Scaled(1000, 0.0001, 50) != 50 {
+		t.Fatal("min clamp")
+	}
+	if Scaled(1000, 1, 1) != 1000 {
+		t.Fatal("scale 1")
+	}
+}
+
+// TestQuickMatureDeterministic: the same seed yields the same streams.
+func TestQuickMatureDeterministic(t *testing.T) {
+	f := func(seed int64, rawTotal uint16) bool {
+		total := int(rawTotal%5000) + 100
+		b1, i1 := MatureKeys(rand.New(rand.NewSource(seed)), total)
+		b2, i2 := MatureKeys(rand.New(rand.NewSource(seed)), total)
+		if len(b1) != len(b2) || len(i1) != len(i2) {
+			return false
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				return false
+			}
+		}
+		for i := range i1 {
+			if i1[i] != i2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

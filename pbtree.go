@@ -1,0 +1,217 @@
+// Package pbtree is the public API of this repository: a faithful
+// reproduction of Prefetching B+-Trees from "Improving Index
+// Performance through Prefetching" (Shimin Chen, Phillip B. Gibbons,
+// Todd C. Mowry; SIGMOD 2001).
+//
+// The package re-exports three layers:
+//
+//   - A simulated memory hierarchy (Hierarchy) modelling two cache
+//     levels, a pipelined main memory and software prefetch, with the
+//     paper's Compaq ES40-derived parameters as defaults. Go has no
+//     prefetch intrinsic, so the paper's cache behaviour is reproduced
+//     on this substrate; all reported times are simulated cycles.
+//   - The pB+-Tree family (Tree): B+-Trees with nodes Width cache
+//     lines wide, whole-node prefetching, and optional external or
+//     internal jump-pointer arrays for range-scan prefetching. Trees
+//     support bulkload, search, insertion, lazy deletion and
+//     (segmented) range scans, and are fully functional indexes.
+//   - The CSB+-Tree baseline (CSBTree) with bulkload and search.
+//
+// Quick start:
+//
+//	t := pbtree.MustNew(pbtree.Config{
+//		Width:     8,
+//		Prefetch:  true,
+//		JumpArray: pbtree.JumpExternal,
+//	})
+//	t.Bulkload(pairs, 1.0)
+//	tid, ok := t.Search(42)
+//	n := t.Scan(100, 1000) // scan 1000 tupleIDs from key 100
+//
+// The experiment harness that regenerates every table and figure of
+// the paper lives in cmd/pbench.
+package pbtree
+
+import (
+	"io"
+
+	"pbtree/internal/core"
+	"pbtree/internal/csbtree"
+	"pbtree/internal/csstree"
+	"pbtree/internal/heap"
+	"pbtree/internal/memsys"
+	"pbtree/internal/query"
+	"pbtree/internal/ttree"
+)
+
+// Core index types.
+type (
+	// Key is a 4-byte index key.
+	Key = core.Key
+	// TID is a 4-byte tuple identifier.
+	TID = core.TID
+	// Pair is a <key, tupleID> pair.
+	Pair = core.Pair
+	// Tree is a (prefetching) B+-Tree over a simulated hierarchy.
+	Tree = core.Tree
+	// Scanner is a resumable segmented range scan over a Tree.
+	Scanner = core.Scanner
+	// Config selects the tree variant (width, prefetching, jump-pointer
+	// arrays, cost model, memory hierarchy).
+	Config = core.Config
+	// CostModel gives instruction costs in cycles.
+	CostModel = core.CostModel
+	// UpdateStats counts structural events (splits, redistributions...).
+	UpdateStats = core.UpdateStats
+	// JumpArrayKind selects the range-scan prefetch structure.
+	JumpArrayKind = core.JumpArrayKind
+)
+
+// Baseline index types: the structures the paper compares against or
+// situates itself among.
+type (
+	// CSBTree is a Cache-Sensitive B+-Tree (bulkload, search, and —
+	// as an extension beyond the paper — insertion/lazy deletion).
+	CSBTree = csbtree.Tree
+	// CSBConfig configures a CSBTree.
+	CSBConfig = csbtree.Config
+	// CSSTree is a read-only Cache-Sensitive Search Tree.
+	CSSTree = csstree.Tree
+	// CSSConfig configures a CSSTree.
+	CSSConfig = csstree.Config
+	// TTree is a Lehman-Carey T-Tree (the pre-cache-era main-memory
+	// index, kept as a historical baseline).
+	TTree = ttree.Tree
+	// TTreeConfig configures a TTree.
+	TTreeConfig = ttree.Config
+)
+
+// Simulated memory hierarchy types.
+type (
+	// Hierarchy is the simulated two-level cache hierarchy.
+	Hierarchy = memsys.Hierarchy
+	// MemConfig describes a hierarchy (line size, caches, latencies).
+	MemConfig = memsys.Config
+	// MemStats is a snapshot of busy/stall cycles and miss counters.
+	MemStats = memsys.Stats
+	// AddressSpace allocates simulated addresses; share one between an
+	// index and a heap table to co-locate them in the same cache.
+	AddressSpace = memsys.AddressSpace
+)
+
+// Storage and query layer types (the section 5 extensions).
+type (
+	// HeapTable is a simulated heap file of fixed-size tuples.
+	HeapTable = heap.Table
+	// QueryOptions controls the adaptive range-selection operators.
+	QueryOptions = query.Options
+	// Ablation disables individual design choices for ablation runs.
+	Ablation = core.Ablation
+)
+
+// Jump-pointer array kinds.
+const (
+	// JumpNone disables across-leaf scan prefetching.
+	JumpNone = core.JumpNone
+	// JumpExternal maintains a chunked external jump-pointer array.
+	JumpExternal = core.JumpExternal
+	// JumpInternal links the bottom non-leaf nodes instead.
+	JumpInternal = core.JumpInternal
+)
+
+// MaxKey is the largest possible key, usable as an open scan bound.
+const MaxKey = core.MaxKey
+
+// New creates a pB+-Tree with the given configuration. The zero
+// Config is the plain one-line-node B+-Tree on a default hierarchy.
+func New(cfg Config) (*Tree, error) { return core.New(cfg) }
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Tree { return core.MustNew(cfg) }
+
+// NewCSB creates a CSB+-Tree baseline.
+func NewCSB(cfg CSBConfig) (*CSBTree, error) { return csbtree.New(cfg) }
+
+// MustNewCSB is NewCSB but panics on error.
+func MustNewCSB(cfg CSBConfig) *CSBTree { return csbtree.MustNew(cfg) }
+
+// NewCSS creates a read-only CSS-Tree baseline.
+func NewCSS(cfg CSSConfig) (*CSSTree, error) { return csstree.New(cfg) }
+
+// MustNewCSS is NewCSS but panics on error.
+func MustNewCSS(cfg CSSConfig) *CSSTree { return csstree.MustNew(cfg) }
+
+// NewTTree creates a T-Tree baseline.
+func NewTTree(cfg TTreeConfig) (*TTree, error) { return ttree.New(cfg) }
+
+// MustNewTTree is NewTTree but panics on error.
+func MustNewTTree(cfg TTreeConfig) *TTree { return ttree.MustNew(cfg) }
+
+// DefaultMemConfig returns the paper's Compaq ES40-based machine
+// parameters (64 B lines, 64 KB 2-way L1, 2 MB direct-mapped L2,
+// T1 = 150 cycles, Tnext = 10 cycles, B = 15).
+func DefaultMemConfig() MemConfig { return memsys.DefaultConfig() }
+
+// NewHierarchy creates a simulated memory hierarchy.
+func NewHierarchy(cfg MemConfig) *Hierarchy { return memsys.New(cfg) }
+
+// DefaultHierarchy creates a hierarchy with DefaultMemConfig.
+func DefaultHierarchy() *Hierarchy { return memsys.Default() }
+
+// DefaultCostModel returns the calibrated instruction cost model.
+func DefaultCostModel() CostModel { return core.DefaultCostModel() }
+
+// LoadTree reconstructs a tree serialized with Tree.WriteTo,
+// bulkloading it at the given fill factor onto mem (nil selects a
+// fresh default hierarchy).
+func LoadTree(r io.Reader, mem *Hierarchy, fill float64) (*Tree, error) {
+	return core.Load(r, mem, fill)
+}
+
+// DiskMemConfig returns a disk-resident machine model: 4 KB pages, a
+// 16 MB buffer pool, a 256 MB page cache, 5M-cycle disk latency with
+// command queuing (B = 33). Section 5 of the paper: the same
+// prefetching techniques hide disk latency with pages in place of
+// cache lines.
+func DiskMemConfig() MemConfig { return memsys.DiskConfig() }
+
+// NewAddressSpace creates a simulated address allocator with the
+// given alignment (use the hierarchy's line size).
+func NewAddressSpace(lineSize int) *AddressSpace {
+	return memsys.NewAddressSpace(lineSize)
+}
+
+// NewHeap creates a simulated heap file of tupleSize-byte tuples in
+// the given hierarchy and address space.
+func NewHeap(mem *Hierarchy, space *AddressSpace, tupleSize int) (*HeapTable, error) {
+	return heap.New(mem, space, tupleSize)
+}
+
+// MustNewHeap is NewHeap but panics on error.
+func MustNewHeap(mem *Hierarchy, space *AddressSpace, tupleSize int) *HeapTable {
+	return heap.MustNew(mem, space, tupleSize)
+}
+
+// SelectTIDs runs an adaptive range selection over [start, end],
+// calling emit per filled return buffer (section 4.3: plain scans for
+// short estimated ranges, prefetching scans otherwise).
+func SelectTIDs(t *Tree, start, end Key, opt QueryOptions, emit func([]TID)) int {
+	return query.SelectTIDs(t, start, end, opt, emit)
+}
+
+// SelectTuples is SelectTIDs followed by prefetched tuple fetches from
+// the heap table (section 5).
+func SelectTuples(t *Tree, tab *HeapTable, start, end Key, opt QueryOptions, emit func(Key)) int {
+	return query.SelectTuples(t, tab, start, end, opt, emit)
+}
+
+// IndexJoin probes the inner index once per outer key and reports the
+// match count.
+func IndexJoin(outer []Key, inner *Tree, emit func(Key, TID)) int {
+	return query.IndexJoin(outer, inner, emit)
+}
+
+// IndexJoinTuples is IndexJoin with batched, prefetched tuple fetches.
+func IndexJoinTuples(outer []Key, inner *Tree, tab *HeapTable, batch int, emit func(Key)) int {
+	return query.IndexJoinTuples(outer, inner, tab, batch, emit)
+}

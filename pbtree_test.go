@@ -1,0 +1,99 @@
+package pbtree_test
+
+import (
+	"testing"
+
+	"pbtree"
+)
+
+// TestFacadeEndToEnd exercises the public API surface: hierarchy,
+// shared address space, heap, tree, CSB+ baseline and the query
+// operators.
+func TestFacadeEndToEnd(t *testing.T) {
+	mem := pbtree.NewHierarchy(pbtree.DefaultMemConfig())
+	space := pbtree.NewAddressSpace(mem.Config().LineSize)
+	tab := pbtree.MustNewHeap(mem, space, 64)
+
+	const n = 10000
+	pairs := make([]pbtree.Pair, n)
+	for i := range pairs {
+		k := pbtree.Key(8 * (i + 1))
+		pairs[i] = pbtree.Pair{Key: k, TID: tab.Append(k)}
+	}
+
+	idx := pbtree.MustNew(pbtree.Config{
+		Width: 8, Prefetch: true, JumpArray: pbtree.JumpInternal,
+		Mem: mem, Space: space,
+	})
+	if err := idx.Bulkload(pairs, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Name() != "p8iB+" {
+		t.Fatalf("name = %q", idx.Name())
+	}
+
+	if tid, ok := idx.Search(8 * 500); !ok || tid != 500 {
+		t.Fatalf("Search = %d, %v", tid, ok)
+	}
+	if got := pbtree.SelectTIDs(idx, 8, pbtree.MaxKey, pbtree.QueryOptions{}, nil); got != n {
+		t.Fatalf("SelectTIDs = %d", got)
+	}
+	if got := pbtree.SelectTuples(idx, tab, 8*10, 8*29, pbtree.QueryOptions{}, nil); got != 20 {
+		t.Fatalf("SelectTuples = %d", got)
+	}
+	outer := []pbtree.Key{8, 16, 17}
+	if got := pbtree.IndexJoin(outer, idx, nil); got != 2 {
+		t.Fatalf("IndexJoin = %d", got)
+	}
+	if got := pbtree.IndexJoinTuples(outer, idx, tab, 8, nil); got != 2 {
+		t.Fatalf("IndexJoinTuples = %d", got)
+	}
+
+	csb := pbtree.MustNewCSB(pbtree.CSBConfig{Width: 8, Prefetch: true})
+	if err := csb.Bulkload(pairs, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if tid, ok := csb.Search(8 * 42); !ok || tid != 42 {
+		t.Fatalf("CSB Search = %d, %v", tid, ok)
+	}
+
+	if st := mem.Stats(); st.Total() == 0 {
+		t.Fatal("no cycles charged through the facade")
+	}
+}
+
+// TestFacadeDiskMode sanity-checks the disk-resident configuration
+// through the public API.
+func TestFacadeDiskMode(t *testing.T) {
+	cfg := pbtree.DiskMemConfig()
+	if cfg.LineSize != 4096 {
+		t.Fatalf("disk page size = %d", cfg.LineSize)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	idx := pbtree.MustNew(pbtree.Config{
+		Width: 4, Prefetch: true, JumpArray: pbtree.JumpExternal,
+		Mem: pbtree.NewHierarchy(cfg),
+	})
+	pairs := make([]pbtree.Pair, 100000)
+	for i := range pairs {
+		pairs[i] = pbtree.Pair{Key: pbtree.Key(8 * (i + 1)), TID: pbtree.TID(i + 1)}
+	}
+	if err := idx.Bulkload(pairs, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	// A page holds 512 pointers: 100K keys fit in 2 levels at w=4.
+	if idx.Height() > 2 {
+		t.Fatalf("disk tree height = %d", idx.Height())
+	}
+	if _, ok := idx.Search(8 * 7777); !ok {
+		t.Fatal("lost key on disk")
+	}
+	if got := idx.Scan(8, 50000); got != 50000 {
+		t.Fatalf("disk scan = %d", got)
+	}
+}
