@@ -1,0 +1,24 @@
+# Developer entry points. `make` (or `make check`) is the full gate:
+# build + vet + tests + the race detector over every package.
+
+GO ?= go
+
+.PHONY: check build test race vet bench-smoke
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# A fast wall-clock sanity run of the native-mode benchmarks.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkNativeConcurrent' -benchtime 100x .

@@ -24,7 +24,7 @@ const (
 type prober interface {
 	Name() string
 	Search(pbtree.Key) (pbtree.TID, bool)
-	Mem() *pbtree.Hierarchy
+	Mem() pbtree.Model
 	Height() int
 }
 

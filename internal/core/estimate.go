@@ -25,17 +25,22 @@ func (t *Tree) EstimateRange(start, end Key) int {
 
 // fracPos descends to key's leaf and folds the child indices of the
 // path into a position in [0, 1): 0 is before the first key, 1 after
-// the last.
+// the last. The descent is recorded in a local buffer (not t.path) so
+// estimation stays safe for concurrent native-mode readers.
 func (t *Tree) fracPos(key Key) float64 {
 	t.mem.Compute(t.cost.Op)
-	leaf := t.descend(key)
+	var stack [24]pathEntry // deeper than any realistic tree
+	path := stack[:0]
+	leaf := t.walk(key, func(n *node, idx int) {
+		path = append(path, pathEntry{n: n, idx: idx})
+	})
 	ub, _ := t.searchKeys(leaf, key)
 	frac := 0.0
 	if leaf.nkeys > 0 {
 		frac = float64(ub) / float64(leaf.nkeys)
 	}
-	for i := len(t.path) - 1; i >= 0; i-- {
-		p := t.path[i]
+	for i := len(path) - 1; i >= 0; i-- {
+		p := path[i]
 		frac = (float64(p.idx) + frac) / float64(p.n.nkeys+1)
 	}
 	return frac

@@ -60,12 +60,21 @@ func (t *Tree) NewScanNoPrefetch(start, end Key) *Scanner {
 
 func (t *Tree) newScan(start, end Key, noPrefetch bool) *Scanner {
 	t.mem.Compute(t.cost.Op)
-	leaf, ub, found := t.findLeaf(start)
+	s := &Scanner{t: t, end: end, noPrefetch: noPrefetch}
+	// Record the bottom-level descent step in the scanner itself (not
+	// t.path) so concurrent native-mode scans never write shared tree
+	// state; it seeds the internal jump-pointer cursor below.
+	var rec func(n *node, idx int)
+	if t.cfg.JumpArray == JumpInternal {
+		rec = func(n *node, idx int) { s.bn, s.bnIdx = n, idx }
+	}
+	leaf := t.walk(start, rec)
+	ub, found := t.searchKeys(leaf, start)
 	idx := ub
 	if found {
 		idx = ub - 1
 	}
-	s := &Scanner{t: t, leaf: leaf, idx: idx, end: end, noPrefetch: noPrefetch}
+	s.leaf, s.idx = leaf, idx
 
 	// The starting position may be one past the last key of this leaf.
 	if idx >= leaf.nkeys {
@@ -150,14 +159,13 @@ func (s *Scanner) prefetchNextExternal() {
 // startupInternal initializes the internal jump-pointer array cursor
 // from the recorded descent and prefetches the first k leaves. The
 // starting position within the bottom non-leaf node was determined by
-// the search, so no lookup is needed (section 3.5).
+// the search (newScan recorded it in s.bn/s.bnIdx), so no lookup is
+// needed (section 3.5).
 func (s *Scanner) startupInternal() {
 	t := s.t
-	if len(t.path) == 0 {
+	if s.bn == nil {
 		return // the root is a leaf: nothing to prefetch across
 	}
-	p := t.path[len(t.path)-1]
-	s.bn, s.bnIdx = p.n, p.idx
 	if s.bn.next != nil {
 		t.mem.PrefetchRange(s.bn.next.addr, t.bottomLay.size)
 	}

@@ -34,27 +34,42 @@ func (t *Tree) searchKeys(n *node, key Key) (ub int, found bool) {
 	return lo, false
 }
 
-// descend walks from the root to the leaf that owns key, recording the
-// path (node and chosen child index per non-leaf level) in t.path.
-// It returns the leaf.
-func (t *Tree) descend(key Key) *node {
-	t.path = t.path[:0]
+// walk descends from the root to the leaf that owns key, calling rec
+// (if non-nil) with each non-leaf node left and the child index taken.
+// It is the shared descent of every operation; read-only operations
+// pass a rec that records into caller-owned state (or nil), keeping
+// them free of writes to shared tree scratch so a frozen tree supports
+// concurrent readers on a native memory model.
+func (t *Tree) walk(key Key, rec func(n *node, idx int)) *node {
 	n := t.root
 	for !n.leaf {
 		t.visit(n)
 		idx, _ := t.searchKeys(n, key)
 		t.mem.Access(t.lay(n).ptrAddr(n.addr, idx))
-		t.path = append(t.path, pathEntry{n: n, idx: idx})
+		if rec != nil {
+			rec(n, idx)
+		}
 		n = n.children[idx]
 	}
 	t.visit(n)
 	return n
 }
 
+// descend walks from the root to the leaf that owns key, recording the
+// path (node and chosen child index per non-leaf level) in t.path.
+// It returns the leaf. Mutating operations only: the shared path
+// scratch makes it unsafe for concurrent readers.
+func (t *Tree) descend(key Key) *node {
+	t.path = t.path[:0]
+	return t.walk(key, func(n *node, idx int) {
+		t.path = append(t.path, pathEntry{n: n, idx: idx})
+	})
+}
+
 // Search looks up key and returns its tupleID.
 func (t *Tree) Search(key Key) (TID, bool) {
 	t.mem.Compute(t.cost.Op)
-	n := t.descend(key)
+	n := t.walk(key, nil)
 	ub, found := t.searchKeys(n, key)
 	if !found {
 		return 0, false
@@ -66,7 +81,8 @@ func (t *Tree) Search(key Key) (TID, bool) {
 
 // findLeaf returns the leaf that owns key together with the position
 // of key within it (insertion position if absent). It is the shared
-// first phase of Insert, Delete and NewScan.
+// first phase of Insert and Delete; it records the descent in t.path
+// for the structural updates that may follow.
 func (t *Tree) findLeaf(key Key) (n *node, ub int, found bool) {
 	n = t.descend(key)
 	ub, found = t.searchKeys(n, key)

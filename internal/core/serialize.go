@@ -73,9 +73,9 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 }
 
 // Load reconstructs a tree from a stream produced by WriteTo,
-// bulkloading it at the given fill factor onto the supplied hierarchy
-// (nil selects a fresh default hierarchy).
-func Load(r io.Reader, mem *memsys.Hierarchy, fill float64) (*Tree, error) {
+// bulkloading it at the given fill factor onto the supplied memory
+// model (nil selects a fresh default simulated hierarchy).
+func Load(r io.Reader, mem memsys.Model, fill float64) (*Tree, error) {
 	br := bufio.NewReader(r)
 	var h header
 	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {

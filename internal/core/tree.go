@@ -22,11 +22,16 @@ type UpdateStats struct {
 	JumpPointerRemovals uint64
 }
 
-// Tree is a B+-Tree variant over a simulated memory hierarchy. It is
-// not safe for concurrent use.
+// Tree is a B+-Tree variant over a memsys.Model. Mutating operations
+// (Insert, Delete, Bulkload) are never safe for concurrent use. A
+// frozen tree — one that is no longer being mutated, e.g. just
+// bulkloaded — supports any number of concurrent readers (Search,
+// NewScan/Next, EstimateRange) when its model is a *memsys.Native;
+// on a *memsys.Hierarchy even reads must stay single-threaded, since
+// every operation mutates the simulated cache state.
 type Tree struct {
 	cfg   Config
-	mem   *memsys.Hierarchy
+	mem   memsys.Model
 	space *memsys.AddressSpace
 	cost  CostModel
 
@@ -110,8 +115,8 @@ func (t *Tree) Name() string { return t.cfg.name() }
 // Config returns the resolved configuration.
 func (t *Tree) Config() Config { return t.cfg }
 
-// Mem returns the simulated memory hierarchy the tree charges to.
-func (t *Tree) Mem() *memsys.Hierarchy { return t.mem }
+// Mem returns the memory model the tree charges to.
+func (t *Tree) Mem() memsys.Model { return t.mem }
 
 // Height reports the number of levels in the tree, counting the leaf
 // level (Table 3 of the paper).

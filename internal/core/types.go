@@ -115,9 +115,11 @@ type Config struct {
 	// jump-pointer array chunk. Zero selects 8, the paper's choice.
 	ChunkLines int
 
-	// Mem is the simulated memory hierarchy the tree runs against.
-	// Nil selects a fresh memsys.Default().
-	Mem *memsys.Hierarchy
+	// Mem is the memory model the tree charges its work to: a
+	// *memsys.Hierarchy for cycle-accurate simulation, or a
+	// *memsys.Native to run at real wall-clock speed. Nil selects a
+	// fresh memsys.Default() simulated hierarchy.
+	Mem memsys.Model
 
 	// Space is the simulated address space nodes are allocated from.
 	// Nil allocates a private space; pass a shared one to co-locate
@@ -161,7 +163,7 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Width < 0 {
 		return c, fmt.Errorf("core: width %d must be positive", c.Width)
 	}
-	if c.Mem == nil {
+	if memsys.IsNil(c.Mem) {
 		c.Mem = memsys.Default()
 	}
 	if c.Cost == (CostModel{}) {

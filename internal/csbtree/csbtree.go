@@ -32,8 +32,9 @@ type Config struct {
 	// searching it (the pCSB+ combination).
 	Prefetch bool
 
-	// Mem is the simulated hierarchy; nil selects memsys.Default().
-	Mem *memsys.Hierarchy
+	// Mem is the memory model (simulated or native); nil selects
+	// memsys.Default().
+	Mem memsys.Model
 
 	// Cost is the instruction cost model; zero value selects
 	// core.DefaultCostModel().
@@ -57,7 +58,7 @@ type node struct {
 // safe for concurrent use.
 type Tree struct {
 	cfg   Config
-	mem   *memsys.Hierarchy
+	mem   memsys.Model
 	space *memsys.AddressSpace
 	cost  core.CostModel
 
@@ -83,7 +84,7 @@ func New(cfg Config) (*Tree, error) {
 	if cfg.Width < 0 {
 		return nil, fmt.Errorf("csbtree: width %d must be positive", cfg.Width)
 	}
-	if cfg.Mem == nil {
+	if memsys.IsNil(cfg.Mem) {
 		cfg.Mem = memsys.Default()
 	}
 	if cfg.Cost == (core.CostModel{}) {
@@ -130,8 +131,8 @@ func (t *Tree) Name() string {
 	return fmt.Sprintf("p%dCSB+", t.cfg.Width)
 }
 
-// Mem returns the simulated memory hierarchy the tree charges to.
-func (t *Tree) Mem() *memsys.Hierarchy { return t.mem }
+// Mem returns the memory model the tree charges to.
+func (t *Tree) Mem() memsys.Model { return t.mem }
 
 // Height reports the number of levels, counting the leaf level.
 func (t *Tree) Height() int { return t.height }

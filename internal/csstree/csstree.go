@@ -26,8 +26,9 @@ type Config struct {
 	// analogy with the paper's pCSB+).
 	Prefetch bool
 
-	// Mem is the simulated hierarchy; nil selects memsys.Default().
-	Mem *memsys.Hierarchy
+	// Mem is the memory model (simulated or native); nil selects
+	// memsys.Default().
+	Mem memsys.Model
 
 	// Cost is the instruction cost model; zero selects the default.
 	Cost core.CostModel
@@ -45,7 +46,7 @@ type level struct {
 // array).
 type Tree struct {
 	cfg   Config
-	mem   *memsys.Hierarchy
+	mem   memsys.Model
 	space *memsys.AddressSpace
 	cost  core.CostModel
 
@@ -68,7 +69,7 @@ func New(cfg Config) (*Tree, error) {
 	if cfg.Width < 0 {
 		return nil, fmt.Errorf("csstree: width %d must be positive", cfg.Width)
 	}
-	if cfg.Mem == nil {
+	if memsys.IsNil(cfg.Mem) {
 		cfg.Mem = memsys.Default()
 	}
 	if cfg.Cost == (core.CostModel{}) {
@@ -104,8 +105,8 @@ func (t *Tree) Name() string {
 	return fmt.Sprintf("p%dCSS", t.cfg.Width)
 }
 
-// Mem returns the simulated hierarchy.
-func (t *Tree) Mem() *memsys.Hierarchy { return t.mem }
+// Mem returns the memory model the tree charges to.
+func (t *Tree) Mem() memsys.Model { return t.mem }
 
 // Len reports the number of pairs.
 func (t *Tree) Len() int { return len(t.keys) }

@@ -113,7 +113,7 @@ func TestColdSearchOrdering(t *testing.T) {
 	if err := bp.Bulkload(ps, 1.0); err != nil {
 		t.Fatal(err)
 	}
-	probe := func(search func(core.Key) (core.TID, bool), mem *memsys.Hierarchy) uint64 {
+	probe := func(search func(core.Key) (core.TID, bool), mem memsys.Model) uint64 {
 		r := rand.New(rand.NewSource(1))
 		start := mem.Now()
 		for i := 0; i < 2000; i++ {

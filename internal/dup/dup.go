@@ -28,7 +28,7 @@ type tidList struct {
 // list handles. It is not safe for concurrent use.
 type Index struct {
 	tree  *core.Tree
-	mem   *memsys.Hierarchy
+	mem   memsys.Model
 	space *memsys.AddressSpace
 	cost  core.CostModel
 	lists []*tidList // handle N is lists[N-1]
@@ -39,7 +39,7 @@ type Index struct {
 // tree must be empty; the index owns it from here on. A shared address
 // space keeps lists and nodes in one simulated cache.
 func New(cfg core.Config) (*Index, error) {
-	if cfg.Mem == nil {
+	if memsys.IsNil(cfg.Mem) {
 		cfg.Mem = memsys.Default()
 	}
 	if cfg.Space == nil {
@@ -72,8 +72,8 @@ func MustNew(cfg core.Config) *Index {
 // Tree exposes the underlying pB+-Tree (for stats and invariants).
 func (ix *Index) Tree() *core.Tree { return ix.tree }
 
-// Mem returns the simulated hierarchy.
-func (ix *Index) Mem() *memsys.Hierarchy { return ix.mem }
+// Mem returns the memory model the index charges to.
+func (ix *Index) Mem() memsys.Model { return ix.mem }
 
 // Len reports the total number of <key, tupleID> entries.
 func (ix *Index) Len() int { return ix.count }

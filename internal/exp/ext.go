@@ -77,7 +77,7 @@ func ExtCSB(o Options) []Table {
 
 	type tree interface {
 		Insert(core.Key, core.TID) bool
-		Mem() *memsys.Hierarchy
+		Mem() memsys.Model
 	}
 	builders := []struct {
 		name string

@@ -127,7 +127,7 @@ func segmentedScanCycles(t *core.Tree, starts []core.Key, calls, segSize int) ui
 }
 
 // breakdown captures a busy/stall split over an operation run.
-func breakdown(mem *memsys.Hierarchy, run func()) memsys.Stats {
+func breakdown(mem memsys.Model, run func()) memsys.Stats {
 	before := mem.Stats()
 	run()
 	return mem.Stats().Sub(before)

@@ -12,7 +12,7 @@ import (
 // that the search experiments need.
 type index interface {
 	Name() string
-	Mem() *memsys.Hierarchy
+	Mem() memsys.Model
 	Height() int
 	Search(core.Key) (core.TID, bool)
 	SpaceUsed() uint64

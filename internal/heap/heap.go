@@ -22,7 +22,7 @@ const segmentTuples = 1024
 
 // Table is a simulated heap file. It is not safe for concurrent use.
 type Table struct {
-	mem       *memsys.Hierarchy
+	mem       memsys.Model
 	space     *memsys.AddressSpace
 	cost      core.CostModel
 	tupleSize int
@@ -35,9 +35,9 @@ type Table struct {
 // from the given address space (pass the space shared with the index
 // so both live in the same simulated cache). tupleSize must be a
 // positive multiple of 4.
-func New(mem *memsys.Hierarchy, space *memsys.AddressSpace, tupleSize int) (*Table, error) {
-	if mem == nil {
-		return nil, fmt.Errorf("heap: nil hierarchy")
+func New(mem memsys.Model, space *memsys.AddressSpace, tupleSize int) (*Table, error) {
+	if memsys.IsNil(mem) {
+		return nil, fmt.Errorf("heap: nil memory model")
 	}
 	if space == nil {
 		return nil, fmt.Errorf("heap: nil address space")
@@ -54,7 +54,7 @@ func New(mem *memsys.Hierarchy, space *memsys.AddressSpace, tupleSize int) (*Tab
 }
 
 // MustNew is New but panics on error.
-func MustNew(mem *memsys.Hierarchy, space *memsys.AddressSpace, tupleSize int) *Table {
+func MustNew(mem memsys.Model, space *memsys.AddressSpace, tupleSize int) *Table {
 	t, err := New(mem, space, tupleSize)
 	if err != nil {
 		panic(err)

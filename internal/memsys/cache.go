@@ -44,6 +44,17 @@ func (c *cache) lookup(line uint64) bool {
 	return false
 }
 
+// peek reports whether line is present without promoting it, leaving
+// the LRU order untouched (used by inspection such as Contains).
+func (c *cache) peek(line uint64) bool {
+	for _, l := range c.setOf(line) {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
 // insert places line at MRU position, evicting the LRU line if the set
 // is full. Inserting an already-present line just promotes it.
 func (c *cache) insert(line uint64) {

@@ -208,13 +208,13 @@ func (h *Hierarchy) Prefetch(addr uint64) {
 }
 
 // AccessRange issues demand accesses for every line overlapped by
-// [addr, addr+size).
+// [addr, addr+size). A range whose end would wrap past the top of the
+// address space is clamped to the last representable line.
 func (h *Hierarchy) AccessRange(addr uint64, size int) {
 	if size <= 0 {
 		return
 	}
-	first := addr & h.lineMask
-	last := (addr + uint64(size) - 1) & h.lineMask
+	first, last := rangeBounds(addr, size, h.lineMask)
 	for line := first; ; line += uint64(h.cfg.LineSize) {
 		h.Access(line)
 		if line == last {
@@ -224,19 +224,31 @@ func (h *Hierarchy) AccessRange(addr uint64, size int) {
 }
 
 // PrefetchRange issues prefetches for every line overlapped by
-// [addr, addr+size).
+// [addr, addr+size). A range whose end would wrap past the top of the
+// address space is clamped to the last representable line.
 func (h *Hierarchy) PrefetchRange(addr uint64, size int) {
 	if size <= 0 {
 		return
 	}
-	first := addr & h.lineMask
-	last := (addr + uint64(size) - 1) & h.lineMask
+	first, last := rangeBounds(addr, size, h.lineMask)
 	for line := first; ; line += uint64(h.cfg.LineSize) {
 		h.Prefetch(line)
 		if line == last {
 			break
 		}
 	}
+}
+
+// rangeBounds returns the first and last line of [addr, addr+size),
+// clamping a wrapping end to the last representable line so the range
+// loops terminate deterministically. size must be positive.
+func rangeBounds(addr uint64, size int, lineMask uint64) (first, last uint64) {
+	first = addr & lineMask
+	end := addr + uint64(size) - 1
+	if end < addr {
+		end = ^uint64(0) // range wraps: clamp
+	}
+	return first, end & lineMask
 }
 
 // FlushCaches empties both cache levels and abandons in-flight
@@ -254,16 +266,16 @@ func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
 
 // Contains reports which cache level (1, 2) holds the line containing
 // addr, or 0 if it is uncached. In-flight prefetches that have arrived
-// are collected first. Intended for tests.
+// are collected first. It peeks without promoting, so test-time
+// inspection does not perturb the LRU state (and hence the simulated
+// results) of the run under test.
 func (h *Hierarchy) Contains(addr uint64) int {
 	line := addr & h.lineMask
 	h.collect()
-	// Peek without disturbing LRU order: lookup promotes, which is
-	// acceptable for test use.
-	if h.l1.lookup(line) {
+	if h.l1.peek(line) {
 		return 1
 	}
-	if h.l2.lookup(line) {
+	if h.l2.peek(line) {
 		return 2
 	}
 	return 0

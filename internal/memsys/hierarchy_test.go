@@ -449,3 +449,47 @@ func TestClockMonotonicProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestContainsDoesNotDisturbLRU(t *testing.T) {
+	// A tiny L1: 64 B lines, 256 B 2-way => 2 sets of 2 ways. Lines 0,
+	// 128 and 256 all map to set 0.
+	cfg := testConfig()
+	cfg.L1Size = 256
+	cfg.L1Assoc = 2
+	cfg.L2Size = 1024
+	cfg.L2Assoc = 1
+	h := New(cfg)
+
+	h.Access(0)   // set 0: [0]
+	h.Access(128) // set 0: [128, 0] (0 is LRU)
+	if got := h.Contains(0); got != 1 {
+		t.Fatalf("Contains(0) = %d, want 1", got)
+	}
+	// If Contains had promoted line 0 to MRU, this access would evict
+	// line 128 instead of line 0 and perturb the simulated run.
+	h.Access(256)
+	if got := h.Contains(128); got != 1 {
+		t.Errorf("Contains(128) = %d, want 1 (line 128 must survive: inspection must not promote)", got)
+	}
+	if got := h.Contains(0); got != 2 {
+		t.Errorf("Contains(0) = %d, want 2 (line 0 was LRU and must be the one evicted)", got)
+	}
+}
+
+func TestAccessRangeWraparoundTerminates(t *testing.T) {
+	// Regression: a range whose end overflows uint64 used to loop
+	// forever. It must clamp at the last representable line.
+	h := New(testConfig())
+	h.AccessRange(^uint64(0)-10, 1000)
+	if got := h.Stats().MemMisses; got != 1 {
+		t.Fatalf("wrapping AccessRange caused %d misses, want 1 (the last line)", got)
+	}
+}
+
+func TestPrefetchRangeWraparoundTerminates(t *testing.T) {
+	h := New(testConfig())
+	h.PrefetchRange(^uint64(0)-10, 1000)
+	if got := h.Stats().Prefetch; got != 1 {
+		t.Fatalf("wrapping PrefetchRange issued %d prefetches, want 1 (the last line)", got)
+	}
+}

@@ -1,0 +1,164 @@
+package memsys
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestNativeIsZeroCostNoOp(t *testing.T) {
+	n := NewNative(DefaultConfig())
+	n.Access(0)
+	n.Prefetch(64)
+	n.AccessRange(0, 1024)
+	n.PrefetchRange(0, 1024)
+	n.Compute(100)
+	n.FlushCaches()
+	if got := n.Now(); got != 0 {
+		t.Fatalf("native Now() = %d, want 0 (no clock)", got)
+	}
+	if got := n.Stats(); got != (Stats{}) {
+		t.Fatalf("uncounted native Stats() = %+v, want zero", got)
+	}
+	if got := n.NativeStats(); got != (NativeStats{}) {
+		t.Fatalf("uncounted native NativeStats() = %+v, want zero", got)
+	}
+	if n.Counted() {
+		t.Fatal("NewNative should not count")
+	}
+}
+
+func TestNativeCountedCounters(t *testing.T) {
+	n := NewNativeCounted(DefaultConfig())
+	if !n.Counted() {
+		t.Fatal("NewNativeCounted should count")
+	}
+	n.Access(0)
+	n.Access(63)          // same 64 B line, still one access event
+	n.AccessRange(0, 129) // 3 lines
+	n.Prefetch(64)
+	n.PrefetchRange(64, 64) // 1 line
+	n.Compute(42)
+	got := n.NativeStats()
+	want := NativeStats{Accesses: 5, Prefetches: 2, ComputeCycles: 42}
+	if got != want {
+		t.Fatalf("NativeStats() = %+v, want %+v", got, want)
+	}
+	st := n.Stats()
+	if st.Busy != 42 || st.Prefetch != 2 {
+		t.Fatalf("Stats() = %+v, want Busy=42 Prefetch=2", st)
+	}
+	n.ResetStats()
+	if n.NativeStats() != (NativeStats{}) {
+		t.Fatalf("NativeStats() after reset = %+v, want zero", n.NativeStats())
+	}
+}
+
+func TestNativeRangeWraparound(t *testing.T) {
+	n := NewNativeCounted(DefaultConfig())
+	// A range whose end would wrap past the top of the address space
+	// must terminate and clamp at the last representable line.
+	top := ^uint64(0) - 10
+	n.AccessRange(top, 1000)
+	got := n.NativeStats().Accesses
+	if got != 1 {
+		t.Fatalf("wrapping AccessRange counted %d lines, want 1 (the last line)", got)
+	}
+}
+
+// TestNativeConcurrentCharges exercises a counted native model from
+// many goroutines; run with -race to verify the concurrency claim.
+func TestNativeConcurrentCharges(t *testing.T) {
+	n := NewNativeCounted(DefaultConfig())
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n.Access(base + uint64(i*64))
+				n.Prefetch(base + uint64(i*64))
+				n.Compute(1)
+				n.AccessRange(base, 128)
+			}
+		}(uint64(w) << 32)
+	}
+	wg.Wait()
+	got := n.NativeStats()
+	want := NativeStats{
+		Accesses:      uint64(workers * perWorker * 3), // 1 + 2-line range
+		Prefetches:    uint64(workers * perWorker),
+		ComputeCycles: uint64(workers * perWorker),
+	}
+	if got != want {
+		t.Fatalf("concurrent NativeStats() = %+v, want %+v", got, want)
+	}
+}
+
+func TestNativeInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewNative with invalid config did not panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.LineSize = 48
+	NewNative(cfg)
+}
+
+func TestIsNil(t *testing.T) {
+	var h *Hierarchy
+	var n *Native
+	cases := []struct {
+		m    Model
+		want bool
+	}{
+		{nil, true},
+		{h, true},
+		{n, true},
+		{Default(), false},
+		{DefaultNative(), false},
+	}
+	for i, c := range cases {
+		if got := IsNil(c.m); got != c.want {
+			t.Errorf("case %d: IsNil = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestAddressSpaceConcurrentAlloc verifies the bump allocator hands
+// out disjoint regions under concurrency (run with -race).
+func TestAddressSpaceConcurrentAlloc(t *testing.T) {
+	a := NewAddressSpace(64)
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 500
+	addrs := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				addrs[w] = append(addrs[w], a.Alloc(100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, ws := range addrs {
+		for _, addr := range ws {
+			if addr%64 != 0 {
+				t.Fatalf("address %d not line-aligned", addr)
+			}
+			if seen[addr] {
+				t.Fatalf("address %d handed out twice", addr)
+			}
+			seen[addr] = true
+		}
+	}
+	if want := uint64(workers * perWorker * 128); a.Used() != want {
+		t.Fatalf("Used() = %d, want %d", a.Used(), want)
+	}
+}

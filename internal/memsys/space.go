@@ -1,5 +1,7 @@
 package memsys
 
+import "sync/atomic"
+
 // AddressSpace is a bump allocator for simulated addresses. Index
 // structures allocate their nodes through it so that cache behaviour
 // is driven by realistic, line-aligned addresses while the node data
@@ -8,8 +10,13 @@ package memsys
 // Addresses are never reused: the paper's workloads never reclaim
 // node storage during a measured run, and monotonically increasing
 // addresses keep conflict-miss behaviour deterministic.
+//
+// Alloc is a single atomic add, so concurrent native-mode readers may
+// allocate scratch regions (e.g. scan return buffers) safely; the
+// addresses handed out stay deterministic under single-threaded
+// simulated runs.
 type AddressSpace struct {
-	next     uint64
+	next     atomic.Uint64
 	lineSize uint64
 }
 
@@ -19,7 +26,9 @@ func NewAddressSpace(lineSize int) *AddressSpace {
 	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
 		panic("memsys: line size must be a positive power of two")
 	}
-	return &AddressSpace{next: uint64(lineSize), lineSize: uint64(lineSize)}
+	a := &AddressSpace{lineSize: uint64(lineSize)}
+	a.next.Store(uint64(lineSize))
+	return a
 }
 
 // Alloc reserves size bytes and returns the starting address, aligned
@@ -29,12 +38,10 @@ func (a *AddressSpace) Alloc(size int) uint64 {
 	if size <= 0 {
 		panic("memsys: allocation size must be positive")
 	}
-	addr := a.next
 	n := (uint64(size) + a.lineSize - 1) &^ (a.lineSize - 1)
-	a.next += n
-	return addr
+	return a.next.Add(n) - n
 }
 
 // Used reports the total bytes allocated so far, including alignment
 // padding. It is the basis of the space-overhead comparisons.
-func (a *AddressSpace) Used() uint64 { return a.next - a.lineSize }
+func (a *AddressSpace) Used() uint64 { return a.next.Load() - a.lineSize }

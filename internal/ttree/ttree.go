@@ -32,8 +32,9 @@ type Config struct {
 	// Zero selects capacity-2.
 	MinFill int
 
-	// Mem is the simulated hierarchy; nil selects memsys.Default().
-	Mem *memsys.Hierarchy
+	// Mem is the memory model (simulated or native); nil selects
+	// memsys.Default().
+	Mem memsys.Model
 
 	// Cost is the instruction cost model; zero selects the default.
 	Cost core.CostModel
@@ -55,7 +56,7 @@ type node struct {
 // for concurrent use.
 type Tree struct {
 	cfg   Config
-	mem   *memsys.Hierarchy
+	mem   memsys.Model
 	space *memsys.AddressSpace
 	cost  core.CostModel
 
@@ -77,7 +78,7 @@ func New(cfg Config) (*Tree, error) {
 	if cfg.Width < 0 {
 		return nil, fmt.Errorf("ttree: width %d must be positive", cfg.Width)
 	}
-	if cfg.Mem == nil {
+	if memsys.IsNil(cfg.Mem) {
 		cfg.Mem = memsys.Default()
 	}
 	if cfg.Cost == (core.CostModel{}) {
@@ -125,8 +126,8 @@ func (t *Tree) Name() string {
 	return fmt.Sprintf("T%d-tree", t.cfg.Width)
 }
 
-// Mem returns the simulated hierarchy.
-func (t *Tree) Mem() *memsys.Hierarchy { return t.mem }
+// Mem returns the memory model the tree charges to.
+func (t *Tree) Mem() memsys.Model { return t.mem }
 
 // Len reports the number of pairs.
 func (t *Tree) Len() int { return t.count }

@@ -215,7 +215,7 @@ func TestBPlusBeatsTTree(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	probe := func(search func(core.Key) (core.TID, bool), mem *memsys.Hierarchy) uint64 {
+	probe := func(search func(core.Key) (core.TID, bool), mem memsys.Model) uint64 {
 		r := rand.New(rand.NewSource(5))
 		start := mem.Now()
 		for i := 0; i < 2000; i++ {

@@ -86,11 +86,22 @@ type (
 	TTreeConfig = ttree.Config
 )
 
-// Simulated memory hierarchy types.
+// Memory model types. Every index charges its work to a Model: the
+// simulated Hierarchy reproduces the paper's numbers cycle for cycle,
+// while the Native model is a near-no-op that runs the same index code
+// at real wall-clock speed and is safe for concurrent use.
 type (
-	// Hierarchy is the simulated two-level cache hierarchy.
+	// Model is the memory-system interface indexes charge to.
+	Model = memsys.Model
+	// Hierarchy is the cycle-accurate simulated two-level cache
+	// hierarchy (single-threaded; owns the simulated clock).
 	Hierarchy = memsys.Hierarchy
-	// MemConfig describes a hierarchy (line size, caches, latencies).
+	// Native is the zero-cost native model: charges are no-ops (or
+	// atomic counters), and all methods are concurrency-safe.
+	Native = memsys.Native
+	// NativeStats are the optional event counters of a counted Native.
+	NativeStats = memsys.NativeStats
+	// MemConfig describes a memory system (line size, caches, latencies).
 	MemConfig = memsys.Config
 	// MemStats is a snapshot of busy/stall cycles and miss counters.
 	MemStats = memsys.Stats
@@ -158,13 +169,28 @@ func NewHierarchy(cfg MemConfig) *Hierarchy { return memsys.New(cfg) }
 // DefaultHierarchy creates a hierarchy with DefaultMemConfig.
 func DefaultHierarchy() *Hierarchy { return memsys.Default() }
 
+// NewNative creates a zero-cost native memory model: the same index
+// code runs at real hardware speed, with every simulated charge a
+// no-op. Safe for concurrent use; pair it with a frozen (post-
+// bulkload) tree to serve concurrent readers.
+func NewNative(cfg MemConfig) *Native { return memsys.NewNative(cfg) }
+
+// DefaultNative creates a native model with DefaultMemConfig (the
+// node layouts match the simulated defaults).
+func DefaultNative() *Native { return memsys.DefaultNative() }
+
+// NewNativeCounted creates a native model that additionally keeps
+// atomic event counters (accesses, prefetches, compute cycles).
+func NewNativeCounted(cfg MemConfig) *Native { return memsys.NewNativeCounted(cfg) }
+
 // DefaultCostModel returns the calibrated instruction cost model.
 func DefaultCostModel() CostModel { return core.DefaultCostModel() }
 
 // LoadTree reconstructs a tree serialized with Tree.WriteTo,
-// bulkloading it at the given fill factor onto mem (nil selects a
-// fresh default hierarchy).
-func LoadTree(r io.Reader, mem *Hierarchy, fill float64) (*Tree, error) {
+// bulkloading it at the given fill factor onto mem — a *Hierarchy for
+// simulation or a *Native for real execution (nil selects a fresh
+// default hierarchy).
+func LoadTree(r io.Reader, mem Model, fill float64) (*Tree, error) {
 	return core.Load(r, mem, fill)
 }
 
@@ -181,14 +207,14 @@ func NewAddressSpace(lineSize int) *AddressSpace {
 	return memsys.NewAddressSpace(lineSize)
 }
 
-// NewHeap creates a simulated heap file of tupleSize-byte tuples in
-// the given hierarchy and address space.
-func NewHeap(mem *Hierarchy, space *AddressSpace, tupleSize int) (*HeapTable, error) {
+// NewHeap creates a heap file of tupleSize-byte tuples charged to the
+// given memory model and address space.
+func NewHeap(mem Model, space *AddressSpace, tupleSize int) (*HeapTable, error) {
 	return heap.New(mem, space, tupleSize)
 }
 
 // MustNewHeap is NewHeap but panics on error.
-func MustNewHeap(mem *Hierarchy, space *AddressSpace, tupleSize int) *HeapTable {
+func MustNewHeap(mem Model, space *AddressSpace, tupleSize int) *HeapTable {
 	return heap.MustNew(mem, space, tupleSize)
 }
 
