@@ -92,8 +92,11 @@ func main() {
 		fmt.Printf("leaf capacity %d, max fanout %d, %.1f MB simulated, structural check ok\n",
 			t.LeafCapacity(), t.MaxFanout(), float64(t.SpaceUsed())/(1<<20))
 		if *probe > 0 {
+			mem := t.Mem()
+			mem.ResetStats()
 			tid, ok := t.Search(pbtree.Key(*probe))
 			fmt.Printf("probe %d: tid=%d found=%v\n", *probe, tid, ok)
+			fmt.Println(mem.Stats().Pretty())
 		}
 
 	default:

@@ -7,6 +7,10 @@ package core
 // when the last key of a node is deleted do we redistribute keys from
 // a sibling (prefetching the sibling first) or remove the node.
 func (t *Tree) Delete(key Key) bool {
+	if t.trc != nil {
+		t.trc.BeginOp(OpDelete)
+		defer t.trc.EndOp(OpDelete)
+	}
 	t.mem.Compute(t.cost.Op)
 	leaf, ub, found := t.findLeaf(key)
 	if !found {
@@ -51,6 +55,7 @@ func (t *Tree) fixEmpty(n *node, level int) {
 		}
 		p := t.path[level]
 		parent, ci := p.n, p.idx
+		t.traceNode(level, kindOf(parent))
 
 		var rs, ls *node
 		if ci+1 <= parent.nkeys {

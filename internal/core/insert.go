@@ -9,6 +9,10 @@ package core
 // prefetched in their entirety before keys are redistributed into
 // them.
 func (t *Tree) Insert(key Key, tid TID) bool {
+	if t.trc != nil {
+		t.trc.BeginOp(OpInsert)
+		defer t.trc.EndOp(OpInsert)
+	}
 	t.mem.Compute(t.cost.Op)
 	leaf, ub, found := t.findLeaf(key)
 	if found {
@@ -126,6 +130,7 @@ func (t *Tree) insertIntoParent(sep Key, right *node) {
 			return
 		}
 		p := t.path[level]
+		t.traceNode(level, kindOf(p.n))
 		if !t.full(p.n) {
 			t.nonLeafInsertAt(p.n, p.idx, sep, right)
 			return
@@ -138,6 +143,7 @@ func (t *Tree) insertIntoParent(sep Key, right *node) {
 func (t *Tree) growRoot(sep Key, right *node) {
 	old := t.root
 	newRoot := t.newNonLeaf(old.leaf)
+	t.traceNode(0, kindOf(newRoot))
 	t.mem.PrefetchRange(newRoot.addr, t.lay(newRoot).size)
 	newRoot.keys[0] = sep
 	newRoot.children[0] = old

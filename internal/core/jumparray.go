@@ -82,6 +82,7 @@ func (t *Tree) jpLocate(leaf *node) (*chunk, int) {
 	h := leaf.hint
 	ck := h.chunk
 	t.mem.Access(t.leafLay.hintAddr(leaf.addr))
+	t.traceNode(LevelNone, KindChunk)
 	t.mem.Access(ck.addr)
 	t.mem.Access(ck.slotAddr(h.slot))
 	if ck.slots[h.slot] == leaf {

@@ -59,6 +59,10 @@ func (t *Tree) NewScanNoPrefetch(start, end Key) *Scanner {
 }
 
 func (t *Tree) newScan(start, end Key, noPrefetch bool) *Scanner {
+	if t.trc != nil {
+		t.trc.BeginOp(OpScan)
+		defer t.trc.EndOp(OpScan)
+	}
 	t.mem.Compute(t.cost.Op)
 	s := &Scanner{t: t, end: end, noPrefetch: noPrefetch}
 	// Record the bottom-level descent step in the scanner itself (not
@@ -111,6 +115,7 @@ func (s *Scanner) advanceLeafNoPrefetch() {
 func (s *Scanner) startupExternal() {
 	t := s.t
 	s.ck, s.ckIdx = t.jpLocate(s.leaf)
+	t.traceNode(LevelNone, KindChunk)
 	t.mem.PrefetchRange(s.ck.addr, t.chunkBytes())
 	if s.ck.next != nil {
 		t.mem.PrefetchRange(s.ck.next.addr, t.chunkBytes())
@@ -129,6 +134,7 @@ func (s *Scanner) prefetchNextExternal() {
 		return
 	}
 	t := s.t
+	t.traceNode(LevelNone, KindChunk)
 	i := s.ckIdx + 1
 	ck := s.ck
 	for {
@@ -166,6 +172,7 @@ func (s *Scanner) startupInternal() {
 	if s.bn == nil {
 		return // the root is a leaf: nothing to prefetch across
 	}
+	t.traceNode(t.height-2, KindBottom)
 	if s.bn.next != nil {
 		t.mem.PrefetchRange(s.bn.next.addr, t.bottomLay.size)
 	}
@@ -181,6 +188,7 @@ func (s *Scanner) prefetchNextInternal() {
 		return
 	}
 	t := s.t
+	t.traceNode(t.height-2, KindBottom)
 	i := s.bnIdx + 1
 	bn := s.bn
 	if i > bn.nkeys {
@@ -203,6 +211,7 @@ func (s *Scanner) prefetchNextInternal() {
 // buffer area it will be copied into.
 func (s *Scanner) rangePrefetchLeaf(leaf *node) {
 	t := s.t
+	t.traceNode(t.height-1, KindLeaf)
 	t.mem.PrefetchRange(leaf.addr, t.leafLay.size)
 	if s.bufBytes > 0 && !t.cfg.Ablation.NoBufferPrefetch {
 		n := t.leafLay.maxKeys * fieldSize
@@ -210,6 +219,7 @@ func (s *Scanner) rangePrefetchLeaf(leaf *node) {
 			n = s.bufBytes - s.bufPF
 		}
 		if n > 0 {
+			t.traceNode(LevelNone, KindBuffer)
 			t.mem.PrefetchRange(s.bufAddr+uint64(s.bufPF), n)
 			s.bufPF += n
 		}
@@ -224,6 +234,10 @@ func (s *Scanner) Next(buf []TID) int {
 		return 0
 	}
 	t := s.t
+	if t.trc != nil {
+		t.trc.BeginOp(OpScan)
+		defer t.trc.EndOp(OpScan)
+	}
 
 	// (Re)use the simulated return buffer region.
 	if s.bufBytes < len(buf)*fieldSize {
@@ -245,10 +259,14 @@ func (s *Scanner) Next(buf []TID) int {
 		if ahead > len(buf)*fieldSize {
 			ahead = len(buf) * fieldSize
 		}
+		t.traceNode(LevelNone, KindBuffer)
 		t.mem.PrefetchRange(s.bufAddr, ahead)
 		s.bufPF = ahead
 	}
 
+	// The copy loop interleaves leaf reads and return-buffer writes;
+	// all of it is attributed to the leaf level.
+	t.traceNode(t.height-1, KindLeaf)
 	written := 0
 	for {
 		leaf := s.leaf
@@ -300,6 +318,7 @@ func (s *Scanner) Next(buf []TID) int {
 // k nodes ago and this is free beyond the keynum read.
 func (s *Scanner) visitLeafForScan(n *node, written int) {
 	t := s.t
+	t.traceNode(t.height-1, KindLeaf)
 	if t.cfg.Prefetch && !s.noPrefetch && t.cfg.JumpArray == JumpNone {
 		t.mem.PrefetchRange(n.addr, t.leafLay.size)
 		if s.bufBytes > 0 && !t.cfg.Ablation.NoBufferPrefetch {
@@ -309,7 +328,9 @@ func (s *Scanner) visitLeafForScan(n *node, written int) {
 				sz = s.bufBytes - off
 			}
 			if sz > 0 {
+				t.traceNode(LevelNone, KindBuffer)
 				t.mem.PrefetchRange(s.bufAddr+uint64(off), sz)
+				t.traceNode(t.height-1, KindLeaf)
 			}
 		}
 	}

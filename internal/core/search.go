@@ -42,7 +42,8 @@ func (t *Tree) searchKeys(n *node, key Key) (ub int, found bool) {
 // concurrent readers on a native memory model.
 func (t *Tree) walk(key Key, rec func(n *node, idx int)) *node {
 	n := t.root
-	for !n.leaf {
+	for level := 0; !n.leaf; level++ {
+		t.traceNode(level, kindOf(n))
 		t.visit(n)
 		idx, _ := t.searchKeys(n, key)
 		t.mem.Access(t.lay(n).ptrAddr(n.addr, idx))
@@ -51,6 +52,7 @@ func (t *Tree) walk(key Key, rec func(n *node, idx int)) *node {
 		}
 		n = n.children[idx]
 	}
+	t.traceNode(t.height-1, KindLeaf)
 	t.visit(n)
 	return n
 }
@@ -68,6 +70,10 @@ func (t *Tree) descend(key Key) *node {
 
 // Search looks up key and returns its tupleID.
 func (t *Tree) Search(key Key) (TID, bool) {
+	if t.trc != nil {
+		t.trc.BeginOp(OpSearch)
+		defer t.trc.EndOp(OpSearch)
+	}
 	t.mem.Compute(t.cost.Op)
 	n := t.walk(key, nil)
 	ub, found := t.searchKeys(n, key)

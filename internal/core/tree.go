@@ -34,6 +34,7 @@ type Tree struct {
 	mem   memsys.Model
 	space *memsys.AddressSpace
 	cost  CostModel
+	trc   Tracer // optional op-context tracer, nil when disabled
 
 	leafLay, nlLay, bottomLay layout
 
@@ -83,6 +84,7 @@ func New(cfg Config) (*Tree, error) {
 		mem:   cfg.Mem,
 		space: space,
 		cost:  cfg.Cost,
+		trc:   cfg.Trace,
 	}
 	t.leafLay, t.nlLay, t.bottomLay = layoutsFor(cfg, mc.LineSize)
 	if cfg.JumpArray == JumpExternal {

@@ -131,6 +131,13 @@ type Config struct {
 	// DefaultCostModel.
 	Cost CostModel
 
+	// Trace receives operation-context notifications (operation kind,
+	// node level and kind) for observability; pair it with a
+	// memsys.Probe on the hierarchy to attribute misses and stalls to
+	// tree levels. Nil disables tracing; tracing charges nothing to the
+	// memory model either way.
+	Trace Tracer
+
 	// Ablation switches off individual design choices for the
 	// ablation benchmarks; the zero value is the paper's design.
 	Ablation Ablation

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+	"pbtree/internal/obs"
+	"pbtree/internal/workload"
+)
+
+// Attribution is the observability experiment: it runs a warm search,
+// range-scan, insert and delete workload on a B+-Tree and a p8eB+-Tree
+// with an obs.Collector attached and reports where the memory traffic
+// and stall cycles land — per operation, per tree level, per node kind.
+// It is the per-level answer to the paper's Figure 1/17 whole-run
+// breakdowns: the aggregate figures say HOW MUCH time is stall, this
+// table says WHERE.
+func Attribution(o Options) []Table {
+	var tables []Table
+	for _, name := range []string{"B+tree", "p8eB+tree"} {
+		tables = append(tables, attributionFor(o, name))
+	}
+	return tables
+}
+
+func attributionFor(o Options, name string) Table {
+	col := obs.NewCollector()
+	// Compose with any caller-supplied probe/tracer (e.g. pbench
+	// -trace) instead of replacing it.
+	o.Probe = memsys.Probes{o.Probe, col}
+	o.Trace = core.Tracers{o.Trace, col}
+
+	n := o.keys(1_000_000)
+	ops := o.ops(20_000)
+	pairs := workload.SortedPairs(n)
+	t := scanTree(o, scanConfigs[name], memsys.DefaultConfig(), pairs, 0.8)
+	col.Reset() // bulkload traffic is not the story here
+
+	r := o.rng(42)
+	warmup(t, workload.SearchKeys(r, n, ops))
+	searchCycles(t, workload.SearchKeys(r, n, ops), false)
+	scanLen := o.ops(1_000)
+	scanOnceCycles(t, workload.ScanStarts(r, n, scanLen, o.starts()), scanLen)
+	insertCycles(t, workload.InsertKeys(r, n, ops/4), false)
+	deleteCycles(t, workload.DeleteKeys(r, n, ops/4), false)
+
+	stats := t.Mem().Stats()
+	tb := Table{
+		ID:      "attr-" + name,
+		Title:   fmt.Sprintf("%s: stall attribution by op, level, node kind (%d keys)", name, n),
+		Columns: []string{"op", "level", "kind", "l1", "l2", "mem", "pf-hit", "stall(M)", "stall%"},
+	}
+	for _, row := range col.Rows() {
+		tb.AddRow(
+			row.Op.String(),
+			obs.LevelLabel(row.Level),
+			row.Kind.String(),
+			count(int(row.L1Hits)),
+			count(int(row.L2Hits)),
+			count(int(row.MemMisses)),
+			count(int(row.PFHits)),
+			cycles(row.StallCycles),
+			percent(row.StallCycles, stats.Stall),
+		)
+	}
+	tb.Notes = append(tb.Notes,
+		fmt.Sprintf("levels count from the root; level %d is the leaf level; '-' is outside the tree (jump-pointer chunks, scan buffers)", t.Height()-1),
+		fmt.Sprintf("attributed stall %s M of %s M total", cycles(col.TotalStall()), cycles(stats.Stall)),
+	)
+	return tb
+}

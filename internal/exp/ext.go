@@ -39,12 +39,12 @@ func ExtDisk(o Options) []Table {
 		Columns: []string{"tree", "levels", "search (M)", "scan (M)", "search spd", "scan spd"}}
 	var baseSearch, baseScan uint64
 	for _, c := range configs {
-		tr := scanTree(c.cfg, memsys.DiskConfig(), pairs, 1.0)
+		tr := scanTree(o, c.cfg, memsys.DiskConfig(), pairs, 1.0)
 		r := o.rng(51)
 		keys := workload.SearchKeys(r, n, searches)
 		sCycles := searchCycles(tr, keys, true)
 
-		tr = scanTree(c.cfg, memsys.DiskConfig(), pairs, 1.0)
+		tr = scanTree(o, c.cfg, memsys.DiskConfig(), pairs, 1.0)
 		starts := workload.ScanStarts(o.rng(52), n, scanLen, scans)
 		scCycles := scanOnceCycles(tr, starts, scanLen)
 
@@ -151,12 +151,12 @@ func ExtAblation(o Options) []Table {
 	base := core.Config{Width: 8, Prefetch: true, JumpArray: core.JumpExternal}
 
 	scanCost := func(cfg core.Config) uint64 {
-		tr := scanTree(cfg, memsys.DefaultConfig(), pairs, 1.0)
+		tr := scanTree(o, cfg, memsys.DefaultConfig(), pairs, 1.0)
 		starts := workload.ScanStarts(o.rng(61), n, scanLen, o.starts())
 		return scanOnceCycles(tr, starts, scanLen)
 	}
 	insertCost := func(cfg core.Config) uint64 {
-		tr := scanTree(cfg, memsys.DefaultConfig(), pairs, 1.0)
+		tr := scanTree(o, cfg, memsys.DefaultConfig(), pairs, 1.0)
 		return insertCycles(tr, workload.InsertKeys(o.rng(62), n, inserts), false)
 	}
 

@@ -34,10 +34,10 @@ func ExtIndexes(o Options) []Table {
 			}
 			return t
 		},
-		func() index { return vBPlus.build(memsys.DefaultConfig(), pairs, 1.0) },
-		func() index { return vCSB.build(memsys.DefaultConfig(), pairs, 1.0) },
-		func() index { return vP8.build(memsys.DefaultConfig(), pairs, 1.0) },
-		func() index { return vP8CSB.build(memsys.DefaultConfig(), pairs, 1.0) },
+		func() index { return vBPlus.build(o, memsys.DefaultConfig(), pairs, 1.0) },
+		func() index { return vCSB.build(o, memsys.DefaultConfig(), pairs, 1.0) },
+		func() index { return vP8.build(o, memsys.DefaultConfig(), pairs, 1.0) },
+		func() index { return vP8CSB.build(o, memsys.DefaultConfig(), pairs, 1.0) },
 	}
 
 	t := Table{ID: "extindexes",

@@ -26,7 +26,7 @@ func Figure10(o Options) []Table {
 		}
 		row := []string{count(want)}
 		for _, name := range scanOrder {
-			t := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, 1.0)
+			t := scanTree(o, scanConfigs[name], memsys.DefaultConfig(), pairs, 1.0)
 			starts := workload.ScanStarts(o.rng(int64(m)), n, want, o.starts())
 			row = append(row, fmt.Sprint(scanOnceCycles(t, starts, want)))
 		}
@@ -42,7 +42,7 @@ func Figure10(o Options) []Table {
 	for _, fill := range paperFills {
 		row := []string{fmt.Sprintf("%.0f%%", fill*100)}
 		for _, name := range scanOrder {
-			t := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+			t := scanTree(o, scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
 			starts := workload.ScanStarts(o.rng(int64(fill*100)), n, want, o.starts())
 			row = append(row, fmt.Sprint(scanOnceCycles(t, starts, want)))
 		}
@@ -73,7 +73,7 @@ func Figure11(o Options) []Table {
 	for _, fill := range paperFills {
 		row := []string{fmt.Sprintf("%.0f%%", fill*100)}
 		for _, name := range scanOrder {
-			tr := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+			tr := scanTree(o, scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
 			starts := workload.ScanStarts(o.rng(int64(fill*10)), n, calls*segSize, o.starts())
 			row = append(row, fmt.Sprint(segmentedScanCycles(tr, starts, calls, segSize)))
 		}

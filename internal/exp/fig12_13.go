@@ -40,9 +40,9 @@ func Figure12(o Options) []Table {
 			dkeys := workload.DeleteKeys(o.rng(int64(fill*100)+1), n, ops)
 			for mode := 0; mode < 2; mode++ {
 				cold := mode == 1
-				t := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+				t := scanTree(o, scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
 				rows[mode] = append(rows[mode], cycles(insertCycles(t, ikeys, cold)))
-				t = scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+				t = scanTree(o, scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
 				rows[2+mode] = append(rows[2+mode], cycles(deleteCycles(t, dkeys, cold)))
 			}
 		}
@@ -69,7 +69,7 @@ func Figure13(o Options) []Table {
 	for _, fill := range []float64{0.6, 0.7, 0.8, 0.9} {
 		row := []string{fmt.Sprintf("%.0f%%", fill*100)}
 		for _, name := range updateLineup {
-			t := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+			t := scanTree(o, scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
 			t.ResetUpdateStats()
 			insertCycles(t, workload.InsertKeys(o.rng(int64(fill*100)), n, ops), false)
 			row = append(row, count(int(t.UpdateStats().InsertsWithSplit)))
@@ -81,7 +81,7 @@ func Figure13(o Options) []Table {
 		Title:   fmt.Sprintf("split breakdown of %d insertions into 100%%-full trees", ops),
 		Columns: []string{"tree", "no split", "one split (leaf only)", "more splits"}}
 	for _, name := range updateLineup {
-		t := scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, 1.0)
+		t := scanTree(o, scanConfigs[name], memsys.DefaultConfig(), pairs, 1.0)
 		t.ResetUpdateStats()
 		insertCycles(t, workload.InsertKeys(o.rng(99), n, ops), false)
 		st := t.UpdateStats()
@@ -96,6 +96,6 @@ func Figure13(o Options) []Table {
 
 // buildUpdateTree builds one of the update-lineup trees (exported for
 // benchmarks).
-func buildUpdateTree(name string, pairs []core.Pair, fill float64) *core.Tree {
-	return scanTree(scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
+func buildUpdateTree(o Options, name string, pairs []core.Pair, fill float64) *core.Tree {
+	return scanTree(o, scanConfigs[name], memsys.DefaultConfig(), pairs, fill)
 }

@@ -43,9 +43,9 @@ func Figure14(o Options) []Table {
 		for mode := 0; mode < 2; mode++ {
 			cold := mode == 1
 			// One tree per operation type, measured cumulatively.
-			searchT := matureTree(scanConfigs[name], memsys.DefaultConfig(), o.rng(14), total)
-			insertT := matureTree(scanConfigs[name], memsys.DefaultConfig(), o.rng(14), total)
-			deleteT := matureTree(scanConfigs[name], memsys.DefaultConfig(), o.rng(14), total)
+			searchT := matureTree(o, scanConfigs[name], memsys.DefaultConfig(), o.rng(14), total)
+			insertT := matureTree(o, scanConfigs[name], memsys.DefaultConfig(), o.rng(14), total)
+			deleteT := matureTree(o, scanConfigs[name], memsys.DefaultConfig(), o.rng(14), total)
 			skeys := workload.SearchKeys(o.rng(41), total, maxOps)
 			ikeys := workload.InsertKeys(o.rng(42), total, maxOps)
 			dkeys := workload.DeleteKeys(o.rng(43), total, maxOps)
@@ -104,7 +104,7 @@ func Figure15(o Options) []Table {
 	}
 	for _, name := range scanOrder {
 		// One mature tree per variant, reused across scan lengths.
-		t := matureTree(scanConfigs[name], memsys.DefaultConfig(), o.rng(15), total)
+		t := matureTree(o, scanConfigs[name], memsys.DefaultConfig(), o.rng(15), total)
 		for _, want := range wants {
 			starts := workload.ScanStarts(o.rng(int64(want)+3), total, want, o.starts())
 			rows[want] = append(rows[want], fmt.Sprint(scanOnceCycles(t, starts, want)))
@@ -126,7 +126,7 @@ func Figure15(o Options) []Table {
 		Title:   fmt.Sprintf("segmented scans on mature trees: %d calls x %d pairs (cycles)", calls, segSize),
 		Columns: []string{"tree", "cycles per scan"}}
 	for _, name := range scanOrder {
-		t := matureTree(scanConfigs[name], memsys.DefaultConfig(), o.rng(16), total)
+		t := matureTree(o, scanConfigs[name], memsys.DefaultConfig(), o.rng(16), total)
 		starts := workload.ScanStarts(o.rng(7), total, calls*segSize, o.starts())
 		b.AddRow(name, fmt.Sprint(segmentedScanCycles(t, starts, calls, segSize)))
 	}

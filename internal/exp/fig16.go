@@ -33,19 +33,19 @@ func Figure16(o Options) []Table {
 		keys := workload.SearchKeys(r, n, ops)
 		wk := workload.SearchKeys(r, n, ops/10+1)
 
-		base := vBPlus.build(mcfg, pairs, 1.0)
+		base := vBPlus.build(o, mcfg, pairs, 1.0)
 		warmup(base, wk)
 		baseWarm := searchCycles(base, keys, false)
-		base = vBPlus.build(mcfg, pairs, 1.0)
+		base = vBPlus.build(o, mcfg, pairs, 1.0)
 		baseCold := searchCycles(base, keys, true)
 
 		wRow := []string{count(b)}
 		cRow := []string{count(b)}
 		for _, v := range widths {
-			ix := v.build(mcfg, pairs, 1.0)
+			ix := v.build(o, mcfg, pairs, 1.0)
 			warmup(ix, wk)
 			wRow = append(wRow, ratio(100*searchCycles(ix, keys, false), baseWarm))
-			ix = v.build(mcfg, pairs, 1.0)
+			ix = v.build(o, mcfg, pairs, 1.0)
 			cRow = append(cRow, ratio(100*searchCycles(ix, keys, true), baseCold))
 		}
 		warm.AddRow(wRow...)
@@ -84,7 +84,7 @@ func scanParamSweep(o Options, id, title, param string, values []int, mkCfg func
 		}
 		row := []string{count(want)}
 		for _, v := range values {
-			tr := scanTree(mkCfg(v), memsys.DefaultConfig(), pairs, 1.0)
+			tr := scanTree(o, mkCfg(v), memsys.DefaultConfig(), pairs, 1.0)
 			starts := workload.ScanStarts(o.rng(int64(m+v)), n, want, o.starts())
 			row = append(row, fmt.Sprint(scanOnceCycles(tr, starts, want)))
 		}

@@ -10,7 +10,7 @@ import (
 // searches on a freshly bulkloaded tree.
 func searchBreakdown(o Options, v variant, n, ops int) memsys.Stats {
 	pairs := workload.SortedPairs(n)
-	ix := v.build(memsys.DefaultConfig(), pairs, 1.0)
+	ix := v.build(o, memsys.DefaultConfig(), pairs, 1.0)
 	r := o.rng(17)
 	warmup(ix, workload.SearchKeys(r, n, ops/10+1))
 	keys := workload.SearchKeys(r, n, ops)
@@ -21,7 +21,7 @@ func searchBreakdown(o Options, v variant, n, ops int) memsys.Stats {
 // `want` tupleIDs on a freshly bulkloaded tree.
 func scanBreakdown(o Options, cfg core.Config, n, want, starts int) memsys.Stats {
 	pairs := workload.SortedPairs(n)
-	t := scanTree(cfg, memsys.DefaultConfig(), pairs, 1.0)
+	t := scanTree(o, cfg, memsys.DefaultConfig(), pairs, 1.0)
 	r := o.rng(18)
 	sk := workload.ScanStarts(r, n, want, starts)
 	return breakdown(t.Mem(), func() { scanOnceCycles(t, sk, want) })

@@ -11,12 +11,12 @@ import (
 // (b) three two-line nodes without prefetching, and (c) three two-line
 // nodes with the lines of each node prefetched in parallel. The paper
 // quotes 600, 900 and 480 cycles on the ES40 model.
-func Figure2(Options) []Table {
+func Figure2(o Options) []Table {
 	cfg := memsys.DefaultConfig()
 	cfg.PrefetchIssue = 0 // the figure abstracts away issue cost
 
 	run := func(nodes, lines int, prefetch bool) uint64 {
-		h := memsys.New(cfg)
+		h := o.hier(cfg)
 		for n := 0; n < nodes; n++ {
 			base := uint64(n) * 4096
 			if prefetch {
@@ -43,18 +43,18 @@ func Figure2(Options) []Table {
 // of visiting four leaves' worth of data as (a) four serial one-line
 // leaves, (b) two two-line leaves with within-node prefetching, and
 // (c) fully pipelined prefetching across leaves.
-func Figure3(Options) []Table {
+func Figure3(o Options) []Table {
 	cfg := memsys.DefaultConfig()
 	cfg.PrefetchIssue = 0
 
 	// (a) four dependent leaf misses.
-	a := memsys.New(cfg)
+	a := o.hier(cfg)
 	for n := uint64(0); n < 4; n++ {
 		a.Access(n * 4096)
 	}
 
 	// (b) two 2-line leaves, each prefetched on arrival.
-	b := memsys.New(cfg)
+	b := o.hier(cfg)
 	for n := uint64(0); n < 2; n++ {
 		base := n * 4096
 		b.Prefetch(base)
@@ -64,7 +64,7 @@ func Figure3(Options) []Table {
 	}
 
 	// (c) all four lines prefetched ahead (jump-pointer style).
-	c := memsys.New(cfg)
+	c := o.hier(cfg)
 	for n := uint64(0); n < 4; n++ {
 		c.Prefetch(n * 4096)
 	}

@@ -32,11 +32,11 @@ func searchSweep(o Options, idPrefix, title string, vs []variant, sizes []int, f
 			r := o.rng(int64(n))
 			keys := workload.SearchKeys(r, n, ops)
 
-			ix := v.build(memsys.DefaultConfig(), pairs, fill)
+			ix := v.build(o, memsys.DefaultConfig(), pairs, fill)
 			warmup(ix, workload.SearchKeys(r, n, ops/10+1))
 			wRow = append(wRow, cycles(searchCycles(ix, keys, false)))
 
-			ix = v.build(memsys.DefaultConfig(), pairs, fill)
+			ix = v.build(o, memsys.DefaultConfig(), pairs, fill)
 			cRow = append(cRow, cycles(searchCycles(ix, keys, true)))
 		}
 		warm.AddRow(wRow...)
@@ -68,7 +68,7 @@ func Table3(o Options) []Table {
 	for _, v := range searchLineup {
 		row := []string{v.name}
 		for _, n := range sizes {
-			ix := v.build(memsys.DefaultConfig(), workload.SortedPairs(n), 1.0)
+			ix := v.build(o, memsys.DefaultConfig(), workload.SortedPairs(n), 1.0)
 			row = append(row, count(ix.Height()))
 		}
 		t.AddRow(row...)
@@ -95,11 +95,11 @@ func Figure8(o Options) []Table {
 			r := o.rng(int64(fill * 1000))
 			keys := workload.SearchKeys(r, n, ops)
 
-			ix := v.build(memsys.DefaultConfig(), pairs, fill)
+			ix := v.build(o, memsys.DefaultConfig(), pairs, fill)
 			warmup(ix, workload.SearchKeys(r, n, ops/10+1))
 			wRow = append(wRow, cycles(searchCycles(ix, keys, false)))
 
-			ix = v.build(memsys.DefaultConfig(), pairs, fill)
+			ix = v.build(o, memsys.DefaultConfig(), pairs, fill)
 			cRow = append(cRow, cycles(searchCycles(ix, keys, true)))
 		}
 		warm.AddRow(wRow...)

@@ -9,17 +9,32 @@ import (
 	"pbtree/internal/workload"
 )
 
-// Options controls experiment sizing.
+// Options controls experiment sizing and observability.
 type Options struct {
 	// Scale multiplies the paper's key and operation counts. 1.0 is
 	// paper scale; the CLI default is 0.1.
 	Scale float64
 	// Seed drives all workload generation.
 	Seed int64
+	// Probe, when non-nil, is attached to every hierarchy an
+	// experiment builds (memory-event stream). Observation only:
+	// simulated cycle counts are identical with or without it.
+	Probe memsys.Probe
+	// Trace, when non-nil, is attached to every core tree an
+	// experiment builds (operation-context stream). CSB+-Trees carry
+	// no tracer; their traffic reaches Probe without node context.
+	Trace core.Tracer
 }
 
 // DefaultOptions returns the CLI defaults.
 func DefaultOptions() Options { return Options{Scale: 0.1, Seed: 1} }
+
+// hier builds a hierarchy with the experiment-wide probe attached.
+func (o Options) hier(mcfg memsys.Config) *memsys.Hierarchy {
+	h := memsys.New(mcfg)
+	h.SetProbe(o.Probe)
+	return h
+}
 
 func (o Options) rng(offset int64) *rand.Rand {
 	return rand.New(rand.NewSource(o.Seed + offset))
@@ -135,9 +150,10 @@ func breakdown(mem memsys.Model, run func()) memsys.Stats {
 
 // matureTree builds a mature core tree per section 4.5: bulkload 10%
 // of the keys, insert the rest. Stats are reset afterwards.
-func matureTree(cfg core.Config, mcfg memsys.Config, r *rand.Rand, total int) *core.Tree {
+func matureTree(o Options, cfg core.Config, mcfg memsys.Config, r *rand.Rand, total int) *core.Tree {
 	bulk, inserts := workload.MatureKeys(r, total)
-	cfg.Mem = memsys.New(mcfg)
+	cfg.Mem = o.hier(mcfg)
+	cfg.Trace = o.Trace
 	t := core.MustNew(cfg)
 	if err := t.Bulkload(bulk, 1.0); err != nil {
 		panic(err)

@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"pbtree/internal/obs"
+)
+
+// renderAll runs the experiment and renders its tables to text — byte
+// equality of this output means cycle-count equality of every cell.
+func renderAll(t *testing.T, id string, o Options) []byte {
+	t.Helper()
+	tables, err := Run(id, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i := range tables {
+		tables[i].Fprint(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestProbeDoesNotPerturbFigure7 is the observability guarantee of the
+// whole probe/tracer design: a fig7-style run produces byte-identical
+// tables with and without a collector attached, while the collector
+// sees the full event stream.
+func TestProbeDoesNotPerturbFigure7(t *testing.T) {
+	o := tinyOptions()
+	baseline := renderAll(t, "fig7", o)
+
+	col := obs.NewCollector()
+	o.Probe = col
+	o.Trace = col
+	observed := renderAll(t, "fig7", o)
+
+	if !bytes.Equal(baseline, observed) {
+		t.Errorf("probe perturbed the simulation:\n--- without probe ---\n%s\n--- with probe ---\n%s",
+			baseline, observed)
+	}
+	if col.Events() == 0 {
+		t.Error("collector attached but saw no events")
+	}
+	if col.TotalStall() == 0 {
+		t.Error("collector attached but attributed no stall cycles")
+	}
+}

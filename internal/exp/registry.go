@@ -33,6 +33,7 @@ var registry = []Experiment{
 	{"extablation", "extension: ablations of the design choices", ExtAblation},
 	{"extcsb", "extension: CSB+ insertion cost on mature trees (section 4.5)", ExtCSB},
 	{"extindexes", "extension: T-Tree/CSS/CSB+/B+/pB+ generations compared", ExtIndexes},
+	{"attr", "observability: per-level, per-node-kind miss and stall attribution", Attribution},
 }
 
 // Experiments returns the registry in paper order.

@@ -19,11 +19,11 @@ import (
 
 // Table is one reproduced table or figure panel, formatted as text.
 type Table struct {
-	ID      string // e.g. "fig7a"
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"` // e.g. "fig7a"
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.

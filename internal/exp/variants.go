@@ -22,14 +22,15 @@ type index interface {
 // build it, bulkloaded, on a fresh hierarchy.
 type variant struct {
 	name  string
-	build func(mcfg memsys.Config, pairs []core.Pair, fill float64) index
+	build func(o Options, mcfg memsys.Config, pairs []core.Pair, fill float64) index
 }
 
 // coreVariant builds a pB+-Tree variant.
 func coreVariant(name string, cfg core.Config) variant {
-	return variant{name: name, build: func(mcfg memsys.Config, pairs []core.Pair, fill float64) index {
+	return variant{name: name, build: func(o Options, mcfg memsys.Config, pairs []core.Pair, fill float64) index {
 		c := cfg
-		c.Mem = memsys.New(mcfg)
+		c.Mem = o.hier(mcfg)
+		c.Trace = o.Trace
 		t := core.MustNew(c)
 		if err := t.Bulkload(pairs, fill); err != nil {
 			panic(fmt.Sprintf("bulkload %s: %v", name, err))
@@ -41,9 +42,9 @@ func coreVariant(name string, cfg core.Config) variant {
 
 // csbVariant builds a CSB+-Tree variant.
 func csbVariant(name string, cfg csbtree.Config) variant {
-	return variant{name: name, build: func(mcfg memsys.Config, pairs []core.Pair, fill float64) index {
+	return variant{name: name, build: func(o Options, mcfg memsys.Config, pairs []core.Pair, fill float64) index {
 		c := cfg
-		c.Mem = memsys.New(mcfg)
+		c.Mem = o.hier(mcfg)
 		t := csbtree.MustNew(c)
 		if err := t.Bulkload(pairs, fill); err != nil {
 			panic(fmt.Sprintf("bulkload %s: %v", name, err))
@@ -81,8 +82,9 @@ func pWidth(w int) variant {
 
 // scanTree builds a *core.Tree directly (the scan experiments need the
 // Scanner API, which the index interface does not carry).
-func scanTree(cfg core.Config, mcfg memsys.Config, pairs []core.Pair, fill float64) *core.Tree {
-	cfg.Mem = memsys.New(mcfg)
+func scanTree(o Options, cfg core.Config, mcfg memsys.Config, pairs []core.Pair, fill float64) *core.Tree {
+	cfg.Mem = o.hier(mcfg)
+	cfg.Trace = o.Trace
 	t := core.MustNew(cfg)
 	if err := t.Bulkload(pairs, fill); err != nil {
 		panic(err)

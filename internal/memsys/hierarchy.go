@@ -1,42 +1,5 @@
 package memsys
 
-import "fmt"
-
-// Stats accumulates the cycle and event counters of a Hierarchy.
-type Stats struct {
-	Busy      uint64 // cycles spent computing (Compute + prefetch issue)
-	Stall     uint64 // cycles stalled waiting for data cache misses
-	L1Hits    uint64
-	L2Hits    uint64
-	MemMisses uint64 // demand misses serviced by main memory
-	PFHits    uint64 // demand accesses satisfied by an in-flight or completed prefetch
-	Prefetch  uint64 // prefetch instructions issued
-	PFMem     uint64 // prefetches that went to main memory
-}
-
-// Total reports the total simulated cycles covered by the stats.
-func (s Stats) Total() uint64 { return s.Busy + s.Stall }
-
-// Sub returns the difference s - t, counter by counter. It is used to
-// measure an interval: snapshot stats, run the operation, subtract.
-func (s Stats) Sub(t Stats) Stats {
-	return Stats{
-		Busy:      s.Busy - t.Busy,
-		Stall:     s.Stall - t.Stall,
-		L1Hits:    s.L1Hits - t.L1Hits,
-		L2Hits:    s.L2Hits - t.L2Hits,
-		MemMisses: s.MemMisses - t.MemMisses,
-		PFHits:    s.PFHits - t.PFHits,
-		Prefetch:  s.Prefetch - t.Prefetch,
-		PFMem:     s.PFMem - t.PFMem,
-	}
-}
-
-func (s Stats) String() string {
-	return fmt.Sprintf("cycles=%d busy=%d stall=%d l1=%d l2=%d mem=%d pfhit=%d pf=%d",
-		s.Total(), s.Busy, s.Stall, s.L1Hits, s.L2Hits, s.MemMisses, s.PFHits, s.Prefetch)
-}
-
 // inflightLine records an outstanding fill started by a prefetch.
 type inflightLine struct {
 	line  uint64
@@ -57,6 +20,7 @@ type Hierarchy struct {
 	inflight []inflightLine // outstanding prefetch fills, small (<= MissHandlers)
 
 	stats Stats
+	probe Probe // optional observer, nil when detached (see probe.go)
 }
 
 // New creates a Hierarchy with the given configuration. It panics if
@@ -130,18 +94,22 @@ func (h *Hierarchy) Access(addr uint64) {
 		// already have happened).
 		f := h.inflight[i]
 		h.inflight = append(h.inflight[:i], h.inflight[i+1:]...)
+		var stall uint64
 		if f.ready > h.now {
-			h.stats.Stall += f.ready - h.now
+			stall = f.ready - h.now
+			h.stats.Stall += stall
 			h.now = f.ready
 		}
 		h.l1.insert(line)
 		h.l2.insert(line)
 		h.stats.PFHits++
+		h.emit(EvPrefetchHit, line, stall)
 		return
 	}
 	h.collect()
 	if h.l1.lookup(line) {
 		h.stats.L1Hits++
+		h.emit(EvL1Hit, line, 0)
 		return
 	}
 	if h.l2.lookup(line) {
@@ -149,6 +117,7 @@ func (h *Hierarchy) Access(addr uint64) {
 		h.stats.Stall += h.cfg.L2Latency
 		h.now += h.cfg.L2Latency
 		h.l1.insert(line)
+		h.emit(EvL2Hit, line, h.cfg.L2Latency)
 		return
 	}
 	// Full miss to memory: the transfer starts now but completes no
@@ -159,10 +128,12 @@ func (h *Hierarchy) Access(addr uint64) {
 	}
 	h.memFree = complete
 	h.stats.MemMisses++
-	h.stats.Stall += complete - h.now
+	stall := complete - h.now
+	h.stats.Stall += stall
 	h.now = complete
 	h.l1.insert(line)
 	h.l2.insert(line)
+	h.emit(EvMemMiss, line, stall)
 }
 
 // Prefetch issues a non-binding software prefetch for the line
@@ -177,8 +148,10 @@ func (h *Hierarchy) Prefetch(addr uint64) {
 	h.stats.Busy += h.cfg.PrefetchIssue
 	h.now += h.cfg.PrefetchIssue
 	if h.findInflight(line) >= 0 || h.l1.lookup(line) {
+		h.emit(EvPrefetchIssue, line, 0)
 		return // already present or on the way
 	}
+	var stall uint64
 	if len(h.inflight) >= h.cfg.MissHandlers {
 		// Stall until the earliest outstanding fill retires.
 		earliest := h.inflight[0].ready
@@ -188,7 +161,8 @@ func (h *Hierarchy) Prefetch(addr uint64) {
 			}
 		}
 		if earliest > h.now {
-			h.stats.Stall += earliest - h.now
+			stall = earliest - h.now
+			h.stats.Stall += stall
 			h.now = earliest
 		}
 		h.collect()
@@ -205,6 +179,7 @@ func (h *Hierarchy) Prefetch(addr uint64) {
 		h.stats.PFMem++
 	}
 	h.inflight = append(h.inflight, inflightLine{line: line, ready: ready})
+	h.emit(EvPrefetchIssue, line, stall)
 }
 
 // AccessRange issues demand accesses for every line overlapped by

@@ -1,0 +1,86 @@
+package memsys
+
+// This file defines the observability hook of the simulated hierarchy:
+// an optional Probe that receives one structured Event per memory-
+// system event. The hook is pure observation — a probe cannot change
+// the simulated clock, the cache contents or the counters, so cycle
+// outputs are identical with and without a probe attached (verified by
+// TestProbeDoesNotPerturb). When no probe is attached the only cost is
+// one nil check per event site.
+
+// EventKind identifies a structured memory-hierarchy event.
+type EventKind uint8
+
+const (
+	// EvL1Hit is a demand access that hit in L1 (no stall).
+	EvL1Hit EventKind = iota
+	// EvL2Hit is a demand access that missed L1 and hit L2.
+	EvL2Hit
+	// EvMemMiss is a demand access that missed both caches and was
+	// serviced by main memory.
+	EvMemMiss
+	// EvPrefetchHit is a demand access satisfied by an in-flight or
+	// completed prefetch; Stall is the remaining fill time (often 0).
+	EvPrefetchHit
+	// EvPrefetchIssue is an issued prefetch instruction; Stall is the
+	// wait for a free miss handler (usually 0).
+	EvPrefetchIssue
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvL1Hit:
+		return "l1-hit"
+	case EvL2Hit:
+		return "l2-hit"
+	case EvMemMiss:
+		return "mem-miss"
+	case EvPrefetchHit:
+		return "pf-hit"
+	case EvPrefetchIssue:
+		return "pf-issue"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one structured memory-system event. Summing the Stall of
+// every event over a run reproduces Stats.Stall exactly; counting
+// events per kind reproduces the hit/miss counters.
+type Event struct {
+	Kind  EventKind
+	Addr  uint64 // line-aligned address of the access or prefetch
+	Cycle uint64 // simulated cycle at which the event completed
+	Stall uint64 // processor stall cycles charged by this event
+}
+
+// Probe receives the structured events of a Hierarchy. Implementations
+// must not call back into the Hierarchy they observe.
+type Probe interface {
+	MemEvent(Event)
+}
+
+// Probes fans events out to several probes; nil entries are skipped,
+// so callers can stack an optional probe on top of their own.
+type Probes []Probe
+
+func (ps Probes) MemEvent(e Event) {
+	for _, p := range ps {
+		if p != nil {
+			p.MemEvent(e)
+		}
+	}
+}
+
+// SetProbe attaches p to the hierarchy (nil detaches). The probe sees
+// every demand access and prefetch from then on. Attaching a probe
+// never changes simulated results: the hook fires after all clock and
+// counter updates and has no way to mutate them.
+func (h *Hierarchy) SetProbe(p Probe) { h.probe = p }
+
+// emit reports an event to the attached probe, if any.
+func (h *Hierarchy) emit(kind EventKind, line, stall uint64) {
+	if h.probe != nil {
+		h.probe.MemEvent(Event{Kind: kind, Addr: line, Cycle: h.now, Stall: stall})
+	}
+}

@@ -1,0 +1,106 @@
+package memsys
+
+import "testing"
+
+// countingProbe tallies events by kind and sums their stall cycles.
+type countingProbe struct {
+	kinds [5]uint64
+	stall uint64
+}
+
+func (c *countingProbe) MemEvent(e Event) {
+	c.kinds[e.Kind]++
+	c.stall += e.Stall
+}
+
+// probeWorkload drives a mixed demand/prefetch pattern that exercises
+// every event kind: L1/L2 hits, memory misses, prefetch issues with
+// handler-full stalls, and prefetch hits both early and late.
+func probeWorkload(h *Hierarchy) {
+	for i := uint64(0); i < 64; i++ {
+		h.Access(i * 4096) // cold misses
+	}
+	for i := uint64(0); i < 64; i++ {
+		h.Access(i * 4096) // L1 hits
+	}
+	for i := uint64(0); i < 2*uint64(h.Config().MissHandlers); i++ {
+		h.Prefetch(1<<30 + i*4096) // exhaust the miss handlers
+	}
+	for i := uint64(0); i < 16; i++ {
+		h.Prefetch(1<<20 + i*64)
+		h.Access(1<<20 + i*64) // immediate prefetch hits (full wait)
+	}
+	for i := uint64(0); i < 16; i++ {
+		h.Prefetch(1<<21 + i*64)
+	}
+	h.Compute(10_000)
+	for i := uint64(0); i < 16; i++ {
+		h.Access(1<<21 + i*64) // arrived prefetch hits
+	}
+}
+
+// TestProbeEventsMatchStats checks the documented invariants: event
+// counts per kind reproduce the hit/miss counters, and the summed
+// event stalls reproduce Stats.Stall exactly.
+func TestProbeEventsMatchStats(t *testing.T) {
+	h := Default()
+	p := &countingProbe{}
+	h.SetProbe(p)
+	probeWorkload(h)
+	s := h.Stats()
+
+	checks := []struct {
+		kind EventKind
+		want uint64
+	}{
+		{EvL1Hit, s.L1Hits},
+		{EvL2Hit, s.L2Hits},
+		{EvMemMiss, s.MemMisses},
+		{EvPrefetchHit, s.PFHits},
+		{EvPrefetchIssue, s.Prefetch},
+	}
+	for _, c := range checks {
+		if got := p.kinds[c.kind]; got != c.want {
+			t.Errorf("%s events: got %d, want %d", c.kind, got, c.want)
+		}
+	}
+	if p.stall != s.Stall {
+		t.Errorf("summed event stalls %d != Stats.Stall %d", p.stall, s.Stall)
+	}
+	if p.stall == 0 || p.kinds[EvPrefetchHit] == 0 {
+		t.Fatal("workload did not exercise stalls and prefetch hits")
+	}
+}
+
+// TestProbeDoesNotPerturb runs the same workload with and without a
+// probe attached and requires identical clocks and counters.
+func TestProbeDoesNotPerturb(t *testing.T) {
+	plain := Default()
+	probeWorkload(plain)
+
+	probed := Default()
+	probed.SetProbe(&countingProbe{})
+	probeWorkload(probed)
+
+	if plain.Now() != probed.Now() {
+		t.Errorf("clock perturbed: %d without probe, %d with", plain.Now(), probed.Now())
+	}
+	if plain.Stats() != probed.Stats() {
+		t.Errorf("stats perturbed:\nwithout %v\nwith    %v", plain.Stats(), probed.Stats())
+	}
+}
+
+// TestProbesFanOut checks the multi-probe combinator, including nil
+// entries.
+func TestProbesFanOut(t *testing.T) {
+	a, b := &countingProbe{}, &countingProbe{}
+	h := Default()
+	h.SetProbe(Probes{a, nil, b})
+	probeWorkload(h)
+	if a.kinds != b.kinds || a.stall != b.stall {
+		t.Errorf("fan-out diverged: %v/%d vs %v/%d", a.kinds, a.stall, b.kinds, b.stall)
+	}
+	if a.kinds[EvMemMiss] == 0 {
+		t.Fatal("no events observed")
+	}
+}

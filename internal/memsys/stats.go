@@ -1,0 +1,72 @@
+package memsys
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats accumulates the cycle and event counters of a Hierarchy.
+//
+// Every field must be a uint64 counter: Sub subtracts field by field,
+// and TestStatsSubCoversAllFields walks the struct by reflection so
+// that adding a counter without updating Sub fails the build's tests.
+type Stats struct {
+	Busy      uint64 // cycles spent computing (Compute + prefetch issue)
+	Stall     uint64 // cycles stalled waiting for data cache misses
+	L1Hits    uint64
+	L2Hits    uint64
+	MemMisses uint64 // demand misses serviced by main memory
+	PFHits    uint64 // demand accesses satisfied by an in-flight or completed prefetch
+	Prefetch  uint64 // prefetch instructions issued
+	PFMem     uint64 // prefetches that went to main memory
+}
+
+// Total reports the total simulated cycles covered by the stats.
+func (s Stats) Total() uint64 { return s.Busy + s.Stall }
+
+// Accesses reports the total demand accesses covered by the stats.
+func (s Stats) Accesses() uint64 { return s.L1Hits + s.L2Hits + s.MemMisses + s.PFHits }
+
+// Sub returns the difference s - t, counter by counter. It is used to
+// measure an interval: snapshot stats, run the operation, subtract.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Busy:      s.Busy - t.Busy,
+		Stall:     s.Stall - t.Stall,
+		L1Hits:    s.L1Hits - t.L1Hits,
+		L2Hits:    s.L2Hits - t.L2Hits,
+		MemMisses: s.MemMisses - t.MemMisses,
+		PFHits:    s.PFHits - t.PFHits,
+		Prefetch:  s.Prefetch - t.Prefetch,
+		PFMem:     s.PFMem - t.PFMem,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d busy=%d stall=%d l1=%d l2=%d mem=%d pfhit=%d pf=%d",
+		s.Total(), s.Busy, s.Stall, s.L1Hits, s.L2Hits, s.MemMisses, s.PFHits, s.Prefetch)
+}
+
+// pct formats part/whole as a percentage, "-" when whole is zero.
+func pct(part, whole uint64) string {
+	if whole == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+// Pretty renders the stats as a small human-readable report: the
+// busy/stall split of the execution time, the hit ratio of every cache
+// level, and how the prefetches fared. The paper's figures are exactly
+// this breakdown; cmd/pbtree-inspect prints it per lookup.
+func (s Stats) Pretty() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles     %d (busy %s, dcache stall %s)\n",
+		s.Total(), pct(s.Busy, s.Total()), pct(s.Stall, s.Total()))
+	fmt.Fprintf(&b, "accesses   %d (l1 %s, l2 %s, mem %s, pf-hit %s)\n",
+		s.Accesses(), pct(s.L1Hits, s.Accesses()), pct(s.L2Hits, s.Accesses()),
+		pct(s.MemMisses, s.Accesses()), pct(s.PFHits, s.Accesses()))
+	fmt.Fprintf(&b, "prefetches %d issued (%s to memory)",
+		s.Prefetch, pct(s.PFMem, s.Prefetch))
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package memsys
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestStatsSubCoversAllFields checks Sub over every field of Stats by
+// reflection: a counter added to the struct but forgotten in Sub comes
+// back as zero instead of the expected difference and fails here, and
+// a non-uint64 field panics the SetUint below. Either way, extending
+// Stats without extending Sub cannot pass the tests silently.
+func TestStatsSubCoversAllFields(t *testing.T) {
+	var s, d Stats
+	sv := reflect.ValueOf(&s).Elem()
+	dv := reflect.ValueOf(&d).Elem()
+	if sv.NumField() == 0 {
+		t.Fatal("Stats has no fields")
+	}
+	for i := 0; i < sv.NumField(); i++ {
+		if got := sv.Field(i).Kind(); got != reflect.Uint64 {
+			t.Fatalf("Stats.%s is %v, want uint64 (Sub subtracts counters field by field)",
+				sv.Type().Field(i).Name, got)
+		}
+		sv.Field(i).SetUint(uint64(1000 + 13*i))
+		dv.Field(i).SetUint(uint64(1 + i))
+	}
+	got := reflect.ValueOf(s.Sub(d))
+	for i := 0; i < got.NumField(); i++ {
+		want := uint64(1000+13*i) - uint64(1+i)
+		if g := got.Field(i).Uint(); g != want {
+			t.Errorf("Sub dropped field %s: got %d, want %d (is it missing from Sub?)",
+				got.Type().Field(i).Name, g, want)
+		}
+	}
+}
+
+func TestStatsPretty(t *testing.T) {
+	s := Stats{Busy: 25, Stall: 75, L1Hits: 6, L2Hits: 2, MemMisses: 1, PFHits: 1, Prefetch: 4, PFMem: 3}
+	p := s.Pretty()
+	for _, want := range []string{
+		"cycles     100",
+		"busy 25.0%", "stall 75.0%",
+		"accesses   10",
+		"l1 60.0%", "l2 20.0%", "mem 10.0%", "pf-hit 10.0%",
+		"prefetches 4 issued (75.0% to memory)",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("Pretty() missing %q:\n%s", want, p)
+		}
+	}
+	// Zero stats must not divide by zero.
+	if p := (Stats{}).Pretty(); !strings.Contains(p, "-") {
+		t.Errorf("zero-stats Pretty() = %q, want '-' placeholders", p)
+	}
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbtree/internal/core"
+)
+
+// numBuckets covers latencies from 1 ns to ~34 s in powers of two;
+// slower observations land in the last bucket.
+const numBuckets = 36
+
+// Histogram is a lock-free latency histogram with power-of-two
+// nanosecond buckets. Observe is safe for any number of concurrent
+// goroutines and costs three atomic adds — cheap enough to leave on in
+// a serving hot path (see BenchmarkMetricsObserve).
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketOf returns the bucket index of a latency: bucket b holds
+// observations in [2^(b-1), 2^b) ns.
+func bucketOf(ns uint64) int {
+	b := bits.Len64(ns)
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// bucketUpperNS is the exclusive upper bound of bucket b in
+// nanoseconds.
+func bucketUpperNS(b int) uint64 { return uint64(1) << b }
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64
+	SumNS   uint64
+	Buckets [numBuckets]uint64
+}
+
+// Snapshot copies the counters. Buckets filled concurrently with the
+// copy may be split across Count and Buckets by at most the in-flight
+// observations — fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean reports the mean observed latency.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / s.Count)
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) as the upper bound of
+// the bucket that contains it — a conservative estimate within 2x.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for b, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			return time.Duration(bucketUpperNS(b))
+		}
+	}
+	return time.Duration(bucketUpperNS(numBuckets - 1))
+}
+
+// metricOps are the operations Metrics tracks, in exposition order.
+var metricOps = []core.OpKind{core.OpSearch, core.OpInsert, core.OpDelete, core.OpScan}
+
+// Metrics is the native-path serving metrics registry: one latency
+// histogram (which doubles as a throughput counter) per index
+// operation. All methods are safe for concurrent use. It complements
+// the simulator-side Collector: the simulator explains cycles, Metrics
+// watches real wall-clock serving.
+type Metrics struct {
+	hists       [core.NumOps]Histogram
+	publishOnce sync.Once
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Observe records one operation latency.
+func (m *Metrics) Observe(op core.OpKind, d time.Duration) {
+	m.hists[op].Observe(d)
+}
+
+// Time starts timing an operation; the returned func records the
+// latency when called:
+//
+//	defer metrics.Time(pbtree.OpSearch)()
+func (m *Metrics) Time(op core.OpKind) func() {
+	start := time.Now()
+	return func() { m.Observe(op, time.Since(start)) }
+}
+
+// Snapshot returns the histogram of one operation.
+func (m *Metrics) Snapshot(op core.OpKind) HistogramSnapshot {
+	return m.hists[op].Snapshot()
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	var snaps [core.NumOps]HistogramSnapshot
+	for _, op := range metricOps {
+		snaps[op] = m.hists[op].Snapshot()
+	}
+
+	if _, err := fmt.Fprint(w,
+		"# HELP pbtree_op_latency_seconds Index operation latency.\n"+
+			"# TYPE pbtree_op_latency_seconds histogram\n"); err != nil {
+		return err
+	}
+	for _, op := range metricOps {
+		s := snaps[op]
+		var cum uint64
+		for b := 0; b < numBuckets; b++ {
+			cum += s.Buckets[b]
+			// Compact ladder: only buckets that received observations
+			// are printed (cumulative counts stay monotone, and +Inf
+			// below always closes the ladder).
+			if s.Buckets[b] == 0 {
+				continue
+			}
+			le := strconv.FormatFloat(float64(bucketUpperNS(b))/1e9, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "pbtree_op_latency_seconds_bucket{op=%q,le=%q} %d\n", op, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "pbtree_op_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op, s.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "pbtree_op_latency_seconds_sum{op=%q} %g\n", op, float64(s.SumNS)/1e9); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "pbtree_op_latency_seconds_count{op=%q} %d\n", op, s.Count); err != nil {
+			return err
+		}
+	}
+
+	if _, err := fmt.Fprint(w,
+		"# HELP pbtree_ops_total Index operations served.\n"+
+			"# TYPE pbtree_ops_total counter\n"); err != nil {
+		return err
+	}
+	for _, op := range metricOps {
+		if _, err := fmt.Fprintf(w, "pbtree_ops_total{op=%q} %d\n", op, snaps[op].Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an HTTP handler serving the Prometheus text format,
+// mountable next to net/http/pprof on a debug mux.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WritePrometheus(w)
+	})
+}
+
+// expvarSnapshot is the JSON shape published by PublishExpvar.
+type expvarSnapshot struct {
+	Count  uint64 `json:"count"`
+	MeanNS uint64 `json:"mean_ns"`
+	P50NS  uint64 `json:"p50_ns"`
+	P99NS  uint64 `json:"p99_ns"`
+	SumNS  uint64 `json:"sum_ns"`
+}
+
+// PublishExpvar registers the registry under the given expvar name
+// (e.g. "pbtree"), exposing per-op count/mean/p50/p99 via the standard
+// /debug/vars endpoint. Safe to call more than once on the same
+// Metrics; the name must be unique per process, as usual for expvar.
+func (m *Metrics) PublishExpvar(name string) {
+	m.publishOnce.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any {
+			out := map[string]expvarSnapshot{}
+			for _, op := range metricOps {
+				s := m.Snapshot(op)
+				out[op.String()] = expvarSnapshot{
+					Count:  s.Count,
+					MeanNS: uint64(s.Mean()),
+					P50NS:  uint64(s.Quantile(0.5)),
+					P99NS:  uint64(s.Quantile(0.99)),
+					SumNS:  s.SumNS,
+				}
+			}
+			return out
+		}))
+	})
+}

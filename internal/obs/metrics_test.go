@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"expvar"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pbtree/internal/core"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	durs := []time.Duration{1, 2, 3, 100, 1024, time.Millisecond, time.Second}
+	var sum time.Duration
+	for _, d := range durs {
+		h.Observe(d)
+		sum += d
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(durs)) {
+		t.Errorf("count = %d, want %d", s.Count, len(durs))
+	}
+	if s.SumNS != uint64(sum) {
+		t.Errorf("sum = %d, want %d", s.SumNS, sum)
+	}
+	var inBuckets uint64
+	for _, n := range s.Buckets {
+		inBuckets += n
+	}
+	if inBuckets != s.Count {
+		t.Errorf("bucket total %d != count %d", inBuckets, s.Count)
+	}
+	if got := s.Mean(); got != time.Duration(uint64(sum)/uint64(len(durs))) {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	cases := []struct {
+		ns     uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+		{1 << 40, numBuckets - 1}, // overflow clamps to the last bucket
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.bucket)
+		}
+	}
+	for b := 1; b < numBuckets-1; b++ {
+		// Bucket b holds [2^(b-1), 2^b): both edges must map into it.
+		if bucketOf(bucketUpperNS(b)-1) != b || bucketOf(bucketUpperNS(b-1)) != b {
+			t.Errorf("bucket %d bounds are wrong", b)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+	// 90 fast observations, 10 slow: p50 must be fast, p99 slow. The
+	// estimate is a power-of-two upper bound, so compare against that.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 > 256*time.Nanosecond {
+		t.Errorf("p50 = %v, want <= 128ns bucket bound", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < time.Millisecond {
+		t.Errorf("p99 = %v, want >= 1ms", p99)
+	}
+}
+
+func TestMetricsPrometheusExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Observe(core.OpSearch, 100*time.Nanosecond)
+	m.Observe(core.OpSearch, 200*time.Nanosecond)
+	m.Observe(core.OpInsert, time.Microsecond)
+	done := m.Time(core.OpScan)
+	done()
+
+	srv := httptest.NewRecorder()
+	m.Handler().ServeHTTP(srv, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := srv.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body := srv.Body.String()
+
+	for _, want := range []string{
+		"# TYPE pbtree_op_latency_seconds histogram",
+		"# TYPE pbtree_ops_total counter",
+		`pbtree_op_latency_seconds_count{op="search"} 2`,
+		`pbtree_op_latency_seconds_bucket{op="search",le="+Inf"} 2`,
+		`pbtree_ops_total{op="insert"} 1`,
+		`pbtree_ops_total{op="delete"} 0`,
+		`pbtree_ops_total{op="scan"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+
+	// Cumulative bucket counts must be monotonically nondecreasing per
+	// op, ending at the +Inf count.
+	var prev uint64
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, `pbtree_op_latency_seconds_bucket{op="search"`) {
+			continue
+		}
+		n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparsable line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Errorf("bucket ladder not monotone at %q", line)
+		}
+		prev = n
+	}
+	if prev != 2 {
+		t.Errorf("ladder does not end at count: %d", prev)
+	}
+}
+
+func TestMetricsExpvar(t *testing.T) {
+	m := NewMetrics()
+	m.Observe(core.OpSearch, 500*time.Nanosecond)
+	m.PublishExpvar("pbtree_test")
+	m.PublishExpvar("pbtree_test") // second call must be a no-op, not a panic
+
+	v := expvar.Get("pbtree_test")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var out map[string]struct {
+		Count  uint64 `json:"count"`
+		MeanNS uint64 `json:"mean_ns"`
+		P99NS  uint64 `json:"p99_ns"`
+	}
+	if err := json.Unmarshal([]byte(v.String()), &out); err != nil {
+		t.Fatalf("expvar value is not JSON: %v", err)
+	}
+	if out["search"].Count != 1 || out["search"].MeanNS != 500 {
+		t.Errorf("expvar search snapshot = %+v", out["search"])
+	}
+	if _, ok := out["scan"]; !ok {
+		t.Error("expvar missing scan op")
+	}
+}
+
+// BenchmarkMetricsObserve bounds the native-path overhead of leaving
+// metrics on: one Observe is a handful of atomic adds.
+func BenchmarkMetricsObserve(b *testing.B) {
+	m := NewMetrics()
+	for i := 0; i < b.N; i++ {
+		m.Observe(core.OpSearch, time.Duration(i))
+	}
+}
+
+// BenchmarkMetricsTime additionally includes the two clock reads of the
+// Time helper — the full cost of `defer m.Time(op)()` around an op.
+func BenchmarkMetricsTime(b *testing.B) {
+	m := NewMetrics()
+	for i := 0; i < b.N; i++ {
+		m.Time(core.OpSearch)()
+	}
+}

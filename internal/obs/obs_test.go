@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+// buildObserved bulkloads a p8eB+-Tree on a simulated hierarchy with
+// the given probe/tracer attached and runs a mixed workload: searches,
+// a scan, inserts and deletes.
+func buildObserved(t *testing.T, probe memsys.Probe, trace core.Tracer, reset func()) *core.Tree {
+	t.Helper()
+	h := memsys.Default()
+	h.SetProbe(probe)
+	tr := core.MustNew(core.Config{
+		Width: 8, Prefetch: true, JumpArray: core.JumpExternal,
+		Mem: h, Trace: trace,
+	})
+	const n = 20_000
+	pairs := make([]core.Pair, n)
+	for i := range pairs {
+		pairs[i] = core.Pair{Key: core.Key(2 * (i + 1)), TID: core.TID(i + 1)}
+	}
+	if err := tr.Bulkload(pairs, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	h.ResetStats()
+	if reset != nil {
+		reset()
+	}
+
+	for k := core.Key(2); k < 2_000; k += 2 {
+		if _, ok := tr.Search(k); !ok {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	if got := tr.Scan(2, 5_000); got != 5_000 {
+		t.Fatalf("scan returned %d", got)
+	}
+	for k := core.Key(1); k < 1_000; k += 2 {
+		tr.Insert(k, core.TID(k))
+	}
+	for k := core.Key(1); k < 1_000; k += 2 {
+		if !tr.Delete(k) {
+			t.Fatalf("lost inserted key %d", k)
+		}
+	}
+	return tr
+}
+
+// TestCollectorAttribution checks the end-to-end attribution: every
+// stall cycle of the hierarchy lands in exactly one bucket, all four
+// operations appear, tree levels cover root..leaf, and chunk traffic
+// is attributed outside the tree.
+func TestCollectorAttribution(t *testing.T) {
+	col := NewCollector()
+	tr := buildObserved(t, col, col, col.Reset)
+	stats := tr.Mem().Stats()
+
+	if col.Events() == 0 {
+		t.Fatal("collector saw no events")
+	}
+	if got, want := col.TotalStall(), stats.Stall; got != want {
+		t.Errorf("attributed stall %d != hierarchy stall %d", got, want)
+	}
+
+	var misses, l1, l2, pfh, pfi uint64
+	ops := map[core.OpKind]bool{}
+	kinds := map[core.NodeKind]bool{}
+	levels := map[int]bool{}
+	for _, r := range col.Rows() {
+		misses += r.MemMisses
+		l1 += r.L1Hits
+		l2 += r.L2Hits
+		pfh += r.PFHits
+		pfi += r.PFIssues
+		ops[r.Op] = true
+		kinds[r.Kind] = true
+		levels[r.Level] = true
+	}
+	if misses != stats.MemMisses || l1 != stats.L1Hits || l2 != stats.L2Hits ||
+		pfh != stats.PFHits || pfi != stats.Prefetch {
+		t.Errorf("counter totals diverge from hierarchy stats:\nrows  l1=%d l2=%d mem=%d pfh=%d pfi=%d\nstats %v",
+			l1, l2, misses, pfh, pfi, stats)
+	}
+	for _, op := range []core.OpKind{core.OpSearch, core.OpInsert, core.OpDelete, core.OpScan} {
+		if !ops[op] {
+			t.Errorf("no rows attributed to %s", op)
+		}
+	}
+	for _, k := range []core.NodeKind{core.KindNonLeaf, core.KindLeaf, core.KindChunk, core.KindBuffer} {
+		if !kinds[k] {
+			t.Errorf("no rows attributed to node kind %s", k)
+		}
+	}
+	for lvl := 0; lvl < tr.Height(); lvl++ {
+		if !levels[lvl] {
+			t.Errorf("no rows attributed to tree level %d (height %d)", lvl, tr.Height())
+		}
+	}
+	if !levels[core.LevelNone] {
+		t.Error("no rows attributed outside the tree (chunks/buffers)")
+	}
+}
+
+// TestCollectorRowOrder checks the report ordering contract.
+func TestCollectorRowOrder(t *testing.T) {
+	col := NewCollector()
+	buildObserved(t, col, col, col.Reset)
+	rows := col.Rows()
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if a.Op > b.Op {
+			t.Fatalf("rows unsorted by op at %d: %v after %v", i, b.Op, a.Op)
+		}
+		if a.Op == b.Op && a.Level != core.LevelNone && b.Level != core.LevelNone && a.Level > b.Level {
+			t.Fatalf("rows unsorted by level at %d", i)
+		}
+		if a.Op == b.Op && a.Level == core.LevelNone && b.Level != core.LevelNone {
+			t.Fatalf("LevelNone row sorted before tree level at %d", i)
+		}
+	}
+}
+
+// TestTraceWriterProducesValidChromeTrace loads the dump back as JSON
+// and checks the event stream shape.
+func TestTraceWriterProducesValidChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	buildObserved(t, tw, tw, nil)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	phases := map[string]int{}
+	names := map[string]int{}
+	for _, e := range events {
+		ph, _ := e["ph"].(string)
+		phases[ph]++
+		name, _ := e["name"].(string)
+		names[name]++
+		if ph == "" || name == "" {
+			t.Fatalf("malformed event %v", e)
+		}
+	}
+	if phases["B"] == 0 || phases["E"] == 0 {
+		t.Errorf("no operation B/E slices: %v", phases)
+	}
+	if phases["B"] != phases["E"] {
+		t.Errorf("unbalanced B/E slices: %v", phases)
+	}
+	if phases["X"] == 0 {
+		t.Errorf("no stall slices: %v", phases)
+	}
+	if names["mem-miss"] == 0 || names["search"] == 0 {
+		t.Errorf("missing expected event names: %v", names)
+	}
+	if names["l1-hit"] != 0 {
+		t.Errorf("zero-stall L1 hits should be suppressed by default, got %d", names["l1-hit"])
+	}
+}

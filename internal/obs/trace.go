@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+// TraceWriter dumps the joined probe + tracer stream in the Chrome
+// trace-event JSON array format, loadable at chrome://tracing or
+// ui.perfetto.dev. Timestamps are simulated cycles (the viewer labels
+// them microseconds; read "1 µs" as "1 cycle").
+//
+// Memory events with a stall appear as complete ("X") slices spanning
+// the stall interval, annotated with the address and the attribution
+// context; operations appear as begin/end ("B"/"E") slices. Zero-stall
+// L1 hits are suppressed by default — they dominate event counts while
+// carrying no time — set IncludeHits(true) to keep them as instant
+// events.
+//
+// Attach a TraceWriter as both the hierarchy's probe and the tree's
+// tracer, then Close it to terminate the JSON array.
+type TraceWriter struct {
+	w    *bufio.Writer
+	n    int  // events written
+	hits bool // include zero-stall L1 hits
+	err  error
+
+	lastCycle uint64 // clock of the most recent memory event
+	op        core.OpKind
+	level     int
+	kind      core.NodeKind
+}
+
+// NewTraceWriter starts a trace on w. The caller keeps ownership of w
+// and closes it (if applicable) after Close.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	tw := &TraceWriter{w: bufio.NewWriter(w), level: core.LevelNone}
+	_, tw.err = tw.w.WriteString("[")
+	return tw
+}
+
+// IncludeHits controls whether zero-stall L1 hits are emitted
+// (default false).
+func (tw *TraceWriter) IncludeHits(on bool) { tw.hits = on }
+
+// traceEvent is one Chrome trace-event object.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (tw *TraceWriter) write(ev traceEvent) {
+	if tw.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		tw.err = err
+		return
+	}
+	if tw.n > 0 {
+		if _, tw.err = tw.w.WriteString(",\n"); tw.err != nil {
+			return
+		}
+	}
+	if _, tw.err = tw.w.Write(b); tw.err != nil {
+		return
+	}
+	tw.n++
+}
+
+// MemEvent implements memsys.Probe.
+func (tw *TraceWriter) MemEvent(e memsys.Event) {
+	tw.lastCycle = e.Cycle
+	if e.Stall == 0 && e.Kind == memsys.EvL1Hit && !tw.hits {
+		return
+	}
+	ev := traceEvent{
+		Name: e.Kind.String(),
+		Ph:   "i", // instant
+		Ts:   e.Cycle,
+		Pid:  1,
+		Tid:  1,
+		Args: map[string]any{
+			"addr":  fmt.Sprintf("%#x", e.Addr),
+			"op":    tw.op.String(),
+			"level": LevelLabel(tw.level),
+			"kind":  tw.kind.String(),
+		},
+	}
+	if e.Stall > 0 {
+		stall := e.Stall
+		ev.Ph = "X" // complete slice spanning the stall
+		ev.Ts = e.Cycle - e.Stall
+		ev.Dur = &stall
+	}
+	tw.write(ev)
+}
+
+// BeginOp implements core.Tracer.
+func (tw *TraceWriter) BeginOp(op core.OpKind) {
+	tw.op, tw.level, tw.kind = op, core.LevelNone, core.KindOther
+	tw.write(traceEvent{Name: op.String(), Ph: "B", Ts: tw.lastCycle, Pid: 1, Tid: 1})
+}
+
+// EndOp implements core.Tracer.
+func (tw *TraceWriter) EndOp(op core.OpKind) {
+	tw.op, tw.level, tw.kind = core.OpNone, core.LevelNone, core.KindOther
+	tw.write(traceEvent{Name: op.String(), Ph: "E", Ts: tw.lastCycle, Pid: 1, Tid: 1})
+}
+
+// Node implements core.Tracer.
+func (tw *TraceWriter) Node(level int, kind core.NodeKind) {
+	tw.level, tw.kind = level, kind
+}
+
+// Events reports how many trace events have been written.
+func (tw *TraceWriter) Events() int { return tw.n }
+
+// Close terminates the JSON array and flushes. The trace is not
+// loadable before Close.
+func (tw *TraceWriter) Close() error {
+	if tw.err == nil {
+		_, tw.err = tw.w.WriteString("]\n")
+	}
+	if err := tw.w.Flush(); tw.err == nil {
+		tw.err = err
+	}
+	return tw.err
+}

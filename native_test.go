@@ -194,6 +194,86 @@ func BenchmarkNativeConcurrentSearch(b *testing.B) {
 	}
 }
 
+// TestNativeMetricsConcurrent serves concurrent reads with the serving
+// metrics attached and checks the counters add up. Run with -race: the
+// histograms must be safe under full read concurrency.
+func TestNativeMetricsConcurrent(t *testing.T) {
+	const n = 20000
+	tree, _ := buildNativeTree(t, pbtree.Config{Width: 8, Prefetch: true, JumpArray: pbtree.JumpExternal}, n)
+	m := pbtree.NewMetrics()
+
+	workers := 4 * runtime.GOMAXPROCS(0)
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]pbtree.TID, 100)
+			for i := 0; i < perWorker; i++ {
+				k := pbtree.Key(2 * ((w*131+i*17)%n + 1))
+				stop := m.Time(pbtree.OpSearch)
+				_, ok := tree.Search(k)
+				stop()
+				if !ok {
+					t.Errorf("worker %d: lost key %d", w, k)
+					return
+				}
+			}
+			stop := m.Time(pbtree.OpScan)
+			tree.NewScan(2, pbtree.MaxKey).Next(buf)
+			stop()
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := m.Snapshot(pbtree.OpSearch).Count, uint64(workers*perWorker); got != want {
+		t.Errorf("search count = %d, want %d", got, want)
+	}
+	if got, want := m.Snapshot(pbtree.OpScan).Count, uint64(workers); got != want {
+		t.Errorf("scan count = %d, want %d", got, want)
+	}
+	if m.Snapshot(pbtree.OpSearch).Quantile(0.5) == 0 {
+		t.Error("search p50 is zero; clocks did not advance")
+	}
+}
+
+// BenchmarkNativeSearchMetered bounds the cost of leaving the serving
+// metrics on: bare vs metrics-wrapped native searches under the same
+// concurrency. The delta is the full per-op instrumentation price (two
+// clock reads plus three atomic adds).
+func BenchmarkNativeSearchMetered(b *testing.B) {
+	const n = 1 << 20
+	tree, _ := buildNativeTree(b, pbtree.Config{Width: 8, Prefetch: true}, n)
+	search := func(i int) {
+		k := pbtree.Key(2 * ((i*2654435761)%n + 1))
+		if _, ok := tree.Search(k); !ok {
+			b.Fatalf("lost key %d", k)
+		}
+	}
+	b.Run("bare", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				search(i)
+				i++
+			}
+		})
+	})
+	b.Run("metered", func(b *testing.B) {
+		m := pbtree.NewMetrics()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				stop := m.Time(pbtree.OpSearch)
+				search(i)
+				stop()
+				i++
+			}
+		})
+	})
+}
+
 // BenchmarkNativeConcurrentScan measures wall-clock segmented-scan
 // throughput (500 tupleIDs per scan) under concurrency.
 func BenchmarkNativeConcurrentScan(b *testing.B) {

@@ -16,6 +16,10 @@
 //     support bulkload, search, insertion, lazy deletion and
 //     (segmented) range scans, and are fully functional indexes.
 //   - The CSB+-Tree baseline (CSBTree) with bulkload and search.
+//   - An observability layer: memory-event probes and operation
+//     tracers (Collector, TraceWriter) that explain simulated runs
+//     without perturbing them, and serving metrics (Metrics) for the
+//     native model.
 //
 // Quick start:
 //
@@ -40,6 +44,7 @@ import (
 	"pbtree/internal/csstree"
 	"pbtree/internal/heap"
 	"pbtree/internal/memsys"
+	"pbtree/internal/obs"
 	"pbtree/internal/query"
 	"pbtree/internal/ttree"
 )
@@ -109,6 +114,72 @@ type (
 	// index and a heap table to co-locate them in the same cache.
 	AddressSpace = memsys.AddressSpace
 )
+
+// Observability types. A Probe observes the hierarchy's memory-event
+// stream and a Tracer the tree's operation context; both are strictly
+// observation-only — simulated cycle counts are byte-identical with
+// and without them attached. Metrics is the native-model counterpart:
+// wall-clock serving metrics.
+type (
+	// Probe receives one MemEvent per memory-hierarchy event.
+	Probe = memsys.Probe
+	// Probes fans one event stream out to several probes.
+	Probes = memsys.Probes
+	// MemEvent is a single memory-hierarchy event (hit, miss,
+	// prefetch, stall interval).
+	MemEvent = memsys.Event
+	// MemEventKind discriminates MemEvents.
+	MemEventKind = memsys.EventKind
+	// Tracer receives the operation context (op kind, tree level,
+	// node kind) a tree announces as it works.
+	Tracer = core.Tracer
+	// Tracers fans the context stream out to several tracers.
+	Tracers = core.Tracers
+	// OpKind is an index operation (search, insert, delete, scan).
+	OpKind = core.OpKind
+	// NodeKind is the kind of node being visited.
+	NodeKind = core.NodeKind
+	// Collector aggregates events into per-op, per-level, per-kind
+	// miss and stall tables. Attach as both Probe and Tracer.
+	Collector = obs.Collector
+	// AttrRow is one attributed row of a Collector report.
+	AttrRow = obs.Row
+	// TraceWriter dumps the event stream as a Chrome trace. Attach as
+	// both Probe and Tracer.
+	TraceWriter = obs.TraceWriter
+	// Metrics holds lock-free per-operation latency histograms and
+	// throughput counters for native-model serving, with expvar and
+	// Prometheus exposition.
+	Metrics = obs.Metrics
+	// HistogramSnapshot is a point-in-time latency histogram copy.
+	HistogramSnapshot = obs.HistogramSnapshot
+)
+
+// Memory event kinds.
+const (
+	EvL1Hit         = memsys.EvL1Hit
+	EvL2Hit         = memsys.EvL2Hit
+	EvMemMiss       = memsys.EvMemMiss
+	EvPrefetchHit   = memsys.EvPrefetchHit
+	EvPrefetchIssue = memsys.EvPrefetchIssue
+)
+
+// Index operation kinds.
+const (
+	OpSearch = core.OpSearch
+	OpInsert = core.OpInsert
+	OpDelete = core.OpDelete
+	OpScan   = core.OpScan
+)
+
+// NewCollector creates an empty attribution collector.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// NewTraceWriter starts a Chrome trace on w; Close it to finish.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTraceWriter(w) }
+
+// NewMetrics creates an empty native serving-metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
 
 // Storage and query layer types (the section 5 extensions).
 type (
