@@ -1,11 +1,12 @@
 # Developer entry points. `make` (or `make check`) is the full gate:
-# build + vet + tests + the race detector over every package.
+# build + vet + tests + the race detector over every package + the
+# server smoke test (boot, load, graceful drain).
 
 GO ?= go
 
-.PHONY: check build test race vet bench-smoke
+.PHONY: check build test race vet bench-smoke smoke-serve bench-serve
 
-check: build vet test race
+check: build vet test race smoke-serve
 
 build:
 	$(GO) build ./...
@@ -22,3 +23,13 @@ race:
 # A fast wall-clock sanity run of the native-mode benchmarks.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkNativeConcurrent' -benchtime 100x .
+
+# End-to-end server smoke test: start pbtree-server, drive ~2s of load
+# with pbtree-loadgen, assert nonzero ops and a clean SIGTERM drain.
+smoke-serve:
+	sh scripts/smoke_serve.sh
+
+# Serving benchmark: 5s mixed Zipf load against a 1M-key server;
+# writes throughput + per-op p50/p99 to BENCH_serve.json.
+bench-serve:
+	sh scripts/bench_serve.sh BENCH_serve.json

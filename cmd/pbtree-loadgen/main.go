@@ -1,0 +1,81 @@
+// Command pbtree-loadgen drives a read/write/scan mix against a
+// running pbtree-server and reports throughput and latency
+// percentiles as JSON on stdout.
+//
+// Usage:
+//
+//	pbtree-loadgen -addr 127.0.0.1:7070 -conns 8 -duration 10s \
+//	    -skew zipf -get 70 -mget 15 -scan 5 -put 10
+//
+// The exit status is nonzero if the run completed zero operations or
+// saw hard (non-backpressure) errors, so smoke tests can gate on it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"pbtree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pbtree-loadgen: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
+		conns    = flag.Int("conns", 4, "concurrent connections")
+		duration = flag.Duration("duration", 2*time.Second, "run length")
+		keys     = flag.Int("keys", 1_000_000, "key-space size (match the server's -keys)")
+		getPct   = flag.Int("get", 0, "GET percent of the mix")
+		mgetPct  = flag.Int("mget", 0, "MGET percent of the mix")
+		scanPct  = flag.Int("scan", 0, "SCAN percent of the mix")
+		putPct   = flag.Int("put", 0, "PUT percent of the mix")
+		delPct   = flag.Int("del", 0, "DEL percent of the mix")
+		batch    = flag.Int("batch", 16, "keys per MGET")
+		scanRows = flag.Int("scanrows", 100, "row limit per SCAN")
+		skew     = flag.String("skew", "uniform", "key distribution: uniform|zipf|hotset")
+		zipfS    = flag.Float64("zipf-s", 1.1, "Zipf exponent (skew=zipf)")
+		hotFrac  = flag.Float64("hot-frac", 0.01, "hot key fraction (skew=hotset)")
+		hotProb  = flag.Float64("hot-prob", 0.9, "hot traffic share (skew=hotset)")
+		seed     = flag.Int64("seed", 1, "base RNG seed (conn i uses seed+i)")
+		timeout  = flag.Duration("timeout", time.Second, "per-request deadline")
+	)
+	flag.Parse()
+
+	rep, err := pbtree.RunLoadgen(pbtree.LoadgenConfig{
+		Addr:      *addr,
+		Conns:     *conns,
+		Duration:  *duration,
+		Keys:      *keys,
+		GetPct:    *getPct,
+		MGetPct:   *mgetPct,
+		ScanPct:   *scanPct,
+		PutPct:    *putPct,
+		DelPct:    *delPct,
+		Batch:     *batch,
+		ScanLimit: *scanRows,
+		Skew:      *skew,
+		ZipfS:     *zipfS,
+		HotFrac:   *hotFrac,
+		HotProb:   *hotProb,
+		Seed:      *seed,
+		Timeout:   *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if rep.Ops == 0 {
+		log.Fatal("zero operations completed")
+	}
+	if rep.Errors > 0 {
+		log.Fatalf("%d hard errors", rep.Errors)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"pbtree/internal/memsys"
+)
+
+// validStream serializes a small tree, producing a well-formed seed
+// input for the fuzzers.
+func validStream(tb testing.TB, n int, cfg Config) []byte {
+	tb.Helper()
+	cfg.Mem = memsys.DefaultNative()
+	tr := MustNew(cfg)
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = Pair{Key: Key(8 * (i + 1)), TID: TID(i + 1)}
+	}
+	if err := tr.Bulkload(pairs, 1.0); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoad feeds arbitrary bytes to the deserializer: it must either
+// return a structurally sound tree or an error — never panic and never
+// allocate proportionally to a hostile header field.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("PBT1"))
+	f.Add(validStream(f, 50, Config{Width: 1}))
+	f.Add(validStream(f, 200, Config{Width: 8, Prefetch: true}))
+	f.Add(validStream(f, 100, Config{Width: 8, Prefetch: true, JumpArray: JumpExternal}))
+	// A truncated stream: valid header claiming more pairs than follow.
+	trunc := validStream(f, 50, Config{Width: 1})
+	f.Add(trunc[:len(trunc)-13])
+	// A header with an absurd pair count and no data behind it.
+	huge := append([]byte{}, trunc[:24]...)
+	binary.LittleEndian.PutUint64(huge[16:], 1<<40)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Load(bytes.NewReader(data), memsys.DefaultNative(), 1.0)
+		if err != nil {
+			return
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("loaded tree violates invariants: %v", err)
+		}
+	})
+}
+
+// FuzzSerializeRoundTrip builds a tree from fuzzer-chosen pairs and
+// checks that WriteTo → Load reproduces it exactly.
+func FuzzSerializeRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(1), false)
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 1, 0}, uint8(8), true)
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(4), true)
+
+	f.Fuzz(func(t *testing.T, raw []byte, width uint8, prefetch bool) {
+		if width == 0 || width > 16 {
+			return
+		}
+		// Interpret raw as little-endian <key,tid> pairs; dedup and sort
+		// by construction (strictly increasing keys derived from the
+		// bytes) so Bulkload accepts them.
+		var pairs []Pair
+		last := uint32(0)
+		for i := 0; i+8 <= len(raw); i += 8 {
+			k := binary.LittleEndian.Uint32(raw[i:])
+			tid := binary.LittleEndian.Uint32(raw[i+4:])
+			key := last + 1 + k%1024 // strictly increasing
+			if key < last {
+				break // wrapped
+			}
+			pairs = append(pairs, Pair{Key: Key(key), TID: TID(tid)})
+			last = key
+		}
+		cfg := Config{Width: int(width), Prefetch: prefetch, Mem: memsys.DefaultNative()}
+		tr, err := New(cfg)
+		if err != nil {
+			return
+		}
+		if err := tr.Bulkload(pairs, 1.0); err != nil {
+			t.Fatalf("bulkload rejected constructed pairs: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(bytes.NewReader(buf.Bytes()), memsys.DefaultNative(), 1.0)
+		if err != nil {
+			t.Fatalf("round trip failed to load: %v", err)
+		}
+		gotPairs := got.AppendPairs(nil)
+		if len(gotPairs) != len(pairs) {
+			t.Fatalf("round trip: %d pairs, want %d", len(gotPairs), len(pairs))
+		}
+		for i := range pairs {
+			if gotPairs[i] != pairs[i] {
+				t.Fatalf("round trip pair %d: got %+v, want %+v", i, gotPairs[i], pairs[i])
+			}
+		}
+		if got.Config().Width != int(width) || got.Config().Prefetch != prefetch {
+			t.Fatalf("round trip lost configuration: %+v", got.Config())
+		}
+	})
+}

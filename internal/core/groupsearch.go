@@ -1,0 +1,91 @@
+package core
+
+// Group search: the serving-layer generalization of the paper's
+// whole-node prefetch. A single search prefetches all lines of the
+// node it is about to visit, overlapping the (Width-1) trailing line
+// transfers; a *group* of M independent searches can go further and
+// overlap the full miss latencies of M nodes by advancing all M
+// searches level-by-level in lockstep. At each level the group first
+// issues the prefetches for every member's current node back-to-back
+// (the fills pipeline in the memory system, one completing every
+// Tnext cycles), and only then performs the binary searches, each of
+// which finds its node already resident or in flight. M sequential
+// searches expose roughly M full miss latencies per level; the group
+// exposes roughly one miss latency plus (M*Width-1) pipelined
+// transfers.
+//
+// The simulated `mget` experiment (internal/exp) measures exactly this
+// effect; internal/serve uses SearchBatch on the native model to serve
+// batched MGET lookups off one tree snapshot.
+
+// SearchBatch looks up keys[i] for every i, advancing all searches
+// through the tree level-by-level as one software-pipelined group. It
+// stores the results in tids[i] and found[i], which must both be at
+// least len(keys) long (it panics otherwise, like a slice copy with
+// mismatched bounds would).
+//
+// A batch charges the same instruction work as len(keys) sequential
+// Search calls — only the exposure of the memory latency differs.
+//
+// Like Search, SearchBatch is read-only: on a frozen tree with a
+// concurrency-safe memory model (*memsys.Native) and no tracer, any
+// number of goroutines may call it concurrently.
+func (t *Tree) SearchBatch(keys []Key, tids []TID, found []bool) {
+	if len(tids) < len(keys) || len(found) < len(keys) {
+		panic("core: SearchBatch result slices shorter than keys")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	if t.trc != nil {
+		t.trc.BeginOp(OpSearch)
+		defer t.trc.EndOp(OpSearch)
+	}
+	// The group cursor: nodes[i] is the node search i visits next.
+	// All cursors sit at the same level throughout, since every leaf
+	// of a B+-Tree is at the same depth.
+	nodes := make([]*node, len(keys))
+	for i := range nodes {
+		nodes[i] = t.root
+		t.mem.Compute(t.cost.Op)
+	}
+	for level := 0; ; level++ {
+		// Prefetch phase: issue every member's node prefetch before
+		// touching any of them, so the fills overlap. Duplicate nodes
+		// (every member starts at the root) cost only the prefetch
+		// issue cycles: the memory system coalesces in-flight lines.
+		if t.cfg.Prefetch {
+			for _, n := range nodes {
+				t.traceNode(level, kindOf(n))
+				t.mem.PrefetchRange(n.addr, t.lay(n).size)
+			}
+		}
+		if nodes[0].leaf {
+			break
+		}
+		// Search phase: binary-search each node and step its cursor
+		// down to the chosen child.
+		for i, n := range nodes {
+			t.traceNode(level, kindOf(n))
+			t.mem.Access(n.addr) // keynum
+			t.mem.Compute(t.cost.Visit)
+			idx, _ := t.searchKeys(n, keys[i])
+			t.mem.Access(t.lay(n).ptrAddr(n.addr, idx))
+			nodes[i] = n.children[idx]
+		}
+	}
+	// Leaf phase.
+	for i, n := range nodes {
+		t.traceNode(t.height-1, KindLeaf)
+		t.mem.Access(n.addr)
+		t.mem.Compute(t.cost.Visit)
+		ub, ok := t.searchKeys(n, keys[i])
+		found[i] = ok
+		if !ok {
+			tids[i] = 0
+			continue
+		}
+		t.mem.Access(t.leafLay.ptrAddr(n.addr, ub-1))
+		tids[i] = n.tids[ub-1]
+	}
+}

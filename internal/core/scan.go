@@ -338,6 +338,80 @@ func (s *Scanner) visitLeafForScan(n *node, written int) {
 	t.mem.Compute(t.cost.Visit)
 }
 
+// NextPairs is Next, but copies <key, tupleID> pairs instead of bare
+// tupleIDs — the serving layer merges per-shard scans by key and needs
+// both halves. The memory charges mirror Next's: key read, tupleID
+// read, one return-buffer write per pair (a Pair is one buffer slot;
+// the simulated buffer region sizes itself in pairs accordingly).
+func (s *Scanner) NextPairs(buf []Pair) int {
+	if s.done || len(buf) == 0 {
+		return 0
+	}
+	t := s.t
+	if t.trc != nil {
+		t.trc.BeginOp(OpScan)
+		defer t.trc.EndOp(OpScan)
+	}
+
+	if s.bufBytes < len(buf)*2*fieldSize {
+		s.bufBytes = len(buf) * 2 * fieldSize
+		s.bufAddr = t.space.Alloc(s.bufBytes)
+	}
+	s.bufPF = 0
+	if t.cfg.Prefetch && !s.noPrefetch && !t.cfg.Ablation.NoBufferPrefetch {
+		leaves := 1
+		if t.cfg.JumpArray != JumpNone {
+			leaves = t.cfg.PrefetchDist
+		}
+		ahead := leaves * t.leafLay.maxKeys * fieldSize
+		if ahead > s.bufBytes {
+			ahead = s.bufBytes
+		}
+		t.traceNode(LevelNone, KindBuffer)
+		t.mem.PrefetchRange(s.bufAddr, ahead)
+		s.bufPF = ahead
+	}
+
+	t.traceNode(t.height-1, KindLeaf)
+	written := 0
+	for {
+		leaf := s.leaf
+		lay := t.leafLay
+		for s.idx < leaf.nkeys {
+			t.mem.Access(lay.keyAddr(leaf.addr, s.idx))
+			if leaf.keys[s.idx] > s.end {
+				s.done = true
+				return written
+			}
+			if written == len(buf) {
+				return written
+			}
+			t.mem.Access(lay.ptrAddr(leaf.addr, s.idx))
+			t.mem.Access(s.bufAddr + uint64(written*2*fieldSize))
+			t.mem.Compute(t.cost.Copy)
+			buf[written] = Pair{Key: leaf.keys[s.idx], TID: leaf.tids[s.idx]}
+			written++
+			s.idx++
+		}
+		t.mem.Access(lay.nextAddr(leaf.addr))
+		if !s.noPrefetch {
+			switch t.cfg.JumpArray {
+			case JumpExternal:
+				s.prefetchNextExternal()
+			case JumpInternal:
+				s.prefetchNextInternal()
+			}
+		}
+		s.leaf = leaf.next
+		s.idx = 0
+		if s.leaf == nil {
+			s.done = true
+			return written
+		}
+		s.visitLeafForScan(s.leaf, written)
+	}
+}
+
 // Scan is a convenience wrapper: it scans from start until either
 // count pairs have been returned or end is passed, using a single
 // return buffer of size count, and reports the number of pairs

@@ -246,3 +246,39 @@ func TestScanPrefetchDistances(t *testing.T) {
 		}
 	}
 }
+
+// TestNextPairsMatchesNext checks that the pair-returning scan yields
+// exactly the keys and tupleIDs the tid-returning scan yields.
+func TestNextPairsMatchesNext(t *testing.T) {
+	for _, cfg := range testVariants() {
+		tr := newTestTree(t, cfg)
+		pairs := sortedPairs(2500)
+		if err := tr.Bulkload(pairs, 0.8); err != nil {
+			t.Fatal(err)
+		}
+		start, end := pairs[37].Key, pairs[2100].Key
+		wantTIDs := collectScan(tr.NewScan(start, end), 64)
+
+		var got []Pair
+		s := tr.NewScan(start, end)
+		buf := make([]Pair, 64)
+		for {
+			n := s.NextPairs(buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if len(got) != len(wantTIDs) {
+			t.Fatalf("%s: NextPairs returned %d, Next returned %d", tr.Name(), len(got), len(wantTIDs))
+		}
+		for i, p := range got {
+			if p.TID != wantTIDs[i] {
+				t.Fatalf("%s: pair %d: tid %d, want %d", tr.Name(), i, p.TID, wantTIDs[i])
+			}
+			if i > 0 && p.Key <= got[i-1].Key {
+				t.Fatalf("%s: pair keys not strictly increasing at %d", tr.Name(), i)
+			}
+		}
+	}
+}

@@ -72,9 +72,22 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
+// Stream-format sanity bounds. The writer never exceeds them; a reader
+// that does is handing us a corrupt or hostile stream, and rejecting it
+// up front keeps Load's allocations proportional to the actual data
+// (never to an attacker-chosen header field).
+const (
+	maxLoadWidth        = 1 << 12
+	maxLoadPrefetchDist = 1 << 20
+	maxLoadChunkLines   = 1 << 20
+	loadChunkPairs      = 1 << 16 // pairs read per chunk while streaming
+)
+
 // Load reconstructs a tree from a stream produced by WriteTo,
 // bulkloading it at the given fill factor onto the supplied memory
-// model (nil selects a fresh default simulated hierarchy).
+// model (nil selects a fresh default simulated hierarchy). Corrupt
+// streams are rejected with an error, never a panic or an unbounded
+// allocation.
 func Load(r io.Reader, mem memsys.Model, fill float64) (*Tree, error) {
 	br := bufio.NewReader(r)
 	var h header
@@ -86,6 +99,18 @@ func Load(r io.Reader, mem memsys.Model, fill float64) (*Tree, error) {
 	}
 	if h.JumpArray > uint8(JumpInternal) {
 		return nil, fmt.Errorf("core: unknown jump-array kind %d", h.JumpArray)
+	}
+	if h.Prefetch > 1 {
+		return nil, fmt.Errorf("core: bad prefetch flag %d", h.Prefetch)
+	}
+	if h.Width > maxLoadWidth {
+		return nil, fmt.Errorf("core: width %d exceeds format bound %d", h.Width, maxLoadWidth)
+	}
+	if h.PrefetchDist > maxLoadPrefetchDist {
+		return nil, fmt.Errorf("core: prefetch distance %d exceeds format bound %d", h.PrefetchDist, maxLoadPrefetchDist)
+	}
+	if h.ChunkLines > maxLoadChunkLines {
+		return nil, fmt.Errorf("core: chunk size %d exceeds format bound %d", h.ChunkLines, maxLoadChunkLines)
 	}
 	cfg := Config{
 		Width:        int(h.Width),
@@ -99,13 +124,24 @@ func Load(r io.Reader, mem memsys.Model, fill float64) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	pairs := make([]Pair, h.Count)
-	raw := make([]uint32, 2*len(pairs))
-	if err := binary.Read(br, binary.LittleEndian, raw); err != nil {
-		return nil, fmt.Errorf("core: reading %d pairs: %w", h.Count, err)
-	}
-	for i := range pairs {
-		pairs[i] = Pair{Key: Key(raw[2*i]), TID: TID(raw[2*i+1])}
+	// Stream the pairs in bounded chunks: memory stays proportional to
+	// what the reader actually delivers, so a huge Count in a truncated
+	// stream fails with an error instead of exhausting memory.
+	pairs := make([]Pair, 0, min(h.Count, loadChunkPairs))
+	raw := make([]uint32, 0, 2*loadChunkPairs)
+	for remaining := h.Count; remaining > 0; {
+		n := uint64(loadChunkPairs)
+		if remaining < n {
+			n = remaining
+		}
+		raw = raw[:2*n]
+		if err := binary.Read(br, binary.LittleEndian, raw); err != nil {
+			return nil, fmt.Errorf("core: reading %d pairs: %w", h.Count, err)
+		}
+		for i := uint64(0); i < n; i++ {
+			pairs = append(pairs, Pair{Key: Key(raw[2*i]), TID: TID(raw[2*i+1])})
+		}
+		remaining -= n
 	}
 	if err := t.Bulkload(pairs, fill); err != nil {
 		return nil, err

@@ -1,0 +1,38 @@
+package core
+
+// Snapshot hooks: the serving layer (internal/serve) publishes frozen
+// copies of a tree while a writer keeps mutating its own working copy.
+// AppendPairs, like WriteTo, charges nothing to the memory model — it
+// is maintenance plumbing, not a modeled index operation; CloneFrozen
+// charges its bulkload as usual (a no-op on the native model the
+// serving layer uses).
+
+// AppendPairs appends every <key, tupleID> pair of the tree to dst in
+// key order and returns the extended slice. Pass a slice with spare
+// capacity (e.g. make([]Pair, 0, t.Len())) to avoid reallocation.
+func (t *Tree) AppendPairs(dst []Pair) []Pair {
+	for n := t.leftmostLeaf(); n != nil; n = n.next {
+		for i := 0; i < n.nkeys; i++ {
+			dst = append(dst, Pair{Key: n.keys[i], TID: n.tids[i]})
+		}
+	}
+	return dst
+}
+
+// CloneFrozen bulkloads a fresh tree with the same configuration and
+// the current contents at the given fill factor. The clone charges to
+// the same memory model but allocates from its own address space
+// (unless the original configuration pinned a shared one), so the
+// original can keep mutating while readers use the frozen clone — the
+// copy-on-write publication step of a serving snapshot.
+func (t *Tree) CloneFrozen(fill float64) (*Tree, error) {
+	nt, err := New(t.cfg)
+	if err != nil {
+		return nil, err
+	}
+	pairs := t.AppendPairs(make([]Pair, 0, t.count))
+	if err := nt.Bulkload(pairs, fill); err != nil {
+		return nil, err
+	}
+	return nt, nil
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"pbtree/internal/memsys"
+)
+
+// TestAppendPairsAndCloneFrozen checks that the snapshot hooks produce
+// a faithful, independent frozen copy.
+func TestAppendPairsAndCloneFrozen(t *testing.T) {
+	tr := MustNew(Config{Width: 8, Prefetch: true, Mem: memsys.DefaultNative()})
+	pairs := make([]Pair, 5000)
+	for i := range pairs {
+		pairs[i] = Pair{Key: Key(8 * (i + 1)), TID: TID(i + 1)}
+	}
+	if err := tr.Bulkload(pairs, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	tr.Insert(13, 99)
+	tr.Delete(8)
+
+	got := tr.AppendPairs(nil)
+	if len(got) != tr.Len() {
+		t.Fatalf("AppendPairs returned %d pairs, tree has %d", len(got), tr.Len())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Key <= got[i-1].Key {
+			t.Fatalf("AppendPairs out of order at %d: %d after %d", i, got[i].Key, got[i-1].Key)
+		}
+	}
+
+	clone, err := tr.CloneFrozen(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Len() != tr.Len() {
+		t.Fatalf("clone has %d pairs, original %d", clone.Len(), tr.Len())
+	}
+	if err := clone.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The clone is independent: mutating the original must not leak.
+	tr.Insert(15, 1)
+	if _, ok := clone.Search(15); ok {
+		t.Fatal("mutation of the original leaked into the frozen clone")
+	}
+	if tid, ok := clone.Search(13); !ok || tid != 99 {
+		t.Fatalf("clone lost inserted pair: got (%d,%v)", tid, ok)
+	}
+	if _, ok := clone.Search(8); ok {
+		t.Fatal("clone resurrected a deleted key")
+	}
+}

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestMGetGroupBeatsSequential is the headline claim of the serving
+// layer's batch executor: executing M lookups as one group-pipelined
+// search must expose fewer stall cycles than the same M lookups run
+// back-to-back, at every swept batch size.
+func TestMGetGroupBeatsSequential(t *testing.T) {
+	o := Options{Scale: 0.02, Seed: 1}
+	n := o.keys(1_000_000)
+	for _, m := range []int{4, 16} {
+		seq, grp := mgetMeasure(o, n, 400/m, m, nil)
+		if grp.Stall >= seq.Stall {
+			t.Fatalf("M=%d: group stall %d not below sequential stall %d", m, grp.Stall, seq.Stall)
+		}
+		if grp.Total() >= seq.Total() {
+			t.Fatalf("M=%d: group total %d not below sequential total %d", m, grp.Total(), seq.Total())
+		}
+	}
+}
+
+// TestMGetExperimentRuns exercises the registered experiment end to
+// end, including the attribution table.
+func TestMGetExperimentRuns(t *testing.T) {
+	tables, err := Run("mget", Options{Scale: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("mget produced %d tables, want 2", len(tables))
+	}
+	if tables[0].ID != "mget" || len(tables[0].Rows) != 5 {
+		t.Fatalf("sweep table: id=%q rows=%d", tables[0].ID, len(tables[0].Rows))
+	}
+	if tables[1].ID != "mget-attr" || len(tables[1].Rows) == 0 {
+		t.Fatalf("attribution table: id=%q rows=%d", tables[1].ID, len(tables[1].Rows))
+	}
+}

@@ -34,6 +34,7 @@ var registry = []Experiment{
 	{"extcsb", "extension: CSB+ insertion cost on mature trees (section 4.5)", ExtCSB},
 	{"extindexes", "extension: T-Tree/CSS/CSB+/B+/pB+ generations compared", ExtIndexes},
 	{"attr", "observability: per-level, per-node-kind miss and stall attribution", Attribution},
+	{"mget", "serving: sequential vs group-pipelined batched lookups", MGet},
 }
 
 // Experiments returns the registry in paper order.

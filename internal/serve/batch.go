@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"time"
+
+	"pbtree/internal/core"
+)
+
+// Batcher turns independent concurrent point lookups into per-shard
+// group searches. Individual Get calls rendezvous with a per-shard
+// gatherer goroutine; the gatherer collects up to MaxGroup requests
+// (waiting at most Linger for stragglers after the first arrives) and
+// executes them as one core.Tree.SearchBatch against a single
+// snapshot. Under concurrency this amortizes snapshot acquisition and
+// — on the simulated model (see the `mget` experiment) — overlaps the
+// node fetches of all grouped searches, the serving-layer payoff of
+// the paper's pipelined prefetch. Under low concurrency the Linger
+// bound keeps added latency small.
+type Batcher struct {
+	st   *Store
+	cfg  BatcherConfig
+	reqs []chan batchGet // one rendezvous channel per shard
+	stop chan struct{}
+}
+
+// BatcherConfig tunes the gatherers.
+type BatcherConfig struct {
+	// MaxGroup bounds how many lookups execute as one group search.
+	// Zero selects 16, past the knee of the group-search win.
+	MaxGroup int
+
+	// Linger is how long a gatherer waits for more requests after the
+	// first of a group arrives. Zero selects 50µs. Longer linger makes
+	// bigger groups and higher per-request latency.
+	Linger time.Duration
+}
+
+// batchGet is one lookup waiting to join a group.
+type batchGet struct {
+	key   core.Key
+	reply chan Lookup
+}
+
+// NewBatcher starts one gatherer per store shard.
+func NewBatcher(st *Store, cfg BatcherConfig) *Batcher {
+	if cfg.MaxGroup <= 0 {
+		cfg.MaxGroup = 16
+	}
+	if cfg.Linger <= 0 {
+		cfg.Linger = 50 * time.Microsecond
+	}
+	b := &Batcher{
+		st:   st,
+		cfg:  cfg,
+		reqs: make([]chan batchGet, st.Shards()),
+		stop: make(chan struct{}),
+	}
+	for i := range b.reqs {
+		// Unbuffered: a send succeeds only while the gatherer is live,
+		// so no request can strand in a queue across Close.
+		b.reqs[i] = make(chan batchGet)
+		go b.gather(st.shards[i], b.reqs[i])
+	}
+	return b
+}
+
+// Get looks up one key, joining whatever group is forming for the
+// key's shard. After Close it degrades to a direct store lookup.
+func (b *Batcher) Get(k core.Key) Lookup {
+	reply := make(chan Lookup, 1)
+	select {
+	case b.reqs[b.st.ShardOf(k)] <- batchGet{key: k, reply: reply}:
+		return <-reply
+	case <-b.stop:
+		tid, ok := b.st.Get(k)
+		return Lookup{TID: tid, Found: ok}
+	}
+}
+
+// Close stops the gatherers. In-flight Gets complete; later Gets fall
+// back to direct lookups.
+func (b *Batcher) Close() { close(b.stop) }
+
+// gather is the per-shard collect-and-execute loop.
+func (b *Batcher) gather(sh *shard, reqs chan batchGet) {
+	keys := make([]core.Key, 0, b.cfg.MaxGroup)
+	replies := make([]chan Lookup, 0, b.cfg.MaxGroup)
+	tids := make([]core.TID, b.cfg.MaxGroup)
+	found := make([]bool, b.cfg.MaxGroup)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		// Wait for the first request of a group.
+		var first batchGet
+		select {
+		case first = <-reqs:
+		case <-b.stop:
+			return
+		}
+		keys = append(keys[:0], first.key)
+		replies = append(replies[:0], first.reply)
+
+		// Collect stragglers until the group fills or the linger ends.
+		timer.Reset(b.cfg.Linger)
+	collect:
+		for len(keys) < b.cfg.MaxGroup {
+			select {
+			case r := <-reqs:
+				keys = append(keys, r.key)
+				replies = append(replies, r.reply)
+			case <-timer.C:
+				break collect
+			case <-b.stop:
+				break collect
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+
+		// One snapshot, one group search, all replies.
+		s := sh.acquire()
+		if len(keys) == 1 {
+			tid, ok := s.tree.Search(keys[0])
+			tids[0], found[0] = tid, ok
+		} else {
+			s.tree.SearchBatch(keys, tids[:len(keys)], found[:len(keys)])
+		}
+		s.release()
+		for i, ch := range replies {
+			ch <- Lookup{TID: tids[i], Found: found[i]}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pbtree/internal/core"
+)
+
+// RetryError reports a StatusRetry rejection; the caller should back
+// off for After and retry.
+type RetryError struct {
+	After time.Duration
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("serve: server overloaded, retry after %v", e.After)
+}
+
+// DeadlineError reports that the request's deadline expired on the
+// server before execution.
+type DeadlineError struct{}
+
+func (*DeadlineError) Error() string { return "serve: request deadline expired on server" }
+
+// Client is a synchronous wire-protocol client over one TCP
+// connection. Methods are safe for concurrent use but serialize on the
+// connection; open one Client per concurrent request stream (as the
+// load generator does).
+type Client struct {
+	// Timeout, when nonzero, bounds each round trip: it is sent as the
+	// request deadline and applied to the socket I/O.
+	Timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	out  []byte
+	in   []byte
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and decodes the response frame.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Timeout > 0 {
+		req.DeadlineMS = uint32(c.Timeout / time.Millisecond)
+		if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return nil, err
+		}
+	}
+	payload, err := AppendRequest(c.out[:0], req)
+	if err != nil {
+		return nil, err
+	}
+	c.out = payload
+	if err := WriteFrame(c.bw, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	frame, err := ReadFrame(c.br, c.in)
+	if err != nil {
+		return nil, err
+	}
+	c.in = frame
+	return DecodeResponse(frame)
+}
+
+// statusErr maps non-OK statuses onto errors; StatusNotFound is left
+// to the caller (it is a result, not a failure).
+func statusErr(rs *Response) error {
+	switch rs.Status {
+	case StatusOK, StatusNotFound:
+		return nil
+	case StatusRetry:
+		return &RetryError{After: time.Duration(rs.RetryAfterMS) * time.Millisecond}
+	case StatusDeadline:
+		return &DeadlineError{}
+	default:
+		return fmt.Errorf("serve: server error: %s", rs.Err)
+	}
+}
+
+// Get looks up one key.
+func (c *Client) Get(k core.Key) (core.TID, bool, error) {
+	rs, err := c.roundTrip(&Request{Op: OpGet, Keys: []core.Key{k}})
+	if err != nil {
+		return 0, false, err
+	}
+	if err := statusErr(rs); err != nil {
+		return 0, false, err
+	}
+	if rs.Status == StatusNotFound {
+		return 0, false, nil
+	}
+	if len(rs.Lookups) != 1 {
+		return 0, false, fmt.Errorf("serve: GET returned %d lookups", len(rs.Lookups))
+	}
+	return rs.Lookups[0].TID, true, nil
+}
+
+// MGet looks up a batch of keys; the result aligns with keys.
+func (c *Client) MGet(keys []core.Key) ([]Lookup, error) {
+	rs, err := c.roundTrip(&Request{Op: OpMGet, Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(rs); err != nil {
+		return nil, err
+	}
+	if len(rs.Lookups) != len(keys) {
+		return nil, fmt.Errorf("serve: MGET returned %d lookups for %d keys", len(rs.Lookups), len(keys))
+	}
+	return rs.Lookups, nil
+}
+
+// Scan returns up to limit pairs with keys in [start, end].
+func (c *Client) Scan(start, end core.Key, limit int) ([]core.Pair, error) {
+	rs, err := c.roundTrip(&Request{Op: OpScan, Start: start, End: end, Limit: uint32(limit)})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(rs); err != nil {
+		return nil, err
+	}
+	return rs.Pairs, nil
+}
+
+// Put upserts the pairs (one atomic unit per shard).
+func (c *Client) Put(pairs ...core.Pair) error {
+	rs, err := c.roundTrip(&Request{Op: OpPut, Pairs: pairs})
+	if err != nil {
+		return err
+	}
+	return statusErr(rs)
+}
+
+// Del deletes the keys.
+func (c *Client) Del(keys ...core.Key) error {
+	rs, err := c.roundTrip(&Request{Op: OpDel, Keys: keys})
+	if err != nil {
+		return err
+	}
+	return statusErr(rs)
+}
+
+// Stats fetches the server's JSON stats blob.
+func (c *Client) Stats() ([]byte, error) {
+	rs, err := c.roundTrip(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(rs); err != nil {
+		return nil, err
+	}
+	return rs.Stats, nil
+}

@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbtree/internal/core"
+	"pbtree/internal/obs"
+	"pbtree/internal/workload"
+)
+
+// LoadgenConfig describes one load-generation run.
+type LoadgenConfig struct {
+	// Addr is the server address.
+	Addr string `json:"addr"`
+
+	// Conns is the number of concurrent connections (each its own
+	// synchronous request loop). Zero selects 4.
+	Conns int `json:"conns"`
+
+	// Duration is how long to drive load. Zero selects 2s.
+	Duration time.Duration `json:"-"`
+
+	// GetPct, MGetPct, ScanPct, PutPct, DelPct set the operation mix in
+	// percent; they must sum to at most 100 and the remainder goes to
+	// GET. All zero selects 80/10/5/5/0.
+	GetPct  int `json:"get_pct"`
+	MGetPct int `json:"mget_pct"`
+	ScanPct int `json:"scan_pct"`
+	PutPct  int `json:"put_pct"`
+	DelPct  int `json:"del_pct"`
+
+	// Batch is the MGET batch size. Zero selects 16.
+	Batch int `json:"batch"`
+
+	// ScanLimit is the SCAN row limit. Zero selects 100.
+	ScanLimit int `json:"scan_limit"`
+
+	// Keys is the preloaded key-space size n (keys of SortedPairs(n)).
+	// Zero selects 100_000.
+	Keys int `json:"keys"`
+
+	// Skew selects the key distribution: "uniform", "zipf" or
+	// "hotset". Empty selects uniform.
+	Skew string `json:"skew"`
+
+	// ZipfS is the Zipf exponent (>1) when Skew is "zipf". Zero
+	// selects 1.1.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+
+	// HotFrac/HotProb parameterize "hotset". Zero selects 0.01/0.9.
+	HotFrac float64 `json:"hot_frac,omitempty"`
+	HotProb float64 `json:"hot_prob,omitempty"`
+
+	// Seed makes runs reproducible per connection (conn i uses
+	// Seed+i). Zero selects 1.
+	Seed int64 `json:"seed"`
+
+	// Timeout is the per-request deadline. Zero selects 1s.
+	Timeout time.Duration `json:"-"`
+}
+
+// withDefaults resolves the zero values.
+func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
+	if c.Conns == 0 {
+		c.Conns = 4
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.GetPct == 0 && c.MGetPct == 0 && c.ScanPct == 0 && c.PutPct == 0 && c.DelPct == 0 {
+		c.GetPct, c.MGetPct, c.ScanPct, c.PutPct = 80, 10, 5, 5
+	}
+	sum := c.GetPct + c.MGetPct + c.ScanPct + c.PutPct + c.DelPct
+	if sum > 100 || c.GetPct < 0 || c.MGetPct < 0 || c.ScanPct < 0 || c.PutPct < 0 || c.DelPct < 0 {
+		return c, fmt.Errorf("serve: op mix %d/%d/%d/%d/%d invalid", c.GetPct, c.MGetPct, c.ScanPct, c.PutPct, c.DelPct)
+	}
+	c.GetPct += 100 - sum
+	if c.Batch == 0 {
+		c.Batch = 16
+	}
+	if c.ScanLimit == 0 {
+		c.ScanLimit = 100
+	}
+	if c.Keys == 0 {
+		c.Keys = 100_000
+	}
+	if c.Skew == "" {
+		c.Skew = "uniform"
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.HotFrac == 0 {
+		c.HotFrac = 0.01
+	}
+	if c.HotProb == 0 {
+		c.HotProb = 0.9
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout == 0 {
+		c.Timeout = time.Second
+	}
+	return c, nil
+}
+
+// keyStream builds the configured key distribution for one connection.
+func (c LoadgenConfig) keyStream(seed int64) (workload.KeyStream, error) {
+	r := rand.New(rand.NewSource(seed))
+	switch c.Skew {
+	case "uniform":
+		return workload.NewUniformKeys(r, c.Keys), nil
+	case "zipf":
+		return workload.NewZipfKeys(r, c.Keys, c.ZipfS, 1)
+	case "hotset":
+		return workload.NewHotSetKeys(r, c.Keys, c.HotFrac, c.HotProb)
+	default:
+		return nil, fmt.Errorf("serve: unknown skew %q (want uniform, zipf or hotset)", c.Skew)
+	}
+}
+
+// OpReport summarizes one operation class of a run.
+type OpReport struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+// LoadgenReport is the JSON result of a run.
+type LoadgenReport struct {
+	Config     LoadgenConfig       `json:"config"`
+	DurationMS int64               `json:"duration_ms"`
+	Ops        uint64              `json:"ops"`
+	Rows       uint64              `json:"rows"` // keys looked up / rows scanned / pairs written
+	Throughput float64             `json:"ops_per_sec"`
+	Rejected   uint64              `json:"rejected"`
+	Deadline   uint64              `json:"deadline_expired"`
+	Errors     uint64              `json:"errors"`
+	NotFound   uint64              `json:"not_found"`
+	PerOp      map[string]OpReport `json:"per_op"`
+}
+
+// RunLoadgen drives the configured mix against a running server and
+// reports throughput and latency percentiles. It fails only on setup
+// errors (bad config, cannot connect); per-request rejections and
+// deadline misses are counted in the report.
+func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	clients := make([]*Client, cfg.Conns)
+	for i := range clients {
+		cl, err := Dial(cfg.Addr)
+		if err != nil {
+			for _, c := range clients[:i] {
+				c.Close()
+			}
+			return nil, fmt.Errorf("serve: dialing %s: %w", cfg.Addr, err)
+		}
+		cl.Timeout = cfg.Timeout
+		clients[i] = cl
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	var (
+		metrics  = obs.NewMetrics() // wall-clock latency per op class
+		ops      atomic.Uint64
+		rows     atomic.Uint64
+		rejected atomic.Uint64
+		expired  atomic.Uint64
+		errs     atomic.Uint64
+		notFound atomic.Uint64
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for i, cl := range clients {
+		stream, err := cfg.keyStream(cfg.Seed + int64(i))
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(cl *Client, stream workload.KeyStream, r *rand.Rand) {
+			defer wg.Done()
+			keys := make([]core.Key, cfg.Batch)
+			for time.Now().Before(deadline) {
+				dice := r.Intn(100)
+				var (
+					op    core.OpKind
+					n     uint64
+					err   error
+					found = true
+				)
+				start := time.Now()
+				switch {
+				case dice < cfg.GetPct:
+					op, n = core.OpSearch, 1
+					_, found, err = cl.Get(stream.Next())
+				case dice < cfg.GetPct+cfg.MGetPct:
+					op, n = core.OpSearch, uint64(cfg.Batch)
+					for j := range keys {
+						keys[j] = stream.Next()
+					}
+					_, err = cl.MGet(keys)
+				case dice < cfg.GetPct+cfg.MGetPct+cfg.ScanPct:
+					op = core.OpScan
+					startKey := stream.Next()
+					var pairs []core.Pair
+					pairs, err = cl.Scan(startKey, startKey+core.Key(8*cfg.ScanLimit), cfg.ScanLimit)
+					n = uint64(len(pairs))
+				case dice < cfg.GetPct+cfg.MGetPct+cfg.ScanPct+cfg.PutPct:
+					op, n = core.OpInsert, 1
+					k := stream.Next()
+					err = cl.Put(core.Pair{Key: k, TID: core.TID(k)})
+				default:
+					op, n = core.OpDelete, 1
+					// Delete then restore, so the key space stays stable
+					// across long runs.
+					k := stream.Next()
+					if err = cl.Del(k); err == nil {
+						err = cl.Put(core.Pair{Key: k, TID: core.TID(k)})
+					}
+				}
+				lat := time.Since(start)
+				switch {
+				case err == nil:
+					metrics.Observe(op, lat)
+					ops.Add(1)
+					rows.Add(n)
+					if !found {
+						notFound.Add(1)
+					}
+				case errors.As(err, new(*RetryError)):
+					rejected.Add(1)
+					time.Sleep(cfg.Timeout / 100)
+				case errors.As(err, new(*DeadlineError)):
+					expired.Add(1)
+				default:
+					errs.Add(1)
+					return // connection-level failure: stop this worker
+				}
+			}
+		}(cl, stream, rand.New(rand.NewSource(cfg.Seed^int64(0x9e3779b9*uint32(i+1)))))
+	}
+	wg.Wait()
+
+	rep := &LoadgenReport{
+		Config:     cfg,
+		DurationMS: cfg.Duration.Milliseconds(),
+		Ops:        ops.Load(),
+		Rows:       rows.Load(),
+		Rejected:   rejected.Load(),
+		Deadline:   expired.Load(),
+		Errors:     errs.Load(),
+		NotFound:   notFound.Load(),
+		PerOp:      map[string]OpReport{},
+	}
+	rep.Throughput = float64(rep.Ops) / cfg.Duration.Seconds()
+	for _, op := range []core.OpKind{core.OpSearch, core.OpScan, core.OpInsert, core.OpDelete} {
+		s := metrics.Snapshot(op)
+		if s.Count == 0 {
+			continue
+		}
+		rep.PerOp[op.String()] = OpReport{
+			Count:  s.Count,
+			MeanUS: float64(s.Mean()) / 1e3,
+			P50US:  float64(s.Quantile(0.5)) / 1e3,
+			P99US:  float64(s.Quantile(0.99)) / 1e3,
+		}
+	}
+	return rep, nil
+}

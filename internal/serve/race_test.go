@@ -1,0 +1,192 @@
+package serve
+
+// Snapshot-consistency integration test, meant to run under -race (and
+// run by `make check`): concurrent readers must never observe a torn
+// write — a shard where only part of an atomic batch is visible — and
+// shard versions must move monotonically.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pbtree/internal/core"
+)
+
+func TestStoreSnapshotConsistency(t *testing.T) {
+	const (
+		n       = 20_000
+		readers = 4
+		rounds  = 50
+	)
+	st := openTest(t, n, 4)
+
+	// The writer repeatedly rewrites a probe group — keys chosen to
+	// land in one shard — setting every TID to the round number in one
+	// atomic PutBatch. Readers MGet the group and assert all values
+	// are equal: seeing a mix of rounds would be a torn batch.
+	shard0 := -1
+	var probe []core.Key
+	for k := core.Key(8); len(probe) < 4; k += 8 {
+		s := st.ShardOf(k)
+		if shard0 == -1 {
+			shard0 = s
+		}
+		if s == shard0 {
+			probe = append(probe, k)
+		}
+	}
+
+	// Level the group before readers start: the preloaded TIDs differ
+	// per key, which would read as "torn" below.
+	pairs0 := make([]core.Pair, len(probe))
+	for i, k := range probe {
+		pairs0[i] = core.Pair{Key: k, TID: 0}
+	}
+	if err := st.PutBatch(pairs0); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out := make([]Lookup, len(probe))
+			var lastVer uint64
+			for iter := 0; !stop.Load(); iter++ {
+				st.MGet(probe, out)
+				for i := 1; i < len(out); i++ {
+					if !out[i].Found || out[i].TID != out[0].TID {
+						torn.Add(1)
+					}
+				}
+				// Versions never go backwards (checked on a sample of
+				// iterations; Stats materializes every shard).
+				if iter%16 == 0 {
+					v := st.Stats().Shards[shard0].Version
+					if v < lastVer {
+						t.Errorf("shard version went backwards: %d -> %d", lastVer, v)
+						return
+					}
+					lastVer = v
+				}
+				// Keep scans in the mix: they walk full snapshots.
+				if r == 0 && iter%8 == 0 {
+					st.Scan(8, 8*64, 32)
+				}
+			}
+		}(r)
+	}
+
+	pairs := make([]core.Pair, len(probe))
+	for round := 1; round <= rounds; round++ {
+		for i, k := range probe {
+			pairs[i] = core.Pair{Key: k, TID: core.TID(round)}
+		}
+		// Under load the queue may briefly fill; overload is backpressure,
+		// not failure.
+		for {
+			err := st.PutBatch(pairs)
+			if err == nil {
+				break
+			}
+			if err != ErrOverloaded {
+				t.Errorf("PutBatch: %v", err)
+				break
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if c := torn.Load(); c != 0 {
+		t.Fatalf("observed %d torn batch reads", c)
+	}
+	// Final state: every probe key holds the last round.
+	for _, k := range probe {
+		if tid, ok := st.Get(k); !ok || tid != core.TID(rounds) {
+			t.Fatalf("probe key %d = (%d, %v), want (%d, true)", k, tid, ok, rounds)
+		}
+	}
+}
+
+// TestStoreConcurrentChurn hammers every operation class at once; the
+// assertions are the race detector plus basic sanity of results.
+func TestStoreConcurrentChurn(t *testing.T) {
+	const n = 10_000
+	st := openTest(t, n, 4)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Readers: Get + MGet of stable preloaded keys (never mutated
+	// below, so results are exactly predictable even mid-churn).
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			keys := make([]core.Key, 16)
+			out := make([]Lookup, 16)
+			x := uint64(seed)
+			for !stop.Load() {
+				for i := range keys {
+					x = x*6364136223846793005 + 1442695040888963407
+					keys[i] = core.Key(8 * (1 + x%(n/2))) // lower half: never churned
+				}
+				st.MGet(keys, out)
+				for i, l := range out {
+					if !l.Found || uint32(l.TID) != uint32(keys[i])/8 {
+						t.Errorf("MGet(%d) = %+v", keys[i], l)
+						return
+					}
+				}
+			}
+		}(int64(r + 1))
+	}
+	// Writers: churn the upper half with inserts and deletes.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			x := seed
+			for !stop.Load() {
+				x = x*6364136223846793005 + 1442695040888963407
+				k := core.Key(8 * (n/2 + 1 + x%(n/2)))
+				var err error
+				if x%3 == 0 {
+					err = st.Delete(k)
+				} else {
+					err = st.Put(k, core.TID(k/8))
+				}
+				if err != nil && err != ErrOverloaded {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(uint64(w + 99))
+	}
+	// Scanner walks ranges spanning both halves.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			got := st.Scan(8*(n/2-50), 8*(n/2+50), 200)
+			for i := 1; i < len(got); i++ {
+				if got[i-1].Key >= got[i].Key {
+					t.Errorf("scan out of order: %d >= %d", got[i-1].Key, got[i].Key)
+					return
+				}
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		st.Stats()
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -1,0 +1,26 @@
+// Package serve is the serving layer of the repository: it turns the
+// frozen-tree read safety of internal/core and the zero-cost native
+// memory model of internal/memsys into a component that can sustain
+// heavy concurrent traffic.
+//
+// The architecture (DESIGN.md §8):
+//
+//   - Store hash-partitions keys across N independent pB+-Trees. Each
+//     shard has exactly one writer goroutine; reads never take a lock.
+//     Writers apply mutations to a private spare tree and publish it
+//     with an atomic.Pointer swap, so every read runs against an
+//     immutable snapshot (copy-on-write publication, single-writer /
+//     many-reader).
+//   - Batcher collects concurrent point lookups into per-shard groups
+//     and executes them with core.Tree.SearchBatch, the group-
+//     pipelined search whose node fetches overlap in memory — the
+//     serving-layer generalization of the paper's whole-node prefetch
+//     (measured in the simulated `mget` experiment of internal/exp).
+//   - Server is a minimal TCP front end speaking a length-prefixed
+//     binary protocol (GET / MGET / SCAN / PUT / DEL / STATS) with
+//     per-request deadlines, a bounded in-flight budget that rejects
+//     excess load with a retry-after hint, and graceful drain.
+//   - Loadgen drives configurable read/write/scan mixes with uniform,
+//     Zipfian or hot-set key skew (internal/workload) and reports
+//     throughput and latency percentiles.
+package serve

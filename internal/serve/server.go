@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbtree/internal/core"
+	"pbtree/internal/obs"
+)
+
+// ServerConfig configures the TCP front end.
+type ServerConfig struct {
+	// Addr is the listen address, e.g. "127.0.0.1:7070". ":0" picks a
+	// free port (see Server.Addr).
+	Addr string
+
+	// MaxInflight bounds concurrently executing requests across all
+	// connections; excess requests are rejected with StatusRetry and
+	// the RetryAfter hint instead of queueing without bound. Zero
+	// selects 4x the store's shard count.
+	MaxInflight int
+
+	// RetryAfter is the backoff hint sent with StatusRetry. Zero
+	// selects 5ms.
+	RetryAfter time.Duration
+
+	// Batch enables the cross-request Batcher for GET requests, so
+	// concurrent point lookups from different connections merge into
+	// group searches.
+	Batch bool
+
+	// Batcher tunes the gatherers when Batch is set.
+	Batcher BatcherConfig
+
+	// Metrics, when non-nil, records per-operation wall-clock
+	// latencies (GET/MGET as OpSearch, SCAN as OpScan, PUT as
+	// OpInsert, DEL as OpDelete).
+	Metrics *obs.Metrics
+}
+
+// Server serves a Store over TCP with the wire protocol of wire.go.
+type Server struct {
+	st  *Store
+	cfg ServerConfig
+
+	ln      net.Listener
+	batcher *Batcher
+	sem     chan struct{} // in-flight budget
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg      sync.WaitGroup
+	started time.Time
+
+	// Serving counters, exposed via STATS.
+	ops      [7]atomic.Uint64 // indexed by Op
+	rejected atomic.Uint64
+	expired  atomic.Uint64
+	badReqs  atomic.Uint64
+}
+
+// ServerStats is the JSON payload of a STATS response.
+type ServerStats struct {
+	UptimeMS  int64             `json:"uptime_ms"`
+	Ops       map[string]uint64 `json:"ops"`
+	Rejected  uint64            `json:"rejected"`
+	Expired   uint64            `json:"expired"`
+	BadReqs   uint64            `json:"bad_requests"`
+	Conns     int               `json:"conns"`
+	Inflight  int               `json:"inflight"`
+	MaxInflt  int               `json:"max_inflight"`
+	Store     StoreStats        `json:"store"`
+	BatchGets bool              `json:"batch_gets"`
+}
+
+// NewServer wraps a store; call Start to begin listening.
+func NewServer(st *Store, cfg ServerConfig) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4 * st.Shards()
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 5 * time.Millisecond
+	}
+	s := &Server{
+		st:    st,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		conns: make(map[net.Conn]struct{}),
+	}
+	return s
+}
+
+// Start binds the listener and launches the accept loop.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.started = time.Now()
+	if s.cfg.Batch {
+		s.batcher = NewBatcher(s.st, s.cfg.Batcher)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// acceptLoop accepts connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, let in-flight requests
+// finish, then close connections. If the drain exceeds timeout,
+// connections are closed forcibly.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	// Expire every connection's pending read: idle request loops exit
+	// immediately, while requests already executing are unaffected —
+	// they finish, write their response, and exit on the next read.
+	now := time.Now()
+	for c := range s.conns {
+		c.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		err = errors.Join(err, fmt.Errorf("serve: shutdown forced after %v", timeout))
+	}
+	if s.batcher != nil {
+		s.batcher.Close()
+	}
+	return err
+}
+
+// serveConn runs the request loop of one connection.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	var in, out []byte
+	for {
+		frame, err := ReadFrame(c, in)
+		if err != nil {
+			return // EOF, peer reset, or shutdown read deadline
+		}
+		in = frame
+		arrived := time.Now()
+		resp := s.handle(frame, arrived)
+		payload, err := AppendResponse(out[:0], resp)
+		if err != nil { // response exceeded wire bounds; report instead
+			payload, _ = AppendResponse(out[:0], &Response{Status: StatusErr, Err: err.Error()})
+		}
+		out = payload
+		if err := WriteFrame(c, payload); err != nil {
+			return
+		}
+	}
+}
+
+// handle decodes and executes one request frame.
+func (s *Server) handle(frame []byte, arrived time.Time) *Response {
+	req, err := DecodeRequest(frame)
+	if err != nil {
+		s.badReqs.Add(1)
+		return &Response{Status: StatusErr, Err: err.Error()}
+	}
+	// Admission: take an in-flight slot or reject with a retry hint.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		return &Response{Status: StatusRetry, RetryAfterMS: uint32(s.cfg.RetryAfter / time.Millisecond)}
+	}
+	defer func() { <-s.sem }()
+	// Deadline: if admission waited past the request's budget, don't
+	// burn work on an answer the client has abandoned.
+	if req.DeadlineMS != 0 && time.Since(arrived) > time.Duration(req.DeadlineMS)*time.Millisecond {
+		s.expired.Add(1)
+		return &Response{Status: StatusDeadline}
+	}
+	s.ops[req.Op].Add(1)
+	if s.cfg.Metrics != nil {
+		defer s.cfg.Metrics.Time(metricOpOf(req.Op))()
+	}
+	return s.execute(req)
+}
+
+// metricOpOf maps wire ops onto the index-operation metrics.
+func metricOpOf(op Op) core.OpKind {
+	switch op {
+	case OpScan:
+		return core.OpScan
+	case OpPut:
+		return core.OpInsert
+	case OpDel:
+		return core.OpDelete
+	default:
+		return core.OpSearch
+	}
+}
+
+// execute runs a decoded, admitted request against the store.
+func (s *Server) execute(req *Request) *Response {
+	switch req.Op {
+	case OpGet:
+		var l Lookup
+		if s.batcher != nil {
+			l = s.batcher.Get(req.Keys[0])
+		} else {
+			tid, ok := s.st.Get(req.Keys[0])
+			l = Lookup{TID: tid, Found: ok}
+		}
+		if !l.Found {
+			return &Response{Status: StatusNotFound}
+		}
+		return &Response{Status: StatusOK, Lookups: []Lookup{l}}
+	case OpMGet:
+		out := make([]Lookup, len(req.Keys))
+		s.st.MGet(req.Keys, out)
+		return &Response{Status: StatusOK, Lookups: out}
+	case OpScan:
+		pairs := s.st.Scan(req.Start, req.End, int(req.Limit))
+		if pairs == nil {
+			pairs = []core.Pair{}
+		}
+		return &Response{Status: StatusOK, Pairs: pairs}
+	case OpPut:
+		if err := s.writeResult(s.st.PutBatch(req.Pairs)); err != nil {
+			return err
+		}
+		return &Response{Status: StatusOK}
+	case OpDel:
+		var first error
+		for _, k := range req.Keys {
+			if err := s.st.Delete(k); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := s.writeResult(first); err != nil {
+			return err
+		}
+		return &Response{Status: StatusOK}
+	case OpStats:
+		blob, err := json.Marshal(s.statsLocked())
+		if err != nil {
+			return &Response{Status: StatusErr, Err: err.Error()}
+		}
+		return &Response{Status: StatusOK, Stats: blob}
+	}
+	return &Response{Status: StatusErr, Err: fmt.Sprintf("serve: unhandled op %s", req.Op)}
+}
+
+// writeResult maps store write errors onto wire statuses: overload
+// becomes a retryable rejection, everything else an error.
+func (s *Server) writeResult(err error) *Response {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrOverloaded):
+		s.rejected.Add(1)
+		return &Response{Status: StatusRetry, RetryAfterMS: uint32(s.cfg.RetryAfter / time.Millisecond)}
+	default:
+		return &Response{Status: StatusErr, Err: err.Error()}
+	}
+}
+
+// statsLocked assembles the STATS payload.
+func (s *Server) statsLocked() ServerStats {
+	s.mu.Lock()
+	nconns := len(s.conns)
+	s.mu.Unlock()
+	ops := make(map[string]uint64, 6)
+	for op := OpGet; op <= OpStats; op++ {
+		if n := s.ops[op].Load(); n > 0 {
+			ops[op.String()] = n
+		}
+	}
+	return ServerStats{
+		UptimeMS:  time.Since(s.started).Milliseconds(),
+		Ops:       ops,
+		Rejected:  s.rejected.Load(),
+		Expired:   s.expired.Load(),
+		BadReqs:   s.badReqs.Load(),
+		Conns:     nconns,
+		Inflight:  len(s.sem),
+		MaxInflt:  cap(s.sem),
+		Store:     s.st.Stats(),
+		BatchGets: s.batcher != nil,
+	}
+}

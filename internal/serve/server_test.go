@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pbtree/internal/core"
+	"pbtree/internal/obs"
+	"pbtree/internal/workload"
+)
+
+// startServer boots a store and server on a free port.
+func startServer(t *testing.T, n int, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	st, err := Open(StoreConfig{Shards: 2}, workload.SortedPairs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Addr = "127.0.0.1:0"
+	srv := NewServer(st, cfg)
+	if err := srv.Start(); err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Shutdown(2 * time.Second)
+		st.Close()
+	})
+	return srv, srv.Addr().String()
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	const n = 5000
+	metrics := obs.NewMetrics()
+	_, addr := startServer(t, n, ServerConfig{Metrics: metrics})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Timeout = 5 * time.Second
+
+	// GET hit and miss.
+	if tid, ok, err := cl.Get(8); err != nil || !ok || tid != 1 {
+		t.Fatalf("Get(8) = (%d, %v, %v)", tid, ok, err)
+	}
+	if _, ok, err := cl.Get(3); err != nil || ok {
+		t.Fatalf("Get(3) = (%v, %v)", ok, err)
+	}
+	// MGET aligns with keys.
+	keys := []core.Key{8, 3, 80, 800}
+	ls, err := cl.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Lookup{{TID: 1, Found: true}, {Found: false}, {TID: 10, Found: true}, {TID: 100, Found: true}}
+	for i := range want {
+		if ls[i] != want[i] {
+			t.Fatalf("MGet[%d] = %+v, want %+v", i, ls[i], want[i])
+		}
+	}
+	// PUT then GET reads the write; DEL removes it.
+	if err := cl.Put(core.Pair{Key: 8 * (n + 1), TID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if tid, ok, _ := cl.Get(8 * (n + 1)); !ok || tid != 7 {
+		t.Fatalf("read-your-write = (%d, %v)", tid, ok)
+	}
+	if err := cl.Del(8 * (n + 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := cl.Get(8 * (n + 1)); ok {
+		t.Fatal("deleted key still served")
+	}
+	// SCAN returns the range in order; empty ranges are fine.
+	pairs, err := cl.Scan(16, 80, 100)
+	if err != nil || len(pairs) != 9 {
+		t.Fatalf("Scan = %d pairs, %v", len(pairs), err)
+	}
+	if empty, err := cl.Scan(1, 3, 10); err != nil || len(empty) != 0 {
+		t.Fatalf("empty Scan = %d pairs, %v", len(empty), err)
+	}
+	// STATS is JSON and counts the traffic above.
+	blob, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ss ServerStats
+	if err := json.Unmarshal(blob, &ss); err != nil {
+		t.Fatalf("stats not JSON: %v\n%s", err, blob)
+	}
+	if ss.Ops["get"] < 4 || ss.Ops["mget"] != 1 || ss.Ops["scan"] != 2 || ss.Store.Count != n {
+		t.Fatalf("stats miscounted: %+v", ss)
+	}
+	// Metrics observed the wall-clock ops.
+	if got := metrics.Snapshot(core.OpSearch).Count; got < 5 {
+		t.Fatalf("metrics saw %d searches", got)
+	}
+	if got := metrics.Snapshot(core.OpScan).Count; got != 2 {
+		t.Fatalf("metrics saw %d scans", got)
+	}
+}
+
+func TestServerBatchedGets(t *testing.T) {
+	const n = 5000
+	srv, addr := startServer(t, n, ServerConfig{Batch: true, Batcher: BatcherConfig{MaxGroup: 8, Linger: 200 * time.Microsecond}})
+	// Concurrent clients: their GETs should merge into group searches.
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			x := seed
+			for i := 0; i < 300; i++ {
+				x = x*1664525 + 1013904223
+				k := core.Key(8 * (1 + x%n))
+				tid, ok, err := cl.Get(k)
+				if err != nil || !ok || uint32(tid) != uint32(k)/8 {
+					t.Errorf("Get(%d) = (%d, %v, %v)", k, tid, ok, err)
+					return
+				}
+			}
+		}(uint32(c + 1))
+	}
+	wg.Wait()
+	if srv.batcher == nil {
+		t.Fatal("Batch: true did not enable the batcher")
+	}
+}
+
+func TestServerRejectsAndBadFrames(t *testing.T) {
+	_, addr := startServer(t, 100, ServerConfig{})
+	// A malformed frame gets StatusErr, and the connection survives.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := DecodeResponse(frame)
+	if err != nil || rs.Status != StatusErr {
+		t.Fatalf("bad frame answer: %+v, %v", rs, err)
+	}
+	// The same connection still serves valid requests.
+	payload, _ := AppendRequest(nil, &Request{Op: OpGet, Keys: []core.Key{8}})
+	if err := WriteFrame(conn, payload); err != nil {
+		t.Fatal(err)
+	}
+	if frame, err = ReadFrame(conn, frame); err != nil {
+		t.Fatal(err)
+	}
+	if rs, _ = DecodeResponse(frame); rs.Status != StatusOK {
+		t.Fatalf("valid request after bad frame: %+v", rs)
+	}
+	// An already-expired deadline is rejected with StatusDeadline.
+	// DeadlineMS is relative to server arrival, so simulate by the
+	// smallest nonzero deadline plus a request the server must decode
+	// after the deadline passed — use 1ms and a stalled frame write.
+	req := &Request{Op: OpGet, Keys: []core.Key{8}, DeadlineMS: 1}
+	payload, _ = AppendRequest(nil, req)
+	var hdr [4]byte
+	hdr[0] = byte(len(payload))
+	if _, err := conn.Write(hdr[:]); err != nil { // length first...
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // ...body later: arrival stamps at frame completion
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if frame, err = ReadFrame(conn, frame); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ = DecodeResponse(frame)
+	// Arrival is stamped after the full frame is read, so this may
+	// still be OK on a fast path; accept either, but never an error.
+	if rs.Status != StatusOK && rs.Status != StatusDeadline {
+		t.Fatalf("slow-deadline answer: %+v", rs)
+	}
+}
+
+func TestServerGracefulShutdown(t *testing.T) {
+	srv, addr := startServer(t, 1000, ServerConfig{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.Get(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Connections are closed and new dials fail.
+	if _, _, err := cl.Get(8); err == nil {
+		t.Fatal("request succeeded after shutdown")
+	}
+	if c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		c.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(time.Second); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestLoadgenAgainstServer(t *testing.T) {
+	_, addr := startServer(t, 10_000, ServerConfig{Batch: true})
+	rep, err := RunLoadgen(LoadgenConfig{
+		Addr:     addr,
+		Conns:    4,
+		Duration: 300 * time.Millisecond,
+		Keys:     10_000,
+		Skew:     "zipf",
+		Batch:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 {
+		t.Fatalf("loadgen did zero ops: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("loadgen saw %d hard errors", rep.Errors)
+	}
+	if rep.PerOp["search"].Count == 0 {
+		t.Fatalf("no search latencies recorded: %+v", rep.PerOp)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not JSON-marshalable: %v", err)
+	}
+	// Bad skew is a setup error.
+	if _, err := RunLoadgen(LoadgenConfig{Addr: addr, Skew: "nope", Duration: time.Millisecond}); err == nil {
+		t.Fatal("unknown skew accepted")
+	}
+}
+
+func TestWriteOverloadMapsToRetry(t *testing.T) {
+	// Direct unit check of the error mapping (driving a real server
+	// into sustained overload is too timing-dependent for CI).
+	s := &Server{cfg: ServerConfig{RetryAfter: 7 * time.Millisecond}}
+	rs := s.writeResult(ErrOverloaded)
+	if rs == nil || rs.Status != StatusRetry || rs.RetryAfterMS != 7 {
+		t.Fatalf("overload mapped to %+v", rs)
+	}
+	if rs := s.writeResult(nil); rs != nil {
+		t.Fatalf("nil error mapped to %+v", rs)
+	}
+	if rs := s.writeResult(errors.New("x")); rs == nil || rs.Status != StatusErr {
+		t.Fatalf("generic error mapped to %+v", rs)
+	}
+}

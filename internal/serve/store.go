@@ -1,0 +1,594 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+)
+
+// ErrOverloaded is returned when a shard's mutation queue is full: the
+// caller should back off and retry rather than queue without bound.
+var ErrOverloaded = errors.New("serve: shard mutation queue full")
+
+// ErrClosed is returned for operations on a closed store.
+var ErrClosed = errors.New("serve: store is closed")
+
+// StoreConfig configures a sharded store.
+type StoreConfig struct {
+	// Shards is the number of hash partitions, each an independent
+	// pB+-Tree with its own single-writer goroutine. Zero selects
+	// GOMAXPROCS.
+	Shards int
+
+	// Tree is the per-shard tree configuration. Mem must be nil (a
+	// shared zero-cost native model is created) or a concurrency-safe
+	// model (*memsys.Native); Trace must be nil, since tracers are
+	// single-threaded. The zero value serves on p8B+-Trees, the
+	// paper's sweet spot.
+	Tree core.Config
+
+	// Fill is the bulkload/rebuild fill factor in (0, 1]. Zero selects
+	// 0.8, leaving slack for inserts.
+	Fill float64
+
+	// MaxBatch bounds how many queued mutations one snapshot
+	// publication absorbs. Zero selects 256.
+	MaxBatch int
+
+	// QueueLen bounds each shard's mutation queue; a full queue makes
+	// writes fail fast with ErrOverloaded (backpressure, not
+	// buffering). Zero selects 1024.
+	QueueLen int
+}
+
+// withDefaults resolves and validates the configuration.
+func (c StoreConfig) withDefaults() (StoreConfig, error) {
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards < 1 {
+		return c, fmt.Errorf("serve: shard count %d must be positive", c.Shards)
+	}
+	if c.Fill == 0 {
+		c.Fill = 0.8
+	}
+	if c.Fill < 0 || c.Fill > 1 {
+		return c, fmt.Errorf("serve: fill factor %v outside (0, 1]", c.Fill)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 1024
+	}
+	if c.Tree.Trace != nil {
+		return c, fmt.Errorf("serve: tree tracers are single-threaded; serving trees cannot carry one")
+	}
+	if _, bad := c.Tree.Mem.(*memsys.Hierarchy); bad {
+		return c, fmt.Errorf("serve: the simulated hierarchy is single-threaded; serve on a native model")
+	}
+	if c.Tree.Width == 0 {
+		c.Tree.Width = 8
+		c.Tree.Prefetch = true
+	}
+	if memsys.IsNil(c.Tree.Mem) {
+		c.Tree.Mem = memsys.DefaultNative()
+	}
+	return c, nil
+}
+
+// Lookup is the result of one point lookup in a batch.
+type Lookup struct {
+	TID   core.TID
+	Found bool
+}
+
+// snapshot is one immutable published version of a shard. Readers
+// acquire it with a refcount so the writer knows when the previous
+// tree can be recycled.
+type snapshot struct {
+	tree    *core.Tree
+	version uint64
+	count   int
+	refs    atomic.Int64
+}
+
+// mutation is one queued write. A mutation's puts and deletes are
+// applied atomically: they land in the same published snapshot.
+type mutation struct {
+	puts    []core.Pair
+	dels    []core.Key
+	compact bool
+	done    chan error
+}
+
+// shard is one hash partition: an atomically published snapshot, a
+// writer-owned spare tree, and the single-writer mutation queue.
+type shard struct {
+	snap  atomic.Pointer[snapshot]
+	spare *core.Tree // writer-owned; equals the published contents
+
+	ops     chan mutation
+	drained chan struct{}
+
+	// Writer-maintained counters, read via Stats.
+	puts, dels, published atomic.Uint64
+}
+
+// Store is a sharded, snapshot-isolated key→tupleID store. All read
+// methods are lock-free and safe for any number of goroutines; writes
+// are serialized per shard through its writer goroutine.
+type Store struct {
+	cfg    StoreConfig
+	shards []*shard
+
+	mu     sync.RWMutex // guards closed against concurrent enqueues
+	closed bool
+}
+
+// Open builds a store from the given pairs (sorted by key, no
+// duplicates — the Bulkload contract) and starts the shard writers.
+func Open(cfg StoreConfig, pairs []core.Pair) (*Store, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+
+	// Partition the (sorted) pairs; each partition stays sorted.
+	parts := make([][]core.Pair, cfg.Shards)
+	for _, p := range pairs {
+		s := st.ShardOf(p.Key)
+		parts[s] = append(parts[s], p)
+	}
+	for i := range st.shards {
+		pub, err := st.newTree(parts[i])
+		if err != nil {
+			return nil, err
+		}
+		spare, err := st.newTree(parts[i])
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{
+			spare:   spare,
+			ops:     make(chan mutation, cfg.QueueLen),
+			drained: make(chan struct{}),
+		}
+		s := &snapshot{tree: pub, version: 1, count: pub.Len()}
+		sh.snap.Store(s)
+		st.shards[i] = sh
+		go st.writer(sh)
+	}
+	return st, nil
+}
+
+// newTree bulkloads one shard tree.
+func (st *Store) newTree(pairs []core.Pair) (*core.Tree, error) {
+	t, err := core.New(st.cfg.Tree)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Bulkload(pairs, st.cfg.Fill); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ShardOf reports which shard owns a key (a splitmix64-style hash of
+// the key, so adjacent keys scatter).
+func (st *Store) ShardOf(k core.Key) int {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(len(st.shards)))
+}
+
+// Shards reports the number of shards.
+func (st *Store) Shards() int { return len(st.shards) }
+
+// acquire pins the shard's current snapshot against recycling. The
+// increment-then-revalidate dance closes the race with the writer's
+// drain check: a reader that loses the race releases and retries on
+// the newer snapshot.
+func (sh *shard) acquire() *snapshot {
+	for {
+		s := sh.snap.Load()
+		s.refs.Add(1)
+		if sh.snap.Load() == s {
+			return s
+		}
+		s.refs.Add(-1)
+	}
+}
+
+func (s *snapshot) release() { s.refs.Add(-1) }
+
+// writer is the single mutator of one shard: it drains the queue in
+// batches, applies each batch to the spare tree, publishes the spare
+// as the new snapshot, then replays the batch onto the previous tree
+// so it becomes the next spare (classic double buffering — publication
+// is O(batch), not O(shard)).
+func (st *Store) writer(sh *shard) {
+	defer close(sh.drained)
+	batch := make([]mutation, 0, st.cfg.MaxBatch)
+	for m := range sh.ops {
+		batch = append(batch[:0], m)
+	drain:
+		for len(batch) < st.cfg.MaxBatch {
+			select {
+			case m2, ok := <-sh.ops:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, m2)
+			default:
+				break drain
+			}
+		}
+		st.applyBatch(sh, batch)
+	}
+}
+
+// applyBatch applies one batch of mutations and publishes a snapshot.
+func (st *Store) applyBatch(sh *shard, batch []mutation) {
+	compact := false
+	for _, m := range batch {
+		applyOne(sh.spare, m)
+		compact = compact || m.compact
+	}
+	var cloneErr error
+	if compact {
+		if nt, err := sh.spare.CloneFrozen(st.cfg.Fill); err == nil {
+			sh.spare = nt
+		} else {
+			cloneErr = err // serve the uncompacted spare; report below
+		}
+	}
+	old := sh.snap.Load()
+	next := &snapshot{tree: sh.spare, version: old.version + 1, count: sh.spare.Len()}
+	sh.snap.Store(next)
+	sh.published.Add(1)
+	// Acks fire as soon as the write is visible to new readers.
+	for _, m := range batch {
+		if m.done != nil {
+			m.done <- cloneErr
+		}
+	}
+	// Recycle the previous tree once its readers drain, replaying the
+	// batch so it catches up to the published contents.
+	for old.refs.Load() != 0 {
+		runtime.Gosched()
+	}
+	recycled := old.tree
+	if compact {
+		if nt, err := sh.spare.CloneFrozen(st.cfg.Fill); err == nil {
+			recycled = nt
+		} else {
+			// Fall back to replaying onto the old tree: contents stay
+			// correct even if the occupancy rebuild failed.
+			for _, m := range batch {
+				applyOne(recycled, m)
+			}
+		}
+	} else {
+		for _, m := range batch {
+			applyOne(recycled, m)
+		}
+	}
+	sh.spare = recycled
+}
+
+// applyOne applies a single mutation to a tree.
+func applyOne(t *core.Tree, m mutation) {
+	for _, p := range m.puts {
+		t.Insert(p.Key, p.TID)
+	}
+	for _, k := range m.dels {
+		t.Delete(k)
+	}
+}
+
+// enqueue submits a mutation to a shard with backpressure.
+func (st *Store) enqueue(sh *shard, m mutation) error {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		return ErrClosed
+	}
+	select {
+	case sh.ops <- m:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// Put inserts or overwrites one pair. It returns once the write is
+// published (visible to every subsequent read), or ErrOverloaded if
+// the shard's queue is full.
+func (st *Store) Put(k core.Key, tid core.TID) error {
+	sh := st.shards[st.ShardOf(k)]
+	done := make(chan error, 1)
+	if err := st.enqueue(sh, mutation{puts: []core.Pair{{Key: k, TID: tid}}, done: done}); err != nil {
+		return err
+	}
+	sh.puts.Add(1)
+	return <-done
+}
+
+// Delete removes one key (a no-op if absent), with Put's semantics.
+func (st *Store) Delete(k core.Key) error {
+	sh := st.shards[st.ShardOf(k)]
+	done := make(chan error, 1)
+	if err := st.enqueue(sh, mutation{dels: []core.Key{k}, done: done}); err != nil {
+		return err
+	}
+	sh.dels.Add(1)
+	return <-done
+}
+
+// PutBatch applies all pairs as one atomic unit per shard: pairs that
+// land in the same shard appear in the same published snapshot, so a
+// same-shard MGet sees either none or all of them.
+func (st *Store) PutBatch(pairs []core.Pair) error {
+	parts := make(map[int][]core.Pair, len(st.shards))
+	for _, p := range pairs {
+		s := st.ShardOf(p.Key)
+		parts[s] = append(parts[s], p)
+	}
+	dones := make([]chan error, 0, len(parts))
+	for s, ps := range parts {
+		sh := st.shards[s]
+		done := make(chan error, 1)
+		if err := st.enqueue(sh, mutation{puts: ps, done: done}); err != nil {
+			// Abandon the rest: callers treat ErrOverloaded as retry.
+			for _, d := range dones {
+				<-d
+			}
+			return err
+		}
+		sh.puts.Add(uint64(len(ps)))
+		dones = append(dones, done)
+	}
+	var first error
+	for _, d := range dones {
+		if err := <-d; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Compact asks every shard to rebuild its trees at the configured fill
+// factor, restoring node occupancy after heavy insert/delete churn. It
+// returns once every shard has published the compacted snapshot.
+func (st *Store) Compact() error {
+	dones := make([]chan error, 0, len(st.shards))
+	for _, sh := range st.shards {
+		done := make(chan error, 1)
+		if err := st.enqueue(sh, mutation{compact: true, done: done}); err != nil {
+			for _, d := range dones {
+				<-d
+			}
+			return err
+		}
+		dones = append(dones, done)
+	}
+	var first error
+	for _, d := range dones {
+		if err := <-d; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Get looks up one key against the owning shard's current snapshot.
+func (st *Store) Get(k core.Key) (core.TID, bool) {
+	sh := st.shards[st.ShardOf(k)]
+	s := sh.acquire()
+	tid, ok := s.tree.Search(k)
+	s.release()
+	return tid, ok
+}
+
+// MGet looks up a batch of keys: the keys are grouped by shard and
+// each group runs as one software-pipelined group search against a
+// single snapshot of its shard (snapshot-consistent per shard).
+// Results line up with keys; out must be at least len(keys) long.
+func (st *Store) MGet(keys []core.Key, out []Lookup) {
+	if len(out) < len(keys) {
+		panic("serve: MGet result slice shorter than keys")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	// Group key indexes by shard. The common case (batch smaller than
+	// shard count) stays allocation-light.
+	groups := make(map[int][]int, len(st.shards))
+	for i, k := range keys {
+		s := st.ShardOf(k)
+		groups[s] = append(groups[s], i)
+	}
+	var gkeys []core.Key
+	var gtids []core.TID
+	var gfound []bool
+	for sidx, idxs := range groups {
+		sh := st.shards[sidx]
+		s := sh.acquire()
+		if len(idxs) == 1 {
+			i := idxs[0]
+			tid, ok := s.tree.Search(keys[i])
+			out[i] = Lookup{TID: tid, Found: ok}
+		} else {
+			gkeys = gkeys[:0]
+			for _, i := range idxs {
+				gkeys = append(gkeys, keys[i])
+			}
+			if cap(gtids) < len(idxs) {
+				gtids = make([]core.TID, len(idxs))
+				gfound = make([]bool, len(idxs))
+			}
+			gtids, gfound = gtids[:len(idxs)], gfound[:len(idxs)]
+			s.tree.SearchBatch(gkeys, gtids, gfound)
+			for j, i := range idxs {
+				out[i] = Lookup{TID: gtids[j], Found: gfound[j]}
+			}
+		}
+		s.release()
+	}
+}
+
+// Scan returns up to limit pairs with keys in [start, end], in key
+// order. Each shard is scanned against one snapshot and the per-shard
+// runs are merged; the result is per-shard snapshot-consistent.
+func (st *Store) Scan(start, end core.Key, limit int) []core.Pair {
+	if limit <= 0 {
+		return nil
+	}
+	runs := make([][]core.Pair, 0, len(st.shards))
+	buf := make([]core.Pair, limit)
+	for _, sh := range st.shards {
+		s := sh.acquire()
+		sc := s.tree.NewScan(start, end)
+		var run []core.Pair
+		for len(run) < limit {
+			n := sc.NextPairs(buf)
+			if n == 0 {
+				break
+			}
+			need := limit - len(run)
+			if n > need {
+				n = need
+			}
+			run = append(run, buf[:n]...)
+		}
+		s.release()
+		if len(run) > 0 {
+			runs = append(runs, run)
+		}
+	}
+	return mergeRuns(runs, limit)
+}
+
+// mergeRuns k-way merges sorted per-shard runs, keeping the first
+// limit pairs. Shard counts are small, so a linear heap-free merge is
+// simplest and fast enough.
+func mergeRuns(runs [][]core.Pair, limit int) []core.Pair {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		if len(runs[0]) > limit {
+			return runs[0][:limit]
+		}
+		return runs[0]
+	}
+	out := make([]core.Pair, 0, limit)
+	pos := make([]int, len(runs))
+	for len(out) < limit {
+		best := -1
+		for i, r := range runs {
+			if pos[i] >= len(r) {
+				continue
+			}
+			if best == -1 || r[pos[i]].Key < runs[best][pos[best]].Key {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, runs[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}
+
+// ShardStats is a point-in-time view of one shard.
+type ShardStats struct {
+	Version    uint64 `json:"version"`
+	Count      int    `json:"count"`
+	QueueDepth int    `json:"queue_depth"`
+	Puts       uint64 `json:"puts"`
+	Deletes    uint64 `json:"deletes"`
+	Published  uint64 `json:"published"`
+	Height     int    `json:"height"`
+}
+
+// StoreStats aggregates the shard views.
+type StoreStats struct {
+	Shards []ShardStats `json:"shards"`
+	Count  int          `json:"count"`
+}
+
+// Stats snapshots every shard's version, size and queue depth.
+func (st *Store) Stats() StoreStats {
+	out := StoreStats{Shards: make([]ShardStats, len(st.shards))}
+	for i, sh := range st.shards {
+		s := sh.snap.Load()
+		out.Shards[i] = ShardStats{
+			Version:    s.version,
+			Count:      s.count,
+			QueueDepth: len(sh.ops),
+			Puts:       sh.puts.Load(),
+			Deletes:    sh.dels.Load(),
+			Published:  sh.published.Load(),
+			Height:     s.tree.Height(),
+		}
+		out.Count += s.count
+	}
+	return out
+}
+
+// Len reports the total number of pairs across all shards.
+func (st *Store) Len() int {
+	n := 0
+	for _, sh := range st.shards {
+		n += sh.snap.Load().count
+	}
+	return n
+}
+
+// Dump appends every pair of the store in key order — a consistent
+// per-shard dump, merged. Intended for tests and offline persistence.
+func (st *Store) Dump() []core.Pair {
+	runs := make([][]core.Pair, 0, len(st.shards))
+	total := 0
+	for _, sh := range st.shards {
+		s := sh.acquire()
+		run := s.tree.AppendPairs(make([]core.Pair, 0, s.count))
+		s.release()
+		total += len(run)
+		runs = append(runs, run)
+	}
+	return mergeRuns(runs, total)
+}
+
+// Close drains every shard's queue (pending writes are applied and
+// acked) and stops the writers. Reads remain valid on the final
+// snapshots; writes fail with ErrClosed.
+func (st *Store) Close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	for _, sh := range st.shards {
+		close(sh.ops)
+	}
+	st.mu.Unlock()
+	for _, sh := range st.shards {
+		<-sh.drained
+	}
+}

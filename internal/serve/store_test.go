@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+	"pbtree/internal/workload"
+)
+
+// openTest builds a small store over SortedPairs(n).
+func openTest(t *testing.T, n, shards int) *Store {
+	t.Helper()
+	st, err := Open(StoreConfig{Shards: shards}, workload.SortedPairs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	return st
+}
+
+func TestStoreGetMGetScan(t *testing.T) {
+	const n = 10_000
+	st := openTest(t, n, 4)
+	if st.Len() != n {
+		t.Fatalf("Len = %d, want %d", st.Len(), n)
+	}
+	r := rand.New(rand.NewSource(1))
+	// Point lookups agree with the generator invariant TID = key/8.
+	for i := 0; i < 1000; i++ {
+		k := workload.ExistingKey(r, n)
+		tid, ok := st.Get(k)
+		if !ok || uint32(tid) != uint32(k)/8 {
+			t.Fatalf("Get(%d) = (%d, %v)", k, tid, ok)
+		}
+	}
+	if _, ok := st.Get(3); ok { // keys are multiples of 8
+		t.Fatal("Get(3) found a key that does not exist")
+	}
+	// MGet agrees with Get, including misses.
+	keys := make([]core.Key, 64)
+	for i := range keys {
+		if i%7 == 0 {
+			keys[i] = core.Key(8*n + 8 + 8*i) // beyond the loaded range
+		} else {
+			keys[i] = workload.ExistingKey(r, n)
+		}
+	}
+	out := make([]Lookup, len(keys))
+	st.MGet(keys, out)
+	for i, k := range keys {
+		tid, ok := st.Get(k)
+		if out[i].Found != ok || out[i].TID != tid {
+			t.Fatalf("MGet[%d] key %d = %+v, Get = (%d, %v)", i, k, out[i], tid, ok)
+		}
+	}
+	// Scan merges shards back into global key order.
+	got := st.Scan(8*100, 8*200, 1000)
+	if len(got) != 101 {
+		t.Fatalf("Scan returned %d pairs, want 101", len(got))
+	}
+	for i, p := range got {
+		if p.Key != core.Key(8*(100+i)) {
+			t.Fatalf("Scan[%d] = key %d, want %d", i, p.Key, 8*(100+i))
+		}
+	}
+	if got := st.Scan(8*100, 8*200, 7); len(got) != 7 {
+		t.Fatalf("limited Scan returned %d pairs, want 7", len(got))
+	}
+}
+
+func TestStoreWrites(t *testing.T) {
+	const n = 2000
+	st := openTest(t, n, 3)
+	// Put a new key, overwrite an old one, delete another.
+	if err := st.Put(core.Key(8*n+8), 4242); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(8, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(16); err != nil {
+		t.Fatal(err)
+	}
+	if tid, ok := st.Get(core.Key(8*n + 8)); !ok || tid != 4242 {
+		t.Fatalf("inserted key = (%d, %v)", tid, ok)
+	}
+	if tid, ok := st.Get(8); !ok || tid != 99 {
+		t.Fatalf("overwritten key = (%d, %v)", tid, ok)
+	}
+	if _, ok := st.Get(16); ok {
+		t.Fatal("deleted key still found")
+	}
+	if st.Len() != n {
+		t.Fatalf("Len = %d after +1/-1, want %d", st.Len(), n)
+	}
+	// Dump returns everything in key order.
+	dump := st.Dump()
+	if len(dump) != n {
+		t.Fatalf("Dump has %d pairs, want %d", len(dump), n)
+	}
+	for i := 1; i < len(dump); i++ {
+		if dump[i-1].Key >= dump[i].Key {
+			t.Fatalf("Dump out of order at %d: %d >= %d", i, dump[i-1].Key, dump[i].Key)
+		}
+	}
+	// Batch put lands atomically and is visible after the ack.
+	batch := []core.Pair{{Key: 8 * (n + 10), TID: 1}, {Key: 8 * (n + 11), TID: 2}, {Key: 8 * (n + 12), TID: 3}}
+	if err := st.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range batch {
+		if tid, ok := st.Get(p.Key); !ok || tid != p.TID {
+			t.Fatalf("PutBatch key %d = (%d, %v)", p.Key, tid, ok)
+		}
+	}
+	// Compact publishes a rebuilt snapshot with the same contents.
+	before := st.Dump()
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Dump()
+	if len(before) != len(after) {
+		t.Fatalf("Compact changed count %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("Compact changed pair %d: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestStoreStatsAndVersions(t *testing.T) {
+	st := openTest(t, 1000, 2)
+	s0 := st.Stats()
+	if len(s0.Shards) != 2 || s0.Count != 1000 {
+		t.Fatalf("initial stats: %+v", s0)
+	}
+	for _, sh := range s0.Shards {
+		if sh.Version != 1 {
+			t.Fatalf("initial version %d, want 1", sh.Version)
+		}
+	}
+	k := core.Key(8 * 2000)
+	if err := st.Put(k, 1); err != nil {
+		t.Fatal(err)
+	}
+	s1 := st.Stats()
+	bumped := 0
+	for i := range s1.Shards {
+		if s1.Shards[i].Version > s0.Shards[i].Version {
+			bumped++
+		}
+	}
+	if bumped != 1 {
+		t.Fatalf("one Put bumped %d shard versions, want 1", bumped)
+	}
+	if s1.Count != 1001 {
+		t.Fatalf("count after Put = %d", s1.Count)
+	}
+}
+
+func TestStoreClosedAndConfig(t *testing.T) {
+	st, err := Open(StoreConfig{Shards: 2}, workload.SortedPairs(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st.Close() // idempotent
+	if err := st.Put(8, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put on closed store: %v", err)
+	}
+	if _, ok := st.Get(8); !ok { // reads stay valid
+		t.Fatal("Get failed on closed store")
+	}
+	// Misconfigurations are rejected.
+	if _, err := Open(StoreConfig{Tree: core.Config{Mem: memsys.Default()}}, nil); err == nil {
+		t.Fatal("Open accepted the single-threaded simulated hierarchy")
+	}
+	if _, err := Open(StoreConfig{Shards: -1}, nil); err == nil {
+		t.Fatal("Open accepted negative shard count")
+	}
+	if _, err := Open(StoreConfig{Fill: 1.5}, nil); err == nil {
+		t.Fatal("Open accepted fill > 1")
+	}
+}
+
+func TestStoreBackpressure(t *testing.T) {
+	// A tiny queue with a stalled writer must reject, not block.
+	st, err := Open(StoreConfig{Shards: 1, QueueLen: 1, MaxBatch: 1}, workload.SortedPairs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Saturate: fire async writes until one rejects. The writer drains
+	// continuously, so loop a bounded number of times.
+	saw := false
+	for i := 0; i < 10_000 && !saw; i++ {
+		err := st.enqueue(st.shards[0], mutation{puts: []core.Pair{{Key: 8, TID: 1}}})
+		saw = errors.Is(err, ErrOverloaded)
+	}
+	if !saw {
+		t.Fatal("queue of length 1 never reported ErrOverloaded under 10k async writes")
+	}
+}
+
+func TestMergeRuns(t *testing.T) {
+	p := func(ks ...int) []core.Pair {
+		out := make([]core.Pair, len(ks))
+		for i, k := range ks {
+			out[i] = core.Pair{Key: core.Key(k), TID: core.TID(k)}
+		}
+		return out
+	}
+	got := mergeRuns([][]core.Pair{p(1, 4, 7), p(2, 5), p(3, 6, 8, 9)}, 100)
+	for i, pr := range got {
+		if int(pr.Key) != i+1 {
+			t.Fatalf("merge[%d] = %d", i, pr.Key)
+		}
+	}
+	if len(got) != 9 {
+		t.Fatalf("merge length %d", len(got))
+	}
+	if got := mergeRuns([][]core.Pair{p(1, 2), p(3)}, 2); len(got) != 2 {
+		t.Fatalf("limited merge length %d", len(got))
+	}
+	if got := mergeRuns(nil, 5); got != nil {
+		t.Fatalf("empty merge = %v", got)
+	}
+}

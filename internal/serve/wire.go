@@ -1,0 +1,441 @@
+package serve
+
+// The wire protocol: length-prefixed binary frames over TCP. Every
+// frame is a uint32 little-endian payload length followed by the
+// payload; requests and responses use the same framing. The encoding
+// is explicit (no reflection) so the codec is allocation-light and the
+// decoder can enforce bounds field by field — a decoder that trusts an
+// attacker-chosen count is how servers die (see the fuzz harnesses in
+// wire_test.go).
+//
+// Request payload:
+//
+//	op        uint8   (Get=1 MGet=2 Scan=3 Put=4 Del=5 Stats=6)
+//	deadline  uint32  per-request deadline in ms, 0 = none
+//	...               op-specific fields, below
+//
+// Response payload:
+//
+//	status    uint8   (OK=0 NotFound=1 Retry=2 Err=3 Deadline=4)
+//	...               status/op-specific fields, below
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pbtree/internal/core"
+)
+
+// Op identifies a request operation.
+type Op uint8
+
+// The wire operations.
+const (
+	OpGet   Op = 1
+	OpMGet  Op = 2
+	OpScan  Op = 3
+	OpPut   Op = 4
+	OpDel   Op = 5
+	OpStats Op = 6
+)
+
+// String names an op for metrics and errors.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpMGet:
+		return "mget"
+	case OpScan:
+		return "scan"
+	case OpPut:
+		return "put"
+	case OpDel:
+		return "del"
+	case OpStats:
+		return "stats"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Status is a response status.
+type Status uint8
+
+// The wire statuses.
+const (
+	StatusOK       Status = 0
+	StatusNotFound Status = 1
+	StatusRetry    Status = 2 // server overloaded; retry after the hint
+	StatusErr      Status = 3
+	StatusDeadline Status = 4 // request deadline expired before execution
+)
+
+// Wire-format bounds. The codec rejects frames that exceed them so a
+// hostile peer cannot make either side allocate unbounded memory.
+const (
+	MaxFrame    = 16 << 20 // bytes of payload per frame
+	MaxMGetKeys = 1 << 16  // keys per MGET / DEL, pairs per PUT
+	MaxScanRows = 1 << 20  // row limit per SCAN
+	maxErrLen   = 1 << 16  // bytes of error text per response
+)
+
+// Request is one decoded client request.
+type Request struct {
+	Op         Op
+	DeadlineMS uint32      // 0 = no deadline
+	Keys       []core.Key  // Get (1 key), MGet, Del
+	Pairs      []core.Pair // Put
+	Start, End core.Key    // Scan
+	Limit      uint32      // Scan
+}
+
+// Response is one decoded server response.
+type Response struct {
+	Status       Status
+	RetryAfterMS uint32      // StatusRetry
+	Err          string      // StatusErr
+	Lookups      []Lookup    // Get, MGet (aligned with request keys)
+	Pairs        []core.Pair // Scan
+	Stats        []byte      // Stats (JSON)
+}
+
+// appendU32 appends a little-endian uint32.
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// AppendRequest appends the encoded payload of r (without framing).
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	dst = append(dst, byte(r.Op))
+	dst = appendU32(dst, r.DeadlineMS)
+	switch r.Op {
+	case OpGet:
+		if len(r.Keys) != 1 {
+			return nil, fmt.Errorf("serve: GET wants exactly one key, got %d", len(r.Keys))
+		}
+		dst = appendU32(dst, uint32(r.Keys[0]))
+	case OpMGet, OpDel:
+		if len(r.Keys) == 0 || len(r.Keys) > MaxMGetKeys {
+			return nil, fmt.Errorf("serve: %s with %d keys outside [1, %d]", r.Op, len(r.Keys), MaxMGetKeys)
+		}
+		dst = appendU32(dst, uint32(len(r.Keys)))
+		for _, k := range r.Keys {
+			dst = appendU32(dst, uint32(k))
+		}
+	case OpScan:
+		if r.Limit == 0 || r.Limit > MaxScanRows {
+			return nil, fmt.Errorf("serve: SCAN limit %d outside [1, %d]", r.Limit, MaxScanRows)
+		}
+		dst = appendU32(dst, uint32(r.Start))
+		dst = appendU32(dst, uint32(r.End))
+		dst = appendU32(dst, r.Limit)
+	case OpPut:
+		if len(r.Pairs) == 0 || len(r.Pairs) > MaxMGetKeys {
+			return nil, fmt.Errorf("serve: PUT with %d pairs outside [1, %d]", len(r.Pairs), MaxMGetKeys)
+		}
+		dst = appendU32(dst, uint32(len(r.Pairs)))
+		for _, p := range r.Pairs {
+			dst = appendU32(dst, uint32(p.Key))
+			dst = appendU32(dst, uint32(p.TID))
+		}
+	case OpStats:
+	default:
+		return nil, fmt.Errorf("serve: unknown op %d", r.Op)
+	}
+	return dst, nil
+}
+
+// reader walks an encoded payload with bounds checks.
+type reader struct {
+	b []byte
+}
+
+func (rd *reader) u8() (uint8, error) {
+	if len(rd.b) < 1 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := rd.b[0]
+	rd.b = rd.b[1:]
+	return v, nil
+}
+
+func (rd *reader) u32() (uint32, error) {
+	if len(rd.b) < 4 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint32(rd.b)
+	rd.b = rd.b[4:]
+	return v, nil
+}
+
+// count reads a count field and checks it against a bound AND against
+// the bytes actually remaining (per-element size), so a lying count in
+// a short frame can never size an allocation. Requests require at
+// least one element; responses may carry empty lists (count0).
+func (rd *reader) count(bound uint32, elemBytes int) (int, error) {
+	n, err := rd.count0(bound, elemBytes)
+	if err == nil && n == 0 {
+		return 0, fmt.Errorf("serve: count 0 outside [1, %d]", bound)
+	}
+	return n, err
+}
+
+func (rd *reader) count0(bound uint32, elemBytes int) (int, error) {
+	n, err := rd.u32()
+	if err != nil {
+		return 0, err
+	}
+	if n > bound {
+		return 0, fmt.Errorf("serve: count %d exceeds %d", n, bound)
+	}
+	if int(n)*elemBytes > len(rd.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return int(n), nil
+}
+
+func (rd *reader) done() error {
+	if len(rd.b) != 0 {
+		return fmt.Errorf("serve: %d trailing bytes in frame", len(rd.b))
+	}
+	return nil
+}
+
+// DecodeRequest parses a request payload produced by AppendRequest.
+func DecodeRequest(payload []byte) (*Request, error) {
+	rd := &reader{b: payload}
+	op, err := rd.u8()
+	if err != nil {
+		return nil, err
+	}
+	r := &Request{Op: Op(op)}
+	if r.DeadlineMS, err = rd.u32(); err != nil {
+		return nil, err
+	}
+	switch r.Op {
+	case OpGet:
+		k, err := rd.u32()
+		if err != nil {
+			return nil, err
+		}
+		r.Keys = []core.Key{core.Key(k)}
+	case OpMGet, OpDel:
+		n, err := rd.count(MaxMGetKeys, 4)
+		if err != nil {
+			return nil, err
+		}
+		r.Keys = make([]core.Key, n)
+		for i := range r.Keys {
+			k, _ := rd.u32()
+			r.Keys[i] = core.Key(k)
+		}
+	case OpScan:
+		var s, e uint32
+		if s, err = rd.u32(); err != nil {
+			return nil, err
+		}
+		if e, err = rd.u32(); err != nil {
+			return nil, err
+		}
+		if r.Limit, err = rd.u32(); err != nil {
+			return nil, err
+		}
+		if r.Limit == 0 || r.Limit > MaxScanRows {
+			return nil, fmt.Errorf("serve: SCAN limit %d outside [1, %d]", r.Limit, MaxScanRows)
+		}
+		r.Start, r.End = core.Key(s), core.Key(e)
+	case OpPut:
+		n, err := rd.count(MaxMGetKeys, 8)
+		if err != nil {
+			return nil, err
+		}
+		r.Pairs = make([]core.Pair, n)
+		for i := range r.Pairs {
+			k, _ := rd.u32()
+			t, _ := rd.u32()
+			r.Pairs[i] = core.Pair{Key: core.Key(k), TID: core.TID(t)}
+		}
+	case OpStats:
+	default:
+		return nil, fmt.Errorf("serve: unknown op %d", op)
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AppendResponse appends the encoded payload of rs (without framing).
+func AppendResponse(dst []byte, rs *Response) ([]byte, error) {
+	dst = append(dst, byte(rs.Status))
+	switch rs.Status {
+	case StatusRetry:
+		return appendU32(dst, rs.RetryAfterMS), nil
+	case StatusErr:
+		msg := rs.Err
+		if len(msg) > maxErrLen {
+			msg = msg[:maxErrLen]
+		}
+		dst = appendU32(dst, uint32(len(msg)))
+		return append(dst, msg...), nil
+	case StatusNotFound, StatusDeadline:
+		return dst, nil
+	case StatusOK:
+	default:
+		return nil, fmt.Errorf("serve: unknown status %d", rs.Status)
+	}
+	// StatusOK: exactly one of the payload kinds, tagged.
+	switch {
+	case rs.Lookups != nil:
+		if len(rs.Lookups) > MaxMGetKeys {
+			return nil, fmt.Errorf("serve: %d lookups exceed %d", len(rs.Lookups), MaxMGetKeys)
+		}
+		dst = append(dst, 'L')
+		dst = appendU32(dst, uint32(len(rs.Lookups)))
+		for _, l := range rs.Lookups {
+			dst = appendU32(dst, uint32(l.TID))
+			if l.Found {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	case rs.Pairs != nil:
+		if len(rs.Pairs) > MaxScanRows {
+			return nil, fmt.Errorf("serve: %d pairs exceed %d", len(rs.Pairs), MaxScanRows)
+		}
+		dst = append(dst, 'P')
+		dst = appendU32(dst, uint32(len(rs.Pairs)))
+		for _, p := range rs.Pairs {
+			dst = appendU32(dst, uint32(p.Key))
+			dst = appendU32(dst, uint32(p.TID))
+		}
+	case rs.Stats != nil:
+		if len(rs.Stats) > MaxFrame/2 {
+			return nil, fmt.Errorf("serve: stats blob of %d bytes exceeds %d", len(rs.Stats), MaxFrame/2)
+		}
+		dst = append(dst, 'S')
+		dst = appendU32(dst, uint32(len(rs.Stats)))
+		dst = append(dst, rs.Stats...)
+	default:
+		dst = append(dst, 'E') // empty OK (PUT/DEL ack)
+	}
+	return dst, nil
+}
+
+// DecodeResponse parses a response payload produced by AppendResponse.
+func DecodeResponse(payload []byte) (*Response, error) {
+	rd := &reader{b: payload}
+	st, err := rd.u8()
+	if err != nil {
+		return nil, err
+	}
+	rs := &Response{Status: Status(st)}
+	switch rs.Status {
+	case StatusRetry:
+		if rs.RetryAfterMS, err = rd.u32(); err != nil {
+			return nil, err
+		}
+		return rs, rd.done()
+	case StatusErr:
+		n, err := rd.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > len(rd.b) || n > maxErrLen {
+			return nil, fmt.Errorf("serve: error text of %d bytes out of bounds", n)
+		}
+		rs.Err = string(rd.b[:n])
+		rd.b = rd.b[n:]
+		return rs, rd.done()
+	case StatusNotFound, StatusDeadline:
+		return rs, rd.done()
+	case StatusOK:
+	default:
+		return nil, fmt.Errorf("serve: unknown status %d", st)
+	}
+	tag, err := rd.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case 'L':
+		n, err := rd.count0(MaxMGetKeys, 5)
+		if err != nil {
+			return nil, err
+		}
+		rs.Lookups = make([]Lookup, n)
+		for i := range rs.Lookups {
+			t, _ := rd.u32()
+			f, err := rd.u8()
+			if err != nil {
+				return nil, err
+			}
+			if f > 1 {
+				return nil, fmt.Errorf("serve: bad found flag %d", f)
+			}
+			rs.Lookups[i] = Lookup{TID: core.TID(t), Found: f == 1}
+		}
+	case 'P':
+		n, err := rd.count0(MaxScanRows, 8)
+		if err != nil {
+			return nil, err
+		}
+		rs.Pairs = make([]core.Pair, n)
+		for i := range rs.Pairs {
+			k, _ := rd.u32()
+			t, _ := rd.u32()
+			rs.Pairs[i] = core.Pair{Key: core.Key(k), TID: core.TID(t)}
+		}
+	case 'S':
+		n, err := rd.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > len(rd.b) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		rs.Stats = append([]byte(nil), rd.b[:n]...)
+		rd.b = rd.b[n:]
+	case 'E':
+	default:
+		return nil, fmt.Errorf("serve: unknown OK payload tag %q", tag)
+	}
+	return rs, rd.done()
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("serve: frame of %d bytes exceeds %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, reusing buf when it is
+// large enough. It refuses frames larger than MaxFrame.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("serve: frame of %d bytes exceeds %d", n, MaxFrame)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

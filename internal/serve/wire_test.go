@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"pbtree/internal/core"
+)
+
+// roundTripReq encodes and re-decodes a request.
+func roundTripReq(t *testing.T, r *Request) *Request {
+	t.Helper()
+	payload, err := AppendRequest(nil, r)
+	if err != nil {
+		t.Fatalf("encode %+v: %v", r, err)
+	}
+	got, err := DecodeRequest(payload)
+	if err != nil {
+		t.Fatalf("decode %+v: %v", r, err)
+	}
+	return got
+}
+
+func TestWireRequestRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{Op: OpGet, Keys: []core.Key{42}, DeadlineMS: 250},
+		{Op: OpMGet, Keys: []core.Key{1, 2, 3, 0xffffffff}},
+		{Op: OpDel, Keys: []core.Key{8}},
+		{Op: OpScan, Start: 10, End: 900, Limit: 55},
+		{Op: OpPut, Pairs: []core.Pair{{Key: 1, TID: 2}, {Key: 3, TID: 4}}},
+		{Op: OpStats},
+	}
+	for _, r := range reqs {
+		if got := roundTripReq(t, r); !reflect.DeepEqual(got, r) {
+			t.Fatalf("round trip changed %+v to %+v", r, got)
+		}
+	}
+	// Encoder bounds.
+	if _, err := AppendRequest(nil, &Request{Op: OpGet}); err == nil {
+		t.Fatal("GET with no key encoded")
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpScan, Limit: MaxScanRows + 1}); err == nil {
+		t.Fatal("oversized SCAN limit encoded")
+	}
+	if _, err := AppendRequest(nil, &Request{Op: Op(200)}); err == nil {
+		t.Fatal("unknown op encoded")
+	}
+	// Decoder bounds: truncation and trailing garbage are errors.
+	full, _ := AppendRequest(nil, &Request{Op: OpMGet, Keys: []core.Key{1, 2, 3}})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeRequest(full[:cut]); err == nil {
+			t.Fatalf("truncated request at %d decoded", cut)
+		}
+	}
+	if _, err := DecodeRequest(append(full, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestWireResponseRoundTrip(t *testing.T) {
+	resps := []*Response{
+		{Status: StatusOK, Lookups: []Lookup{{TID: 9, Found: true}, {Found: false}}},
+		{Status: StatusOK, Pairs: []core.Pair{{Key: 5, TID: 6}}},
+		{Status: StatusOK, Stats: []byte(`{"x":1}`)},
+		{Status: StatusOK},
+		{Status: StatusNotFound},
+		{Status: StatusRetry, RetryAfterMS: 7},
+		{Status: StatusErr, Err: "boom"},
+		{Status: StatusDeadline},
+	}
+	for _, rs := range resps {
+		payload, err := AppendResponse(nil, rs)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", rs, err)
+		}
+		got, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", rs, err)
+		}
+		if !reflect.DeepEqual(got, rs) {
+			t.Fatalf("round trip changed %+v to %+v", rs, got)
+		}
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := DecodeResponse(payload[:cut]); err == nil && cut > 0 {
+				t.Fatalf("truncated response %+v at %d decoded", rs, cut)
+			}
+		}
+	}
+	if _, err := DecodeResponse(nil); err == nil {
+		t.Fatal("empty response decoded")
+	}
+}
+
+func TestWireFrames(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteFrame(&b, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(b.Bytes())
+	f1, err := ReadFrame(r, nil)
+	if err != nil || string(f1) != "hello" {
+		t.Fatalf("frame 1 = %q, %v", f1, err)
+	}
+	f2, err := ReadFrame(r, f1)
+	if err != nil || len(f2) != 0 {
+		t.Fatalf("frame 2 = %q, %v", f2, err)
+	}
+	if _, err := ReadFrame(r, nil); err != io.EOF {
+		t.Fatalf("EOF frame: %v", err)
+	}
+	// A length prefix beyond MaxFrame is rejected before allocating.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(huge), nil); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}
+
+// FuzzWireRequest: any byte string either fails to decode or decodes
+// to a request that re-encodes and re-decodes identically. Decoding
+// must never panic or allocate past the wire bounds.
+func FuzzWireRequest(f *testing.F) {
+	seed := func(r *Request) {
+		payload, err := AppendRequest(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	seed(&Request{Op: OpGet, Keys: []core.Key{1}})
+	seed(&Request{Op: OpMGet, Keys: []core.Key{1, 2, 3}})
+	seed(&Request{Op: OpScan, Start: 1, End: 2, Limit: 3})
+	seed(&Request{Op: OpPut, Pairs: []core.Pair{{Key: 1, TID: 2}}})
+	seed(&Request{Op: OpDel, Keys: []core.Key{4}})
+	seed(&Request{Op: OpStats})
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 0, 0, 0, 255, 255, 255, 255}) // MGET, lying count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("decoded request %+v does not re-encode: %v", req, err)
+		}
+		again, err := DecodeRequest(re)
+		if err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("unstable round trip: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzWireResponse: same contract for the response codec.
+func FuzzWireResponse(f *testing.F) {
+	seed := func(rs *Response) {
+		payload, err := AppendResponse(nil, rs)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	seed(&Response{Status: StatusOK, Lookups: []Lookup{{TID: 1, Found: true}}})
+	seed(&Response{Status: StatusOK, Pairs: []core.Pair{{Key: 1, TID: 2}}})
+	seed(&Response{Status: StatusOK, Stats: []byte("{}")})
+	seed(&Response{Status: StatusOK})
+	seed(&Response{Status: StatusRetry, RetryAfterMS: 5})
+	seed(&Response{Status: StatusErr, Err: "x"})
+	f.Add([]byte{0, 'S', 255, 255, 255, 255}) // stats tag, lying length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := DecodeResponse(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendResponse(nil, rs)
+		if err != nil {
+			t.Fatalf("decoded response %+v does not re-encode: %v", rs, err)
+		}
+		again, err := DecodeResponse(re)
+		if err != nil {
+			t.Fatalf("re-encoded response does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(rs, again) {
+			t.Fatalf("unstable round trip: %+v vs %+v", rs, again)
+		}
+	})
+}

@@ -20,6 +20,10 @@
 //     tracers (Collector, TraceWriter) that explain simulated runs
 //     without perturbing them, and serving metrics (Metrics) for the
 //     native model.
+//   - A serving layer (Store, Server): pB+-Trees hash-partitioned
+//     across single-writer shards with lock-free snapshot reads,
+//     batched group lookups (Tree.SearchBatch), and a TCP front end
+//     with a load generator (cmd/pbtree-server, cmd/pbtree-loadgen).
 //
 // Quick start:
 //
@@ -46,6 +50,7 @@ import (
 	"pbtree/internal/memsys"
 	"pbtree/internal/obs"
 	"pbtree/internal/query"
+	"pbtree/internal/serve"
 	"pbtree/internal/ttree"
 )
 
@@ -311,4 +316,75 @@ func IndexJoin(outer []Key, inner *Tree, emit func(Key, TID)) int {
 // IndexJoinTuples is IndexJoin with batched, prefetched tuple fetches.
 func IndexJoinTuples(outer []Key, inner *Tree, tab *HeapTable, batch int, emit func(Key)) int {
 	return query.IndexJoinTuples(outer, inner, tab, batch, emit)
+}
+
+// Serving layer (internal/serve): a sharded, snapshot-isolated store
+// over pB+-Trees with batched group lookups, a TCP front end and a
+// load generator.
+type (
+	// Store is a sharded key→tupleID store: lock-free snapshot reads,
+	// one writer goroutine per shard.
+	Store = serve.Store
+
+	// StoreConfig configures a Store.
+	StoreConfig = serve.StoreConfig
+
+	// StoreStats is a point-in-time view of a Store's shards.
+	StoreStats = serve.StoreStats
+
+	// Lookup is one point-lookup result of a batched read.
+	Lookup = serve.Lookup
+
+	// Server is the TCP front end of a Store.
+	Server = serve.Server
+
+	// ServerConfig configures a Server.
+	ServerConfig = serve.ServerConfig
+
+	// ServerStats is the JSON payload of a STATS request.
+	ServerStats = serve.ServerStats
+
+	// BatcherConfig tunes the server's cross-request lookup batching.
+	BatcherConfig = serve.BatcherConfig
+
+	// ServeClient is a synchronous wire-protocol client.
+	ServeClient = serve.Client
+
+	// LoadgenConfig describes a load-generation run.
+	LoadgenConfig = serve.LoadgenConfig
+
+	// LoadgenReport is the JSON result of a load-generation run.
+	LoadgenReport = serve.LoadgenReport
+)
+
+// Serving-layer errors.
+var (
+	// ErrOverloaded reports a full shard mutation queue: back off and
+	// retry.
+	ErrOverloaded = serve.ErrOverloaded
+
+	// ErrClosed reports a write to a closed store.
+	ErrClosed = serve.ErrClosed
+)
+
+// OpenStore builds a sharded store from sorted pairs and starts its
+// shard writers.
+func OpenStore(cfg StoreConfig, pairs []Pair) (*Store, error) {
+	return serve.Open(cfg, pairs)
+}
+
+// NewServer wraps a store in a TCP front end; call Start to listen.
+func NewServer(st *Store, cfg ServerConfig) *Server {
+	return serve.NewServer(st, cfg)
+}
+
+// DialServer connects a wire-protocol client to a serving address.
+func DialServer(addr string) (*ServeClient, error) {
+	return serve.Dial(addr)
+}
+
+// RunLoadgen drives a configured read/write/scan mix against a
+// running server and reports throughput and latency percentiles.
+func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
+	return serve.RunLoadgen(cfg)
 }

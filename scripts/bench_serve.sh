@@ -1,0 +1,44 @@
+#!/bin/sh
+# Serving benchmark: boot pbtree-server, run a longer mixed load, and
+# write the loadgen JSON report (throughput + per-op p50/p99) to the
+# file named by $1 (default BENCH_serve.json).
+set -eu
+
+out=${1:-BENCH_serve.json}
+tmp=$(mktemp -d)
+port=$((17000 + $$ % 1000))
+addr="127.0.0.1:$port"
+keys=1000000
+
+cleanup() {
+    [ -n "${srv:-}" ] && kill "$srv" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/pbtree-server" ./cmd/pbtree-server
+go build -o "$tmp/pbtree-loadgen" ./cmd/pbtree-loadgen
+
+"$tmp/pbtree-server" -addr "$addr" -keys "$keys" \
+    >"$tmp/server.log" 2>&1 &
+srv=$!
+
+ok=0
+for _ in $(seq 1 50); do
+    if "$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns 1 \
+        -duration 100ms >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    kill -0 "$srv" 2>/dev/null || { echo "bench-serve: server died:"; cat "$tmp/server.log"; exit 1; }
+    sleep 0.2
+done
+[ "$ok" = 1 ] || { echo "bench-serve: server never became reachable"; cat "$tmp/server.log"; exit 1; }
+
+"$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns 8 \
+    -duration 5s -skew zipf -get 70 -mget 15 -scan 5 -put 10 >"$out"
+
+kill -TERM "$srv"
+wait "$srv" || true
+srv=
+echo "bench-serve: wrote $out"
