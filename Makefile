@@ -1,12 +1,13 @@
 # Developer entry points. `make` (or `make check`) is the full gate:
 # build + vet + tests + the race detector over every package + the
-# server smoke test (boot, load, graceful drain).
+# server smoke test (boot, load, graceful drain) + the recovery smoke
+# test (kill -9 mid-load, restart, verify).
 
 GO ?= go
 
-.PHONY: check build test race vet bench-smoke smoke-serve bench-serve
+.PHONY: check build test race vet bench-smoke smoke-serve smoke-recover fuzz-smoke bench-serve
 
-check: build vet test race smoke-serve
+check: build vet test race smoke-serve smoke-recover
 
 build:
 	$(GO) build ./...
@@ -28,6 +29,17 @@ bench-smoke:
 # with pbtree-loadgen, assert nonzero ops and a clean SIGTERM drain.
 smoke-serve:
 	sh scripts/smoke_serve.sh
+
+# End-to-end crash-recovery smoke test: durable server, put-heavy
+# load, kill -9 mid-load, restart on the same -data-dir, assert WAL
+# replay and a complete key space.
+smoke-recover:
+	sh scripts/smoke_recover.sh
+
+# Short-budget fuzz of every Fuzz target in the module (FUZZTIME=5s
+# per target by default).
+fuzz-smoke:
+	sh scripts/fuzz_smoke.sh
 
 # Serving benchmark: 5s mixed Zipf load against a 1M-key server;
 # writes throughput + per-op p50/p99 to BENCH_serve.json.

@@ -5,11 +5,16 @@
 // Usage:
 //
 //	pbtree-server -addr :7070 -keys 1000000 -shards 8
+//	pbtree-server -addr :7070 -data-dir /var/lib/pbtree -fsync always
 //
 // The store is preloaded with the standard workload key space (keys
 // 8, 16, ..., 8*N with TID = key/8) so a load generator can start
-// immediately. SIGINT/SIGTERM drain gracefully: in-flight requests
-// finish before the process exits.
+// immediately. With -data-dir the store is durable: every shard keeps
+// a write-ahead log + checkpoints there, an existing directory is
+// recovered on boot (the -keys preload only seeds a fresh one), and
+// acked writes survive kill -9 under -fsync always. SIGINT/SIGTERM
+// drain gracefully: in-flight requests finish and the WAL is flushed
+// before the process exits.
 package main
 
 import (
@@ -39,18 +44,47 @@ func main() {
 		group    = flag.Int("group", 16, "max lookups per merged group search")
 		linger   = flag.Duration("linger", 50*time.Microsecond, "how long a group waits for stragglers")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown budget")
+		dataDir  = flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
+		fsync    = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
+		fsyncInt = flag.Duration("fsync-interval", 10*time.Millisecond, "sync period for -fsync interval")
+		ckptEvry = flag.Int("checkpoint-every", 4096, "WAL records per shard between checkpoints")
 	)
 	flag.Parse()
 
-	st, err := pbtree.OpenStore(pbtree.StoreConfig{
+	metrics := pbtree.NewMetrics()
+	cfg := pbtree.StoreConfig{
 		Shards:   *shards,
 		QueueLen: *queue,
 		Tree:     pbtree.Config{Width: *width, Prefetch: *width > 1},
-	}, workload.SortedPairs(*keys))
+		Metrics:  metrics,
+	}
+	if *dataDir != "" {
+		policy, err := serve.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Durable = &pbtree.DurableConfig{
+			Dir:             *dataDir,
+			Fsync:           policy,
+			FsyncInterval:   *fsyncInt,
+			CheckpointEvery: *ckptEvry,
+		}
+	}
+	st, err := pbtree.OpenStore(cfg, workload.SortedPairs(*keys))
 	if err != nil {
 		log.Fatal(err)
 	}
-	metrics := pbtree.NewMetrics()
+	if err := st.WaitReady(); err != nil {
+		log.Fatal(err)
+	}
+	for _, rs := range st.Recovery() {
+		if rs.Bootstrapped {
+			log.Printf("shard %d: bootstrapped %d pairs into %s", rs.Shard, rs.Pairs, *dataDir)
+			continue
+		}
+		log.Printf("shard %d: recovered %d pairs (checkpoint lsn %d, replayed %d records, %d torn bytes) in %v",
+			rs.Shard, rs.Pairs, rs.CheckpointLSN, rs.Replayed, rs.TornBytes, rs.Duration.Round(time.Millisecond))
+	}
 	metrics.PublishExpvar("pbtree")
 	srv := pbtree.NewServer(st, pbtree.ServerConfig{
 		Addr:        *addr,

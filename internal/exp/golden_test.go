@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// goldenFastSubset is the set of experiments cheap enough to regenerate
+// on every test run (~2s total at scale 0.1). The remaining ids are
+// covered by the full regeneration (make results / PBTREE_GOLDEN_ALL).
+var goldenFastSubset = []string{
+	"fig1", "fig2", "fig3", "tab3", "fig13", "fig17",
+	"extdisk", "extablation", "attr", "mget",
+}
+
+// TestGoldenFiguresScale01 regenerates a subset of the paper figures
+// and requires their rendered tables to appear byte-identically, in
+// registry order, in the committed results_scale0.1.txt. The simulator
+// is deterministic for a given seed, so any diff is a behavior change
+// in the simulated memory hierarchy or the index structures — exactly
+// what must not happen as a side effect of serving-layer work. Set
+// PBTREE_GOLDEN_ALL=1 to check every experiment against the whole file
+// (~90s).
+func TestGoldenFiguresScale01(t *testing.T) {
+	golden, err := os.ReadFile("../../results_scale0.1.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := goldenFastSubset
+	all := os.Getenv("PBTREE_GOLDEN_ALL") != ""
+	if all {
+		ids = nil
+		for _, e := range Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	opts := DefaultOptions() // scale 0.1, seed 1: what generated the file
+	var full bytes.Buffer
+	pos := 0
+	for _, id := range ids {
+		tables, err := Run(id, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var buf bytes.Buffer
+		for _, tb := range tables {
+			tb.Fprint(&buf)
+		}
+		full.Write(buf.Bytes())
+		idx := bytes.Index(golden[pos:], buf.Bytes())
+		if idx < 0 {
+			t.Errorf("%s: regenerated tables do not appear (in order) in results_scale0.1.txt;\nregenerated:\n%s", id, truncateFor(t, buf.Bytes()))
+			continue
+		}
+		pos += idx + buf.Len()
+	}
+	if all && !t.Failed() && full.Len() != len(golden) {
+		t.Errorf("full regeneration is %d bytes, golden file is %d", full.Len(), len(golden))
+	}
+}
+
+// truncateFor bounds a failure dump to something readable.
+func truncateFor(t *testing.T, b []byte) []byte {
+	t.Helper()
+	if len(b) > 2048 {
+		return append(append([]byte(nil), b[:2048]...), []byte("... (truncated)")...)
+	}
+	return b
+}

@@ -106,12 +106,96 @@ var metricOps = []core.OpKind{core.OpSearch, core.OpInsert, core.OpDelete, core.
 
 // Metrics is the native-path serving metrics registry: one latency
 // histogram (which doubles as a throughput counter) per index
-// operation. All methods are safe for concurrent use. It complements
-// the simulator-side Collector: the simulator explains cycles, Metrics
+// operation, plus the durability counters of the WAL + checkpoint
+// layer. All methods are safe for concurrent use and nil-receiver
+// safe, so instrumented code paths need no guards. It complements the
+// simulator-side Collector: the simulator explains cycles, Metrics
 // watches real wall-clock serving.
 type Metrics struct {
 	hists       [core.NumOps]Histogram
+	dur         durabilityCounters
 	publishOnce sync.Once
+}
+
+// durabilityCounters tracks the WAL + checkpoint layer (DESIGN.md §9).
+type durabilityCounters struct {
+	walAppends    atomic.Uint64
+	walBytes      atomic.Uint64
+	fsyncs        atomic.Uint64
+	checkpoints   atomic.Uint64
+	checkpointErr atomic.Uint64
+	replayed      atomic.Uint64
+	recoveries    atomic.Uint64
+	recoveryNS    atomic.Uint64
+}
+
+// DurabilitySnapshot is a point-in-time copy of the durability
+// counters.
+type DurabilitySnapshot struct {
+	WALAppends      uint64 `json:"wal_appends"` // group commits written
+	WALBytes        uint64 `json:"wal_bytes"`
+	Fsyncs          uint64 `json:"fsyncs"`
+	Checkpoints     uint64 `json:"checkpoints"`
+	CheckpointErrs  uint64 `json:"checkpoint_errors"`
+	ReplayedRecords uint64 `json:"replayed_records"` // WAL records replayed at recovery
+	Recoveries      uint64 `json:"recoveries"`       // shard recoveries completed
+	RecoveryMS      uint64 `json:"recovery_ms"`      // total wall time recovering
+}
+
+// WALAppend records one WAL group commit of n bytes.
+func (m *Metrics) WALAppend(n int) {
+	if m == nil {
+		return
+	}
+	m.dur.walAppends.Add(1)
+	m.dur.walBytes.Add(uint64(n))
+}
+
+// Fsync records one WAL or checkpoint fsync.
+func (m *Metrics) Fsync() {
+	if m == nil {
+		return
+	}
+	m.dur.fsyncs.Add(1)
+}
+
+// Checkpoint records one checkpoint attempt.
+func (m *Metrics) Checkpoint(err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.dur.checkpointErr.Add(1)
+		return
+	}
+	m.dur.checkpoints.Add(1)
+}
+
+// Recovery records one completed shard recovery.
+func (m *Metrics) Recovery(d time.Duration, replayed uint64) {
+	if m == nil {
+		return
+	}
+	m.dur.recoveries.Add(1)
+	m.dur.recoveryNS.Add(uint64(d))
+	m.dur.replayed.Add(replayed)
+}
+
+// Durability snapshots the durability counters.
+func (m *Metrics) Durability() DurabilitySnapshot {
+	if m == nil {
+		return DurabilitySnapshot{}
+	}
+	return DurabilitySnapshot{
+		WALAppends:      m.dur.walAppends.Load(),
+		WALBytes:        m.dur.walBytes.Load(),
+		Fsyncs:          m.dur.fsyncs.Load(),
+		Checkpoints:     m.dur.checkpoints.Load(),
+		CheckpointErrs:  m.dur.checkpointErr.Load(),
+		ReplayedRecords: m.dur.replayed.Load(),
+		Recoveries:      m.dur.recoveries.Load(),
+		RecoveryMS:      m.dur.recoveryNS.Load() / 1e6,
+	}
 }
 
 // NewMetrics returns an empty registry.
@@ -186,6 +270,26 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+
+	d := m.Durability()
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"pbtree_wal_appends_total", "WAL group commits written.", d.WALAppends},
+		{"pbtree_wal_bytes_total", "WAL bytes written.", d.WALBytes},
+		{"pbtree_fsyncs_total", "WAL and checkpoint fsyncs.", d.Fsyncs},
+		{"pbtree_checkpoints_total", "Checkpoints completed.", d.Checkpoints},
+		{"pbtree_checkpoint_errors_total", "Checkpoint attempts that failed.", d.CheckpointErrs},
+		{"pbtree_wal_replayed_records_total", "WAL records replayed during recovery.", d.ReplayedRecords},
+		{"pbtree_recoveries_total", "Shard recoveries completed.", d.Recoveries},
+		{"pbtree_recovery_ms_total", "Total wall-clock milliseconds spent recovering.", d.RecoveryMS},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -214,7 +318,7 @@ type expvarSnapshot struct {
 func (m *Metrics) PublishExpvar(name string) {
 	m.publishOnce.Do(func() {
 		expvar.Publish(name, expvar.Func(func() any {
-			out := map[string]expvarSnapshot{}
+			out := map[string]any{}
 			for _, op := range metricOps {
 				s := m.Snapshot(op)
 				out[op.String()] = expvarSnapshot{
@@ -225,6 +329,7 @@ func (m *Metrics) PublishExpvar(name string) {
 					SumNS:  s.SumNS,
 				}
 			}
+			out["durability"] = m.Durability()
 			return out
 		}))
 	})

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"pbtree/internal/core"
+)
+
+// TestRecoveryConcurrentWithOtherShards exercises the lazy per-shard
+// recovery path under the race detector: shard 0 carries a long WAL
+// tail (CheckpointEvery is set high, so reopening replays every
+// record), while reads and writes land on the other shards the moment
+// Open returns — they must proceed while shard 0 is still replaying,
+// and reads of shard 0 must block on its readiness gate instead of
+// racing its writer goroutine.
+func TestRecoveryConcurrentWithOtherShards(t *testing.T) {
+	const shards = 4
+	fs := NewMemFS()
+	cfg := StoreConfig{
+		Shards:  shards,
+		Durable: &DurableConfig{FS: fs, Fsync: FsyncNever, CheckpointEvery: 1 << 20},
+	}
+	st, err := Open(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WaitReady(); err != nil {
+		t.Fatal(err)
+	}
+	// Skew the WAL: thousands of records on shard 0, a handful on the
+	// rest, so shard 0's recovery is the slow one.
+	skip := map[core.Key]bool{}
+	heavy := shardKeys(st, 0, 4000, skip)
+	light := [shards][]core.Key{}
+	for s := 1; s < shards; s++ {
+		light[s] = shardKeys(st, s, 64, skip)
+	}
+	for i := 0; i < len(heavy); i += 4 {
+		batch := make([]core.Pair, 0, 4)
+		for _, k := range heavy[i : i+4] {
+			batch = append(batch, core.Pair{Key: k, TID: core.TID(k / 8)})
+		}
+		if err := st.PutBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 1; s < shards; s++ {
+		for _, k := range light[s][:32] {
+			if err := st.Put(k, core.TID(k/8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st.Close()
+
+	// Reopen and immediately hammer the store from many goroutines
+	// while shard 0 replays its 1000-record tail.
+	st2, err := Open(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := 1 + w%(shards-1)
+			for _, k := range light[s][:32] { // reads on recovered shards
+				if tid, ok := st2.Get(k); !ok || tid != core.TID(k/8) {
+					t.Errorf("shard %d key %d = %d, %v during recovery", s, k, tid, ok)
+				}
+			}
+			for _, k := range light[s][32:48] { // writes during recovery
+				if err := st2.Put(k, core.TID(k/8)); err != nil {
+					t.Errorf("put on shard %d during recovery: %v", s, err)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // reads of the recovering shard block on its gate
+		defer wg.Done()
+		for _, k := range heavy[:64] {
+			if tid, ok := st2.Get(k); !ok || tid != core.TID(k/8) {
+				t.Errorf("heavy key %d = %d, %v after recovery gate", k, tid, ok)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // batched lookups spanning all shards
+		defer wg.Done()
+		keys := append(append([]core.Key{}, heavy[:8]...), light[1][:8]...)
+		out := make([]Lookup, len(keys))
+		st2.MGet(keys, out)
+		for i, l := range out {
+			if !l.Found || l.TID != core.TID(keys[i]/8) {
+				t.Errorf("MGet %d = %+v during recovery", keys[i], l)
+			}
+		}
+	}()
+	if err := st2.WaitReady(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if rs := st2.Recovery()[0]; rs.Replayed != 1000 {
+		t.Fatalf("shard 0 replayed %d records, want 1000", rs.Replayed)
+	}
+	st2.Close()
+}

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pbtree/internal/core"
+	"pbtree/internal/obs"
+)
+
+// openDurable opens a 1-shard durable store on fs, failing the test on
+// any open or recovery error.
+func openDurable(t *testing.T, fs *MemFS, seed []core.Pair, every int) *Store {
+	t.Helper()
+	st, err := Open(StoreConfig{
+		Shards:  1,
+		Durable: &DurableConfig{FS: fs, CheckpointEvery: every},
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WaitReady(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func pairsEqual(a, b []core.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDurableReopenRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	metrics := obs.NewMetrics()
+	st, err := Open(StoreConfig{
+		Shards:  2,
+		Metrics: metrics,
+		Durable: &DurableConfig{FS: fs},
+	}, []core.Pair{{Key: 8, TID: 1}, {Key: 16, TID: 2}, {Key: 24, TID: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WaitReady(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range st.Recovery() {
+		if !rs.Bootstrapped {
+			t.Fatalf("fresh dir: shard %d not bootstrapped: %+v", rs.Shard, rs)
+		}
+	}
+	if err := st.Put(32, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(16, 20); err != nil { // overwrite
+		t.Fatal(err)
+	}
+	if err := st.Delete(8); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Dump()
+	preVer := st.Stats()
+	st.Close()
+
+	// Reopen with a different seed: the directory must win.
+	st2, err := Open(StoreConfig{
+		Shards:  2,
+		Metrics: metrics,
+		Durable: &DurableConfig{FS: fs},
+	}, []core.Pair{{Key: 999992, TID: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.WaitReady(); err != nil {
+		t.Fatal(err)
+	}
+	replayed := uint64(0)
+	for _, rs := range st2.Recovery() {
+		if rs.Bootstrapped {
+			t.Fatalf("existing dir: shard %d bootstrapped (seed overwrote recovery): %+v", rs.Shard, rs)
+		}
+		replayed += rs.Replayed
+	}
+	if replayed != 3 {
+		t.Fatalf("replayed %d records, want 3 (put, overwrite, delete)", replayed)
+	}
+	if got := st2.Dump(); !pairsEqual(got, want) {
+		t.Fatalf("reopen contents = %v, want %v", got, want)
+	}
+	if tid, ok := st2.Get(16); !ok || tid != 20 {
+		t.Fatalf("Get(16) = %d, %v after reopen", tid, ok)
+	}
+	if _, ok := st2.Get(8); ok {
+		t.Fatal("deleted key 8 resurrected by reopen")
+	}
+	// Published versions never move backwards across a restart.
+	for i, s := range st2.Stats().Shards {
+		if s.Version < preVer.Shards[i].Version {
+			t.Fatalf("shard %d version %d < pre-close %d", i, s.Version, preVer.Shards[i].Version)
+		}
+	}
+	d := metrics.Durability()
+	if d.Recoveries != 4 || d.ReplayedRecords != 3 || d.WALAppends == 0 || d.Fsyncs == 0 || d.Checkpoints == 0 {
+		t.Fatalf("durability counters off: %+v", d)
+	}
+}
+
+func TestDurableCheckpointRotationAndPrune(t *testing.T) {
+	fs := NewMemFS()
+	st := openDurable(t, fs, nil, 4)
+	for i := 1; i <= 20; i++ {
+		if err := st.Put(core.Key(8*i), core.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := st.Dump()
+	st.Close()
+
+	// 20 synchronous puts with CheckpointEvery=4 yield 5 rotations; the
+	// pruner must leave exactly the newest checkpoint and the current
+	// (empty) segment.
+	names, err := fs.ReadDir("shard-0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != ckptName(20) || names[1] != walSegName(21) {
+		t.Fatalf("after rotation, shard dir = %v, want [%s %s]", names, ckptName(20), walSegName(21))
+	}
+
+	st2 := openDurable(t, fs, nil, 4)
+	defer st2.Close()
+	rs := st2.Recovery()[0]
+	if rs.CheckpointLSN != 20 || rs.Replayed != 0 || rs.Pairs != 20 {
+		t.Fatalf("recovery from checkpoint: %+v", rs)
+	}
+	if got := st2.Dump(); !pairsEqual(got, want) {
+		t.Fatalf("contents after rotation reopen = %v, want %v", got, want)
+	}
+}
+
+func TestDurableWALFaultFailStop(t *testing.T) {
+	fs := NewMemFS()
+	st := openDurable(t, fs, nil, 1<<20)
+	for i := 1; i <= 5; i++ {
+		if err := st.Put(core.Key(8*i), core.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Arm a short write: the next WAL append tears mid-record.
+	fs.SetWriteBudget(7, true)
+	if err := st.Put(48, 6); err == nil {
+		t.Fatal("put with torn WAL write succeeded")
+	}
+	// Fail-stop: the shard accepts no further writes...
+	if err := st.Put(56, 7); err == nil {
+		t.Fatal("put after WAL failure succeeded")
+	}
+	// ...but keeps serving reads from the last good snapshot.
+	if tid, ok := st.Get(40); !ok || tid != 5 {
+		t.Fatalf("Get(40) after fail-stop = %d, %v", tid, ok)
+	}
+	if e := st.Stats().Shards[0].DurableErr; !strings.Contains(e, "injected") {
+		t.Fatalf("Stats.DurableErr = %q, want injected failure", e)
+	}
+	st.Close()
+
+	// Recovery truncates the torn record and keeps every acked write.
+	fs.SetWriteBudget(-1, false)
+	st2 := openDurable(t, fs, nil, 1<<20)
+	defer st2.Close()
+	rs := st2.Recovery()[0]
+	if rs.TornBytes == 0 {
+		t.Fatalf("recovery saw no torn tail: %+v", rs)
+	}
+	for i := 1; i <= 5; i++ {
+		if tid, ok := st2.Get(core.Key(8 * i)); !ok || tid != core.TID(i) {
+			t.Fatalf("acked key %d lost after torn-tail recovery", 8*i)
+		}
+	}
+	if _, ok := st2.Get(48); ok {
+		t.Fatal("unacked torn write surfaced after recovery")
+	}
+}
+
+func TestDurableManifestShardMismatch(t *testing.T) {
+	fs := NewMemFS()
+	st := openDurable(t, fs, nil, 0)
+	st.Close()
+	_, err := Open(StoreConfig{Shards: 3, Durable: &DurableConfig{FS: fs}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("reopen with different shard count: err = %v", err)
+	}
+}
+
+func TestDurableOSFS(t *testing.T) {
+	dir := t.TempDir()
+	cfg := StoreConfig{Shards: 2, Durable: &DurableConfig{Dir: dir}}
+	st, err := Open(cfg, []core.Pair{{Key: 8, TID: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WaitReady(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 40; i++ {
+		if err := st.Put(core.Key(8*i), core.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := st.Dump()
+	st.Close()
+
+	st2, err := Open(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.WaitReady(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Dump(); !pairsEqual(got, want) {
+		t.Fatalf("OS round trip: got %d pairs, want %d", len(got), len(want))
+	}
+}
+
+func TestMemFSCrashSemantics(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("sync"))
+	f.Sync()
+	f.Write([]byte("ed"))
+	f.Close()
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	end := fs.CrashPoints()
+	// Write-through disk at the end: everything survives, under the
+	// final name.
+	all := fs.CrashAt(end, false)
+	if b, err := all.ReadFile("b"); err != nil || string(b) != "synced" {
+		t.Fatalf("full replay: %q, %v", b, err)
+	}
+	// Volatile cache lost: only the synced prefix survives.
+	lost := fs.CrashAt(end, true)
+	if b, err := lost.ReadFile("b"); err != nil || string(b) != "sync" {
+		t.Fatalf("lose-unsynced replay: %q, %v", b, err)
+	}
+	// Before the rename's crash point the file still has its old name.
+	pre := fs.CrashAt(end-1, false)
+	if _, err := pre.ReadFile("b"); err == nil {
+		t.Fatal("rename visible before its crash point")
+	}
+	if b, err := pre.ReadFile("a"); err != nil || string(b) != "synced" {
+		t.Fatalf("pre-rename replay: %q, %v", b, err)
+	}
+	// Mid-write crash keeps a byte prefix (point 3 = the create op
+	// plus two bytes of the first write).
+	mid := fs.CrashAt(3, false)
+	if b, err := mid.ReadFile("a"); err != nil || string(b) != "sy" {
+		t.Fatalf("mid-write replay: %q, %v", b, err)
+	}
+}
+
+func TestMemFSWriteBudget(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	fs.SetWriteBudget(3, true)
+	n, err := f.Write([]byte("hello"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if _, err := f.Write([]byte("more")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after failure: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync after failure: %v", err)
+	}
+	if _, err := fs.Create("y"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("create after failure: %v", err)
+	}
+	if b, _ := fs.ReadFile("x"); string(b) != "hel" {
+		t.Fatalf("torn sector contents %q", b)
+	}
+}

@@ -22,8 +22,10 @@ type LoadgenConfig struct {
 	// synchronous request loop). Zero selects 4.
 	Conns int `json:"conns"`
 
-	// Duration is how long to drive load. Zero selects 2s.
-	Duration time.Duration `json:"-"`
+	// Duration is how long to drive load. Zero selects 2s. It is
+	// echoed in the JSON report (as nanoseconds) so a run is fully
+	// reproducible from its report alone.
+	Duration time.Duration `json:"duration_ns"`
 
 	// GetPct, MGetPct, ScanPct, PutPct, DelPct set the operation mix in
 	// percent; they must sum to at most 100 and the remainder goes to
@@ -50,18 +52,19 @@ type LoadgenConfig struct {
 
 	// ZipfS is the Zipf exponent (>1) when Skew is "zipf". Zero
 	// selects 1.1.
-	ZipfS float64 `json:"zipf_s,omitempty"`
+	ZipfS float64 `json:"zipf_s"`
 
 	// HotFrac/HotProb parameterize "hotset". Zero selects 0.01/0.9.
-	HotFrac float64 `json:"hot_frac,omitempty"`
-	HotProb float64 `json:"hot_prob,omitempty"`
+	HotFrac float64 `json:"hot_frac"`
+	HotProb float64 `json:"hot_prob"`
 
 	// Seed makes runs reproducible per connection (conn i uses
 	// Seed+i). Zero selects 1.
 	Seed int64 `json:"seed"`
 
-	// Timeout is the per-request deadline. Zero selects 1s.
-	Timeout time.Duration `json:"-"`
+	// Timeout is the per-request deadline. Zero selects 1s. Echoed in
+	// the report like Duration.
+	Timeout time.Duration `json:"timeout_ns"`
 }
 
 // withDefaults resolves the zero values.

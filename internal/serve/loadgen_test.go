@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestLoadgenConfigRoundTrip pins the reproducibility contract of the
+// loadgen JSON report: the embedded config — after defaulting, which is
+// what a run actually uses — must survive a JSON round trip unchanged,
+// so a run can be replayed exactly from its report alone. This is what
+// broke when Duration/Timeout were json:"-" and the skew parameters
+// were omitempty.
+func TestLoadgenConfigRoundTrip(t *testing.T) {
+	cfg := LoadgenConfig{
+		Addr:     "127.0.0.1:7070",
+		Conns:    3,
+		Duration: 1500 * time.Millisecond,
+		PutPct:   7,
+		Skew:     "hotset",
+		Seed:     42,
+		Timeout:  250 * time.Millisecond,
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := LoadgenReport{Config: cfg, Ops: 1}
+	blob, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LoadgenReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Config != cfg {
+		t.Fatalf("config did not round-trip through the report:\n got %+v\nwant %+v", back.Config, cfg)
+	}
+	// The fields a replay needs must be present by name, not defaulted
+	// back in on decode.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	var rawCfg map[string]json.RawMessage
+	if err := json.Unmarshal(raw["config"], &rawCfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"addr", "conns", "duration_ns", "get_pct", "mget_pct", "scan_pct",
+		"put_pct", "del_pct", "batch", "scan_limit", "keys", "skew",
+		"zipf_s", "hot_frac", "hot_prob", "seed", "timeout_ns",
+	} {
+		if _, ok := rawCfg[field]; !ok {
+			t.Errorf("report config is missing %q", field)
+		}
+	}
+	// A defaulted config never marshals zero values for the knobs that
+	// alter the workload, so absence of a field is always a bug.
+	if string(rawCfg["seed"]) != "42" {
+		t.Errorf("seed echoed as %s, want 42", rawCfg["seed"])
+	}
+	if string(rawCfg["duration_ns"]) != "1500000000" {
+		t.Errorf("duration echoed as %s, want 1500000000", rawCfg["duration_ns"])
+	}
+}

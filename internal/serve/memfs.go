@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the failure returned by a MemFS whose write budget is
+// exhausted: the simulated disk has died and every subsequent
+// operation fails.
+var ErrInjected = errors.New("serve: injected filesystem failure")
+
+// memOp is one entry of the MemFS journal: an append of data to a
+// file, or a metadata operation (create/rename/remove/truncate/mkdir).
+// The journal is the ordered stream of everything the durability layer
+// asked the disk to do, and is what makes power cuts replayable: a
+// crash is "the prefix of this stream that reached the platter".
+type memOp struct {
+	kind byte   // 'w' write, 'c' create, 'n' rename, 'r' remove, 't' truncate, 'd' mkdir, 's' sync
+	name string // target path ('n': destination; src carried in data)
+	data []byte // 'w': appended bytes; 'n': source path
+	size int64  // 't': new size
+}
+
+// cost is the op's width in crash-point units: writes are byte-
+// granular (a power cut can land inside one), metadata ops are atomic.
+func (op memOp) cost() int64 {
+	if op.kind == 'w' {
+		return int64(len(op.data))
+	}
+	return 1
+}
+
+// memFile is one file's replayed state.
+type memFile struct {
+	data   []byte
+	synced int // length guaranteed to survive a power cut
+}
+
+// MemFS is a deterministic in-memory FS for crash and fault testing.
+// It journals every operation, so a test can re-materialize the exact
+// filesystem a crash at any point would leave behind (CrashAt), and it
+// can inject write failures after a byte budget (SetWriteBudget).
+// All methods are safe for concurrent use.
+type MemFS struct {
+	mu     sync.Mutex
+	dirs   map[string]bool
+	files  map[string]*memFile
+	jour   []memOp
+	points int64 // total crash-point units journaled so far
+
+	budget   int64 // remaining write bytes before injected failure; <0 = unlimited
+	shortOne bool  // deliver the budget's worth of a failing write before erroring
+	failed   bool
+}
+
+// NewMemFS returns an empty filesystem with no fault injection.
+func NewMemFS() *MemFS {
+	return &MemFS{dirs: map[string]bool{".": true}, files: map[string]*memFile{}, budget: -1}
+}
+
+// SetWriteBudget arms fault injection: after n more written bytes any
+// write fails with ErrInjected, as does every later operation. With
+// short set, the failing write first delivers its remaining budget (a
+// short write), modeling a torn sector. n < 0 disarms.
+func (fs *MemFS) SetWriteBudget(n int64, short bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.budget, fs.shortOne, fs.failed = n, short, false
+}
+
+// CrashPoints reports how many distinct crash points the journal holds
+// so far: one per byte of every write, one per metadata operation. A
+// crash at point p means "the first p units reached disk".
+func (fs *MemFS) CrashPoints() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.points
+}
+
+// CrashAt replays the first p crash-point units of the journal into a
+// fresh MemFS — the filesystem a power cut at that instant leaves
+// behind. With loseUnsynced set, every file is additionally truncated
+// to its last-synced length, modeling a disk whose volatile cache died
+// with the machine; without it the model is an ordered write-through
+// disk. The returned FS has its own empty journal.
+func (fs *MemFS) CrashAt(p int64, loseUnsynced bool) *MemFS {
+	fs.mu.Lock()
+	jour := fs.jour
+	fs.mu.Unlock()
+
+	out := NewMemFS()
+	for _, op := range jour {
+		c := op.cost()
+		if op.kind == 'w' {
+			n := int64(len(op.data))
+			if p < n {
+				n = p
+			}
+			if n > 0 {
+				f := out.file(op.name)
+				f.data = append(f.data, op.data[:n]...)
+			}
+			if p < c {
+				break // power cut mid-write
+			}
+		} else {
+			if p < c {
+				break
+			}
+			out.applyMeta(op)
+		}
+		p -= c
+	}
+	if loseUnsynced {
+		for _, f := range out.files {
+			if f.synced < len(f.data) {
+				f.data = f.data[:f.synced]
+			}
+		}
+	}
+	return out
+}
+
+// file returns (creating if needed) the replay target; callers hold no
+// lock — CrashAt output is private until returned.
+func (fs *MemFS) file(name string) *memFile {
+	f, ok := fs.files[name]
+	if !ok {
+		f = &memFile{}
+		fs.files[name] = f
+	}
+	return f
+}
+
+// applyMeta replays one metadata journal entry.
+func (fs *MemFS) applyMeta(op memOp) {
+	switch op.kind {
+	case 'c':
+		fs.files[op.name] = &memFile{}
+	case 'n':
+		if f, ok := fs.files[string(op.data)]; ok {
+			fs.files[op.name] = f
+			delete(fs.files, string(op.data))
+		}
+	case 'r':
+		delete(fs.files, op.name)
+	case 't':
+		if f, ok := fs.files[op.name]; ok && int64(len(f.data)) > op.size {
+			f.data = f.data[:op.size]
+			if f.synced > int(op.size) {
+				f.synced = int(op.size)
+			}
+		}
+	case 'd':
+		fs.mkdirLocked(op.name)
+	case 's':
+		if f, ok := fs.files[op.name]; ok {
+			f.synced = len(f.data)
+		}
+	}
+}
+
+// record journals an op and applies it.
+func (fs *MemFS) record(op memOp) {
+	fs.jour = append(fs.jour, op)
+	fs.points += op.cost()
+	if op.kind != 'w' {
+		fs.applyMeta(op)
+	}
+}
+
+func (fs *MemFS) mkdirLocked(dir string) {
+	for d := path.Clean(dir); d != "." && d != "/"; d = path.Dir(d) {
+		fs.dirs[d] = true
+	}
+}
+
+// MkdirAll implements FS.
+func (fs *MemFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.failed {
+		return ErrInjected
+	}
+	fs.record(memOp{kind: 'd', name: path.Clean(dir)})
+	return nil
+}
+
+// Create implements FS.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.failed {
+		return nil, ErrInjected
+	}
+	name = path.Clean(name)
+	fs.record(memOp{kind: 'c', name: name})
+	return &memHandle{fs: fs, name: name, write: true}, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.failed {
+		return nil, ErrInjected
+	}
+	name = path.Clean(name)
+	if _, ok := fs.files[name]; !ok {
+		return nil, fmt.Errorf("serve: memfs: open %s: file does not exist", name)
+	}
+	return &memHandle{fs: fs, name: name}, nil
+}
+
+// ReadDir implements FS.
+func (fs *MemFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.failed {
+		return nil, ErrInjected
+	}
+	dir = path.Clean(dir)
+	if !fs.dirs[dir] {
+		return nil, fmt.Errorf("serve: memfs: readdir %s: directory does not exist", dir)
+	}
+	seen := map[string]bool{}
+	collect := func(p string) {
+		if path.Dir(p) == dir {
+			seen[path.Base(p)] = true
+		} else if dir == "." && !strings.Contains(p, "/") {
+			seen[p] = true
+		}
+	}
+	for name := range fs.files {
+		collect(name)
+	}
+	for d := range fs.dirs {
+		if d != "." {
+			collect(d)
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.failed {
+		return ErrInjected
+	}
+	oldname, newname = path.Clean(oldname), path.Clean(newname)
+	if _, ok := fs.files[oldname]; !ok {
+		return fmt.Errorf("serve: memfs: rename %s: file does not exist", oldname)
+	}
+	fs.record(memOp{kind: 'n', name: newname, data: []byte(oldname)})
+	return nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.failed {
+		return ErrInjected
+	}
+	name = path.Clean(name)
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("serve: memfs: remove %s: file does not exist", name)
+	}
+	fs.record(memOp{kind: 'r', name: name})
+	return nil
+}
+
+// Truncate implements FS.
+func (fs *MemFS) Truncate(name string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.failed {
+		return ErrInjected
+	}
+	name = path.Clean(name)
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("serve: memfs: truncate %s: file does not exist", name)
+	}
+	fs.record(memOp{kind: 't', name: name, size: size})
+	return nil
+}
+
+// ReadFile returns a copy of a file's current contents (test helper).
+func (fs *MemFS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("serve: memfs: read %s: file does not exist", name)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// memHandle is one open MemFS file.
+type memHandle struct {
+	fs    *MemFS
+	name  string
+	write bool
+	pos   int
+}
+
+// Read implements io.Reader over the file's live contents.
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, ok := h.fs.files[h.name]
+	if !ok {
+		return 0, fmt.Errorf("serve: memfs: read %s: file removed", h.name)
+	}
+	if h.pos >= len(f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+// Write appends, honoring the injected write budget.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if !h.write {
+		return 0, fmt.Errorf("serve: memfs: %s opened read-only", h.name)
+	}
+	if h.fs.failed {
+		return 0, ErrInjected
+	}
+	f, ok := h.fs.files[h.name]
+	if !ok {
+		return 0, fmt.Errorf("serve: memfs: write %s: file removed", h.name)
+	}
+	n := len(p)
+	if h.fs.budget >= 0 && int64(n) > h.fs.budget {
+		h.fs.failed = true
+		if !h.fs.shortOne {
+			return 0, ErrInjected
+		}
+		n = int(h.fs.budget)
+	}
+	if n > 0 {
+		chunk := append([]byte(nil), p[:n]...)
+		h.fs.record(memOp{kind: 'w', name: h.name, data: chunk})
+		f.data = append(f.data, chunk...)
+	}
+	if h.fs.budget >= 0 {
+		h.fs.budget -= int64(n)
+	}
+	if n < len(p) {
+		return n, ErrInjected
+	}
+	return n, nil
+}
+
+// Sync implements File.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.failed {
+		return ErrInjected
+	}
+	if _, ok := h.fs.files[h.name]; !ok {
+		return fmt.Errorf("serve: memfs: sync %s: file removed", h.name)
+	}
+	h.fs.record(memOp{kind: 's', name: h.name})
+	return nil
+}
+
+// Close implements File.
+func (h *memHandle) Close() error { return nil }

@@ -3,12 +3,14 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"path"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"pbtree/internal/core"
 	"pbtree/internal/memsys"
+	"pbtree/internal/obs"
 )
 
 // ErrOverloaded is returned when a shard's mutation queue is full: the
@@ -44,6 +46,20 @@ type StoreConfig struct {
 	// writes fail fast with ErrOverloaded (backpressure, not
 	// buffering). Zero selects 1024.
 	QueueLen int
+
+	// Durable, when non-nil, persists every shard with a write-ahead
+	// log + checkpoints under Durable.Dir and recovers the contents on
+	// Open. Recovery runs per shard inside the shard's writer
+	// goroutine: shards become readable the moment their own recovery
+	// finishes, while the others are still replaying. Open's pairs are
+	// only the bootstrap contents of a fresh directory; an existing
+	// directory wins.
+	Durable *DurableConfig
+
+	// Metrics, when non-nil, receives the durability counters (WAL
+	// appends, fsyncs, checkpoints, recovery). Typically shared with
+	// ServerConfig.Metrics.
+	Metrics *obs.Metrics
 }
 
 // withDefaults resolves and validates the configuration.
@@ -78,6 +94,13 @@ func (c StoreConfig) withDefaults() (StoreConfig, error) {
 	}
 	if memsys.IsNil(c.Tree.Mem) {
 		c.Tree.Mem = memsys.DefaultNative()
+	}
+	if c.Durable != nil {
+		d, err := c.Durable.withDefaults()
+		if err != nil {
+			return c, err
+		}
+		c.Durable = &d
 	}
 	return c, nil
 }
@@ -116,8 +139,48 @@ type shard struct {
 	ops     chan mutation
 	drained chan struct{}
 
+	// Readiness: a durable shard publishes its first snapshot only
+	// after recovery, inside its writer goroutine. Reads block on
+	// ready until then (isReady is the lock-free fast path); readyErr
+	// is set before ready closes and makes all writes fail.
+	ready    chan struct{}
+	isReady  atomic.Bool
+	readyErr error
+
+	// Durability state, owned by the writer goroutine.
+	idx       int         // shard index (directory name)
+	seed      []core.Pair // bootstrap contents for a fresh directory
+	wal       *walWriter  // nil when the store is not durable
+	lsn       uint64      // last LSN appended to the WAL
+	walErr    error       // fail-stop: set on WAL append failure
+	recovered RecoveryStats
+
+	durErr atomic.Pointer[string] // last durability error, for Stats
+
 	// Writer-maintained counters, read via Stats.
 	puts, dels, published atomic.Uint64
+}
+
+// markReady publishes the recovery outcome and unblocks readers.
+func (sh *shard) markReady(err error) {
+	sh.readyErr = err
+	sh.isReady.Store(true)
+	close(sh.ready)
+}
+
+// waitReady blocks until the shard's first snapshot is published and
+// returns the recovery error, if any.
+func (sh *shard) waitReady() error {
+	if !sh.isReady.Load() {
+		<-sh.ready
+	}
+	return sh.readyErr
+}
+
+// setDurErr records a durability error for Stats.
+func (sh *shard) setDurErr(err error) {
+	s := err.Error()
+	sh.durErr.Store(&s)
 }
 
 // Store is a sharded, snapshot-isolated key→tupleID store. All read
@@ -133,6 +196,13 @@ type Store struct {
 
 // Open builds a store from the given pairs (sorted by key, no
 // duplicates — the Bulkload contract) and starts the shard writers.
+//
+// With cfg.Durable set, the pairs only seed a fresh data directory; an
+// existing directory is recovered instead (newest checkpoint + WAL
+// tail), per shard, inside the shard writer goroutines. Open returns
+// immediately; reads and writes to a shard block until its recovery
+// finishes. WaitReady blocks until every shard is up and reports the
+// first recovery failure.
 func Open(cfg StoreConfig, pairs []core.Pair) (*Store, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -146,26 +216,123 @@ func Open(cfg StoreConfig, pairs []core.Pair) (*Store, error) {
 		s := st.ShardOf(p.Key)
 		parts[s] = append(parts[s], p)
 	}
+	if cfg.Durable != nil {
+		if err := cfg.Durable.FS.MkdirAll("."); err != nil {
+			return nil, err
+		}
+		if err := loadOrInitManifest(cfg.Durable.FS, cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
 	for i := range st.shards {
-		pub, err := st.newTree(parts[i])
-		if err != nil {
-			return nil, err
-		}
-		spare, err := st.newTree(parts[i])
-		if err != nil {
-			return nil, err
-		}
 		sh := &shard{
-			spare:   spare,
+			idx:     i,
 			ops:     make(chan mutation, cfg.QueueLen),
 			drained: make(chan struct{}),
+			ready:   make(chan struct{}),
 		}
-		s := &snapshot{tree: pub, version: 1, count: pub.Len()}
-		sh.snap.Store(s)
+		if cfg.Durable != nil {
+			// The writer goroutine recovers and publishes the first
+			// snapshot; this shard serves as soon as it is done.
+			sh.seed = parts[i]
+		} else {
+			pub, err := st.newTree(parts[i])
+			if err != nil {
+				return nil, err
+			}
+			spare, err := st.newTree(parts[i])
+			if err != nil {
+				return nil, err
+			}
+			sh.spare = spare
+			sh.snap.Store(&snapshot{tree: pub, version: 1, count: pub.Len()})
+			sh.markReady(nil)
+		}
 		st.shards[i] = sh
 		go st.writer(sh)
 	}
 	return st, nil
+}
+
+// WaitReady blocks until every shard has published its first snapshot
+// (for a durable store: finished recovering) and returns the first
+// shard's recovery error, if any.
+func (st *Store) WaitReady() error {
+	var first error
+	for _, sh := range st.shards {
+		if err := sh.waitReady(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Recovery reports the per-shard recovery statistics of a durable
+// store, blocking until recovery completes. Nil for a non-durable
+// store.
+func (st *Store) Recovery() []RecoveryStats {
+	if st.cfg.Durable == nil {
+		return nil
+	}
+	out := make([]RecoveryStats, len(st.shards))
+	for i, sh := range st.shards {
+		sh.waitReady()
+		out[i] = sh.recovered
+	}
+	return out
+}
+
+// recoverAndPublish runs one durable shard's recovery-on-open: load
+// the newest checkpoint, replay the WAL tail, bootstrap a fresh
+// directory from the seed pairs, open a fresh WAL segment, publish the
+// first snapshot.
+func (st *Store) recoverAndPublish(sh *shard) error {
+	d := st.cfg.Durable
+	pairs, hadState, stats, err := recoverShard(d.FS, sh.idx, st.cfg.Fill)
+	if err != nil {
+		return err
+	}
+	if !hadState {
+		pairs = sh.seed
+		stats.Bootstrapped = true
+		stats.Pairs = len(pairs)
+	}
+	sh.seed = nil
+	pub, err := st.newTree(pairs)
+	if err != nil {
+		return err
+	}
+	spare, err := st.newTree(pairs)
+	if err != nil {
+		return err
+	}
+	dir := shardDirName(sh.idx)
+	if stats.Bootstrapped {
+		// A fresh shard's seed contents become its first checkpoint, so
+		// a crash before the first background checkpoint still recovers
+		// them.
+		if err := writeCheckpoint(d.FS, dir, pub, 0); err != nil {
+			return err
+		}
+		st.cfg.Metrics.Checkpoint(nil)
+	} else if stats.Replayed > 0 {
+		// Fold the replayed tail into a checkpoint now, so the segments
+		// it came from can be pruned and the next recovery is as short
+		// as this one.
+		if err := writeCheckpoint(d.FS, dir, pub, stats.LastLSN); err != nil {
+			return err
+		}
+		st.cfg.Metrics.Checkpoint(nil)
+	}
+	w, err := newWALWriter(d.FS, path.Join(dir, walSegName(stats.LastLSN+1)), d.Fsync, d.FsyncInterval, st.cfg.Metrics)
+	if err != nil {
+		return err
+	}
+	pruneShard(d.FS, dir, stats.LastLSN, stats.LastLSN+1)
+	sh.wal, sh.lsn, sh.spare, sh.recovered = w, stats.LastLSN, spare, stats
+	st.cfg.Metrics.Recovery(stats.Duration, stats.Replayed)
+	sh.snap.Store(&snapshot{tree: pub, version: stats.LastLSN + 1, count: pub.Len()})
+	return nil
 }
 
 // newTree bulkloads one shard tree.
@@ -217,8 +384,32 @@ func (s *snapshot) release() { s.refs.Add(-1) }
 // as the new snapshot, then replays the batch onto the previous tree
 // so it becomes the next spare (classic double buffering — publication
 // is O(batch), not O(shard)).
+//
+// For a durable store the writer first runs recovery (so other shards
+// serve while this one replays), then prepends a WAL group commit to
+// every batch, and checkpoints + rotates the log when the segment
+// accumulates CheckpointEvery records. If recovery fails the shard
+// fail-stops: it publishes an empty snapshot so readers never block
+// forever, and acknowledges every write with the recovery error.
 func (st *Store) writer(sh *shard) {
 	defer close(sh.drained)
+	if st.cfg.Durable != nil {
+		err := st.recoverAndPublish(sh)
+		if err != nil {
+			sh.setDurErr(err)
+			if empty, terr := st.newTree(nil); terr == nil {
+				sh.snap.Store(&snapshot{tree: empty, version: 1})
+			}
+			err = fmt.Errorf("serve: shard %d recovery: %w", sh.idx, err)
+		}
+		sh.markReady(err)
+		if err != nil {
+			for m := range sh.ops {
+				ackAll([]mutation{m}, err)
+			}
+			return
+		}
+	}
 	batch := make([]mutation, 0, st.cfg.MaxBatch)
 	for m := range sh.ops {
 		batch = append(batch[:0], m)
@@ -236,10 +427,52 @@ func (st *Store) writer(sh *shard) {
 		}
 		st.applyBatch(sh, batch)
 	}
+	if sh.wal != nil {
+		// Graceful-drain flush: every acknowledged write is on disk
+		// before Close returns.
+		if err := sh.wal.close(); err != nil {
+			sh.setDurErr(err)
+		}
+	}
+}
+
+// ackAll delivers one result to every waiter of a batch.
+func ackAll(batch []mutation, err error) {
+	for _, m := range batch {
+		if m.done != nil {
+			m.done <- err
+		}
+	}
 }
 
 // applyBatch applies one batch of mutations and publishes a snapshot.
+// In durable mode the batch is group-committed to the WAL first — one
+// record per mutation (mutations are the atomic unit), one write and
+// at most one fsync for the whole batch — and nothing is applied or
+// acknowledged unless the commit succeeds. A WAL failure fail-stops
+// the shard's write path: the log tail is no longer trustworthy, so
+// accepting more writes would acknowledge data that cannot be
+// recovered.
 func (st *Store) applyBatch(sh *shard, batch []mutation) {
+	if sh.walErr != nil {
+		ackAll(batch, sh.walErr)
+		return
+	}
+	if sh.wal != nil {
+		for _, m := range batch {
+			sh.lsn++
+			// Compact-only mutations log an empty record: every
+			// acknowledged mutation owns an LSN, which keeps published
+			// versions monotonic across restarts.
+			sh.wal.add(sh.lsn, m.puts, m.dels)
+		}
+		if err := sh.wal.commit(); err != nil {
+			sh.walErr = fmt.Errorf("serve: shard %d WAL append: %w", sh.idx, err)
+			sh.setDurErr(err)
+			ackAll(batch, sh.walErr)
+			return
+		}
+	}
 	compact := false
 	for _, m := range batch {
 		applyOne(sh.spare, m)
@@ -285,6 +518,38 @@ func (st *Store) applyBatch(sh *shard, batch []mutation) {
 		}
 	}
 	sh.spare = recycled
+	if sh.wal != nil && sh.wal.records >= uint64(st.cfg.Durable.CheckpointEvery) {
+		st.checkpoint(sh)
+	}
+}
+
+// checkpoint writes the published snapshot as a checkpoint, rotates
+// the WAL to a fresh segment, and prunes superseded files. Failures
+// leave the current segment in place — the shard keeps serving and
+// retries once the next batch lands.
+func (st *Store) checkpoint(sh *shard) {
+	d := st.cfg.Durable
+	dir := shardDirName(sh.idx)
+	tree := sh.snap.Load().tree // immutable to this goroutine until the next batch
+	if err := writeCheckpoint(d.FS, dir, tree, sh.lsn); err != nil {
+		st.cfg.Metrics.Checkpoint(err)
+		sh.setDurErr(err)
+		return
+	}
+	w, err := newWALWriter(d.FS, path.Join(dir, walSegName(sh.lsn+1)), d.Fsync, d.FsyncInterval, st.cfg.Metrics)
+	if err != nil {
+		// The old segment keeps growing; the new checkpoint already
+		// shortens the next recovery.
+		st.cfg.Metrics.Checkpoint(err)
+		sh.setDurErr(err)
+		return
+	}
+	if err := sh.wal.close(); err != nil {
+		sh.setDurErr(err)
+	}
+	sh.wal = w
+	pruneShard(d.FS, dir, sh.lsn, sh.lsn+1)
+	st.cfg.Metrics.Checkpoint(nil)
 }
 
 // applyOne applies a single mutation to a tree.
@@ -393,8 +658,10 @@ func (st *Store) Compact() error {
 }
 
 // Get looks up one key against the owning shard's current snapshot.
+// On a durable store it blocks until the shard has recovered.
 func (st *Store) Get(k core.Key) (core.TID, bool) {
 	sh := st.shards[st.ShardOf(k)]
+	sh.waitReady()
 	s := sh.acquire()
 	tid, ok := s.tree.Search(k)
 	s.release()
@@ -424,6 +691,7 @@ func (st *Store) MGet(keys []core.Key, out []Lookup) {
 	var gfound []bool
 	for sidx, idxs := range groups {
 		sh := st.shards[sidx]
+		sh.waitReady()
 		s := sh.acquire()
 		if len(idxs) == 1 {
 			i := idxs[0]
@@ -458,6 +726,7 @@ func (st *Store) Scan(start, end core.Key, limit int) []core.Pair {
 	runs := make([][]core.Pair, 0, len(st.shards))
 	buf := make([]core.Pair, limit)
 	for _, sh := range st.shards {
+		sh.waitReady()
 		s := sh.acquire()
 		sc := s.tree.NewScan(start, end)
 		var run []core.Pair
@@ -523,6 +792,7 @@ type ShardStats struct {
 	Deletes    uint64 `json:"deletes"`
 	Published  uint64 `json:"published"`
 	Height     int    `json:"height"`
+	DurableErr string `json:"durable_err,omitempty"` // last WAL/checkpoint/recovery error
 }
 
 // StoreStats aggregates the shard views.
@@ -531,10 +801,12 @@ type StoreStats struct {
 	Count  int          `json:"count"`
 }
 
-// Stats snapshots every shard's version, size and queue depth.
+// Stats snapshots every shard's version, size and queue depth,
+// blocking until recovering shards come up.
 func (st *Store) Stats() StoreStats {
 	out := StoreStats{Shards: make([]ShardStats, len(st.shards))}
 	for i, sh := range st.shards {
+		sh.waitReady()
 		s := sh.snap.Load()
 		out.Shards[i] = ShardStats{
 			Version:    s.version,
@@ -545,6 +817,9 @@ func (st *Store) Stats() StoreStats {
 			Published:  sh.published.Load(),
 			Height:     s.tree.Height(),
 		}
+		if e := sh.durErr.Load(); e != nil {
+			out.Shards[i].DurableErr = *e
+		}
 		out.Count += s.count
 	}
 	return out
@@ -554,6 +829,7 @@ func (st *Store) Stats() StoreStats {
 func (st *Store) Len() int {
 	n := 0
 	for _, sh := range st.shards {
+		sh.waitReady()
 		n += sh.snap.Load().count
 	}
 	return n
@@ -565,6 +841,7 @@ func (st *Store) Dump() []core.Pair {
 	runs := make([][]core.Pair, 0, len(st.shards))
 	total := 0
 	for _, sh := range st.shards {
+		sh.waitReady()
 		s := sh.acquire()
 		run := s.tree.AppendPairs(make([]core.Pair, 0, s.count))
 		s.release()

@@ -355,6 +355,33 @@ type (
 
 	// LoadgenReport is the JSON result of a load-generation run.
 	LoadgenReport = serve.LoadgenReport
+
+	// DurableConfig enables per-shard WAL + checkpoint persistence for
+	// a Store (DESIGN.md §9).
+	DurableConfig = serve.DurableConfig
+
+	// FsyncPolicy selects when the WAL is fsynced.
+	FsyncPolicy = serve.FsyncPolicy
+
+	// RecoveryStats describes one shard's recovery-on-open.
+	RecoveryStats = serve.RecoveryStats
+
+	// ServeFS is the filesystem surface of the durability layer; the
+	// default is the OS, and serve.NewMemFS gives a deterministic
+	// fault-injecting one for tests.
+	ServeFS = serve.FS
+)
+
+// WAL fsync policies.
+const (
+	// FsyncAlways syncs before every acknowledgement.
+	FsyncAlways = serve.FsyncAlways
+
+	// FsyncEvery syncs at most once per configured interval.
+	FsyncEvery = serve.FsyncEvery
+
+	// FsyncNever leaves syncing to the OS and segment rotation.
+	FsyncNever = serve.FsyncNever
 )
 
 // Serving-layer errors.

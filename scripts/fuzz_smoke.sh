@@ -1,0 +1,22 @@
+#!/bin/sh
+# Short-budget fuzz sweep: discover every Fuzz target in the module and
+# run each for FUZZTIME (default 5s). Catches regressions in the
+# decoders' no-panic/no-overread contracts without burning CI time; the
+# committed seed corpora under testdata/fuzz always run even in plain
+# `go test`.
+set -eu
+
+fuzztime="${FUZZTIME:-5s}"
+fail=0
+for pkg in $(go list ./...); do
+    targets=$(go test -list '^Fuzz' "$pkg" 2>/dev/null | grep '^Fuzz' || true)
+    [ -n "$targets" ] || continue
+    for t in $targets; do
+        echo "fuzz-smoke: $pkg $t ($fuzztime)"
+        if ! go test -run '^$' -fuzz "^${t}\$" -fuzztime "$fuzztime" "$pkg"; then
+            fail=1
+        fi
+    done
+done
+[ "$fail" = 0 ] || { echo "fuzz-smoke: FAILED"; exit 1; }
+echo "fuzz-smoke: OK"
