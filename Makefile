@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-smoke smoke-serve smoke-recover fuzz-smoke bench-serve
+.PHONY: check build test race vet bench-smoke smoke-serve smoke-recover fuzz-smoke bench-serve docs-check
 
 check: build vet test race smoke-serve smoke-recover
 
@@ -41,7 +41,13 @@ smoke-recover:
 fuzz-smoke:
 	sh scripts/fuzz_smoke.sh
 
-# Serving benchmark: 5s mixed Zipf load against a 1M-key server;
-# writes throughput + per-op p50/p99 to BENCH_serve.json.
+# Serving benchmark: 5s mixed Zipf load against a 1M-key server,
+# sequential (window=1) and pipelined (window=16) at equal connection
+# count; writes both reports to BENCH_serve.json.
 bench-serve:
 	sh scripts/bench_serve.sh BENCH_serve.json
+
+# Documentation gate: gofmt + vet + the godoc coverage test over
+# internal/serve + the PROTOCOL.md byte-for-byte conformance test.
+docs-check:
+	sh scripts/docs_check.sh

@@ -7,6 +7,11 @@
 //	pbtree-loadgen -addr 127.0.0.1:7070 -conns 8 -duration 10s \
 //	    -skew zipf -get 70 -mget 15 -scan 5 -put 10
 //
+// -window N keeps N calls outstanding per connection over the
+// pipelined v2 protocol (closed loop: total concurrency is
+// conns x window); -window 1 is the classic one-round-trip-at-a-time
+// loop. The report records the window and per-class reject counts.
+//
 // The exit status is nonzero if the run completed zero operations or
 // saw hard (non-backpressure) errors, so smoke tests can gate on it.
 package main
@@ -27,6 +32,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
 		conns    = flag.Int("conns", 4, "concurrent connections")
+		window   = flag.Int("window", 1, "outstanding calls per connection (pipelined when > 1)")
 		duration = flag.Duration("duration", 2*time.Second, "run length")
 		keys     = flag.Int("keys", 1_000_000, "key-space size (match the server's -keys)")
 		getPct   = flag.Int("get", 0, "GET percent of the mix")
@@ -48,6 +54,7 @@ func main() {
 	rep, err := pbtree.RunLoadgen(pbtree.LoadgenConfig{
 		Addr:      *addr,
 		Conns:     *conns,
+		Window:    *window,
 		Duration:  *duration,
 		Keys:      *keys,
 		GetPct:    *getPct,

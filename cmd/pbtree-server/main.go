@@ -1,6 +1,11 @@
 // Command pbtree-server serves a sharded pB+-Tree store over TCP with
 // the length-prefixed wire protocol of internal/serve (GET / MGET /
-// SCAN / PUT / DEL / STATS).
+// SCAN / PUT / DEL / STATS; normative spec in PROTOCOL.md).
+// Connections that negotiate protocol v2 at connect are full-duplex
+// pipelines: up to -window requests per connection execute
+// concurrently and responses return in completion order. Admission is
+// per op class (-read-tokens / -write-tokens / -scan-row-tokens), so
+// overload rejects expensive scans before cheap point ops.
 //
 // Usage:
 //
@@ -38,7 +43,10 @@ func main() {
 		keys     = flag.Int("keys", 1_000_000, "preload N sequential keys")
 		shards   = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
 		width    = flag.Int("width", 8, "tree node width in cache lines")
-		inflight = flag.Int("inflight", 0, "max in-flight requests (0 = 4x shards)")
+		window   = flag.Int("window", 0, "max concurrent requests per pipelined (v2) connection (0 = 32)")
+		readTok  = flag.Int("read-tokens", 0, "admission budget for GET/MGET (0 = 4x shards)")
+		writeTok = flag.Int("write-tokens", 0, "admission budget for PUT/DEL (0 = 2x shards)")
+		scanTok  = flag.Int("scan-row-tokens", 0, "admission budget for concurrent SCAN rows (0 = 64k)")
 		queue    = flag.Int("queue", 0, "per-shard mutation queue length (0 = 1024)")
 		batch    = flag.Bool("batch", true, "merge concurrent GETs into group searches")
 		group    = flag.Int("group", 16, "max lookups per merged group search")
@@ -87,11 +95,16 @@ func main() {
 	}
 	metrics.PublishExpvar("pbtree")
 	srv := pbtree.NewServer(st, pbtree.ServerConfig{
-		Addr:        *addr,
-		MaxInflight: *inflight,
-		Batch:       *batch,
-		Batcher:     serve.BatcherConfig{MaxGroup: *group, Linger: *linger},
-		Metrics:     metrics,
+		Addr:   *addr,
+		Window: *window,
+		Admission: pbtree.AdmissionConfig{
+			ReadTokens:    *readTok,
+			WriteTokens:   *writeTok,
+			ScanRowTokens: *scanTok,
+		},
+		Batch:   *batch,
+		Batcher: serve.BatcherConfig{MaxGroup: *group, Linger: *linger},
+		Metrics: metrics,
 	})
 	if err := srv.Start(); err != nil {
 		log.Fatal(err)

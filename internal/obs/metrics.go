@@ -114,7 +114,98 @@ var metricOps = []core.OpKind{core.OpSearch, core.OpInsert, core.OpDelete, core.
 type Metrics struct {
 	hists       [core.NumOps]Histogram
 	dur         durabilityCounters
+	adm         admissionCounters
 	publishOnce sync.Once
+}
+
+// AdmissionClass indexes the serving layer's per-op-class admission
+// budgets (DESIGN.md §10): cheap point ops and mutations each hold one
+// token while executing, scans hold one token per requested row, so
+// overload rejects expensive work first.
+type AdmissionClass int
+
+// The admission classes, in exposition order.
+const (
+	AdmRead  AdmissionClass = iota // GET / MGET point lookups
+	AdmWrite                       // PUT / DEL mutations
+	AdmScan                        // SCAN, metered in rows
+
+	// NumAdmissionClasses is the number of admission classes.
+	NumAdmissionClasses
+)
+
+// String names an admission class for metric labels.
+func (c AdmissionClass) String() string {
+	switch c {
+	case AdmRead:
+		return "read"
+	case AdmWrite:
+		return "write"
+	case AdmScan:
+		return "scan"
+	}
+	return "unknown"
+}
+
+// admissionClasses lists the classes in exposition order.
+var admissionClasses = []AdmissionClass{AdmRead, AdmWrite, AdmScan}
+
+// admissionCounters tracks token budget occupancy per class.
+type admissionCounters struct {
+	capacity [NumAdmissionClasses]atomic.Int64
+	inUse    [NumAdmissionClasses]atomic.Int64
+	rejects  [NumAdmissionClasses]atomic.Uint64
+}
+
+// AdmissionSnapshot is a point-in-time copy of one admission class.
+type AdmissionSnapshot struct {
+	Capacity int64  `json:"capacity"` // configured token budget
+	InUse    int64  `json:"in_use"`   // tokens currently held
+	Rejects  uint64 `json:"rejects"`  // requests turned away with retry
+}
+
+// AdmissionCapacity records the configured token budget of a class.
+func (m *Metrics) AdmissionCapacity(c AdmissionClass, capacity int64) {
+	if m == nil {
+		return
+	}
+	m.adm.capacity[c].Store(capacity)
+}
+
+// AdmissionAcquire records n tokens entering use in a class.
+func (m *Metrics) AdmissionAcquire(c AdmissionClass, n int64) {
+	if m == nil {
+		return
+	}
+	m.adm.inUse[c].Add(n)
+}
+
+// AdmissionRelease records n tokens leaving use in a class.
+func (m *Metrics) AdmissionRelease(c AdmissionClass, n int64) {
+	if m == nil {
+		return
+	}
+	m.adm.inUse[c].Add(-n)
+}
+
+// AdmissionReject records one rejected request in a class.
+func (m *Metrics) AdmissionReject(c AdmissionClass) {
+	if m == nil {
+		return
+	}
+	m.adm.rejects[c].Add(1)
+}
+
+// Admission snapshots one admission class.
+func (m *Metrics) Admission(c AdmissionClass) AdmissionSnapshot {
+	if m == nil {
+		return AdmissionSnapshot{}
+	}
+	return AdmissionSnapshot{
+		Capacity: m.adm.capacity[c].Load(),
+		InUse:    m.adm.inUse[c].Load(),
+		Rejects:  m.adm.rejects[c].Load(),
+	}
 }
 
 // durabilityCounters tracks the WAL + checkpoint layer (DESIGN.md §9).
@@ -271,6 +362,27 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	for _, g := range []struct {
+		name, help, typ string
+		v               func(AdmissionClass) any
+	}{
+		{"pbtree_admission_capacity", "Configured admission token budget.", "gauge",
+			func(c AdmissionClass) any { return m.Admission(c).Capacity }},
+		{"pbtree_admission_tokens_in_use", "Admission tokens currently held.", "gauge",
+			func(c AdmissionClass) any { return m.Admission(c).InUse }},
+		{"pbtree_admission_rejects_total", "Requests rejected by the admission budget.", "counter",
+			func(c AdmissionClass) any { return m.Admission(c).Rejects }},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", g.name, g.help, g.name, g.typ); err != nil {
+			return err
+		}
+		for _, c := range admissionClasses {
+			if _, err := fmt.Fprintf(w, "%s{class=%q} %d\n", g.name, c, g.v(c)); err != nil {
+				return err
+			}
+		}
+	}
+
 	d := m.Durability()
 	for _, c := range []struct {
 		name, help string
@@ -329,6 +441,11 @@ func (m *Metrics) PublishExpvar(name string) {
 					SumNS:  s.SumNS,
 				}
 			}
+			adm := map[string]AdmissionSnapshot{}
+			for _, c := range admissionClasses {
+				adm[c.String()] = m.Admission(c)
+			}
+			out["admission"] = adm
 			out["durability"] = m.Durability()
 			return out
 		}))

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pbtree/internal/obs"
+)
+
+// AdmissionConfig sets the per-op-class token budgets of a Server.
+// Admission replaces the old flat in-flight gate: each request class
+// draws tokens from its own budget while executing, so a burst of
+// expensive SCANs can exhaust only the scan budget — cheap GETs keep
+// being admitted — and the retry-after hint sent on rejection reflects
+// the class that is actually saturated (DESIGN.md §10, PROTOCOL.md §6).
+type AdmissionConfig struct {
+	// ReadTokens bounds concurrently executing GET/MGET requests; each
+	// holds one token. Zero selects 4x the store's shard count or 2x
+	// the server's pipeline window, whichever is larger — a default
+	// sized only to the shard count would reject moderate pipelined
+	// load on small machines.
+	ReadTokens int
+
+	// WriteTokens bounds concurrently executing PUT/DEL requests; each
+	// holds one token. Zero selects 2x the store's shard count or the
+	// pipeline window, whichever is larger.
+	WriteTokens int
+
+	// ScanRowTokens bounds the total rows of concurrently executing
+	// SCANs: a SCAN holds Limit tokens while it runs, so its admission
+	// cost scales with the work it may do. Zero selects 64k rows.
+	ScanRowTokens int
+
+	// RetryAfterRead/Write/Scan are the backoff hints sent with
+	// StatusRetry when the matching budget is exhausted. Zero selects
+	// the server's base RetryAfter for reads and writes and 4x the base
+	// for scans (an exhausted scan budget drains slower).
+	RetryAfterRead, RetryAfterWrite, RetryAfterScan time.Duration
+}
+
+// withDefaults resolves zero values against the store shape, the
+// server's pipeline window, and its base retry hint.
+func (c AdmissionConfig) withDefaults(shards, window int, baseRetry time.Duration) AdmissionConfig {
+	if c.ReadTokens <= 0 {
+		c.ReadTokens = max(4*shards, 2*window)
+	}
+	if c.WriteTokens <= 0 {
+		c.WriteTokens = max(2*shards, window)
+	}
+	if c.ScanRowTokens <= 0 {
+		c.ScanRowTokens = 64 << 10
+	}
+	if c.RetryAfterRead <= 0 {
+		c.RetryAfterRead = baseRetry
+	}
+	if c.RetryAfterWrite <= 0 {
+		c.RetryAfterWrite = baseRetry
+	}
+	if c.RetryAfterScan <= 0 {
+		c.RetryAfterScan = 4 * baseRetry
+	}
+	return c
+}
+
+// opClass maps a wire op onto its admission class; control-plane ops
+// (STATS, HELLO) return false and bypass admission entirely.
+func opClass(op Op) (obs.AdmissionClass, bool) {
+	switch op {
+	case OpGet, OpMGet:
+		return obs.AdmRead, true
+	case OpPut, OpDel:
+		return obs.AdmWrite, true
+	case OpScan:
+		return obs.AdmScan, true
+	}
+	return 0, false
+}
+
+// tokenBudget is one class's lock-free token pool.
+type tokenBudget struct {
+	capacity int64
+	used     atomic.Int64
+	rejects  atomic.Uint64
+}
+
+// tryAcquire takes n tokens if they fit the budget.
+func (b *tokenBudget) tryAcquire(n int64) bool {
+	for {
+		u := b.used.Load()
+		if u+n > b.capacity {
+			return false
+		}
+		if b.used.CompareAndSwap(u, u+n) {
+			return true
+		}
+	}
+}
+
+// release returns n tokens.
+func (b *tokenBudget) release(n int64) { b.used.Add(-n) }
+
+// admission is the server's per-class admission controller.
+type admission struct {
+	budgets    [obs.NumAdmissionClasses]tokenBudget
+	retryAfter [obs.NumAdmissionClasses]time.Duration
+	metrics    *obs.Metrics
+}
+
+// newAdmission builds the controller from a resolved config.
+func newAdmission(cfg AdmissionConfig, metrics *obs.Metrics) *admission {
+	a := &admission{metrics: metrics}
+	a.budgets[obs.AdmRead].capacity = int64(cfg.ReadTokens)
+	a.budgets[obs.AdmWrite].capacity = int64(cfg.WriteTokens)
+	a.budgets[obs.AdmScan].capacity = int64(cfg.ScanRowTokens)
+	a.retryAfter[obs.AdmRead] = cfg.RetryAfterRead
+	a.retryAfter[obs.AdmWrite] = cfg.RetryAfterWrite
+	a.retryAfter[obs.AdmScan] = cfg.RetryAfterScan
+	for _, c := range []obs.AdmissionClass{obs.AdmRead, obs.AdmWrite, obs.AdmScan} {
+		metrics.AdmissionCapacity(c, a.budgets[c].capacity)
+	}
+	return a
+}
+
+// cost is the token price of a request: one per cheap op, the
+// requested row limit per SCAN. The limit is the pre-execution upper
+// bound of the scan's work; tokens are released when the response is
+// ready, whatever the scan actually returned.
+func cost(req *Request) int64 {
+	if req.Op == OpScan {
+		return int64(req.Limit)
+	}
+	return 1
+}
+
+// admit takes the request's tokens or reports the saturated class's
+// retry hint. The returned release func is non-nil iff ok; ops outside
+// every class (STATS, HELLO) admit for free.
+func (a *admission) admit(req *Request) (release func(), retryAfter time.Duration, ok bool) {
+	class, metered := opClass(req.Op)
+	if !metered {
+		return func() {}, 0, true
+	}
+	n := cost(req)
+	b := &a.budgets[class]
+	if !b.tryAcquire(n) {
+		b.rejects.Add(1)
+		a.metrics.AdmissionReject(class)
+		return nil, a.retryAfter[class], false
+	}
+	a.metrics.AdmissionAcquire(class, n)
+	return func() {
+		b.release(n)
+		a.metrics.AdmissionRelease(class, n)
+	}, 0, true
+}
+
+// BudgetStats is the STATS view of one admission class.
+type BudgetStats struct {
+	Capacity int64  `json:"capacity"` // total tokens in the class budget
+	InUse    int64  `json:"in_use"`   // tokens held by executing requests
+	Rejected uint64 `json:"rejected"` // requests turned away since start
+}
+
+// stats snapshots every class for the STATS payload.
+func (a *admission) stats() map[string]BudgetStats {
+	out := make(map[string]BudgetStats, int(obs.NumAdmissionClasses))
+	for _, c := range []obs.AdmissionClass{obs.AdmRead, obs.AdmWrite, obs.AdmScan} {
+		out[c.String()] = BudgetStats{
+			Capacity: a.budgets[c].capacity,
+			InUse:    a.budgets[c].used.Load(),
+			Rejected: a.budgets[c].rejects.Load(),
+		}
+	}
+	return out
+}

@@ -2,9 +2,11 @@ package serve
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pbtree/internal/core"
@@ -13,57 +15,161 @@ import (
 // RetryError reports a StatusRetry rejection; the caller should back
 // off for After and retry.
 type RetryError struct {
-	After time.Duration
+	After time.Duration // the server's class-specific backoff hint
 }
 
+// Error describes the rejection with its backoff hint.
 func (e *RetryError) Error() string {
 	return fmt.Sprintf("serve: server overloaded, retry after %v", e.After)
 }
 
-// DeadlineError reports that the request's deadline expired on the
-// server before execution.
+// DeadlineError reports that the request's deadline expired — on the
+// server before execution, or on the client waiting for the response.
 type DeadlineError struct{}
 
-func (*DeadlineError) Error() string { return "serve: request deadline expired on server" }
+// Error names the expired deadline.
+func (*DeadlineError) Error() string { return "serve: request deadline expired" }
 
-// Client is a synchronous wire-protocol client over one TCP
-// connection. Methods are safe for concurrent use but serialize on the
-// connection; open one Client per concurrent request stream (as the
-// load generator does).
-type Client struct {
-	// Timeout, when nonzero, bounds each round trip: it is sent as the
-	// request deadline and applied to the socket I/O.
-	Timeout time.Duration
+// ErrClientClosed reports a call on a closed or failed client.
+var ErrClientClosed = errors.New("serve: client closed")
 
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	out  []byte
-	in   []byte
+// Call is one in-flight asynchronous request issued with Client.Go.
+// When the call completes, Resp/Err are set and the call is delivered
+// on Done.
+type Call struct {
+	Req  *Request   // the request as sent
+	Resp *Response  // the decoded response (nil on transport error)
+	Err  error      // transport or decode error
+	Done chan *Call // receives the call itself on completion
+
+	id uint32 // wire request ID (version 2)
 }
 
-// Dial connects to a server.
+// finish delivers the call; a full Done channel drops the notification
+// (as in net/rpc, the caller is expected to size it).
+func (c *Call) finish() {
+	select {
+	case c.Done <- c:
+	default:
+	}
+}
+
+// Client is a wire-protocol client over one TCP connection. Dial
+// negotiates protocol version 2 when the server supports it, which
+// makes the connection a full-duplex pipeline: any number of
+// goroutines may issue calls concurrently (Go, or the synchronous
+// wrappers), the client tags each with a request ID, and a reader
+// goroutine matches responses — which the server may send in any order
+// — back to their callers. Against a version-1 server the same API
+// works but calls serialize on the connection, one round trip at a
+// time.
+type Client struct {
+	// Timeout, when nonzero, bounds each call: it is sent as the
+	// request deadline and bounds the local wait for the response.
+	Timeout time.Duration
+
+	version int    // negotiated protocol version
+	window  uint32 // server's per-connection pipeline depth (v2)
+
+	conn net.Conn
+	br   *bufio.Reader
+
+	// v1 state: one round trip at a time under mu.
+	mu  sync.Mutex
+	out []byte
+	in  []byte
+	bw  *bufio.Writer
+
+	// v2 state: concurrent senders under sendMu, reader goroutine
+	// completing pending calls.
+	sendMu  sync.Mutex
+	nextID  atomic.Uint32
+	pending sync.Map // uint32 -> *Call
+	failed  atomic.Pointer[error]
+	closed  atomic.Bool
+}
+
+// Dial connects to a server and negotiates the highest protocol
+// version both sides speak (PROTOCOL.md §3): it sends a HELLO and
+// upgrades to the pipelined version 2 on an acknowledging server. A
+// pre-v2 server answers the unknown HELLO op with StatusErr, which
+// Dial treats as a version-1 connection — so a new client works
+// against an old server.
 func Dial(addr string) (*Client, error) {
+	return dial(addr, ProtoV2)
+}
+
+// DialV1 connects without negotiating: the connection speaks protocol
+// version 1 (one request, one response, in order), byte-compatible
+// with pre-pipelining servers and useful for compatibility tests.
+func DialV1(addr string) (*Client, error) {
+	return dial(addr, ProtoV1)
+}
+
+func dial(addr string, maxVersion uint8) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
-	}, nil
+	c := &Client{
+		version: ProtoV1,
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		bw:      bufio.NewWriter(conn),
+	}
+	if maxVersion >= ProtoV2 {
+		if err := c.negotiate(maxVersion); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	if c.version >= ProtoV2 {
+		go c.readLoop()
+	}
+	return c, nil
 }
 
-// Close closes the connection.
+// negotiate runs the HELLO exchange on a fresh connection, bounded by
+// a fixed handshake deadline so a dead server cannot hang Dial.
+func (c *Client) negotiate(maxVersion uint8) error {
+	c.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	defer c.conn.SetDeadline(time.Time{})
+	rs, err := c.roundTrip(&Request{Op: OpHello, MaxVersion: maxVersion})
+	if err != nil {
+		return err
+	}
+	switch rs.Status {
+	case StatusOK:
+		if rs.Version >= ProtoV2 {
+			c.version = int(rs.Version)
+			c.window = rs.Window
+		}
+		return nil
+	case StatusErr:
+		// A pre-v2 server rejects the unknown op but keeps the
+		// connection; fall back to version 1.
+		return nil
+	default:
+		return fmt.Errorf("serve: HELLO answered with status %d", rs.Status)
+	}
+}
+
+// Version reports the negotiated protocol version.
+func (c *Client) Version() int { return c.version }
+
+// Window reports the server's per-connection pipeline depth (0 on a
+// version-1 connection).
+func (c *Client) Window() uint32 { return c.window }
+
+// Close closes the connection; in-flight calls fail with
+// ErrClientClosed.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.closed.Store(true)
 	return c.conn.Close()
 }
 
-// roundTrip sends one request and decodes the response frame.
+// roundTrip sends one request and decodes the response frame
+// (version-1 framing, serialized on the connection).
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -92,6 +198,133 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	return DecodeResponse(frame)
 }
 
+// Go issues req asynchronously and returns its Call; the call is
+// delivered on done (a fresh one-buffered channel when nil) once the
+// response arrives or the transport fails. On a version-1 connection
+// the call still completes asynchronously but serializes with every
+// other call on the connection.
+func (c *Client) Go(req *Request, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	}
+	call := &Call{Req: req, Done: done}
+	if c.version < ProtoV2 {
+		go func() {
+			call.Resp, call.Err = c.roundTrip(req)
+			call.finish()
+		}()
+		return call
+	}
+	if err := c.broken(); err != nil {
+		call.Err = err
+		call.finish()
+		return call
+	}
+	if c.Timeout > 0 {
+		req.DeadlineMS = uint32(c.Timeout / time.Millisecond)
+	}
+	id := c.nextID.Add(1)
+	call.id = id
+	c.pending.Store(id, call)
+	c.sendMu.Lock()
+	payload, err := AppendRequestV2(c.out[:0], id, req)
+	if err == nil {
+		c.out = payload
+		if c.Timeout > 0 {
+			c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+		}
+		if err = WriteFrame(c.bw, payload); err == nil {
+			err = c.bw.Flush()
+		}
+	}
+	c.sendMu.Unlock()
+	if err != nil {
+		if _, loaded := c.pending.LoadAndDelete(id); loaded {
+			call.Err = err
+			call.finish()
+		}
+	}
+	return call
+}
+
+// broken reports the sticky transport error, if any.
+func (c *Client) broken() error {
+	if c.closed.Load() {
+		return ErrClientClosed
+	}
+	if p := c.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// readLoop is the version-2 response dispatcher: it matches response
+// IDs to pending calls for as long as the connection lives, then fails
+// whatever is left.
+func (c *Client) readLoop() {
+	var buf []byte
+	var err error
+	for {
+		var frame []byte
+		frame, err = ReadFrame(c.br, buf)
+		if err != nil {
+			break
+		}
+		buf = frame
+		id, rs, derr := DecodeResponseV2(frame)
+		if derr != nil {
+			err = derr
+			break
+		}
+		if v, ok := c.pending.LoadAndDelete(id); ok {
+			call := v.(*Call)
+			call.Resp = rs
+			call.finish()
+		}
+		// An unknown ID is a response to an abandoned (timed-out)
+		// call: drop it.
+	}
+	if c.closed.Load() {
+		err = ErrClientClosed
+	}
+	c.failed.Store(&err)
+	c.conn.Close()
+	c.pending.Range(func(k, v any) bool {
+		if _, ok := c.pending.LoadAndDelete(k); ok {
+			call := v.(*Call)
+			call.Err = err
+			call.finish()
+		}
+		return true
+	})
+}
+
+// call runs one request synchronously over whichever protocol version
+// the connection negotiated.
+func (c *Client) call(req *Request) (*Response, error) {
+	if c.version < ProtoV2 {
+		return c.roundTrip(req)
+	}
+	call := c.Go(req, nil)
+	if c.Timeout <= 0 {
+		<-call.Done
+		return call.Resp, call.Err
+	}
+	// Grace on top of the wire deadline: the server's own deadline
+	// answer normally arrives first; the timer only fires when the
+	// response went missing entirely.
+	timer := time.NewTimer(c.Timeout + 250*time.Millisecond)
+	defer timer.Stop()
+	select {
+	case <-call.Done:
+		return call.Resp, call.Err
+	case <-timer.C:
+		// Abandon: the reader drops the late response by its ID.
+		c.pending.Delete(call.id)
+		return nil, &DeadlineError{}
+	}
+}
+
 // statusErr maps non-OK statuses onto errors; StatusNotFound is left
 // to the caller (it is a result, not a failure).
 func statusErr(rs *Response) error {
@@ -109,7 +342,7 @@ func statusErr(rs *Response) error {
 
 // Get looks up one key.
 func (c *Client) Get(k core.Key) (core.TID, bool, error) {
-	rs, err := c.roundTrip(&Request{Op: OpGet, Keys: []core.Key{k}})
+	rs, err := c.call(&Request{Op: OpGet, Keys: []core.Key{k}})
 	if err != nil {
 		return 0, false, err
 	}
@@ -127,7 +360,7 @@ func (c *Client) Get(k core.Key) (core.TID, bool, error) {
 
 // MGet looks up a batch of keys; the result aligns with keys.
 func (c *Client) MGet(keys []core.Key) ([]Lookup, error) {
-	rs, err := c.roundTrip(&Request{Op: OpMGet, Keys: keys})
+	rs, err := c.call(&Request{Op: OpMGet, Keys: keys})
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +375,7 @@ func (c *Client) MGet(keys []core.Key) ([]Lookup, error) {
 
 // Scan returns up to limit pairs with keys in [start, end].
 func (c *Client) Scan(start, end core.Key, limit int) ([]core.Pair, error) {
-	rs, err := c.roundTrip(&Request{Op: OpScan, Start: start, End: end, Limit: uint32(limit)})
+	rs, err := c.call(&Request{Op: OpScan, Start: start, End: end, Limit: uint32(limit)})
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +387,7 @@ func (c *Client) Scan(start, end core.Key, limit int) ([]core.Pair, error) {
 
 // Put upserts the pairs (one atomic unit per shard).
 func (c *Client) Put(pairs ...core.Pair) error {
-	rs, err := c.roundTrip(&Request{Op: OpPut, Pairs: pairs})
+	rs, err := c.call(&Request{Op: OpPut, Pairs: pairs})
 	if err != nil {
 		return err
 	}
@@ -163,7 +396,7 @@ func (c *Client) Put(pairs ...core.Pair) error {
 
 // Del deletes the keys.
 func (c *Client) Del(keys ...core.Key) error {
-	rs, err := c.roundTrip(&Request{Op: OpDel, Keys: keys})
+	rs, err := c.call(&Request{Op: OpDel, Keys: keys})
 	if err != nil {
 		return err
 	}
@@ -172,7 +405,7 @@ func (c *Client) Del(keys ...core.Key) error {
 
 // Stats fetches the server's JSON stats blob.
 func (c *Client) Stats() ([]byte, error) {
-	rs, err := c.roundTrip(&Request{Op: OpStats})
+	rs, err := c.call(&Request{Op: OpStats})
 	if err != nil {
 		return nil, err
 	}

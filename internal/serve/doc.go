@@ -1,0 +1,44 @@
+// Package serve is the serving layer of the repository: it turns the
+// frozen-tree read safety of internal/core and the zero-cost native
+// memory model of internal/memsys into a component that can sustain
+// heavy concurrent traffic.
+//
+// The architecture (DESIGN.md §8–§10):
+//
+//   - Store hash-partitions keys across N independent pB+-Trees. Each
+//     shard has exactly one writer goroutine; reads never take a lock.
+//     Writers apply mutations to a private spare tree and publish it
+//     with an atomic.Pointer swap, so every read runs against an
+//     immutable snapshot (copy-on-write publication, single-writer /
+//     many-reader).
+//   - Batcher collects concurrent point lookups into per-shard groups
+//     and executes them with core.Tree.SearchBatch, the group-
+//     pipelined search whose node fetches overlap in memory — the
+//     serving-layer generalization of the paper's whole-node prefetch
+//     (measured in the simulated `mget` experiment of internal/exp).
+//   - DurableStore layers per-shard write-ahead logs and checkpoints
+//     (wal.go, durable.go) under the Store so a crash loses nothing
+//     that was acknowledged.
+//   - Server is a TCP front end speaking the length-prefixed binary
+//     protocol specified in PROTOCOL.md (GET / MGET / SCAN / PUT /
+//     DEL / STATS / HELLO). A HELLO exchange upgrades a connection to
+//     protocol version 2, under which the connection is a full-duplex
+//     pipeline: every frame carries a request ID, the server reads
+//     ahead and executes up to ServerConfig.Window requests of one
+//     connection concurrently, and responses are written in
+//     completion order, not arrival order. Version-1 clients never
+//     send HELLO and keep the original one-request-at-a-time loop.
+//   - Admission control is per op class rather than a flat in-flight
+//     cap: reads (GET/MGET), writes (PUT/DEL) and scans draw from
+//     separate token budgets, with SCAN charged by its requested row
+//     limit. Overload therefore rejects expensive work first, and the
+//     StatusRetry hint tells the client which class is saturated
+//     (AdmissionConfig; occupancy is exported via obs.Metrics).
+//   - Client mirrors the server: Dial negotiates version 2 and
+//     multiplexes concurrent calls over one connection (Client.Go is
+//     the async form); DialV1 pins the legacy protocol.
+//   - Loadgen drives configurable read/write/scan mixes with uniform,
+//     Zipfian or hot-set key skew (internal/workload) across
+//     Conns × Window concurrent streams and reports throughput and
+//     latency percentiles.
+package serve

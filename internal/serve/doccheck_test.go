@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestExportedSymbolsDocumented fails when an exported symbol in this
+// package lacks a doc comment. The serving layer is the repository's
+// public face — PROTOCOL.md specifies the wire and the godoc specifies
+// the Go API, and `make docs-check` gates on both.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["serve"]
+	if !ok {
+		t.Fatalf("package serve not found, got %v", pkgs)
+	}
+
+	undocumented := func(doc *ast.CommentGroup) bool {
+		return doc == nil || strings.TrimSpace(doc.Text()) == ""
+	}
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		t.Errorf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name)
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedRecv(d.Recv) {
+					continue // method on an unexported type
+				}
+				if undocumented(d.Doc) {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && undocumented(d.Doc) && undocumented(s.Doc) {
+							report(s.Pos(), "type", s.Name.Name)
+						}
+						// Exported struct fields carry API contract
+						// too; each needs a doc or line comment.
+						if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+							for _, f := range st.Fields.List {
+								for _, n := range f.Names {
+									if n.IsExported() && undocumented(f.Doc) && undocumented(f.Comment) {
+										report(n.Pos(), "field", s.Name.Name+"."+n.Name)
+									}
+								}
+							}
+						}
+					case *ast.ValueSpec:
+						// A const/var block doc covers its members.
+						if undocumented(d.Doc) && undocumented(s.Doc) && undocumented(s.Comment) {
+							for _, n := range s.Names {
+								if n.IsExported() {
+									report(n.Pos(), "const/var", n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a method receiver names an exported
+// type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) != 1 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr: // generic receiver
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -92,14 +92,14 @@ func (c DurableConfig) withDefaults() (DurableConfig, error) {
 
 // RecoveryStats describes one shard's recovery-on-open.
 type RecoveryStats struct {
-	Shard         int           `json:"shard"`
-	CheckpointLSN uint64        `json:"checkpoint_lsn"` // 0 = none found
-	LastLSN       uint64        `json:"last_lsn"`       // after replay
-	Replayed      uint64        `json:"replayed_records"`
-	TornBytes     int64         `json:"torn_bytes"` // truncated WAL tail
-	Pairs         int           `json:"pairs"`
-	Duration      time.Duration `json:"duration_ns"`
-	Bootstrapped  bool          `json:"bootstrapped"` // fresh dir seeded from Open's pairs
+	Shard         int           `json:"shard"`            // shard index
+	CheckpointLSN uint64        `json:"checkpoint_lsn"`   // 0 = none found
+	LastLSN       uint64        `json:"last_lsn"`         // after replay
+	Replayed      uint64        `json:"replayed_records"` // WAL records applied
+	TornBytes     int64         `json:"torn_bytes"`       // truncated WAL tail
+	Pairs         int           `json:"pairs"`            // keys live after recovery
+	Duration      time.Duration `json:"duration_ns"`      // wall time of the recovery
+	Bootstrapped  bool          `json:"bootstrapped"`     // fresh dir seeded from Open's pairs
 }
 
 // manifest is the store-level metadata file, written once at
@@ -115,9 +115,9 @@ const (
 	manifestFormat = 1
 )
 
-func shardDirName(i int) string      { return fmt.Sprintf("shard-%04d", i) }
-func ckptName(lsn uint64) string     { return fmt.Sprintf("ckpt-%016x.pbt", lsn) }
-func walSegName(lsn uint64) string   { return fmt.Sprintf("wal-%016x.log", lsn) }
+func shardDirName(i int) string    { return fmt.Sprintf("shard-%04d", i) }
+func ckptName(lsn uint64) string   { return fmt.Sprintf("ckpt-%016x.pbt", lsn) }
+func walSegName(lsn uint64) string { return fmt.Sprintf("wal-%016x.log", lsn) }
 func parseSeq(name, prefix, suffix string) (uint64, bool) {
 	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
 		return 0, false

@@ -18,9 +18,15 @@ type LoadgenConfig struct {
 	// Addr is the server address.
 	Addr string `json:"addr"`
 
-	// Conns is the number of concurrent connections (each its own
-	// synchronous request loop). Zero selects 4.
+	// Conns is the number of concurrent connections. Zero selects 4.
 	Conns int `json:"conns"`
+
+	// Window is how many calls each connection keeps outstanding
+	// (closed-loop, via the pipelined client): total concurrency is
+	// Conns x Window, and the report records both so connection count
+	// is never conflated with concurrency. Zero selects 1 — the
+	// classic one-round-trip-at-a-time loop.
+	Window int `json:"window"`
 
 	// Duration is how long to drive load. Zero selects 2s. It is
 	// echoed in the JSON report (as nanoseconds) so a run is fully
@@ -30,11 +36,11 @@ type LoadgenConfig struct {
 	// GetPct, MGetPct, ScanPct, PutPct, DelPct set the operation mix in
 	// percent; they must sum to at most 100 and the remainder goes to
 	// GET. All zero selects 80/10/5/5/0.
-	GetPct  int `json:"get_pct"`
-	MGetPct int `json:"mget_pct"`
-	ScanPct int `json:"scan_pct"`
-	PutPct  int `json:"put_pct"`
-	DelPct  int `json:"del_pct"`
+	GetPct  int `json:"get_pct"`  // GET share (also absorbs the remainder)
+	MGetPct int `json:"mget_pct"` // MGET share
+	ScanPct int `json:"scan_pct"` // SCAN share
+	PutPct  int `json:"put_pct"`  // PUT share
+	DelPct  int `json:"del_pct"`  // DEL share
 
 	// Batch is the MGET batch size. Zero selects 16.
 	Batch int `json:"batch"`
@@ -55,8 +61,8 @@ type LoadgenConfig struct {
 	ZipfS float64 `json:"zipf_s"`
 
 	// HotFrac/HotProb parameterize "hotset". Zero selects 0.01/0.9.
-	HotFrac float64 `json:"hot_frac"`
-	HotProb float64 `json:"hot_prob"`
+	HotFrac float64 `json:"hot_frac"` // fraction of keys that are hot
+	HotProb float64 `json:"hot_prob"` // probability an op targets a hot key
 
 	// Seed makes runs reproducible per connection (conn i uses
 	// Seed+i). Zero selects 1.
@@ -71,6 +77,12 @@ type LoadgenConfig struct {
 func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
 	if c.Conns == 0 {
 		c.Conns = 4
+	}
+	if c.Window == 0 {
+		c.Window = 1
+	}
+	if c.Window < 0 {
+		return c, fmt.Errorf("serve: window %d invalid", c.Window)
 	}
 	if c.Duration == 0 {
 		c.Duration = 2 * time.Second
@@ -130,24 +142,28 @@ func (c LoadgenConfig) keyStream(seed int64) (workload.KeyStream, error) {
 
 // OpReport summarizes one operation class of a run.
 type OpReport struct {
-	Count  uint64  `json:"count"`
-	MeanUS float64 `json:"mean_us"`
-	P50US  float64 `json:"p50_us"`
-	P99US  float64 `json:"p99_us"`
+	Count  uint64  `json:"count"`   // completed calls
+	MeanUS float64 `json:"mean_us"` // mean latency, microseconds
+	P50US  float64 `json:"p50_us"`  // median latency, microseconds
+	P99US  float64 `json:"p99_us"`  // 99th-percentile latency, microseconds
 }
 
 // LoadgenReport is the JSON result of a run.
 type LoadgenReport struct {
-	Config     LoadgenConfig       `json:"config"`
-	DurationMS int64               `json:"duration_ms"`
-	Ops        uint64              `json:"ops"`
-	Rows       uint64              `json:"rows"` // keys looked up / rows scanned / pairs written
-	Throughput float64             `json:"ops_per_sec"`
-	Rejected   uint64              `json:"rejected"`
-	Deadline   uint64              `json:"deadline_expired"`
-	Errors     uint64              `json:"errors"`
-	NotFound   uint64              `json:"not_found"`
-	PerOp      map[string]OpReport `json:"per_op"`
+	Config      LoadgenConfig `json:"config"`      // the defaulted config the run used
+	DurationMS  int64         `json:"duration_ms"` // measured run length
+	Concurrency int           `json:"concurrency"` // Conns x Window outstanding calls
+	Ops         uint64        `json:"ops"`         // completed operations
+	Rows        uint64        `json:"rows"`        // keys looked up / rows scanned / pairs written
+	Throughput  float64       `json:"ops_per_sec"` // Ops over the measured duration
+	Rejected    uint64        `json:"rejected"`    // StatusRetry rejections (all classes)
+	// RejectedByClass splits Rejected by admission class ("read",
+	// "write", "scan"), so a report shows which budget saturated.
+	RejectedByClass map[string]uint64   `json:"rejected_by_class"`
+	Deadline        uint64              `json:"deadline_expired"` // calls that hit their deadline
+	Errors          uint64              `json:"errors"`           // hard (non-backpressure) failures
+	NotFound        uint64              `json:"not_found"`        // GETs answered StatusNotFound
+	PerOp           map[string]OpReport `json:"per_op"`           // latency breakdown per op name
 }
 
 // RunLoadgen drives the configured mix against a running server and
@@ -178,96 +194,119 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 	}()
 
 	var (
-		metrics  = obs.NewMetrics() // wall-clock latency per op class
-		ops      atomic.Uint64
-		rows     atomic.Uint64
-		rejected atomic.Uint64
-		expired  atomic.Uint64
-		errs     atomic.Uint64
-		notFound atomic.Uint64
+		metrics    = obs.NewMetrics() // wall-clock latency per op class
+		ops        atomic.Uint64
+		rows       atomic.Uint64
+		rejected   atomic.Uint64
+		rejByClass [obs.NumAdmissionClasses]atomic.Uint64
+		expired    atomic.Uint64
+		errs       atomic.Uint64
+		notFound   atomic.Uint64
 	)
-	deadline := time.Now().Add(cfg.Duration)
-	var wg sync.WaitGroup
-	for i, cl := range clients {
-		stream, err := cfg.keyStream(cfg.Seed + int64(i))
+	// Build every worker's key stream before starting the clock: a
+	// skewed stream carries an O(keys) permutation, and Conns×Window of
+	// them would otherwise eat into the measured window (at high window
+	// counts, most of it).
+	streams := make([]workload.KeyStream, cfg.Conns*cfg.Window)
+	for w := range streams {
+		s, err := cfg.keyStream(cfg.Seed + int64(w))
 		if err != nil {
 			return nil, err
 		}
-		wg.Add(1)
-		go func(cl *Client, stream workload.KeyStream, r *rand.Rand) {
-			defer wg.Done()
-			keys := make([]core.Key, cfg.Batch)
-			for time.Now().Before(deadline) {
-				dice := r.Intn(100)
-				var (
-					op    core.OpKind
-					n     uint64
-					err   error
-					found = true
-				)
-				start := time.Now()
-				switch {
-				case dice < cfg.GetPct:
-					op, n = core.OpSearch, 1
-					_, found, err = cl.Get(stream.Next())
-				case dice < cfg.GetPct+cfg.MGetPct:
-					op, n = core.OpSearch, uint64(cfg.Batch)
-					for j := range keys {
-						keys[j] = stream.Next()
-					}
-					_, err = cl.MGet(keys)
-				case dice < cfg.GetPct+cfg.MGetPct+cfg.ScanPct:
-					op = core.OpScan
-					startKey := stream.Next()
-					var pairs []core.Pair
-					pairs, err = cl.Scan(startKey, startKey+core.Key(8*cfg.ScanLimit), cfg.ScanLimit)
-					n = uint64(len(pairs))
-				case dice < cfg.GetPct+cfg.MGetPct+cfg.ScanPct+cfg.PutPct:
-					op, n = core.OpInsert, 1
-					k := stream.Next()
-					err = cl.Put(core.Pair{Key: k, TID: core.TID(k)})
-				default:
-					op, n = core.OpDelete, 1
-					// Delete then restore, so the key space stays stable
-					// across long runs.
-					k := stream.Next()
-					if err = cl.Del(k); err == nil {
+		streams[w] = s
+	}
+
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	// Window workers share each connection: the pipelined client keeps
+	// their calls outstanding concurrently, so per-connection
+	// concurrency is the window size, not 1.
+	for i, cl := range clients {
+		for j := 0; j < cfg.Window; j++ {
+			stream := streams[i*cfg.Window+j]
+			wg.Add(1)
+			go func(cl *Client, stream workload.KeyStream, r *rand.Rand) {
+				defer wg.Done()
+				keys := make([]core.Key, cfg.Batch)
+				for time.Now().Before(deadline) {
+					dice := r.Intn(100)
+					var (
+						op    core.OpKind
+						class = obs.AdmRead
+						n     uint64
+						err   error
+						found = true
+					)
+					start := time.Now()
+					switch {
+					case dice < cfg.GetPct:
+						op, n = core.OpSearch, 1
+						_, found, err = cl.Get(stream.Next())
+					case dice < cfg.GetPct+cfg.MGetPct:
+						op, n = core.OpSearch, uint64(cfg.Batch)
+						for j := range keys {
+							keys[j] = stream.Next()
+						}
+						_, err = cl.MGet(keys)
+					case dice < cfg.GetPct+cfg.MGetPct+cfg.ScanPct:
+						op, class = core.OpScan, obs.AdmScan
+						startKey := stream.Next()
+						var pairs []core.Pair
+						pairs, err = cl.Scan(startKey, startKey+core.Key(8*cfg.ScanLimit), cfg.ScanLimit)
+						n = uint64(len(pairs))
+					case dice < cfg.GetPct+cfg.MGetPct+cfg.ScanPct+cfg.PutPct:
+						op, class, n = core.OpInsert, obs.AdmWrite, 1
+						k := stream.Next()
 						err = cl.Put(core.Pair{Key: k, TID: core.TID(k)})
+					default:
+						op, class, n = core.OpDelete, obs.AdmWrite, 1
+						// Delete then restore, so the key space stays stable
+						// across long runs.
+						k := stream.Next()
+						if err = cl.Del(k); err == nil {
+							err = cl.Put(core.Pair{Key: k, TID: core.TID(k)})
+						}
+					}
+					lat := time.Since(start)
+					switch {
+					case err == nil:
+						metrics.Observe(op, lat)
+						ops.Add(1)
+						rows.Add(n)
+						if !found {
+							notFound.Add(1)
+						}
+					case errors.As(err, new(*RetryError)):
+						rejected.Add(1)
+						rejByClass[class].Add(1)
+						time.Sleep(cfg.Timeout / 100)
+					case errors.As(err, new(*DeadlineError)):
+						expired.Add(1)
+					default:
+						errs.Add(1)
+						return // connection-level failure: stop this worker
 					}
 				}
-				lat := time.Since(start)
-				switch {
-				case err == nil:
-					metrics.Observe(op, lat)
-					ops.Add(1)
-					rows.Add(n)
-					if !found {
-						notFound.Add(1)
-					}
-				case errors.As(err, new(*RetryError)):
-					rejected.Add(1)
-					time.Sleep(cfg.Timeout / 100)
-				case errors.As(err, new(*DeadlineError)):
-					expired.Add(1)
-				default:
-					errs.Add(1)
-					return // connection-level failure: stop this worker
-				}
-			}
-		}(cl, stream, rand.New(rand.NewSource(cfg.Seed^int64(0x9e3779b9*uint32(i+1)))))
+			}(cl, stream, rand.New(rand.NewSource(cfg.Seed^int64(0x9e3779b9*uint32(i*cfg.Window+j+1)))))
+		}
 	}
 	wg.Wait()
 
 	rep := &LoadgenReport{
-		Config:     cfg,
-		DurationMS: cfg.Duration.Milliseconds(),
-		Ops:        ops.Load(),
-		Rows:       rows.Load(),
-		Rejected:   rejected.Load(),
-		Deadline:   expired.Load(),
-		Errors:     errs.Load(),
-		NotFound:   notFound.Load(),
-		PerOp:      map[string]OpReport{},
+		Config:          cfg,
+		DurationMS:      cfg.Duration.Milliseconds(),
+		Concurrency:     cfg.Conns * cfg.Window,
+		Ops:             ops.Load(),
+		Rows:            rows.Load(),
+		Rejected:        rejected.Load(),
+		RejectedByClass: map[string]uint64{},
+		Deadline:        expired.Load(),
+		Errors:          errs.Load(),
+		NotFound:        notFound.Load(),
+		PerOp:           map[string]OpReport{},
+	}
+	for c := obs.AdmissionClass(0); c < obs.NumAdmissionClasses; c++ {
+		rep.RejectedByClass[c.String()] = rejByClass[c].Load()
 	}
 	rep.Throughput = float64(rep.Ops) / cfg.Duration.Seconds()
 	for _, op := range []core.OpKind{core.OpSearch, core.OpScan, core.OpInsert, core.OpDelete} {

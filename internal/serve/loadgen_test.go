@@ -16,6 +16,7 @@ func TestLoadgenConfigRoundTrip(t *testing.T) {
 	cfg := LoadgenConfig{
 		Addr:     "127.0.0.1:7070",
 		Conns:    3,
+		Window:   8,
 		Duration: 1500 * time.Millisecond,
 		PutPct:   7,
 		Skew:     "hotset",
@@ -49,13 +50,18 @@ func TestLoadgenConfigRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, field := range []string{
-		"addr", "conns", "duration_ns", "get_pct", "mget_pct", "scan_pct",
-		"put_pct", "del_pct", "batch", "scan_limit", "keys", "skew",
-		"zipf_s", "hot_frac", "hot_prob", "seed", "timeout_ns",
+		"addr", "conns", "window", "duration_ns", "get_pct", "mget_pct",
+		"scan_pct", "put_pct", "del_pct", "batch", "scan_limit", "keys",
+		"skew", "zipf_s", "hot_frac", "hot_prob", "seed", "timeout_ns",
 	} {
 		if _, ok := rawCfg[field]; !ok {
 			t.Errorf("report config is missing %q", field)
 		}
+	}
+	// The window must be echoed even at its default of 1 — conns alone
+	// does not determine concurrency any more.
+	if string(rawCfg["window"]) != "8" {
+		t.Errorf("window echoed as %s, want 8", rawCfg["window"])
 	}
 	// A defaulted config never marshals zero values for the knobs that
 	// alter the workload, so absence of a field is always a bug.
@@ -64,5 +70,72 @@ func TestLoadgenConfigRoundTrip(t *testing.T) {
 	}
 	if string(rawCfg["duration_ns"]) != "1500000000" {
 		t.Errorf("duration echoed as %s, want 1500000000", rawCfg["duration_ns"])
+	}
+}
+
+// TestLoadgenReportRoundTrip pins the report fields that un-conflate
+// connection count from concurrency: window, concurrency, and the
+// per-class reject split must survive a JSON round trip by name.
+func TestLoadgenReportRoundTrip(t *testing.T) {
+	rep := LoadgenReport{
+		Config:      LoadgenConfig{Conns: 4, Window: 16},
+		Concurrency: 64,
+		Ops:         10,
+		Rejected:    5,
+		RejectedByClass: map[string]uint64{
+			"read": 1, "write": 1, "scan": 3,
+		},
+	}
+	blob, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LoadgenReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Concurrency != 64 || back.Config.Window != 16 {
+		t.Fatalf("concurrency/window did not round-trip: %+v", back)
+	}
+	if back.RejectedByClass["scan"] != 3 || back.RejectedByClass["read"] != 1 {
+		t.Fatalf("per-class rejects did not round-trip: %+v", back.RejectedByClass)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"concurrency", "rejected_by_class"} {
+		if _, ok := raw[field]; !ok {
+			t.Errorf("report is missing %q", field)
+		}
+	}
+}
+
+// TestLoadgenWindowed runs a real windowed loadgen against a server
+// and checks the report reflects the configured concurrency.
+func TestLoadgenWindowed(t *testing.T) {
+	_, addr := startServer(t, 10_000, ServerConfig{})
+	rep, err := RunLoadgen(LoadgenConfig{
+		Addr:     addr,
+		Conns:    2,
+		Window:   8,
+		Duration: 200 * time.Millisecond,
+		Keys:     10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 || rep.Errors != 0 {
+		t.Fatalf("windowed run: %d ops, %d errors", rep.Ops, rep.Errors)
+	}
+	if rep.Concurrency != 16 || rep.Config.Window != 8 {
+		t.Fatalf("report concurrency = %d (window %d), want 16 (8)", rep.Concurrency, rep.Config.Window)
+	}
+	if rep.RejectedByClass == nil {
+		t.Fatal("rejected_by_class missing from report")
+	}
+	// A negative window is a setup error.
+	if _, err := RunLoadgen(LoadgenConfig{Addr: addr, Window: -1, Duration: time.Millisecond}); err == nil {
+		t.Fatal("negative window accepted")
 	}
 }

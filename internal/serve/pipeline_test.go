@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pbtree/internal/core"
+	"pbtree/internal/obs"
+)
+
+func TestHelloNegotiation(t *testing.T) {
+	_, addr := startServer(t, 100, ServerConfig{Window: 7})
+
+	// Dial negotiates up to v2 and learns the server window.
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Version() != ProtoV2 || cl.Window() != 7 {
+		t.Fatalf("negotiated (v%d, window %d), want (v2, 7)", cl.Version(), cl.Window())
+	}
+	if tid, ok, err := cl.Get(8); err != nil || !ok || tid != 1 {
+		t.Fatalf("v2 Get(8) = (%d, %v, %v)", tid, ok, err)
+	}
+
+	// DialV1 skips the handshake and stays on v1.
+	v1, err := DialV1(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	if v1.Version() != ProtoV1 {
+		t.Fatalf("DialV1 negotiated v%d", v1.Version())
+	}
+	if tid, ok, err := v1.Get(8); err != nil || !ok || tid != 1 {
+		t.Fatalf("v1 Get(8) = (%d, %v, %v)", tid, ok, err)
+	}
+
+	// A HELLO after traffic already flowed on a v1 connection is
+	// answered with version 1: no mid-stream renegotiation.
+	rs, err := v1.roundTrip(&Request{Op: OpHello, MaxVersion: ProtoV2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Status != StatusOK || rs.Version != ProtoV1 {
+		t.Fatalf("late HELLO answered %+v, want OK v1", rs)
+	}
+}
+
+// TestV1ClientAgainstV2Server pins backward compatibility: a client
+// that never heard of HELLO or request IDs runs the full op suite
+// against a pipelining server.
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	const n = 1000
+	_, addr := startServer(t, n, ServerConfig{})
+	cl, err := DialV1(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Timeout = 5 * time.Second
+
+	if tid, ok, err := cl.Get(16); err != nil || !ok || tid != 2 {
+		t.Fatalf("Get(16) = (%d, %v, %v)", tid, ok, err)
+	}
+	if ls, err := cl.MGet([]core.Key{8, 3}); err != nil || !ls[0].Found || ls[1].Found {
+		t.Fatalf("MGet = %+v, %v", ls, err)
+	}
+	if err := cl.Put(core.Pair{Key: 8 * (n + 1), TID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if tid, ok, _ := cl.Get(8 * (n + 1)); !ok || tid != 9 {
+		t.Fatalf("read-your-write = (%d, %v)", tid, ok)
+	}
+	if err := cl.Del(8 * (n + 1)); err != nil {
+		t.Fatal(err)
+	}
+	if pairs, err := cl.Scan(8, 80, 100); err != nil || len(pairs) != 10 {
+		t.Fatalf("Scan = %d pairs, %v", len(pairs), err)
+	}
+	if _, err := cl.Stats(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinedOutOfOrder drives one connection with many concurrent
+// callers (this is the -race coverage of out-of-order response
+// writing): every GET must come back with its own key's TID, so any
+// ID mismatch in the concurrent read-ahead / out-of-order write path
+// is a correctness failure, not just a race report.
+func TestPipelinedOutOfOrder(t *testing.T) {
+	const n = 5000
+	_, addr := startServer(t, n, ServerConfig{Window: 16})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Timeout = 10 * time.Second
+	if cl.Version() != ProtoV2 {
+		t.Fatalf("negotiated v%d", cl.Version())
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			x := seed
+			for i := 0; i < 400; i++ {
+				x = x*1664525 + 1013904223
+				switch x % 8 {
+				case 0: // interleave slow scans with the cheap gets
+					start := core.Key(8 * (1 + x%n))
+					if _, err := cl.Scan(start, start+8000, 1000); err != nil {
+						if !errors.As(err, new(*RetryError)) {
+							t.Errorf("Scan: %v", err)
+							return
+						}
+					}
+				case 1:
+					k := core.Key(8 * (1 + x%n))
+					if err := cl.Put(core.Pair{Key: k, TID: core.TID(k / 8)}); err != nil {
+						if !errors.As(err, new(*RetryError)) {
+							t.Errorf("Put: %v", err)
+							return
+						}
+					}
+				default:
+					k := core.Key(8 * (1 + x%n))
+					tid, ok, err := cl.Get(k)
+					if err != nil {
+						if !errors.As(err, new(*RetryError)) {
+							t.Errorf("Get(%d): %v", k, err)
+							return
+						}
+						continue
+					}
+					if !ok || uint32(tid) != uint32(k)/8 {
+						t.Errorf("Get(%d) = (%d, %v): response matched to wrong request", k, tid, ok)
+						return
+					}
+				}
+			}
+		}(uint32(w + 1))
+	}
+	wg.Wait()
+}
+
+// TestClientGo exercises the async API directly: a burst of calls
+// issued without waiting, then harvested; IDs must route every
+// response to its own call.
+func TestClientGo(t *testing.T) {
+	const n = 2000
+	_, addr := startServer(t, n, ServerConfig{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	calls := make([]*Call, 64)
+	for i := range calls {
+		k := core.Key(8 * (i + 1))
+		calls[i] = cl.Go(&Request{Op: OpGet, Keys: []core.Key{k}}, nil)
+	}
+	for i, call := range calls {
+		<-call.Done
+		if call.Err != nil {
+			t.Fatalf("call %d: %v", i, call.Err)
+		}
+		want := core.TID(i + 1)
+		if call.Resp.Status != StatusOK || len(call.Resp.Lookups) != 1 || call.Resp.Lookups[0].TID != want {
+			t.Fatalf("call %d answered %+v, want TID %d", i, call.Resp, want)
+		}
+	}
+
+	// After Close, new calls fail fast with ErrClientClosed.
+	cl.Close()
+	call := cl.Go(&Request{Op: OpGet, Keys: []core.Key{8}}, nil)
+	<-call.Done
+	if call.Err == nil {
+		t.Fatal("Go on a closed client succeeded")
+	}
+}
+
+func TestAdmissionBudgets(t *testing.T) {
+	metrics := obs.NewMetrics()
+	_, addr := startServer(t, 1000, ServerConfig{
+		RetryAfter: 5 * time.Millisecond,
+		Admission:  AdmissionConfig{ScanRowTokens: 50},
+		Metrics:    metrics,
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// A SCAN wanting more rows than the whole scan budget can never
+	// be admitted; the hint is the scan class's (4x base = 20ms).
+	_, err = cl.Scan(8, MaxFrame, 100)
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("oversized scan returned %v, want RetryError", err)
+	}
+	if re.After != 20*time.Millisecond {
+		t.Fatalf("scan retry hint = %v, want 20ms (class-specific)", re.After)
+	}
+
+	// The read and write budgets are untouched: cheap ops still flow.
+	if _, ok, err := cl.Get(8); err != nil || !ok {
+		t.Fatalf("Get during scan saturation: (%v, %v)", ok, err)
+	}
+	if err := cl.Put(core.Pair{Key: 8, TID: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A scan inside the budget is admitted and releases its tokens.
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Scan(8, 400, 40); err != nil {
+			t.Fatalf("in-budget scan %d: %v", i, err)
+		}
+	}
+
+	// The rejection is attributed to the scan class in metrics and in
+	// the server's own STATS budgets.
+	if s := metrics.Admission(obs.AdmScan); s.Rejects == 0 || s.Capacity != 50 {
+		t.Fatalf("scan admission snapshot %+v", s)
+	}
+	if s := metrics.Admission(obs.AdmRead); s.Rejects != 0 {
+		t.Fatalf("read class charged a scan rejection: %+v", s)
+	}
+	var ss ServerStats
+	if err := getStats(cl, &ss); err != nil {
+		t.Fatal(err)
+	}
+	if ss.Budgets["scan"].Rejected == 0 || ss.Budgets["scan"].Capacity != 50 {
+		t.Fatalf("STATS budgets = %+v", ss.Budgets)
+	}
+	if ss.Budgets["read"].Capacity == 0 || ss.Budgets["write"].Capacity == 0 {
+		t.Fatalf("defaulted budgets missing: %+v", ss.Budgets)
+	}
+}
+
+// getStats fetches and decodes the server stats blob.
+func getStats(cl *Client, into *ServerStats) error {
+	blob, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(blob, into)
+}
+
+// TestAdmissionTokensDrain pins that tokens release after execution:
+// the same in-budget request admits repeatedly, and occupancy returns
+// to zero when idle.
+func TestAdmissionTokensDrain(t *testing.T) {
+	metrics := obs.NewMetrics()
+	_, addr := startServer(t, 1000, ServerConfig{Metrics: metrics})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 20; i++ {
+		if _, _, err := cl.Get(8); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Scan(8, 800, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []obs.AdmissionClass{obs.AdmRead, obs.AdmScan} {
+		if s := metrics.Admission(c); s.InUse != 0 {
+			t.Fatalf("%v tokens leaked: %+v", c, s)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pbtree/internal/core"
+)
+
+// TestProtocolSpecFrames is the conformance test binding PROTOCOL.md
+// to the codec: every fenced `frame` block in the spec is parsed into
+// bytes and compared byte-for-byte against the same message built by
+// this package, and every message below must appear in the spec. If
+// either side changes without the other, this test fails — the spec
+// cannot drift from the implementation silently.
+func TestProtocolSpecFrames(t *testing.T) {
+	spec := parseSpecFrames(t)
+
+	frame := func(payload []byte, err error) []byte {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(appendU32(nil, uint32(len(payload))), payload...)
+	}
+	req := func(r *Request) []byte {
+		return frame(AppendRequest(nil, r))
+	}
+	resp := func(rs *Response) []byte {
+		return frame(AppendResponse(nil, rs))
+	}
+
+	want := map[string][]byte{
+		"v1-get-request": req(&Request{Op: OpGet, Keys: []core.Key{8}}),
+		"v1-get-ok-response": resp(&Response{
+			Status:  StatusOK,
+			Lookups: []Lookup{{TID: 1, Found: true}},
+		}),
+		"v1-notfound-response": resp(&Response{Status: StatusNotFound}),
+		"v1-mget-request": req(&Request{
+			Op: OpMGet, DeadlineMS: 250, Keys: []core.Key{8, 24},
+		}),
+		"v1-scan-request": req(&Request{
+			Op: OpScan, Start: 16, End: 80, Limit: 100,
+		}),
+		"v1-scan-ok-response": resp(&Response{
+			Status: StatusOK,
+			Pairs:  []core.Pair{{Key: 16, TID: 2}, {Key: 24, TID: 3}},
+		}),
+		"v1-put-request": req(&Request{
+			Op: OpPut, Pairs: []core.Pair{{Key: 8, TID: 1}},
+		}),
+		"v1-empty-ok-response": resp(&Response{Status: StatusOK}),
+		"v1-retry-response":    resp(&Response{Status: StatusRetry, RetryAfterMS: 20}),
+		"v1-err-response":      resp(&Response{Status: StatusErr, Err: "bad frame"}),
+		"hello-request":        req(&Request{Op: OpHello, MaxVersion: 2}),
+		"hello-ok-response": resp(&Response{
+			Status: StatusOK, Version: 2, Window: 32,
+		}),
+		"v2-get-request": frame(AppendRequestV2(nil, 7,
+			&Request{Op: OpGet, Keys: []core.Key{8}})),
+		"v2-get-ok-response": frame(AppendResponseV2(nil, 7, &Response{
+			Status:  StatusOK,
+			Lookups: []Lookup{{TID: 1, Found: true}},
+		})),
+		"v2-deadline-response": frame(AppendResponseV2(nil, 9,
+			&Response{Status: StatusDeadline})),
+	}
+
+	for name, wantBytes := range want {
+		got, ok := spec[name]
+		if !ok {
+			t.Errorf("PROTOCOL.md is missing example frame %q", name)
+			continue
+		}
+		if !bytes.Equal(got, wantBytes) {
+			t.Errorf("frame %q: spec and codec disagree\n spec:  %s\n codec: %s",
+				name, hex.EncodeToString(got), hex.EncodeToString(wantBytes))
+		}
+	}
+	for name := range spec {
+		if _, ok := want[name]; !ok {
+			t.Errorf("PROTOCOL.md frame %q has no conformance check; add it to this test", name)
+		}
+	}
+
+	// Every spec frame must also be acceptable to the decoder: the
+	// payload round-trips through Decode{Request,Response}[V2].
+	for name, f := range spec {
+		payload := f[4:]
+		var err error
+		switch {
+		case strings.HasSuffix(name, "-request") && strings.HasPrefix(name, "v2-"):
+			_, _, err = DecodeRequestV2(payload)
+		case strings.HasSuffix(name, "-request"):
+			_, err = DecodeRequest(payload)
+		case strings.HasPrefix(name, "v2-"):
+			_, _, err = DecodeResponseV2(payload)
+		default:
+			_, err = DecodeResponse(payload)
+		}
+		if err != nil {
+			t.Errorf("spec frame %q does not decode: %v", name, err)
+		}
+	}
+}
+
+// TestProtocolSpecLimits pins the size-limit table in PROTOCOL.md §7
+// to the codec constants.
+func TestProtocolSpecLimits(t *testing.T) {
+	doc, err := os.ReadFile("../../PROTOCOL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name  string
+		value int
+	}{
+		{"MaxFrame", MaxFrame},
+		{"MaxMGetKeys", MaxMGetKeys},
+		{"MaxScanRows", MaxScanRows},
+		{"max error text", maxErrLen},
+	} {
+		row := fmt.Sprintf("%s` | %d |", c.name, c.value)
+		if c.name == "max error text" {
+			row = fmt.Sprintf("%s | %d |", c.name, c.value)
+		}
+		if !strings.Contains(string(doc), row) {
+			t.Errorf("PROTOCOL.md §7 does not state %s = %d", c.name, c.value)
+		}
+	}
+}
+
+// parseSpecFrames extracts the fenced ```frame blocks from PROTOCOL.md.
+// Each block is "name: <frame-name>" followed by lines of hex byte
+// pairs; everything after '|' on a line is commentary.
+func parseSpecFrames(t *testing.T) map[string][]byte {
+	t.Helper()
+	doc, err := os.ReadFile("../../PROTOCOL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make(map[string][]byte)
+	lines := strings.Split(string(doc), "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```frame" {
+			continue
+		}
+		i++
+		if i >= len(lines) || !strings.HasPrefix(lines[i], "name: ") {
+			t.Fatalf("PROTOCOL.md line %d: frame block must open with \"name: ...\"", i+1)
+		}
+		name := strings.TrimSpace(strings.TrimPrefix(lines[i], "name: "))
+		if _, dup := frames[name]; dup {
+			t.Fatalf("PROTOCOL.md: duplicate frame name %q", name)
+		}
+		var buf []byte
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			hexPart := lines[i]
+			if cut := strings.IndexByte(hexPart, '|'); cut >= 0 {
+				hexPart = hexPart[:cut]
+			}
+			for _, tok := range strings.Fields(hexPart) {
+				b, err := strconv.ParseUint(tok, 16, 8)
+				if err != nil {
+					t.Fatalf("PROTOCOL.md frame %q: bad hex byte %q: %v", name, tok, err)
+				}
+				buf = append(buf, byte(b))
+			}
+		}
+		if len(buf) < 4 {
+			t.Fatalf("PROTOCOL.md frame %q: too short to carry a length prefix", name)
+		}
+		frames[name] = buf
+	}
+	if len(frames) == 0 {
+		t.Fatal("PROTOCOL.md contains no ```frame blocks")
+	}
+	return frames
+}

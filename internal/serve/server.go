@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,15 +20,24 @@ type ServerConfig struct {
 	// free port (see Server.Addr).
 	Addr string
 
-	// MaxInflight bounds concurrently executing requests across all
-	// connections; excess requests are rejected with StatusRetry and
-	// the RetryAfter hint instead of queueing without bound. Zero
-	// selects 4x the store's shard count.
+	// MaxInflight is the legacy flat in-flight bound; it now seeds
+	// Admission.ReadTokens when that is zero. Prefer Admission.
 	MaxInflight int
 
-	// RetryAfter is the backoff hint sent with StatusRetry. Zero
-	// selects 5ms.
+	// Admission sets the per-op-class token budgets; a request whose
+	// class budget is exhausted is rejected with StatusRetry and the
+	// class's retry-after hint instead of queueing without bound.
+	Admission AdmissionConfig
+
+	// RetryAfter is the base backoff hint the class-specific hints in
+	// Admission default from. Zero selects 5ms.
 	RetryAfter time.Duration
+
+	// Window is how many requests one protocol-v2 connection may have
+	// executing concurrently: the server reads ahead up to this many
+	// frames and writes responses as they complete, in any order. Zero
+	// selects 32. Version-1 connections always run one at a time.
+	Window int
 
 	// Batch enables the cross-request Batcher for GET requests, so
 	// concurrent point lookups from different connections merge into
@@ -39,18 +49,19 @@ type ServerConfig struct {
 
 	// Metrics, when non-nil, records per-operation wall-clock
 	// latencies (GET/MGET as OpSearch, SCAN as OpScan, PUT as
-	// OpInsert, DEL as OpDelete).
+	// OpInsert, DEL as OpDelete) and admission budget occupancy.
 	Metrics *obs.Metrics
 }
 
-// Server serves a Store over TCP with the wire protocol of wire.go.
+// Server serves a Store over TCP with the wire protocol of wire.go
+// (normative spec: PROTOCOL.md).
 type Server struct {
 	st  *Store
 	cfg ServerConfig
 
 	ln      net.Listener
 	batcher *Batcher
-	sem     chan struct{} // in-flight budget
+	adm     *admission
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -60,38 +71,44 @@ type Server struct {
 	started time.Time
 
 	// Serving counters, exposed via STATS.
-	ops      [7]atomic.Uint64 // indexed by Op
+	ops      [8]atomic.Uint64 // indexed by Op
 	rejected atomic.Uint64
 	expired  atomic.Uint64
 	badReqs  atomic.Uint64
+	pipeline atomic.Uint64 // connections upgraded to protocol v2
 }
 
 // ServerStats is the JSON payload of a STATS response.
 type ServerStats struct {
-	UptimeMS  int64             `json:"uptime_ms"`
-	Ops       map[string]uint64 `json:"ops"`
-	Rejected  uint64            `json:"rejected"`
-	Expired   uint64            `json:"expired"`
-	BadReqs   uint64            `json:"bad_requests"`
-	Conns     int               `json:"conns"`
-	Inflight  int               `json:"inflight"`
-	MaxInflt  int               `json:"max_inflight"`
-	Store     StoreStats        `json:"store"`
-	BatchGets bool              `json:"batch_gets"`
+	UptimeMS  int64                  `json:"uptime_ms"`       // ms since the server started
+	Ops       map[string]uint64      `json:"ops"`             // completed requests per op name
+	Rejected  uint64                 `json:"rejected"`        // admission rejections (all classes)
+	Expired   uint64                 `json:"expired"`         // requests whose deadline passed before execution
+	BadReqs   uint64                 `json:"bad_requests"`    // malformed frames answered StatusErr
+	Conns     int                    `json:"conns"`           // currently open connections
+	Pipelined uint64                 `json:"pipelined_conns"` // connections ever upgraded to protocol v2
+	Window    int                    `json:"window"`          // per-connection pipeline depth
+	Budgets   map[string]BudgetStats `json:"budgets"`         // admission occupancy per class
+	Store     StoreStats             `json:"store"`           // per-shard store counters
+	BatchGets bool                   `json:"batch_gets"`      // whether GETs ride the Batcher
 }
 
 // NewServer wraps a store; call Start to begin listening.
 func NewServer(st *Store, cfg ServerConfig) *Server {
-	if cfg.MaxInflight <= 0 {
-		cfg.MaxInflight = 4 * st.Shards()
-	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 5 * time.Millisecond
 	}
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.Admission.ReadTokens <= 0 && cfg.MaxInflight > 0 {
+		cfg.Admission.ReadTokens = cfg.MaxInflight
+	}
+	cfg.Admission = cfg.Admission.withDefaults(st.Shards(), cfg.Window, cfg.RetryAfter)
 	s := &Server{
 		st:    st,
 		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxInflight),
+		adm:   newAdmission(cfg.Admission, cfg.Metrics),
 		conns: make(map[net.Conn]struct{}),
 	}
 	return s
@@ -176,7 +193,10 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	return err
 }
 
-// serveConn runs the request loop of one connection.
+// serveConn runs the request loop of one connection. It starts in
+// protocol v1 (one request, one response, in order); a HELLO as the
+// first request negotiating version >= 2 hands the connection to
+// servePipelined (PROTOCOL.md §3).
 func (s *Server) serveConn(c net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -186,6 +206,7 @@ func (s *Server) serveConn(c net.Conn) {
 		s.mu.Unlock()
 	}()
 	var in, out []byte
+	first := true
 	for {
 		frame, err := ReadFrame(c, in)
 		if err != nil {
@@ -193,7 +214,32 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		in = frame
 		arrived := time.Now()
-		resp := s.handle(frame, arrived)
+		req, err := DecodeRequest(frame)
+		var resp *Response
+		switch {
+		case err != nil:
+			s.badReqs.Add(1)
+			resp = &Response{Status: StatusErr, Err: err.Error()}
+		case req.Op == OpHello:
+			s.ops[OpHello].Add(1)
+			if first && req.MaxVersion >= ProtoV2 {
+				// Upgrade: ack version 2, then switch framing.
+				ack := &Response{Status: StatusOK, Version: ProtoV2, Window: uint32(s.cfg.Window)}
+				payload, _ := AppendResponse(out[:0], ack)
+				if err := WriteFrame(c, payload); err != nil {
+					return
+				}
+				s.pipeline.Add(1)
+				s.servePipelined(c)
+				return
+			}
+			// A v1-only peer, or a HELLO after traffic already flowed:
+			// stay on (or renegotiate down to) version 1.
+			resp = &Response{Status: StatusOK, Version: ProtoV1, Window: 1}
+		default:
+			resp = s.handle(req, arrived)
+		}
+		first = false
 		payload, err := AppendResponse(out[:0], resp)
 		if err != nil { // response exceeded wire bounds; report instead
 			payload, _ = AppendResponse(out[:0], &Response{Status: StatusErr, Err: err.Error()})
@@ -205,23 +251,97 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 }
 
-// handle decodes and executes one request frame.
-func (s *Server) handle(frame []byte, arrived time.Time) *Response {
-	req, err := DecodeRequest(frame)
-	if err != nil {
-		s.badReqs.Add(1)
-		return &Response{Status: StatusErr, Err: err.Error()}
+// servePipelined runs the protocol-v2 loop: read ahead up to Window
+// frames, execute them concurrently, and write responses in completion
+// order — a slow SCAN no longer blocks the GETs queued behind it. A
+// dedicated writer goroutine serializes the response frames; workers
+// hand it (id, response) pairs over a channel.
+func (s *Server) servePipelined(c net.Conn) {
+	type completed struct {
+		id   uint32
+		resp *Response
 	}
-	// Admission: take an in-flight slot or reject with a retry hint.
-	select {
-	case s.sem <- struct{}{}:
-	default:
+	out := make(chan completed, s.cfg.Window)
+	writerDone := make(chan struct{})
+	bw := bufio.NewWriter(c)
+	go func() {
+		defer close(writerDone)
+		var buf []byte
+		for d := range out {
+			payload, err := AppendResponseV2(buf[:0], d.id, d.resp)
+			if err != nil { // response exceeded wire bounds; report instead
+				payload, _ = AppendResponseV2(buf[:0], d.id, &Response{Status: StatusErr, Err: err.Error()})
+			}
+			buf = payload
+			if err := WriteFrame(bw, payload); err != nil {
+				// The connection is gone; drain so workers never block.
+				for range out {
+				}
+				return
+			}
+			// Flush only when no completion is waiting: consecutive
+			// responses coalesce into one syscall under load.
+			if len(out) == 0 {
+				if err := bw.Flush(); err != nil {
+					for range out {
+					}
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	slots := make(chan struct{}, s.cfg.Window)
+	var workers sync.WaitGroup
+	var in []byte
+	for {
+		frame, err := ReadFrame(c, in)
+		if err != nil {
+			break // EOF, peer reset, or shutdown read deadline
+		}
+		in = frame
+		arrived := time.Now()
+		if len(frame) < 4 {
+			break // no ID to answer with: connection-fatal (PROTOCOL.md §5)
+		}
+		id, req, err := DecodeRequestV2(frame)
+		if err != nil {
+			s.badReqs.Add(1)
+			out <- completed{id, &Response{Status: StatusErr, Err: err.Error()}}
+			continue
+		}
+		if req.Op == OpHello { // renegotiation is not allowed mid-stream
+			s.ops[OpHello].Add(1)
+			out <- completed{id, &Response{Status: StatusOK, Version: ProtoV2, Window: uint32(s.cfg.Window)}}
+			continue
+		}
+		// The slot bounds read-ahead: at most Window requests of this
+		// connection execute at once (decode already copied the frame,
+		// so the read buffer is free to reuse).
+		slots <- struct{}{}
+		workers.Add(1)
+		go func(id uint32, req *Request, arrived time.Time) {
+			defer workers.Done()
+			out <- completed{id, s.handle(req, arrived)}
+			<-slots
+		}(id, req, arrived)
+	}
+	workers.Wait()
+	close(out)
+	<-writerDone
+}
+
+// handle admits and executes one decoded request.
+func (s *Server) handle(req *Request, arrived time.Time) *Response {
+	// Admission: take the class's tokens or reject with its retry hint.
+	release, retryAfter, ok := s.adm.admit(req)
+	if !ok {
 		s.rejected.Add(1)
-		return &Response{Status: StatusRetry, RetryAfterMS: uint32(s.cfg.RetryAfter / time.Millisecond)}
+		return &Response{Status: StatusRetry, RetryAfterMS: uint32(retryAfter / time.Millisecond)}
 	}
-	defer func() { <-s.sem }()
-	// Deadline: if admission waited past the request's budget, don't
-	// burn work on an answer the client has abandoned.
+	defer release()
+	// Deadline: don't burn work on an answer the client has abandoned.
 	if req.DeadlineMS != 0 && time.Since(arrived) > time.Duration(req.DeadlineMS)*time.Millisecond {
 		s.expired.Add(1)
 		return &Response{Status: StatusDeadline}
@@ -299,14 +419,19 @@ func (s *Server) execute(req *Request) *Response {
 }
 
 // writeResult maps store write errors onto wire statuses: overload
-// becomes a retryable rejection, everything else an error.
+// becomes a retryable rejection with the write class's hint,
+// everything else an error.
 func (s *Server) writeResult(err error) *Response {
 	switch {
 	case err == nil:
 		return nil
 	case errors.Is(err, ErrOverloaded):
 		s.rejected.Add(1)
-		return &Response{Status: StatusRetry, RetryAfterMS: uint32(s.cfg.RetryAfter / time.Millisecond)}
+		retry := s.cfg.Admission.RetryAfterWrite
+		if retry <= 0 {
+			retry = s.cfg.RetryAfter
+		}
+		return &Response{Status: StatusRetry, RetryAfterMS: uint32(retry / time.Millisecond)}
 	default:
 		return &Response{Status: StatusErr, Err: err.Error()}
 	}
@@ -317,8 +442,8 @@ func (s *Server) statsLocked() ServerStats {
 	s.mu.Lock()
 	nconns := len(s.conns)
 	s.mu.Unlock()
-	ops := make(map[string]uint64, 6)
-	for op := OpGet; op <= OpStats; op++ {
+	ops := make(map[string]uint64, 7)
+	for op := OpGet; op <= OpHello; op++ {
 		if n := s.ops[op].Load(); n > 0 {
 			ops[op.String()] = n
 		}
@@ -330,8 +455,9 @@ func (s *Server) statsLocked() ServerStats {
 		Expired:   s.expired.Load(),
 		BadReqs:   s.badReqs.Load(),
 		Conns:     nconns,
-		Inflight:  len(s.sem),
-		MaxInflt:  cap(s.sem),
+		Pipelined: s.pipeline.Load(),
+		Window:    s.cfg.Window,
+		Budgets:   s.adm.stats(),
 		Store:     s.st.Stats(),
 		BatchGets: s.batcher != nil,
 	}

@@ -107,8 +107,8 @@ func (c StoreConfig) withDefaults() (StoreConfig, error) {
 
 // Lookup is the result of one point lookup in a batch.
 type Lookup struct {
-	TID   core.TID
-	Found bool
+	TID   core.TID // the key's tuple ID, valid only when Found
+	Found bool     // whether the key was present
 }
 
 // snapshot is one immutable published version of a shard. Readers
@@ -785,20 +785,20 @@ func mergeRuns(runs [][]core.Pair, limit int) []core.Pair {
 
 // ShardStats is a point-in-time view of one shard.
 type ShardStats struct {
-	Version    uint64 `json:"version"`
-	Count      int    `json:"count"`
-	QueueDepth int    `json:"queue_depth"`
-	Puts       uint64 `json:"puts"`
-	Deletes    uint64 `json:"deletes"`
-	Published  uint64 `json:"published"`
-	Height     int    `json:"height"`
+	Version    uint64 `json:"version"`               // snapshot version last published
+	Count      int    `json:"count"`                 // keys in the published snapshot
+	QueueDepth int    `json:"queue_depth"`           // mutations waiting for the shard writer
+	Puts       uint64 `json:"puts"`                  // puts applied since start
+	Deletes    uint64 `json:"deletes"`               // deletes applied since start
+	Published  uint64 `json:"published"`             // snapshot publications since start
+	Height     int    `json:"height"`                // tree height of the published snapshot
 	DurableErr string `json:"durable_err,omitempty"` // last WAL/checkpoint/recovery error
 }
 
 // StoreStats aggregates the shard views.
 type StoreStats struct {
-	Shards []ShardStats `json:"shards"`
-	Count  int          `json:"count"`
+	Shards []ShardStats `json:"shards"` // one entry per shard, in shard order
+	Count  int          `json:"count"`  // total keys across shards
 }
 
 // Stats snapshots every shard's version, size and queue depth,

@@ -8,16 +8,25 @@ package serve
 // attacker-chosen count is how servers die (see the fuzz harnesses in
 // wire_test.go).
 //
-// Request payload:
+// PROTOCOL.md is the normative byte-by-byte specification of both
+// protocol versions, with example frames that protocol_test.go checks
+// against this codec byte for byte. The short form:
 //
-//	op        uint8   (Get=1 MGet=2 Scan=3 Put=4 Del=5 Stats=6)
+// Version 1 request payload:
+//
+//	op        uint8   (Get=1 MGet=2 Scan=3 Put=4 Del=5 Stats=6 Hello=7)
 //	deadline  uint32  per-request deadline in ms, 0 = none
 //	...               op-specific fields, below
 //
-// Response payload:
+// Version 1 response payload:
 //
 //	status    uint8   (OK=0 NotFound=1 Retry=2 Err=3 Deadline=4)
 //	...               status/op-specific fields, below
+//
+// Version 2 (negotiated with a HELLO exchange at connect, see
+// AppendRequestV2) prefixes both payloads with a uint32 request ID
+// chosen by the client; the server may answer IDs in any order, which
+// is what makes connections full-duplex pipelines.
 
 import (
 	"encoding/binary"
@@ -38,6 +47,15 @@ const (
 	OpPut   Op = 4
 	OpDel   Op = 5
 	OpStats Op = 6
+	OpHello Op = 7 // version negotiation; must be the first request on a connection
+)
+
+// Protocol versions. A connection starts in ProtoV1; a HELLO exchange
+// upgrades it to ProtoV2 (request IDs, pipelining) when both sides
+// support it. PROTOCOL.md §3 specifies the negotiation.
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
 )
 
 // String names an op for metrics and errors.
@@ -55,6 +73,8 @@ func (o Op) String() string {
 		return "del"
 	case OpStats:
 		return "stats"
+	case OpHello:
+		return "hello"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -82,22 +102,25 @@ const (
 
 // Request is one decoded client request.
 type Request struct {
-	Op         Op
+	Op         Op          // which operation; selects the fields below
 	DeadlineMS uint32      // 0 = no deadline
 	Keys       []core.Key  // Get (1 key), MGet, Del
 	Pairs      []core.Pair // Put
 	Start, End core.Key    // Scan
 	Limit      uint32      // Scan
+	MaxVersion uint8       // Hello: highest protocol version the client speaks (>= 1)
 }
 
 // Response is one decoded server response.
 type Response struct {
-	Status       Status
+	Status       Status      // outcome; selects the fields below
 	RetryAfterMS uint32      // StatusRetry
 	Err          string      // StatusErr
 	Lookups      []Lookup    // Get, MGet (aligned with request keys)
 	Pairs        []core.Pair // Scan
 	Stats        []byte      // Stats (JSON)
+	Version      uint8       // Hello: negotiated protocol version (>= 1)
+	Window       uint32      // Hello: per-connection pipeline depth the server executes
 }
 
 // appendU32 appends a little-endian uint32.
@@ -140,6 +163,11 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 			dst = appendU32(dst, uint32(p.TID))
 		}
 	case OpStats:
+	case OpHello:
+		if r.MaxVersion < 1 {
+			return nil, fmt.Errorf("serve: HELLO with max version %d < 1", r.MaxVersion)
+		}
+		dst = append(dst, r.MaxVersion)
 	default:
 		return nil, fmt.Errorf("serve: unknown op %d", r.Op)
 	}
@@ -257,6 +285,13 @@ func DecodeRequest(payload []byte) (*Request, error) {
 			r.Pairs[i] = core.Pair{Key: core.Key(k), TID: core.TID(t)}
 		}
 	case OpStats:
+	case OpHello:
+		if r.MaxVersion, err = rd.u8(); err != nil {
+			return nil, err
+		}
+		if r.MaxVersion < 1 {
+			return nil, fmt.Errorf("serve: HELLO with max version %d < 1", r.MaxVersion)
+		}
 	default:
 		return nil, fmt.Errorf("serve: unknown op %d", op)
 	}
@@ -287,6 +322,10 @@ func AppendResponse(dst []byte, rs *Response) ([]byte, error) {
 	}
 	// StatusOK: exactly one of the payload kinds, tagged.
 	switch {
+	case rs.Version != 0:
+		dst = append(dst, 'V')
+		dst = append(dst, rs.Version)
+		dst = appendU32(dst, rs.Window)
 	case rs.Lookups != nil:
 		if len(rs.Lookups) > MaxMGetKeys {
 			return nil, fmt.Errorf("serve: %d lookups exceed %d", len(rs.Lookups), MaxMGetKeys)
@@ -360,6 +399,16 @@ func DecodeResponse(payload []byte) (*Response, error) {
 		return nil, err
 	}
 	switch tag {
+	case 'V':
+		if rs.Version, err = rd.u8(); err != nil {
+			return nil, err
+		}
+		if rs.Version < 1 {
+			return nil, fmt.Errorf("serve: HELLO answered version %d < 1", rs.Version)
+		}
+		if rs.Window, err = rd.u32(); err != nil {
+			return nil, err
+		}
 	case 'L':
 		n, err := rd.count0(MaxMGetKeys, 5)
 		if err != nil {
@@ -403,6 +452,45 @@ func DecodeResponse(payload []byte) (*Response, error) {
 		return nil, fmt.Errorf("serve: unknown OK payload tag %q", tag)
 	}
 	return rs, rd.done()
+}
+
+// AppendRequestV2 appends the version-2 encoding of r: the uint32
+// request ID followed by the version-1 payload. IDs are chosen by the
+// client, echoed verbatim by the server, and must be unique among the
+// requests outstanding on one connection (PROTOCOL.md §4).
+func AppendRequestV2(dst []byte, id uint32, r *Request) ([]byte, error) {
+	return AppendRequest(appendU32(dst, id), r)
+}
+
+// DecodeRequestV2 parses a version-2 request payload into its ID and
+// request. A payload too short to carry the ID is connection-fatal
+// (the server cannot even answer with a correlated error); a payload
+// with a well-formed ID but a malformed body returns the ID alongside
+// the error so the fault can be reported in-band.
+func DecodeRequestV2(payload []byte) (uint32, *Request, error) {
+	if len(payload) < 4 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	id := binary.LittleEndian.Uint32(payload)
+	r, err := DecodeRequest(payload[4:])
+	return id, r, err
+}
+
+// AppendResponseV2 appends the version-2 encoding of rs: the uint32
+// request ID being answered followed by the version-1 payload.
+func AppendResponseV2(dst []byte, id uint32, rs *Response) ([]byte, error) {
+	return AppendResponse(appendU32(dst, id), rs)
+}
+
+// DecodeResponseV2 parses a version-2 response payload into the ID it
+// answers and the response.
+func DecodeResponseV2(payload []byte) (uint32, *Response, error) {
+	if len(payload) < 4 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	id := binary.LittleEndian.Uint32(payload)
+	rs, err := DecodeResponse(payload[4:])
+	return id, rs, err
 }
 
 // WriteFrame writes one length-prefixed frame.

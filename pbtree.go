@@ -347,8 +347,37 @@ type (
 	// BatcherConfig tunes the server's cross-request lookup batching.
 	BatcherConfig = serve.BatcherConfig
 
-	// ServeClient is a synchronous wire-protocol client.
+	// AdmissionConfig sets the server's per-op-class admission token
+	// budgets (GET/MGET and PUT/DEL hold one token each, SCANs hold
+	// one per requested row), so overload rejects expensive work first.
+	AdmissionConfig = serve.AdmissionConfig
+
+	// BudgetStats is the STATS view of one admission class.
+	BudgetStats = serve.BudgetStats
+
+	// ServeClient is a wire-protocol client; connections negotiated to
+	// protocol v2 pipeline concurrent calls over one socket
+	// (PROTOCOL.md).
 	ServeClient = serve.Client
+
+	// ServeCall is one in-flight asynchronous client call
+	// (ServeClient.Go).
+	ServeCall = serve.Call
+
+	// ServeRequest is one wire-protocol request; build these for the
+	// asynchronous ServeClient.Go API (the synchronous helpers Get,
+	// MGet, Scan, Put, Del build them internally).
+	ServeRequest = serve.Request
+
+	// ServeResponse is one wire-protocol response.
+	ServeResponse = serve.Response
+
+	// ServeOp identifies a wire-protocol operation (PROTOCOL.md §2.1).
+	ServeOp = serve.Op
+
+	// ServeStatus is a wire-protocol response status (PROTOCOL.md
+	// §2.2).
+	ServeStatus = serve.Status
 
 	// LoadgenConfig describes a load-generation run.
 	LoadgenConfig = serve.LoadgenConfig
@@ -370,6 +399,53 @@ type (
 	// default is the OS, and serve.NewMemFS gives a deterministic
 	// fault-injecting one for tests.
 	ServeFS = serve.FS
+)
+
+// Wire-protocol operations (PROTOCOL.md §2.1). Prefixed Serve to
+// stay clear of the tracer's index-operation kinds (OpSearch, OpScan,
+// ...) above.
+const (
+	// ServeOpGet looks up one key.
+	ServeOpGet = serve.OpGet
+
+	// ServeOpMGet looks up a batch of keys as one group search.
+	ServeOpMGet = serve.OpMGet
+
+	// ServeOpScan returns pairs in a key range, capped by a row limit.
+	ServeOpScan = serve.OpScan
+
+	// ServeOpPut upserts a batch of pairs atomically per shard.
+	ServeOpPut = serve.OpPut
+
+	// ServeOpDel deletes a batch of keys.
+	ServeOpDel = serve.OpDel
+
+	// ServeOpStats returns the server's JSON stats payload.
+	ServeOpStats = serve.OpStats
+
+	// ServeOpHello negotiates the protocol version; must be the first
+	// request on a connection (PROTOCOL.md §3).
+	ServeOpHello = serve.OpHello
+)
+
+// Wire-protocol response statuses (PROTOCOL.md §2.2).
+const (
+	// StatusOK carries the operation's result payload.
+	StatusOK = serve.StatusOK
+
+	// StatusNotFound reports a GET miss.
+	StatusNotFound = serve.StatusNotFound
+
+	// StatusRetry reports admission rejection; back off by the
+	// response's retry-after hint.
+	StatusRetry = serve.StatusRetry
+
+	// StatusErr carries an error message.
+	StatusErr = serve.StatusErr
+
+	// StatusDeadline reports that the request's deadline expired
+	// before execution.
+	StatusDeadline = serve.StatusDeadline
 )
 
 // WAL fsync policies.
@@ -405,9 +481,16 @@ func NewServer(st *Store, cfg ServerConfig) *Server {
 	return serve.NewServer(st, cfg)
 }
 
-// DialServer connects a wire-protocol client to a serving address.
+// DialServer connects a wire-protocol client to a serving address,
+// negotiating the pipelined protocol v2 when the server supports it.
 func DialServer(addr string) (*ServeClient, error) {
 	return serve.Dial(addr)
+}
+
+// DialServerV1 connects without negotiating, speaking protocol v1
+// (one request per round trip) — the compatibility escape hatch.
+func DialServerV1(addr string) (*ServeClient, error) {
+	return serve.DialV1(addr)
 }
 
 // RunLoadgen drives a configured read/write/scan mix against a

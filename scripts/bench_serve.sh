@@ -1,7 +1,10 @@
 #!/bin/sh
-# Serving benchmark: boot pbtree-server, run a longer mixed load, and
-# write the loadgen JSON report (throughput + per-op p50/p99) to the
-# file named by $1 (default BENCH_serve.json).
+# Serving benchmark: boot pbtree-server, run the same mixed load twice
+# at an equal connection count — sequential (window=1, one round trip
+# at a time per connection) and pipelined (window=16 outstanding calls
+# per connection over protocol v2) — and write both loadgen JSON
+# reports to the file named by $1 (default BENCH_serve.json) as
+# {"sequential": ..., "pipelined": ...}.
 set -eu
 
 out=${1:-BENCH_serve.json}
@@ -9,6 +12,8 @@ tmp=$(mktemp -d)
 port=$((17000 + $$ % 1000))
 addr="127.0.0.1:$port"
 keys=1000000
+conns=4
+mix="-skew zipf -get 70 -mget 15 -scan 5 -put 10"
 
 cleanup() {
     [ -n "${srv:-}" ] && kill "$srv" 2>/dev/null || true
@@ -35,8 +40,20 @@ for _ in $(seq 1 50); do
 done
 [ "$ok" = 1 ] || { echo "bench-serve: server never became reachable"; cat "$tmp/server.log"; exit 1; }
 
-"$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns 8 \
-    -duration 5s -skew zipf -get 70 -mget 15 -scan 5 -put 10 >"$out"
+# shellcheck disable=SC2086
+"$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns "$conns" \
+    -window 1 -duration 5s $mix >"$tmp/sequential.json"
+# shellcheck disable=SC2086
+"$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns "$conns" \
+    -window 16 -duration 5s $mix >"$tmp/pipelined.json"
+
+{
+    printf '{\n"sequential":\n'
+    cat "$tmp/sequential.json"
+    printf ',\n"pipelined":\n'
+    cat "$tmp/pipelined.json"
+    printf '}\n'
+} >"$out"
 
 kill -TERM "$srv"
 wait "$srv" || true

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Documentation gate: fails when the serving layer's docs drift from
+# the code.
+#   - gofmt must be clean (doc comments are part of the formatted
+#     source).
+#   - go vet over everything.
+#   - TestExportedSymbolsDocumented: every exported symbol in
+#     internal/serve carries a doc comment.
+#   - TestProtocolSpec*: PROTOCOL.md's example frames match the codec
+#     byte for byte and its size-limit table matches the constants.
+set -eu
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "docs-check: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go test ./internal/serve -run 'TestExportedSymbolsDocumented|TestProtocolSpec' -count=1
+echo "docs-check: OK"
