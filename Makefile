@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-smoke smoke-serve smoke-recover fuzz-smoke bench-serve docs-check
+.PHONY: check build test race vet conformance bench-smoke smoke-serve smoke-recover fuzz-smoke bench-serve bench-matrix docs-check
 
-check: build vet test race smoke-serve smoke-recover
+check: build vet test race conformance smoke-serve smoke-recover
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Backend conformance suite: every storage engine (pbtree and lsm)
+# must pass the same atomicity / snapshot-consistency / crash-recovery
+# properties, under the race detector.
+conformance:
+	$(GO) test -race -count=1 ./internal/serve/backendtest/
+
 # A fast wall-clock sanity run of the native-mode benchmarks.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkNativeConcurrent' -benchtime 100x .
@@ -32,9 +38,10 @@ smoke-serve:
 
 # End-to-end crash-recovery smoke test: durable server, put-heavy
 # load, kill -9 mid-load, restart on the same -data-dir, assert WAL
-# replay and a complete key space.
+# replay and a complete key space. Runs once per storage backend.
 smoke-recover:
-	sh scripts/smoke_recover.sh
+	BACKEND=pbtree sh scripts/smoke_recover.sh
+	BACKEND=lsm sh scripts/smoke_recover.sh
 
 # Short-budget fuzz of every Fuzz target in the module (FUZZTIME=5s
 # per target by default).
@@ -46,6 +53,13 @@ fuzz-smoke:
 # count; writes both reports to BENCH_serve.json.
 bench-serve:
 	sh scripts/bench_serve.sh BENCH_serve.json
+
+# Benchmark matrix: every named loadgen scenario against every
+# storage backend; writes the grid of reports to BENCH_matrix.json.
+# Tunable via KEYS/DURATION/CONNS/WINDOW env vars (CI runs a short
+# pass).
+bench-matrix:
+	sh scripts/bench_matrix.sh BENCH_matrix.json
 
 # Documentation gate: gofmt + vet + the godoc coverage test over
 # internal/serve + the PROTOCOL.md byte-for-byte conformance test.

@@ -11,6 +11,13 @@
 //
 //	pbtree-server -addr :7070 -keys 1000000 -shards 8
 //	pbtree-server -addr :7070 -data-dir /var/lib/pbtree -fsync always
+//	pbtree-server -addr :7070 -backend lsm -data-dir /var/lib/pbtree
+//
+// -backend selects the per-shard storage engine: "pbtree" (default)
+// serves reads from immutable full-tree snapshots, "lsm" absorbs
+// writes in a memtable and flushes sorted runs (DESIGN.md §11). A
+// durable directory remembers its backend and refuses to reopen under
+// the other one.
 //
 // The store is preloaded with the standard workload key space (keys
 // 8, 16, ..., 8*N with TID = key/8) so a load generator can start
@@ -42,6 +49,9 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
 		keys     = flag.Int("keys", 1_000_000, "preload N sequential keys")
 		shards   = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
+		be       = flag.String("backend", "pbtree", "storage backend per shard: pbtree|lsm")
+		flushKey = flag.Int("lsm-flush-keys", 0, "lsm: memtable keys per flushed run (0 = 4096)")
+		maxRuns  = flag.Int("lsm-max-runs", 0, "lsm: runs tolerated before compaction (0 = 8)")
 		width    = flag.Int("width", 8, "tree node width in cache lines")
 		window   = flag.Int("window", 0, "max concurrent requests per pipelined (v2) connection (0 = 32)")
 		readTok  = flag.Int("read-tokens", 0, "admission budget for GET/MGET (0 = 4x shards)")
@@ -62,6 +72,8 @@ func main() {
 	metrics := pbtree.NewMetrics()
 	cfg := pbtree.StoreConfig{
 		Shards:   *shards,
+		Backend:  *be,
+		LSM:      pbtree.LSMConfig{FlushKeys: *flushKey, MaxRuns: *maxRuns},
 		QueueLen: *queue,
 		Tree:     pbtree.Config{Width: *width, Prefetch: *width > 1},
 		Metrics:  metrics,
@@ -109,8 +121,8 @@ func main() {
 	if err := srv.Start(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving %d keys on %s (%d shards, width %d, batch=%v)",
-		st.Len(), srv.Addr(), st.Shards(), *width, *batch)
+	log.Printf("serving %d keys on %s (%d shards, backend %s, width %d, batch=%v)",
+		st.Len(), srv.Addr(), st.Shards(), *be, *width, *batch)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

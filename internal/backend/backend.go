@@ -1,0 +1,179 @@
+// Package backend defines the per-shard storage-engine interface of
+// the serving layer, plus the engine extracted from the original
+// store: the prefetch-optimized pB+-Tree with snapshot ping-pong
+// publication (PBTree). A write-optimized log-structured engine lives
+// in internal/lsm and implements the same interface.
+//
+// Division of labor with internal/serve: the store owns hash
+// partitioning, the per-shard mutation queue and single writer
+// goroutine, the write-ahead log (group commit, segment rotation,
+// replay, pruning) and the MANIFEST; a Backend owns the in-memory
+// index, its read snapshots, and its durable artifacts (checkpoints
+// for PBTree, sorted runs for LSM). Every writer-side method below is
+// called only from the owning shard's writer goroutine, so engines
+// never need their own write locks; Snapshot and the snapshots it
+// returns must be safe for any number of concurrent readers.
+//
+// Lifecycle, driven by the store:
+//
+//	durable:     Recover → [Bootstrap] → Replay* → Seal → {ApplyBatch | Checkpoint}* → Close
+//	non-durable: Bootstrap → Seal → ApplyBatch* → Close
+package backend
+
+import (
+	"pbtree/internal/core"
+	"pbtree/internal/storage"
+)
+
+// Write is one atomic mutation: the puts and deletes of one client
+// batch that landed on this shard. A backend applies a Write's effects
+// indivisibly — readers observe none or all of them.
+type Write struct {
+	// Puts are the pairs to insert or overwrite.
+	Puts []core.Pair
+
+	// Dels are the keys to delete (no-ops when absent).
+	Dels []core.Key
+
+	// Compact asks the engine to restore its read-side layout (pbtree:
+	// rebuild at the configured fill factor; lsm: fold the sorted runs
+	// together). The effects of Puts/Dels still apply first.
+	Compact bool
+}
+
+// Snapshot is one pinned, immutable read view of a backend. All
+// methods are safe for concurrent use by any number of readers; the
+// view observes no writes applied after it was acquired. Release it
+// when done so the engine can recycle resources — every Snapshot must
+// be released exactly once.
+type Snapshot interface {
+	// Get looks up one key.
+	Get(k core.Key) (core.TID, bool)
+
+	// GetBatch looks up keys[i] into tids[i]/found[i]. All three
+	// slices must have equal length.
+	GetBatch(keys []core.Key, tids []core.TID, found []bool)
+
+	// Scan returns up to limit pairs with keys in [start, end], in key
+	// order.
+	Scan(start, end core.Key, limit int) []core.Pair
+
+	// AppendPairs appends every pair of the view to dst in key order
+	// and returns the extended slice.
+	AppendPairs(dst []core.Pair) []core.Pair
+
+	// Version is the publication version of this view. Versions are
+	// assigned by the store and increase by one per published batch,
+	// surviving restarts (recovery seals at last LSN + 1).
+	Version() uint64
+
+	// Count reports the number of live keys. Exact for PBTree;
+	// LSM reports an estimate that is corrected whenever the engine
+	// fully compacts (cross-run overwrites are not tracked per write).
+	Count() int
+
+	// Release unpins the view.
+	Release()
+}
+
+// Stats is a backend's point-in-time self-description, surfaced
+// through the store's ShardStats.
+type Stats struct {
+	// Backend names the engine ("pbtree" or "lsm").
+	Backend string
+
+	// Version is the currently published snapshot version.
+	Version uint64
+
+	// Count is the (possibly estimated — see Snapshot.Count) number of
+	// live keys.
+	Count int
+
+	// Height is the published tree height (pbtree only).
+	Height int
+
+	// Runs is the number of immutable sorted runs (lsm only).
+	Runs int
+
+	// MemKeys is the number of memtable entries, tombstones included
+	// (lsm only).
+	MemKeys int
+}
+
+// Backend is one shard's storage engine. See the package comment for
+// the calling contract; in short, everything except Snapshot (and the
+// snapshots it returns) is writer-goroutine-only.
+type Backend interface {
+	// Recover loads the engine's durable artifacts from its shard
+	// directory and reports the highest LSN they cover, and whether
+	// any prior state existed (when false, the store calls Bootstrap
+	// with its seed pairs). Non-durable engines report (0, false, nil).
+	// The store replays the WAL tail beyond the returned LSN through
+	// Replay before Seal.
+	Recover() (lastLSN uint64, hadState bool, err error)
+
+	// Bootstrap seeds an empty engine from sorted, duplicate-free
+	// pairs (the Bulkload contract). Called at most once, before Seal.
+	Bootstrap(seed []core.Pair) error
+
+	// Replay applies one recovered WAL record. Cheaper than
+	// ApplyBatch: nothing is published until Seal.
+	Replay(w Write) error
+
+	// Seal builds and publishes the first snapshot at the given
+	// version, ending the recovery phase. Reads may begin afterwards.
+	Seal(version uint64) error
+
+	// ApplyBatch applies the writes in order as one publication: it
+	// applies every write, publishes a snapshot with the given
+	// version, and calls ack exactly once as soon as the batch is
+	// visible to new readers (its argument reports a per-batch
+	// serving-quality degradation, e.g. a failed compaction rebuild —
+	// the batch's effects are still applied). lsn is the highest WAL
+	// LSN covered by the batch (the publication version when the store
+	// is not durable); engines use it to tag durable artifacts. The
+	// returned error reports post-publication housekeeping failures
+	// (flush/compaction I/O); the store records it without failing the
+	// batch, mirroring checkpoint failures.
+	ApplyBatch(ws []Write, version, lsn uint64, ack func(error)) error
+
+	// Snapshot pins and returns the current read view.
+	Snapshot() Snapshot
+
+	// Checkpoint makes everything up to and including lsn durable in
+	// the engine's own artifact format and prunes artifacts it
+	// supersedes, so the store can rotate and prune the WAL. After a
+	// successful Checkpoint(lsn), Recover on the same directory must
+	// report at least lsn. No-op for non-durable engines.
+	Checkpoint(lsn uint64) error
+
+	// Stats reports the engine's current self-description.
+	Stats() Stats
+
+	// Close releases engine resources. The store calls it after the
+	// writer goroutine drains; reads on already-acquired snapshots
+	// must remain valid.
+	Close() error
+}
+
+// applyWrite applies one Write to a mutable tree — shared by the tree
+// backed engines' apply and replay paths.
+func applyWrite(t *core.Tree, w Write) {
+	for _, p := range w.Puts {
+		t.Insert(p.Key, p.TID)
+	}
+	for _, k := range w.Dels {
+		t.Delete(k)
+	}
+}
+
+// RemoveTemp deletes leftover *.tmp files from a shard directory — an
+// interrupted checkpoint or run flush. Engines call it on Recover;
+// stray temporaries are harmless but reclaim space.
+func RemoveTemp(fs storage.FS, dir string, names []string) {
+	for _, n := range names {
+		if len(n) > 4 && n[len(n)-4:] == ".tmp" {
+			_ = fs.Remove(dir + "/" + n)
+		}
+	}
+}

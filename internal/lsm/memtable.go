@@ -1,0 +1,111 @@
+package lsm
+
+// The memtable is a persistent (path-copying) treap: inserts allocate
+// O(log n) fresh nodes and never mutate reachable ones, so a published
+// view can keep reading an old root while the shard writer grows a new
+// one — the same snapshot isolation the pB+-Tree engine gets from
+// double buffering, without a second copy of the data. Priorities are
+// a splitmix64 mix of the key, so the shape is deterministic (useful
+// for tests) yet behaves like a random treap even on sequential keys.
+// Deletes are in-band tombstones: they must shadow older runs until
+// compaction proves there is nothing left to shadow.
+
+import "pbtree/internal/core"
+
+// memEntry is one memtable record: a live pair or a tombstone.
+type memEntry struct {
+	key core.Key
+	tid core.TID
+	del bool
+}
+
+// memNode is one immutable treap node.
+type memNode struct {
+	key         core.Key
+	tid         core.TID
+	del         bool
+	prio        uint64
+	left, right *memNode
+}
+
+// memPrio derives a node's heap priority from its key.
+func memPrio(k core.Key) uint64 {
+	x := uint64(k) ^ 0x6a09e667f3bcc909
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// memInsert returns the root of a treap equal to n plus the entry,
+// sharing all untouched nodes with n, and whether the key was absent
+// from n (an overwrite reports false). A tombstone is inserted the
+// same way, with del set.
+func memInsert(n *memNode, k core.Key, tid core.TID, del bool) (*memNode, bool) {
+	if n == nil {
+		return &memNode{key: k, tid: tid, del: del, prio: memPrio(k)}, true
+	}
+	nn := *n
+	switch {
+	case k == n.key:
+		nn.tid, nn.del = tid, del
+		return &nn, false
+	case k < n.key:
+		child, added := memInsert(n.left, k, tid, del)
+		if child.prio > nn.prio {
+			// Rotate right: both nn and child are fresh copies, so the
+			// pointer surgery never touches a shared node.
+			nn.left = child.right
+			child.right = &nn
+			return child, added
+		}
+		nn.left = child
+		return &nn, added
+	default:
+		child, added := memInsert(n.right, k, tid, del)
+		if child.prio > nn.prio {
+			// Rotate left; same ownership argument as above.
+			nn.right = child.left
+			child.left = &nn
+			return child, added
+		}
+		nn.right = child
+		return &nn, added
+	}
+}
+
+// memGet looks a key up, reporting its entry and whether it is present
+// (tombstones are present — the caller must check del).
+func memGet(n *memNode, k core.Key) (memEntry, bool) {
+	for n != nil {
+		switch {
+		case k == n.key:
+			return memEntry{key: n.key, tid: n.tid, del: n.del}, true
+		case k < n.key:
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	return memEntry{}, false
+}
+
+// memAppendRange appends the entries with keys in [start, end] to dst
+// in key order, tombstones included.
+func memAppendRange(n *memNode, start, end core.Key, dst []memEntry) []memEntry {
+	if n == nil {
+		return dst
+	}
+	if n.key > start {
+		dst = memAppendRange(n.left, start, end, dst)
+	}
+	if n.key >= start && n.key <= end {
+		dst = append(dst, memEntry{key: n.key, tid: n.tid, del: n.del})
+	}
+	if n.key < end {
+		dst = memAppendRange(n.right, start, end, dst)
+	}
+	return dst
+}

@@ -1,0 +1,279 @@
+package lsm
+
+// Sorted-run files, the LSM engine's durable artifact (they play the
+// role checkpoints play for the pB+-Tree engine). A run holds the
+// effects of a contiguous LSN interval [minLSN, maxLSN] as a sorted,
+// duplicate-free entry array plus a bloom filter; minLSN == 0 means
+// the run also carries the shard's bootstrap contents ("covers the
+// bottom"), which is the only condition under which compaction may
+// drop tombstones.
+//
+// File layout (little-endian), named run-<maxlsn16x>-<gen8x>.lrun:
+//
+//	magic   "PLR1"
+//	u32     count            entries
+//	u32     bloomLen         bloom filter bytes
+//	u32     gen              compaction generation (name uniqueness)
+//	u64     minLSN
+//	u64     maxLSN
+//	bloom   [bloomLen]byte
+//	keys    [count]u32       strictly ascending
+//	tids    [count]u32
+//	tombs   [(count+7)/8]byte  bit i set = entry i is a tombstone
+//	u32     CRC32C           over everything above
+//
+// Like WAL records, runs are written once and verified on read: the
+// decoder trusts nothing — magic, bounded lengths before any
+// allocation, exact size, CRC, key order — so at-rest damage surfaces
+// as a recovery error instead of silent data loss. FuzzLSMRun drives
+// this decoder.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"pbtree/internal/core"
+)
+
+// errBadRun is wrapped by every decoder rejection.
+var errBadRun = errors.New("lsm: corrupt run file")
+
+var runMagic = [4]byte{'P', 'L', 'R', '1'}
+
+const (
+	runHeaderLen = 32
+	// maxRunEntries bounds count before the decoder allocates: 1<<28
+	// entries is 2 GiB of keys+tids, far beyond a plausible shard.
+	maxRunEntries = 1 << 28
+	// maxRunBloom bounds bloomLen the same way.
+	maxRunBloom = 1 << 26
+)
+
+var runCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// run is one immutable sorted run, fully resident in memory. name is
+// the file it was loaded from or flushed to ("" while the engine is
+// non-durable or the run has not been through a Checkpoint yet).
+type run struct {
+	keys   []core.Key
+	tids   []core.TID
+	tombs  []byte
+	bloom  []byte
+	minLSN uint64
+	maxLSN uint64
+	gen    uint32
+	name   string
+}
+
+// runName is the file name of a run (maxLSN + generation — the pair is
+// unique because compaction outputs always carry a generation above
+// every input's).
+func runName(maxLSN uint64, gen uint32) string {
+	return fmt.Sprintf("run-%016x-%08x.lrun", maxLSN, gen)
+}
+
+// parseRunName extracts maxLSN and generation from a run file name.
+func parseRunName(name string) (maxLSN uint64, gen uint32, ok bool) {
+	if len(name) != len("run-")+16+1+8+len(".lrun") {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(name, "run-%016x-%08x.lrun", &maxLSN, &gen); err != nil {
+		return 0, 0, false
+	}
+	return maxLSN, gen, true
+}
+
+// len reports the number of entries, tombstones included.
+func (r *run) len() int { return len(r.keys) }
+
+// tomb reports whether entry i is a tombstone.
+func (r *run) tomb(i int) bool { return r.tombs[i>>3]&(1<<(i&7)) != 0 }
+
+// live reports the number of non-tombstone entries.
+func (r *run) live() int {
+	n := 0
+	for i := range r.keys {
+		if !r.tomb(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// get looks a key up: bloom filter first (rejecting most absent keys
+// without touching the arrays), then binary search.
+func (r *run) get(k core.Key) (memEntry, bool) {
+	if !bloomTest(r.bloom, k) {
+		return memEntry{}, false
+	}
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= k })
+	if i == len(r.keys) || r.keys[i] != k {
+		return memEntry{}, false
+	}
+	return memEntry{key: k, tid: r.tids[i], del: r.tomb(i)}, true
+}
+
+// rangeOf returns the index interval [lo, hi) of keys in [start, end].
+func (r *run) rangeOf(start, end core.Key) (int, int) {
+	lo := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= start })
+	hi := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] > end })
+	return lo, hi
+}
+
+// bloomBytes sizes a filter at ~10 bits per key (about 1% false
+// positives with 4 probes), rounded up to whole 64-bit words so the
+// byte length is always a multiple of 8 — an invariant the decoder
+// checks. Minimum one word, so empty runs stay valid.
+func bloomBytes(count int) int {
+	words := (count*10 + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	return words * 8
+}
+
+// bloomHash derives the two independent hashes of the double-hashing
+// scheme from a key.
+func bloomHash(k core.Key) (uint64, uint64) {
+	x := uint64(k) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x, x>>32 | x<<32 | 1
+}
+
+// bloomAdd sets the key's 4 probe bits.
+func bloomAdd(filter []byte, k core.Key) {
+	h1, h2 := bloomHash(k)
+	bits := uint64(len(filter)) * 8
+	for i := uint64(0); i < 4; i++ {
+		b := (h1 + i*h2) % bits
+		filter[b>>3] |= 1 << (b & 7)
+	}
+}
+
+// bloomTest reports whether the key may be present.
+func bloomTest(filter []byte, k core.Key) bool {
+	h1, h2 := bloomHash(k)
+	bits := uint64(len(filter)) * 8
+	for i := uint64(0); i < 4; i++ {
+		b := (h1 + i*h2) % bits
+		if filter[b>>3]&(1<<(b&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// newRun builds an in-memory run from sorted, duplicate-free entries,
+// computing its bloom filter.
+func newRun(entries []memEntry, minLSN, maxLSN uint64, gen uint32) *run {
+	r := &run{
+		keys:   make([]core.Key, len(entries)),
+		tids:   make([]core.TID, len(entries)),
+		tombs:  make([]byte, (len(entries)+7)/8),
+		bloom:  make([]byte, bloomBytes(len(entries))),
+		minLSN: minLSN,
+		maxLSN: maxLSN,
+		gen:    gen,
+	}
+	for i, e := range entries {
+		r.keys[i] = e.key
+		r.tids[i] = e.tid
+		if e.del {
+			r.tombs[i>>3] |= 1 << (i & 7)
+		}
+		bloomAdd(r.bloom, e.key)
+	}
+	return r
+}
+
+// encodeRun serializes a run in the file layout above.
+func encodeRun(r *run) []byte {
+	n := len(r.keys)
+	size := runHeaderLen + len(r.bloom) + 8*n + len(r.tombs) + 4
+	blob := make([]byte, 0, size)
+	blob = append(blob, runMagic[:]...)
+	blob = binary.LittleEndian.AppendUint32(blob, uint32(n))
+	blob = binary.LittleEndian.AppendUint32(blob, uint32(len(r.bloom)))
+	blob = binary.LittleEndian.AppendUint32(blob, r.gen)
+	blob = binary.LittleEndian.AppendUint64(blob, r.minLSN)
+	blob = binary.LittleEndian.AppendUint64(blob, r.maxLSN)
+	blob = append(blob, r.bloom...)
+	for _, k := range r.keys {
+		blob = binary.LittleEndian.AppendUint32(blob, uint32(k))
+	}
+	for _, t := range r.tids {
+		blob = binary.LittleEndian.AppendUint32(blob, uint32(t))
+	}
+	blob = append(blob, r.tombs...)
+	return binary.LittleEndian.AppendUint32(blob, crc32.Checksum(blob, runCRC))
+}
+
+// decodeRun parses and verifies one run file. Every rejection wraps
+// errBadRun; a nil error guarantees the run's invariants (sizes
+// consistent, checksum valid, keys strictly ascending, minLSN ≤
+// maxLSN) hold.
+func decodeRun(blob []byte) (*run, error) {
+	if len(blob) < runHeaderLen+4 {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", errBadRun, len(blob), runHeaderLen+4)
+	}
+	if [4]byte(blob[:4]) != runMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", errBadRun, blob[:4])
+	}
+	count := binary.LittleEndian.Uint32(blob[4:])
+	bloomLen := binary.LittleEndian.Uint32(blob[8:])
+	gen := binary.LittleEndian.Uint32(blob[12:])
+	minLSN := binary.LittleEndian.Uint64(blob[16:])
+	maxLSN := binary.LittleEndian.Uint64(blob[24:])
+	if count > maxRunEntries {
+		return nil, fmt.Errorf("%w: count %d exceeds limit", errBadRun, count)
+	}
+	if bloomLen > maxRunBloom || bloomLen%8 != 0 || bloomLen == 0 {
+		return nil, fmt.Errorf("%w: bloom length %d", errBadRun, bloomLen)
+	}
+	if minLSN > maxLSN {
+		return nil, fmt.Errorf("%w: LSN range [%d, %d] inverted", errBadRun, minLSN, maxLSN)
+	}
+	n := int(count)
+	want := runHeaderLen + int(bloomLen) + 8*n + (n+7)/8 + 4
+	if len(blob) != want {
+		return nil, fmt.Errorf("%w: %d bytes, layout says %d", errBadRun, len(blob), want)
+	}
+	body, sum := blob[:len(blob)-4], binary.LittleEndian.Uint32(blob[len(blob)-4:])
+	if crc32.Checksum(body, runCRC) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", errBadRun)
+	}
+	r := &run{
+		keys:   make([]core.Key, n),
+		tids:   make([]core.TID, n),
+		tombs:  make([]byte, (n+7)/8),
+		bloom:  make([]byte, bloomLen),
+		minLSN: minLSN,
+		maxLSN: maxLSN,
+		gen:    gen,
+	}
+	off := runHeaderLen
+	copy(r.bloom, blob[off:off+int(bloomLen)])
+	off += int(bloomLen)
+	for i := 0; i < n; i++ {
+		r.keys[i] = core.Key(binary.LittleEndian.Uint32(blob[off+4*i:]))
+	}
+	off += 4 * n
+	for i := 0; i < n; i++ {
+		r.tids[i] = core.TID(binary.LittleEndian.Uint32(blob[off+4*i:]))
+	}
+	off += 4 * n
+	copy(r.tombs, blob[off:off+(n+7)/8])
+	for i := 1; i < n; i++ {
+		if r.keys[i] <= r.keys[i-1] {
+			return nil, fmt.Errorf("%w: keys out of order at %d", errBadRun, i)
+		}
+	}
+	return r, nil
+}

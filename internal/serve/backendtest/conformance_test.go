@@ -1,0 +1,14 @@
+package backendtest
+
+import (
+	"testing"
+
+	"pbtree/internal/serve"
+)
+
+// Every registered backend runs the same conformance suite; a new
+// backend earns its place by adding a line here.
+
+func TestConformancePBTree(t *testing.T) { Run(t, serve.BackendPBTree) }
+
+func TestConformanceLSM(t *testing.T) { Run(t, serve.BackendLSM) }

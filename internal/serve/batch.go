@@ -124,14 +124,15 @@ func (b *Batcher) gather(sh *shard, reqs chan batchGet) {
 		}
 
 		// One snapshot, one group search, all replies.
-		s := sh.acquire()
+		sh.waitReady()
+		s := sh.be.Snapshot()
 		if len(keys) == 1 {
-			tid, ok := s.tree.Search(keys[0])
+			tid, ok := s.Get(keys[0])
 			tids[0], found[0] = tid, ok
 		} else {
-			s.tree.SearchBatch(keys, tids[:len(keys)], found[:len(keys)])
+			s.GetBatch(keys, tids[:len(keys)], found[:len(keys)])
 		}
-		s.release()
+		s.Release()
 		for i, ch := range replies {
 			ch <- Lookup{TID: tids[i], Found: found[i]}
 		}

@@ -9,21 +9,39 @@ import (
 	"testing"
 )
 
-// TestExportedSymbolsDocumented fails when an exported symbol in this
-// package lacks a doc comment. The serving layer is the repository's
-// public face — PROTOCOL.md specifies the wire and the godoc specifies
-// the Go API, and `make docs-check` gates on both.
+// TestExportedSymbolsDocumented fails when an exported symbol in the
+// serving layer or the storage-engine packages lacks a doc comment.
+// The serving layer is the repository's public face — PROTOCOL.md
+// specifies the wire and the godoc specifies the Go API — and the
+// Backend contract (internal/backend, internal/lsm, internal/storage)
+// is what a new engine implements against, so its godoc is the
+// contract's text. `make docs-check` gates on both.
 func TestExportedSymbolsDocumented(t *testing.T) {
+	for dir, pkgName := range map[string]string{
+		".":           "serve",
+		"backendtest": "backendtest",
+		"../backend":  "backend",
+		"../lsm":      "lsm",
+		"../storage":  "storage",
+	} {
+		checkPackageDocs(t, dir, pkgName)
+	}
+}
+
+// checkPackageDocs parses one package directory and reports every
+// exported symbol without a doc comment.
+func checkPackageDocs(t *testing.T, dir, pkgName string) {
+	t.Helper()
 	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
 	}, parser.ParseComments)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, ok := pkgs["serve"]
+	pkg, ok := pkgs[pkgName]
 	if !ok {
-		t.Fatalf("package serve not found, got %v", pkgs)
+		t.Fatalf("package %s not found in %s, got %v", pkgName, dir, pkgs)
 	}
 
 	undocumented := func(doc *ast.CommentGroup) bool {

@@ -1,27 +1,31 @@
 package serve
 
-// Durability: per-shard WAL + checkpoints over the core snapshot
-// format (DESIGN.md §9).
+// Durability: per-shard WAL (owned here) + engine checkpoints (owned
+// by the storage engine — full-tree snapshots for pbtree, sorted runs
+// for lsm). See DESIGN.md §9 and §11.
 //
 // Directory layout under the data dir:
 //
-//	MANIFEST                    store-level metadata (format, shards)
+//	MANIFEST                    store-level metadata (format, shards, backend)
 //	shard-0042/
-//	    ckpt-<lsn16x>.pbt       core.WriteTo snapshot of LSNs ≤ lsn
 //	    wal-<lsn16x>.log        records starting at that LSN
-//	    *.tmp                   in-flight checkpoint, ignored on open
+//	    ckpt-<lsn16x>.pbt       pbtree: core.WriteTo snapshot of LSNs ≤ lsn
+//	    run-<lsn16x>-<gen>.lrun lsm: sorted run (see package lsm)
+//	    *.tmp                   in-flight artifact, removed on open
 //
 // Invariants:
 //
 //   - Shard LSNs are contiguous from 1; every acknowledged mutation
 //     owns exactly one LSN.
-//   - A checkpoint named for LSN L contains exactly the effects of
-//     records 1..L. It is written to a .tmp file, synced, then
-//     renamed — so a readable ckpt-*.pbt is always complete.
-//   - WAL segments older than the newest durable checkpoint are
-//     deleted only after the rename; recovery therefore always finds
-//     checkpoint ∪ WAL covering every durable LSN.
-//   - Recovery loads the newest loadable checkpoint, replays WAL
+//   - An engine artifact set covering LSN L contains exactly the
+//     effects of records 1..L. Artifacts are written to a .tmp file,
+//     synced, then renamed — so a readable artifact is always
+//     complete.
+//   - WAL segments older than the newest durable engine checkpoint
+//     are deleted only after the engine reports it durable; recovery
+//     therefore always finds artifacts ∪ WAL covering every durable
+//     LSN.
+//   - Recovery lets the engine reload its artifacts, then replays WAL
 //     records L+1.. in LSN order, stops at the first torn/corrupt
 //     record or LSN gap, and truncates that tail.
 
@@ -35,11 +39,11 @@ import (
 	"strings"
 	"time"
 
-	"pbtree/internal/core"
-	"pbtree/internal/memsys"
+	"pbtree/internal/backend"
 )
 
-// DurableConfig enables WAL + checkpoint persistence for a Store.
+// DurableConfig enables WAL + engine checkpoint persistence for a
+// Store.
 type DurableConfig struct {
 	// Dir is the data directory. With the default OS filesystem it is
 	// the on-disk root; with a custom FS it may be empty (paths are
@@ -59,8 +63,8 @@ type DurableConfig struct {
 	FsyncInterval time.Duration
 
 	// CheckpointEvery is how many WAL records a shard accumulates
-	// before it writes a checkpoint and rotates its segment. Zero
-	// selects 4096.
+	// before it asks its engine to checkpoint and rotates its segment.
+	// Zero selects 4096.
 	CheckpointEvery int
 }
 
@@ -93,7 +97,7 @@ func (c DurableConfig) withDefaults() (DurableConfig, error) {
 // RecoveryStats describes one shard's recovery-on-open.
 type RecoveryStats struct {
 	Shard         int           `json:"shard"`            // shard index
-	CheckpointLSN uint64        `json:"checkpoint_lsn"`   // 0 = none found
+	CheckpointLSN uint64        `json:"checkpoint_lsn"`   // engine artifact coverage; 0 = none found
 	LastLSN       uint64        `json:"last_lsn"`         // after replay
 	Replayed      uint64        `json:"replayed_records"` // WAL records applied
 	TornBytes     int64         `json:"torn_bytes"`       // truncated WAL tail
@@ -103,11 +107,13 @@ type RecoveryStats struct {
 }
 
 // manifest is the store-level metadata file, written once at
-// initialization. Shard count is part of the on-disk identity: the
-// hash partitioning depends on it.
+// initialization. Shard count and backend are part of the on-disk
+// identity: the hash partitioning depends on the former, the artifact
+// format on the latter.
 type manifest struct {
-	Format int `json:"format"`
-	Shards int `json:"shards"`
+	Format  int    `json:"format"`
+	Shards  int    `json:"shards"`
+	Backend string `json:"backend,omitempty"`
 }
 
 const (
@@ -116,23 +122,13 @@ const (
 )
 
 func shardDirName(i int) string    { return fmt.Sprintf("shard-%04d", i) }
-func ckptName(lsn uint64) string   { return fmt.Sprintf("ckpt-%016x.pbt", lsn) }
+func ckptName(lsn uint64) string   { return backend.CheckpointName(lsn) }
 func walSegName(lsn uint64) string { return fmt.Sprintf("wal-%016x.log", lsn) }
-func parseSeq(name, prefix, suffix string) (uint64, bool) {
-	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
-		return 0, false
-	}
-	mid := name[len(prefix) : len(name)-len(suffix)]
-	var v uint64
-	if _, err := fmt.Sscanf(mid, "%016x", &v); err != nil || len(mid) != 16 {
-		return 0, false
-	}
-	return v, true
-}
 
 // loadOrInitManifest validates an existing manifest or writes a fresh
-// one via the tmp+rename protocol.
-func loadOrInitManifest(fsys FS, shards int) error {
+// one via the tmp+rename protocol. bk is the configured backend name;
+// manifests from before the backend field default to pbtree.
+func loadOrInitManifest(fsys FS, shards int, bk string) error {
 	if f, err := fsys.Open(manifestName); err == nil {
 		blob, rerr := io.ReadAll(io.LimitReader(f, 1<<16))
 		f.Close()
@@ -149,9 +145,16 @@ func loadOrInitManifest(fsys FS, shards int) error {
 		if m.Shards != shards {
 			return fmt.Errorf("serve: store was created with %d shards, reopened with %d (shard count is part of the on-disk layout)", m.Shards, shards)
 		}
+		mb := m.Backend
+		if mb == "" {
+			mb = BackendPBTree
+		}
+		if mb != bk {
+			return fmt.Errorf("serve: store was created with backend %q, reopened with %q (the artifact formats are incompatible)", mb, bk)
+		}
 		return nil
 	}
-	blob, err := json.Marshal(manifest{Format: manifestFormat, Shards: shards})
+	blob, err := json.Marshal(manifest{Format: manifestFormat, Shards: shards, Backend: bk})
 	if err != nil {
 		return err
 	}
@@ -173,101 +176,35 @@ func loadOrInitManifest(fsys FS, shards int) error {
 	return fsys.Rename(manifestName+".tmp", manifestName)
 }
 
-// shardFiles is the classified directory listing of one shard.
-type shardFiles struct {
-	ckpts []uint64 // checkpoint LSNs, descending
-	wals  []uint64 // segment start LSNs, ascending
-}
-
-// listShard classifies a shard directory, removing leftover .tmp files
-// from an interrupted checkpoint.
-func listShard(fsys FS, dir string) (shardFiles, error) {
+// listWALSegs returns a shard directory's WAL segment start LSNs,
+// ascending. Non-WAL names (engine artifacts) are left to the engine.
+func listWALSegs(fsys FS, dir string) ([]uint64, error) {
 	names, err := fsys.ReadDir(dir)
 	if err != nil {
-		return shardFiles{}, err
+		return nil, err
 	}
-	var sf shardFiles
+	var segs []uint64
 	for _, n := range names {
 		if strings.HasSuffix(n, ".tmp") {
 			_ = fsys.Remove(path.Join(dir, n))
 			continue
 		}
-		if lsn, ok := parseSeq(n, "ckpt-", ".pbt"); ok {
-			sf.ckpts = append(sf.ckpts, lsn)
-		} else if lsn, ok := parseSeq(n, "wal-", ".log"); ok {
-			sf.wals = append(sf.wals, lsn)
+		if lsn, ok := backend.ParseSeq(n, "wal-", ".log"); ok {
+			segs = append(segs, lsn)
 		}
 	}
-	sort.Slice(sf.ckpts, func(i, j int) bool { return sf.ckpts[i] > sf.ckpts[j] })
-	sort.Slice(sf.wals, func(i, j int) bool { return sf.wals[i] < sf.wals[j] })
-	return sf, nil
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
 }
 
-// recoverShard rebuilds one shard's contents from its directory:
-// newest loadable checkpoint, then the WAL tail. It returns the
-// recovered pairs (sorted, the Bulkload contract), whether the
-// directory held any prior state (if not, the caller bootstraps from
-// its seed pairs), and stats. The shard directory is created if
-// missing.
-func recoverShard(fsys FS, shard int, fill float64) (pairs []core.Pair, hadState bool, stats RecoveryStats, err error) {
-	start := time.Now()
-	stats = RecoveryStats{Shard: shard}
-	dir := shardDirName(shard)
-	if err := fsys.MkdirAll(dir); err != nil {
-		return nil, false, stats, err
-	}
-	sf, err := listShard(fsys, dir)
-	if err != nil {
-		return nil, false, stats, err
-	}
-	hadState = len(sf.ckpts) > 0 || len(sf.wals) > 0
-
-	// Newest checkpoint that actually loads wins; older ones are the
-	// fallback if its bytes were damaged at rest.
-	var base *core.Tree
-	for _, lsn := range sf.ckpts {
-		f, err := fsys.Open(path.Join(dir, ckptName(lsn)))
-		if err != nil {
-			continue
-		}
-		t, lerr := core.Load(f, memsys.DefaultNative(), fill)
-		f.Close()
-		if lerr == nil {
-			base = t
-			stats.CheckpointLSN = lsn
-			break
-		}
-	}
-	stats.LastLSN = stats.CheckpointLSN
-
-	// Replay the WAL tail in LSN order onto a mutable tree.
-	var tree *core.Tree
-	if base != nil {
-		tree = base
-	}
-	apply := func(rec walRecord) error {
-		if tree == nil {
-			// Scratch container for replay without a checkpoint; only
-			// its contents survive (the caller re-bulkloads with the
-			// store's own tree configuration).
-			t, err := core.New(core.Config{Width: 8, Prefetch: true, Mem: memsys.DefaultNative()})
-			if err != nil {
-				return err
-			}
-			if err := t.Bulkload(nil, fill); err != nil {
-				return err
-			}
-			tree = t
-		}
-		for _, p := range rec.puts {
-			tree.Insert(p.Key, p.TID)
-		}
-		for _, k := range rec.dels {
-			tree.Delete(k)
-		}
-		return nil
-	}
-	for _, seg := range sf.wals {
+// replayWAL replays a shard's WAL tail through the engine's Replay
+// hook, in LSN order, skipping records the engine's artifacts already
+// cover (LSN ≤ stats.LastLSN on entry). It stops at the first
+// torn/corrupt record or LSN gap — a stale segment surviving an
+// interrupted rotation — and truncates that tail so the next open
+// starts clean. stats is updated in place.
+func replayWAL(fsys FS, dir string, segs []uint64, be backend.Backend, stats *RecoveryStats) error {
+	for _, seg := range segs {
 		segName := path.Join(dir, walSegName(seg))
 		f, err := fsys.Open(segName)
 		if err != nil {
@@ -276,88 +213,48 @@ func recoverShard(fsys FS, shard int, fill float64) (pairs []core.Pair, hadState
 		blob, rerr := io.ReadAll(f)
 		f.Close()
 		if rerr != nil {
-			return nil, hadState, stats, fmt.Errorf("serve: reading %s: %w", segName, rerr)
+			return fmt.Errorf("serve: reading %s: %w", segName, rerr)
 		}
 		off := 0
-		stop := false
 		for off < len(blob) {
 			rec, n, derr := decodeWALRecord(blob[off:])
 			if derr != nil {
 				// Torn tail: truncate it so the next open starts clean.
 				stats.TornBytes += int64(len(blob) - off)
 				_ = fsys.Truncate(segName, int64(off))
-				stop = true
-				break
+				return nil
 			}
 			if rec.lsn <= stats.LastLSN {
-				off += n // already covered by the checkpoint
+				off += n // already covered by the engine's artifacts
 				continue
 			}
 			if rec.lsn != stats.LastLSN+1 {
-				// LSN gap: a stale segment surviving an interrupted
-				// rotation. Nothing after it is replayable.
+				// LSN gap: nothing after it is replayable.
 				stats.TornBytes += int64(len(blob) - off)
 				_ = fsys.Truncate(segName, int64(off))
-				stop = true
-				break
+				return nil
 			}
-			if err := apply(rec); err != nil {
-				return nil, hadState, stats, err
+			if err := be.Replay(backend.Write{Puts: rec.puts, Dels: rec.dels}); err != nil {
+				return err
 			}
 			stats.LastLSN = rec.lsn
 			stats.Replayed++
 			off += n
 		}
-		if stop {
-			break
-		}
 	}
-
-	if tree != nil {
-		pairs = tree.AppendPairs(make([]core.Pair, 0, tree.Len()))
-	}
-	stats.Pairs = len(pairs)
-	stats.Duration = time.Since(start)
-	return pairs, hadState, stats, nil
+	return nil
 }
 
-// writeCheckpoint serializes a tree as the checkpoint for lsn using
-// the tmp+rename protocol: a readable ckpt-*.pbt is always complete.
-func writeCheckpoint(fsys FS, dir string, tree *core.Tree, lsn uint64) error {
-	final := path.Join(dir, ckptName(lsn))
-	tmp := final + ".tmp"
-	f, err := fsys.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if _, err := tree.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return fsys.Rename(tmp, final)
-}
-
-// pruneShard removes checkpoints older than keepCkpt and WAL segments
-// whose records are all covered by it. Best-effort: leftover files are
-// harmless (recovery skips them) and reclaimed next time.
-func pruneShard(fsys FS, dir string, keepCkpt uint64, keepSeg uint64) {
-	sf, err := listShard(fsys, dir)
+// pruneWAL removes WAL segments whose records are all covered by the
+// engine checkpoint at keepCkpt, sparing the active segment keepSeg.
+// Best-effort: leftover files are harmless (recovery skips their
+// already-covered records) and reclaimed next time.
+func pruneWAL(fsys FS, dir string, keepCkpt uint64, keepSeg uint64) {
+	segs, err := listWALSegs(fsys, dir)
 	if err != nil {
 		return
 	}
-	for _, lsn := range sf.ckpts {
-		if lsn < keepCkpt {
-			_ = fsys.Remove(path.Join(dir, ckptName(lsn)))
-		}
-	}
-	for _, seg := range sf.wals {
+	for _, seg := range segs {
 		if seg <= keepCkpt && seg != keepSeg {
 			_ = fsys.Remove(path.Join(dir, walSegName(seg)))
 		}

@@ -1,142 +1,30 @@
 package serve
 
-// Filesystem abstraction for the durability layer. All disk I/O of the
-// WAL and checkpoint machinery goes through FS, so crash consistency
-// is testable in-process: the production implementation is a thin
-// wrapper over package os, and MemFS (memfs.go) is a deterministic
-// fault-injecting implementation that can replay the exact byte stream
-// a power cut would leave behind.
+// The filesystem abstraction moved to internal/storage so the storage
+// engines (internal/backend, internal/lsm) can persist their artifacts
+// without importing the serving layer. These aliases keep the types
+// available under their historical serve names — DurableConfig.FS,
+// tests, and the facade all keep working unchanged.
 
-import (
-	"io"
-	"os"
-	"path/filepath"
-)
+import "pbtree/internal/storage"
 
-// File is one open file of an FS. Writers append (the durability layer
-// never seeks); readers stream from the start.
-type File interface {
-	io.Reader
-	io.Writer
-	io.Closer
+// File is one open file of an FS. See storage.File.
+type File = storage.File
 
-	// Sync forces written data to stable storage. A write is only
-	// crash-durable once Sync returns.
-	Sync() error
-}
+// FS is the filesystem surface the durability layer needs. See
+// storage.FS.
+type FS = storage.FS
 
-// FS is the filesystem surface the durability layer needs. Paths use
-// forward slashes and are interpreted relative to the store's data
-// directory root. Rename is atomic (the checkpoint publication
-// primitive); directory-entry durability after Create/Rename/Remove is
-// the implementation's responsibility.
-type FS interface {
-	// MkdirAll creates a directory and any missing parents.
-	MkdirAll(dir string) error
+// OSFS is the production FS over package os. See storage.OSFS.
+type OSFS = storage.OSFS
 
-	// Create opens a new file for writing, truncating any existing one.
-	Create(name string) (File, error)
+// MemFS is the deterministic fault-injecting in-memory FS used by the
+// crash tests. See storage.MemFS.
+type MemFS = storage.MemFS
 
-	// Open opens an existing file for reading.
-	Open(name string) (File, error)
+// ErrInjected is the failure MemFS injects when its write budget is
+// exhausted. See storage.ErrInjected.
+var ErrInjected = storage.ErrInjected
 
-	// ReadDir lists the entry names of a directory, sorted.
-	ReadDir(dir string) ([]string, error)
-
-	// Rename atomically replaces newname with oldname.
-	Rename(oldname, newname string) error
-
-	// Remove deletes a file.
-	Remove(name string) error
-
-	// Truncate cuts a file to the given size (recovery uses it to drop
-	// a torn WAL tail).
-	Truncate(name string, size int64) error
-}
-
-// OSFS is the production FS over package os. After Create, Rename and
-// Remove it syncs the parent directory, so directory entries are as
-// durable as the data they point to.
-type OSFS struct {
-	// Root, when set, is prepended to every path.
-	Root string
-}
-
-func (fs OSFS) path(name string) string {
-	if fs.Root == "" {
-		return name
-	}
-	return filepath.Join(fs.Root, name)
-}
-
-// syncDir best-effort syncs the parent directory of a path, making the
-// directory entry itself durable. Errors are returned so callers can
-// treat metadata loss like data loss.
-func (fs OSFS) syncDir(name string) error {
-	d, err := os.Open(filepath.Dir(fs.path(name)))
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-// MkdirAll implements FS.
-func (fs OSFS) MkdirAll(dir string) error {
-	return os.MkdirAll(fs.path(dir), 0o755)
-}
-
-// Create implements FS.
-func (fs OSFS) Create(name string) (File, error) {
-	f, err := os.Create(fs.path(name))
-	if err != nil {
-		return nil, err
-	}
-	if err := fs.syncDir(name); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return f, nil
-}
-
-// Open implements FS.
-func (fs OSFS) Open(name string) (File, error) {
-	return os.Open(fs.path(name))
-}
-
-// ReadDir implements FS.
-func (fs OSFS) ReadDir(dir string) ([]string, error) {
-	ents, err := os.ReadDir(fs.path(dir))
-	if err != nil {
-		return nil, err
-	}
-	names := make([]string, 0, len(ents))
-	for _, e := range ents {
-		names = append(names, e.Name())
-	}
-	return names, nil
-}
-
-// Rename implements FS.
-func (fs OSFS) Rename(oldname, newname string) error {
-	if err := os.Rename(fs.path(oldname), fs.path(newname)); err != nil {
-		return err
-	}
-	return fs.syncDir(newname)
-}
-
-// Remove implements FS.
-func (fs OSFS) Remove(name string) error {
-	if err := os.Remove(fs.path(name)); err != nil {
-		return err
-	}
-	return fs.syncDir(name)
-}
-
-// Truncate implements FS.
-func (fs OSFS) Truncate(name string, size int64) error {
-	return os.Truncate(fs.path(name), size)
-}
+// NewMemFS builds an empty MemFS. See storage.NewMemFS.
+func NewMemFS() *MemFS { return storage.NewMemFS() }

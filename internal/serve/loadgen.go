@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,12 @@ type LoadgenConfig struct {
 
 	// Conns is the number of concurrent connections. Zero selects 4.
 	Conns int `json:"conns"`
+
+	// Scenario selects a named workload preset (see ScenarioNames).
+	// Non-empty overrides the op mix, skew and scan-limit fields below
+	// with the scenario's values; the report echoes the resolved
+	// config. Empty keeps the explicit fields.
+	Scenario string `json:"scenario,omitempty"`
 
 	// Window is how many calls each connection keeps outstanding
 	// (closed-loop, via the pipelined client): total concurrency is
@@ -73,8 +80,62 @@ type LoadgenConfig struct {
 	Timeout time.Duration `json:"timeout_ns"`
 }
 
+// scenario is one named workload preset. Zero-valued fields fall
+// through to the regular defaulting, so presets only pin what defines
+// them.
+type scenario struct {
+	get, mget, scan, put, del int
+	skew                      string
+	scanLimit                 int
+	hotFrac, hotProb          float64
+}
+
+// scenarios are the named workloads of the benchmark matrix. Each is
+// a caricature of one serving regime, chosen to separate the backends:
+// point reads on a skewed working set, scan-heavy analytics, a pure
+// ingest burst, a single-row firestorm, and a mixed tenant.
+var scenarios = map[string]scenario{
+	// OLTP point lookups: read-mostly, Zipf-skewed single-key traffic.
+	"oltp-point": {get: 90, mget: 5, put: 5, skew: "zipf"},
+	// Analytics: long scans dominate, uniform starts, deep row limits.
+	"olap-scan": {get: 10, mget: 20, scan: 70, skew: "uniform", scanLimit: 500},
+	// Ingest: nothing but writes — the LSM's home turf.
+	"write-burst": {put: 100, skew: "uniform"},
+	// A tiny hot set takes nearly all traffic, reads racing overwrites.
+	"hot-key-storm": {get: 95, put: 5, skew: "hotset", hotFrac: 0.001, hotProb: 0.99},
+	// A realistic multi-tenant blend with every op class represented.
+	"mixed-tenant": {get: 50, mget: 15, scan: 10, put: 20, del: 5, skew: "zipf"},
+}
+
+// ScenarioNames lists the named workload presets, sorted.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // withDefaults resolves the zero values.
 func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
+	if c.Scenario != "" {
+		s, ok := scenarios[c.Scenario]
+		if !ok {
+			return c, fmt.Errorf("serve: unknown scenario %q (want one of %v)", c.Scenario, ScenarioNames())
+		}
+		c.GetPct, c.MGetPct, c.ScanPct, c.PutPct, c.DelPct = s.get, s.mget, s.scan, s.put, s.del
+		c.Skew = s.skew
+		if s.scanLimit != 0 {
+			c.ScanLimit = s.scanLimit
+		}
+		if s.hotFrac != 0 {
+			c.HotFrac = s.hotFrac
+		}
+		if s.hotProb != 0 {
+			c.HotProb = s.hotProb
+		}
+	}
 	if c.Conns == 0 {
 		c.Conns = 4
 	}
@@ -145,7 +206,9 @@ type OpReport struct {
 	Count  uint64  `json:"count"`   // completed calls
 	MeanUS float64 `json:"mean_us"` // mean latency, microseconds
 	P50US  float64 `json:"p50_us"`  // median latency, microseconds
+	P90US  float64 `json:"p90_us"`  // 90th-percentile latency, microseconds
 	P99US  float64 `json:"p99_us"`  // 99th-percentile latency, microseconds
+	P999US float64 `json:"p999_us"` // 99.9th-percentile latency, microseconds
 }
 
 // LoadgenReport is the JSON result of a run.
@@ -318,7 +381,9 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 			Count:  s.Count,
 			MeanUS: float64(s.Mean()) / 1e3,
 			P50US:  float64(s.Quantile(0.5)) / 1e3,
+			P90US:  float64(s.Quantile(0.90)) / 1e3,
 			P99US:  float64(s.Quantile(0.99)) / 1e3,
+			P999US: float64(s.Quantile(0.999)) / 1e3,
 		}
 	}
 	return rep, nil

@@ -111,6 +111,79 @@ func TestLoadgenReportRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadgenScenarios pins the named-preset behavior: each scenario
+// resolves to a valid config with its defining mix, the preset
+// overrides explicit mix fields, the scenario name is echoed in the
+// report config, and unknown names are a setup error.
+func TestLoadgenScenarios(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		cfg, err := LoadgenConfig{Scenario: name, GetPct: 33}.withDefaults()
+		if err != nil {
+			t.Fatalf("scenario %s: %v", name, err)
+		}
+		if cfg.Scenario != name {
+			t.Errorf("scenario %s: name not echoed in resolved config", name)
+		}
+		if sum := cfg.GetPct + cfg.MGetPct + cfg.ScanPct + cfg.PutPct + cfg.DelPct; sum != 100 {
+			t.Errorf("scenario %s: mix sums to %d", name, sum)
+		}
+		blob, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back LoadgenConfig
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != cfg {
+			t.Errorf("scenario %s: config did not round-trip:\n got %+v\nwant %+v", name, back, cfg)
+		}
+	}
+	if cfg, _ := (LoadgenConfig{Scenario: "write-burst", GetPct: 90}).withDefaults(); cfg.PutPct != 100 || cfg.GetPct != 0 {
+		t.Errorf("write-burst did not override the explicit mix: %+v", cfg)
+	}
+	if cfg, _ := (LoadgenConfig{Scenario: "hot-key-storm"}).withDefaults(); cfg.Skew != "hotset" || cfg.HotFrac != 0.001 || cfg.HotProb != 0.99 {
+		t.Errorf("hot-key-storm skew not applied: %+v", cfg)
+	}
+	if cfg, _ := (LoadgenConfig{Scenario: "olap-scan"}).withDefaults(); cfg.ScanLimit != 500 {
+		t.Errorf("olap-scan scan limit not applied: %+v", cfg)
+	}
+	if _, err := (LoadgenConfig{Scenario: "no-such-load"}).withDefaults(); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestOpReportPercentiles pins the new tail percentiles: they must
+// survive a JSON round trip by name so BENCH_matrix.json keeps p90
+// and p999 per op class.
+func TestOpReportPercentiles(t *testing.T) {
+	rep := LoadgenReport{PerOp: map[string]OpReport{
+		"search": {Count: 9, P50US: 1, P90US: 2, P99US: 3, P999US: 4},
+	}}
+	blob, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LoadgenReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.PerOp["search"]; got != rep.PerOp["search"] {
+		t.Fatalf("per-op report did not round-trip: %+v", got)
+	}
+	var raw map[string]json.RawMessage
+	json.Unmarshal(blob, &raw)
+	var perOp map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(raw["per_op"], &perOp); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"p50_us", "p90_us", "p99_us", "p999_us"} {
+		if _, ok := perOp["search"][field]; !ok {
+			t.Errorf("per-op report is missing %q", field)
+		}
+	}
+}
+
 // TestLoadgenWindowed runs a real windowed loadgen against a server
 // and checks the report reflects the configured concurrency.
 func TestLoadgenWindowed(t *testing.T) {

@@ -7,8 +7,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"pbtree/internal/backend"
 	"pbtree/internal/core"
+	"pbtree/internal/lsm"
 	"pbtree/internal/memsys"
 	"pbtree/internal/obs"
 )
@@ -20,19 +23,44 @@ var ErrOverloaded = errors.New("serve: shard mutation queue full")
 // ErrClosed is returned for operations on a closed store.
 var ErrClosed = errors.New("serve: store is closed")
 
+// Storage backend names for StoreConfig.Backend and the server's
+// -backend flag.
+const (
+	// BackendPBTree serves each shard from the paper's
+	// prefetch-optimized pB+-Tree behind double-buffered snapshots —
+	// the read-optimized engine, and the default.
+	BackendPBTree = "pbtree"
+
+	// BackendLSM serves each shard from a log-structured merge engine
+	// (memtable + bloom-filtered sorted runs) — the write-optimized
+	// engine. See package lsm.
+	BackendLSM = "lsm"
+)
+
 // StoreConfig configures a sharded store.
 type StoreConfig struct {
 	// Shards is the number of hash partitions, each an independent
-	// pB+-Tree with its own single-writer goroutine. Zero selects
-	// GOMAXPROCS.
+	// storage engine with its own single-writer goroutine. Zero
+	// selects GOMAXPROCS.
 	Shards int
 
-	// Tree is the per-shard tree configuration. Mem must be nil (a
-	// shared zero-cost native model is created) or a concurrency-safe
-	// model (*memsys.Native); Trace must be nil, since tracers are
-	// single-threaded. The zero value serves on p8B+-Trees, the
-	// paper's sweet spot.
+	// Backend selects the per-shard storage engine, BackendPBTree or
+	// BackendLSM. Empty selects BackendPBTree. The choice is part of
+	// the on-disk identity of a durable store (recorded in the
+	// MANIFEST): a directory written by one engine cannot be reopened
+	// with the other.
+	Backend string
+
+	// Tree is the per-shard tree configuration (pbtree backend). Mem
+	// must be nil (a shared zero-cost native model is created) or a
+	// concurrency-safe model (*memsys.Native); Trace must be nil,
+	// since tracers are single-threaded. The zero value serves on
+	// p8B+-Trees, the paper's sweet spot.
 	Tree core.Config
+
+	// LSM is the per-shard engine configuration for BackendLSM. The
+	// zero value selects the package lsm defaults.
+	LSM lsm.Config
 
 	// Fill is the bulkload/rebuild fill factor in (0, 1]. Zero selects
 	// 0.8, leaving slack for inserts.
@@ -48,12 +76,12 @@ type StoreConfig struct {
 	QueueLen int
 
 	// Durable, when non-nil, persists every shard with a write-ahead
-	// log + checkpoints under Durable.Dir and recovers the contents on
-	// Open. Recovery runs per shard inside the shard's writer
-	// goroutine: shards become readable the moment their own recovery
-	// finishes, while the others are still replaying. Open's pairs are
-	// only the bootstrap contents of a fresh directory; an existing
-	// directory wins.
+	// log + engine checkpoints under Durable.Dir and recovers the
+	// contents on Open. Recovery runs per shard inside the shard's
+	// writer goroutine: shards become readable the moment their own
+	// recovery finishes, while the others are still replaying. Open's
+	// pairs are only the bootstrap contents of a fresh directory; an
+	// existing directory wins.
 	Durable *DurableConfig
 
 	// Metrics, when non-nil, receives the durability counters (WAL
@@ -69,6 +97,13 @@ func (c StoreConfig) withDefaults() (StoreConfig, error) {
 	}
 	if c.Shards < 1 {
 		return c, fmt.Errorf("serve: shard count %d must be positive", c.Shards)
+	}
+	switch c.Backend {
+	case "":
+		c.Backend = BackendPBTree
+	case BackendPBTree, BackendLSM:
+	default:
+		return c, fmt.Errorf("serve: unknown backend %q (want %q or %q)", c.Backend, BackendPBTree, BackendLSM)
 	}
 	if c.Fill == 0 {
 		c.Fill = 0.8
@@ -95,6 +130,11 @@ func (c StoreConfig) withDefaults() (StoreConfig, error) {
 	if memsys.IsNil(c.Tree.Mem) {
 		c.Tree.Mem = memsys.DefaultNative()
 	}
+	l, err := c.LSM.WithDefaults()
+	if err != nil {
+		return c, err
+	}
+	c.LSM = l
 	if c.Durable != nil {
 		d, err := c.Durable.withDefaults()
 		if err != nil {
@@ -111,16 +151,6 @@ type Lookup struct {
 	Found bool     // whether the key was present
 }
 
-// snapshot is one immutable published version of a shard. Readers
-// acquire it with a refcount so the writer knows when the previous
-// tree can be recycled.
-type snapshot struct {
-	tree    *core.Tree
-	version uint64
-	count   int
-	refs    atomic.Int64
-}
-
 // mutation is one queued write. A mutation's puts and deletes are
 // applied atomically: they land in the same published snapshot.
 type mutation struct {
@@ -130,11 +160,10 @@ type mutation struct {
 	done    chan error
 }
 
-// shard is one hash partition: an atomically published snapshot, a
-// writer-owned spare tree, and the single-writer mutation queue.
+// shard is one hash partition: a storage engine publishing immutable
+// snapshots, and the single-writer mutation queue feeding it.
 type shard struct {
-	snap  atomic.Pointer[snapshot]
-	spare *core.Tree // writer-owned; equals the published contents
+	be backend.Backend
 
 	ops     chan mutation
 	drained chan struct{}
@@ -147,12 +176,14 @@ type shard struct {
 	isReady  atomic.Bool
 	readyErr error
 
-	// Durability state, owned by the writer goroutine.
-	idx       int         // shard index (directory name)
-	seed      []core.Pair // bootstrap contents for a fresh directory
-	wal       *walWriter  // nil when the store is not durable
-	lsn       uint64      // last LSN appended to the WAL
-	walErr    error       // fail-stop: set on WAL append failure
+	// Writer-owned state.
+	idx       int             // shard index (directory name)
+	seed      []core.Pair     // bootstrap contents for a fresh directory
+	version   uint64          // last published snapshot version
+	wal       *walWriter      // nil when the store is not durable
+	lsn       uint64          // last LSN appended to the WAL
+	walErr    error           // fail-stop: set on WAL append failure
+	ws        []backend.Write // per-batch scratch
 	recovered RecoveryStats
 
 	durErr atomic.Pointer[string] // last durability error, for Stats
@@ -185,7 +216,8 @@ func (sh *shard) setDurErr(err error) {
 
 // Store is a sharded, snapshot-isolated key→tupleID store. All read
 // methods are lock-free and safe for any number of goroutines; writes
-// are serialized per shard through its writer goroutine.
+// are serialized per shard through its writer goroutine. Each shard
+// serves from the storage engine selected by StoreConfig.Backend.
 type Store struct {
 	cfg    StoreConfig
 	shards []*shard
@@ -198,7 +230,7 @@ type Store struct {
 // duplicates — the Bulkload contract) and starts the shard writers.
 //
 // With cfg.Durable set, the pairs only seed a fresh data directory; an
-// existing directory is recovered instead (newest checkpoint + WAL
+// existing directory is recovered instead (engine artifacts + WAL
 // tail), per shard, inside the shard writer goroutines. Open returns
 // immediately; reads and writes to a shard block until its recovery
 // finishes. WaitReady blocks until every shard is up and reports the
@@ -220,13 +252,14 @@ func Open(cfg StoreConfig, pairs []core.Pair) (*Store, error) {
 		if err := cfg.Durable.FS.MkdirAll("."); err != nil {
 			return nil, err
 		}
-		if err := loadOrInitManifest(cfg.Durable.FS, cfg.Shards); err != nil {
+		if err := loadOrInitManifest(cfg.Durable.FS, cfg.Shards, cfg.Backend); err != nil {
 			return nil, err
 		}
 	}
 	for i := range st.shards {
 		sh := &shard{
 			idx:     i,
+			be:      st.newBackend(i),
 			ops:     make(chan mutation, cfg.QueueLen),
 			drained: make(chan struct{}),
 			ready:   make(chan struct{}),
@@ -236,22 +269,34 @@ func Open(cfg StoreConfig, pairs []core.Pair) (*Store, error) {
 			// snapshot; this shard serves as soon as it is done.
 			sh.seed = parts[i]
 		} else {
-			pub, err := st.newTree(parts[i])
-			if err != nil {
+			if err := sh.be.Bootstrap(parts[i]); err != nil {
 				return nil, err
 			}
-			spare, err := st.newTree(parts[i])
-			if err != nil {
+			if err := sh.be.Seal(1); err != nil {
 				return nil, err
 			}
-			sh.spare = spare
-			sh.snap.Store(&snapshot{tree: pub, version: 1, count: pub.Len()})
+			sh.version = 1
 			sh.markReady(nil)
 		}
 		st.shards[i] = sh
 		go st.writer(sh)
 	}
 	return st, nil
+}
+
+// newBackend constructs one shard's storage engine from the resolved
+// configuration.
+func (st *Store) newBackend(idx int) backend.Backend {
+	var fsys FS
+	dir := ""
+	if st.cfg.Durable != nil {
+		fsys = st.cfg.Durable.FS
+		dir = shardDirName(idx)
+	}
+	if st.cfg.Backend == BackendLSM {
+		return lsm.New(st.cfg.LSM, fsys, dir)
+	}
+	return backend.NewPBTree(st.cfg.Tree, st.cfg.Fill, fsys, dir)
 }
 
 // WaitReady blocks until every shard has published its first snapshot
@@ -282,44 +327,48 @@ func (st *Store) Recovery() []RecoveryStats {
 	return out
 }
 
-// recoverAndPublish runs one durable shard's recovery-on-open: load
-// the newest checkpoint, replay the WAL tail, bootstrap a fresh
-// directory from the seed pairs, open a fresh WAL segment, publish the
-// first snapshot.
+// recoverAndPublish runs one durable shard's recovery-on-open: let the
+// engine reload its artifacts, replay the WAL tail through it,
+// bootstrap a fresh directory from the seed pairs, fold the recovered
+// tail into a fresh engine checkpoint, open a fresh WAL segment,
+// publish the first snapshot.
 func (st *Store) recoverAndPublish(sh *shard) error {
+	start := time.Now()
 	d := st.cfg.Durable
-	pairs, hadState, stats, err := recoverShard(d.FS, sh.idx, st.cfg.Fill)
-	if err != nil {
-		return err
-	}
-	if !hadState {
-		pairs = sh.seed
-		stats.Bootstrapped = true
-		stats.Pairs = len(pairs)
-	}
-	sh.seed = nil
-	pub, err := st.newTree(pairs)
-	if err != nil {
-		return err
-	}
-	spare, err := st.newTree(pairs)
-	if err != nil {
-		return err
-	}
 	dir := shardDirName(sh.idx)
-	if stats.Bootstrapped {
-		// A fresh shard's seed contents become its first checkpoint, so
-		// a crash before the first background checkpoint still recovers
-		// them.
-		if err := writeCheckpoint(d.FS, dir, pub, 0); err != nil {
+	if err := d.FS.MkdirAll(dir); err != nil {
+		return err
+	}
+	stats := RecoveryStats{Shard: sh.idx}
+	ckptLSN, hadState, err := sh.be.Recover()
+	if err != nil {
+		return err
+	}
+	stats.CheckpointLSN, stats.LastLSN = ckptLSN, ckptLSN
+	segs, err := listWALSegs(d.FS, dir)
+	if err != nil {
+		return err
+	}
+	if !hadState && len(segs) == 0 {
+		if err := sh.be.Bootstrap(sh.seed); err != nil {
 			return err
 		}
-		st.cfg.Metrics.Checkpoint(nil)
-	} else if stats.Replayed > 0 {
-		// Fold the replayed tail into a checkpoint now, so the segments
-		// it came from can be pruned and the next recovery is as short
-		// as this one.
-		if err := writeCheckpoint(d.FS, dir, pub, stats.LastLSN); err != nil {
+		stats.Bootstrapped = true
+	}
+	sh.seed = nil
+	if err := replayWAL(d.FS, dir, segs, sh.be, &stats); err != nil {
+		return err
+	}
+	if err := sh.be.Seal(stats.LastLSN + 1); err != nil {
+		return err
+	}
+	if stats.Bootstrapped || stats.Replayed > 0 {
+		// A fresh shard's seed contents become its first checkpoint,
+		// so a crash before the first background checkpoint still
+		// recovers them; a replayed tail is folded now, so the
+		// segments it came from can be pruned and the next recovery is
+		// as short as this one.
+		if err := sh.be.Checkpoint(stats.LastLSN); err != nil {
 			return err
 		}
 		st.cfg.Metrics.Checkpoint(nil)
@@ -328,23 +377,12 @@ func (st *Store) recoverAndPublish(sh *shard) error {
 	if err != nil {
 		return err
 	}
-	pruneShard(d.FS, dir, stats.LastLSN, stats.LastLSN+1)
-	sh.wal, sh.lsn, sh.spare, sh.recovered = w, stats.LastLSN, spare, stats
+	pruneWAL(d.FS, dir, stats.LastLSN, stats.LastLSN+1)
+	stats.Pairs = sh.be.Stats().Count
+	stats.Duration = time.Since(start)
+	sh.wal, sh.lsn, sh.version, sh.recovered = w, stats.LastLSN, stats.LastLSN+1, stats
 	st.cfg.Metrics.Recovery(stats.Duration, stats.Replayed)
-	sh.snap.Store(&snapshot{tree: pub, version: stats.LastLSN + 1, count: pub.Len()})
 	return nil
-}
-
-// newTree bulkloads one shard tree.
-func (st *Store) newTree(pairs []core.Pair) (*core.Tree, error) {
-	t, err := core.New(st.cfg.Tree)
-	if err != nil {
-		return nil, err
-	}
-	if err := t.Bulkload(pairs, st.cfg.Fill); err != nil {
-		return nil, err
-	}
-	return t, nil
 }
 
 // ShardOf reports which shard owns a key (a splitmix64-style hash of
@@ -362,43 +400,29 @@ func (st *Store) ShardOf(k core.Key) int {
 // Shards reports the number of shards.
 func (st *Store) Shards() int { return len(st.shards) }
 
-// acquire pins the shard's current snapshot against recycling. The
-// increment-then-revalidate dance closes the race with the writer's
-// drain check: a reader that loses the race releases and retries on
-// the newer snapshot.
-func (sh *shard) acquire() *snapshot {
-	for {
-		s := sh.snap.Load()
-		s.refs.Add(1)
-		if sh.snap.Load() == s {
-			return s
-		}
-		s.refs.Add(-1)
-	}
-}
-
-func (s *snapshot) release() { s.refs.Add(-1) }
-
 // writer is the single mutator of one shard: it drains the queue in
-// batches, applies each batch to the spare tree, publishes the spare
-// as the new snapshot, then replays the batch onto the previous tree
-// so it becomes the next spare (classic double buffering — publication
-// is O(batch), not O(shard)).
+// batches and hands each batch to the engine's ApplyBatch, which
+// publishes one snapshot per batch and acks as soon as the writes are
+// visible to new readers.
 //
 // For a durable store the writer first runs recovery (so other shards
 // serve while this one replays), then prepends a WAL group commit to
-// every batch, and checkpoints + rotates the log when the segment
-// accumulates CheckpointEvery records. If recovery fails the shard
-// fail-stops: it publishes an empty snapshot so readers never block
-// forever, and acknowledges every write with the recovery error.
+// every batch, and asks the engine to checkpoint + rotates the log
+// when the segment accumulates CheckpointEvery records. If recovery
+// fails the shard fail-stops: it publishes an empty snapshot so
+// readers never block forever, and acknowledges every write with the
+// recovery error.
 func (st *Store) writer(sh *shard) {
 	defer close(sh.drained)
 	if st.cfg.Durable != nil {
 		err := st.recoverAndPublish(sh)
 		if err != nil {
 			sh.setDurErr(err)
-			if empty, terr := st.newTree(nil); terr == nil {
-				sh.snap.Store(&snapshot{tree: empty, version: 1})
+			fb := st.newBackend(sh.idx)
+			if berr := fb.Bootstrap(nil); berr == nil {
+				if serr := fb.Seal(1); serr == nil {
+					sh.be, sh.version = fb, 1
+				}
 			}
 			err = fmt.Errorf("serve: shard %d recovery: %w", sh.idx, err)
 		}
@@ -434,6 +458,9 @@ func (st *Store) writer(sh *shard) {
 			sh.setDurErr(err)
 		}
 	}
+	if err := sh.be.Close(); err != nil {
+		sh.setDurErr(err)
+	}
 }
 
 // ackAll delivers one result to every waiter of a batch.
@@ -445,14 +472,16 @@ func ackAll(batch []mutation, err error) {
 	}
 }
 
-// applyBatch applies one batch of mutations and publishes a snapshot.
+// applyBatch applies one batch of mutations as one engine publication.
 // In durable mode the batch is group-committed to the WAL first — one
 // record per mutation (mutations are the atomic unit), one write and
 // at most one fsync for the whole batch — and nothing is applied or
 // acknowledged unless the commit succeeds. A WAL failure fail-stops
 // the shard's write path: the log tail is no longer trustworthy, so
 // accepting more writes would acknowledge data that cannot be
-// recovered.
+// recovered. An engine housekeeping failure (flush, compaction) is
+// recorded like a checkpoint failure: the batch itself is already
+// applied and acknowledged.
 func (st *Store) applyBatch(sh *shard, batch []mutation) {
 	if sh.walErr != nil {
 		ackAll(batch, sh.walErr)
@@ -473,73 +502,43 @@ func (st *Store) applyBatch(sh *shard, batch []mutation) {
 			return
 		}
 	}
-	compact := false
+	sh.ws = sh.ws[:0]
 	for _, m := range batch {
-		applyOne(sh.spare, m)
-		compact = compact || m.compact
+		sh.ws = append(sh.ws, backend.Write{Puts: m.puts, Dels: m.dels, Compact: m.compact})
 	}
-	var cloneErr error
-	if compact {
-		if nt, err := sh.spare.CloneFrozen(st.cfg.Fill); err == nil {
-			sh.spare = nt
-		} else {
-			cloneErr = err // serve the uncompacted spare; report below
-		}
+	sh.version++
+	lsn := sh.lsn
+	if sh.wal == nil {
+		lsn = sh.version // non-durable: versions double as artifact labels
 	}
-	old := sh.snap.Load()
-	next := &snapshot{tree: sh.spare, version: old.version + 1, count: sh.spare.Len()}
-	sh.snap.Store(next)
-	sh.published.Add(1)
-	// Acks fire as soon as the write is visible to new readers.
-	for _, m := range batch {
-		if m.done != nil {
-			m.done <- cloneErr
-		}
+	err := sh.be.ApplyBatch(sh.ws, sh.version, lsn, func(ackErr error) {
+		sh.published.Add(1)
+		ackAll(batch, ackErr)
+	})
+	if err != nil {
+		sh.setDurErr(err)
 	}
-	// Recycle the previous tree once its readers drain, replaying the
-	// batch so it catches up to the published contents.
-	for old.refs.Load() != 0 {
-		runtime.Gosched()
-	}
-	recycled := old.tree
-	if compact {
-		if nt, err := sh.spare.CloneFrozen(st.cfg.Fill); err == nil {
-			recycled = nt
-		} else {
-			// Fall back to replaying onto the old tree: contents stay
-			// correct even if the occupancy rebuild failed.
-			for _, m := range batch {
-				applyOne(recycled, m)
-			}
-		}
-	} else {
-		for _, m := range batch {
-			applyOne(recycled, m)
-		}
-	}
-	sh.spare = recycled
 	if sh.wal != nil && sh.wal.records >= uint64(st.cfg.Durable.CheckpointEvery) {
 		st.checkpoint(sh)
 	}
 }
 
-// checkpoint writes the published snapshot as a checkpoint, rotates
-// the WAL to a fresh segment, and prunes superseded files. Failures
-// leave the current segment in place — the shard keeps serving and
-// retries once the next batch lands.
+// checkpoint asks the engine to make everything through the current
+// LSN durable, rotates the WAL to a fresh segment, and prunes
+// superseded segments. Failures leave the current segment in place —
+// the shard keeps serving and retries once the next batch lands.
 func (st *Store) checkpoint(sh *shard) {
 	d := st.cfg.Durable
 	dir := shardDirName(sh.idx)
-	tree := sh.snap.Load().tree // immutable to this goroutine until the next batch
-	if err := writeCheckpoint(d.FS, dir, tree, sh.lsn); err != nil {
+	if err := sh.be.Checkpoint(sh.lsn); err != nil {
 		st.cfg.Metrics.Checkpoint(err)
 		sh.setDurErr(err)
 		return
 	}
 	w, err := newWALWriter(d.FS, path.Join(dir, walSegName(sh.lsn+1)), d.Fsync, d.FsyncInterval, st.cfg.Metrics)
 	if err != nil {
-		// The old segment keeps growing; the new checkpoint already
-		// shortens the next recovery.
+		// The old segment keeps growing; the new engine checkpoint
+		// already shortens the next recovery.
 		st.cfg.Metrics.Checkpoint(err)
 		sh.setDurErr(err)
 		return
@@ -548,18 +547,8 @@ func (st *Store) checkpoint(sh *shard) {
 		sh.setDurErr(err)
 	}
 	sh.wal = w
-	pruneShard(d.FS, dir, sh.lsn, sh.lsn+1)
+	pruneWAL(d.FS, dir, sh.lsn, sh.lsn+1)
 	st.cfg.Metrics.Checkpoint(nil)
-}
-
-// applyOne applies a single mutation to a tree.
-func applyOne(t *core.Tree, m mutation) {
-	for _, p := range m.puts {
-		t.Insert(p.Key, p.TID)
-	}
-	for _, k := range m.dels {
-		t.Delete(k)
-	}
 }
 
 // enqueue submits a mutation to a shard with backpressure.
@@ -633,9 +622,10 @@ func (st *Store) PutBatch(pairs []core.Pair) error {
 	return first
 }
 
-// Compact asks every shard to rebuild its trees at the configured fill
-// factor, restoring node occupancy after heavy insert/delete churn. It
-// returns once every shard has published the compacted snapshot.
+// Compact asks every shard to restore its engine's read-side layout —
+// a pB+-Tree rebuild at the configured fill factor, or an LSM fold of
+// all runs into one. It returns once every shard has published the
+// compacted snapshot.
 func (st *Store) Compact() error {
 	dones := make([]chan error, 0, len(st.shards))
 	for _, sh := range st.shards {
@@ -662,16 +652,17 @@ func (st *Store) Compact() error {
 func (st *Store) Get(k core.Key) (core.TID, bool) {
 	sh := st.shards[st.ShardOf(k)]
 	sh.waitReady()
-	s := sh.acquire()
-	tid, ok := s.tree.Search(k)
-	s.release()
+	s := sh.be.Snapshot()
+	tid, ok := s.Get(k)
+	s.Release()
 	return tid, ok
 }
 
 // MGet looks up a batch of keys: the keys are grouped by shard and
-// each group runs as one software-pipelined group search against a
-// single snapshot of its shard (snapshot-consistent per shard).
-// Results line up with keys; out must be at least len(keys) long.
+// each group runs as one batched lookup against a single snapshot of
+// its shard (snapshot-consistent per shard; on the pbtree backend the
+// group is a software-pipelined group search). Results line up with
+// keys; out must be at least len(keys) long.
 func (st *Store) MGet(keys []core.Key, out []Lookup) {
 	if len(out) < len(keys) {
 		panic("serve: MGet result slice shorter than keys")
@@ -692,10 +683,10 @@ func (st *Store) MGet(keys []core.Key, out []Lookup) {
 	for sidx, idxs := range groups {
 		sh := st.shards[sidx]
 		sh.waitReady()
-		s := sh.acquire()
+		s := sh.be.Snapshot()
 		if len(idxs) == 1 {
 			i := idxs[0]
-			tid, ok := s.tree.Search(keys[i])
+			tid, ok := s.Get(keys[i])
 			out[i] = Lookup{TID: tid, Found: ok}
 		} else {
 			gkeys = gkeys[:0]
@@ -707,12 +698,12 @@ func (st *Store) MGet(keys []core.Key, out []Lookup) {
 				gfound = make([]bool, len(idxs))
 			}
 			gtids, gfound = gtids[:len(idxs)], gfound[:len(idxs)]
-			s.tree.SearchBatch(gkeys, gtids, gfound)
+			s.GetBatch(gkeys, gtids, gfound)
 			for j, i := range idxs {
 				out[i] = Lookup{TID: gtids[j], Found: gfound[j]}
 			}
 		}
-		s.release()
+		s.Release()
 	}
 }
 
@@ -724,24 +715,11 @@ func (st *Store) Scan(start, end core.Key, limit int) []core.Pair {
 		return nil
 	}
 	runs := make([][]core.Pair, 0, len(st.shards))
-	buf := make([]core.Pair, limit)
 	for _, sh := range st.shards {
 		sh.waitReady()
-		s := sh.acquire()
-		sc := s.tree.NewScan(start, end)
-		var run []core.Pair
-		for len(run) < limit {
-			n := sc.NextPairs(buf)
-			if n == 0 {
-				break
-			}
-			need := limit - len(run)
-			if n > need {
-				n = need
-			}
-			run = append(run, buf[:n]...)
-		}
-		s.release()
+		s := sh.be.Snapshot()
+		run := s.Scan(start, end, limit)
+		s.Release()
 		if len(run) > 0 {
 			runs = append(runs, run)
 		}
@@ -785,13 +763,16 @@ func mergeRuns(runs [][]core.Pair, limit int) []core.Pair {
 
 // ShardStats is a point-in-time view of one shard.
 type ShardStats struct {
+	Backend    string `json:"backend"`               // storage engine name
 	Version    uint64 `json:"version"`               // snapshot version last published
-	Count      int    `json:"count"`                 // keys in the published snapshot
+	Count      int    `json:"count"`                 // keys in the published snapshot (estimate on lsm)
 	QueueDepth int    `json:"queue_depth"`           // mutations waiting for the shard writer
 	Puts       uint64 `json:"puts"`                  // puts applied since start
 	Deletes    uint64 `json:"deletes"`               // deletes applied since start
 	Published  uint64 `json:"published"`             // snapshot publications since start
-	Height     int    `json:"height"`                // tree height of the published snapshot
+	Height     int    `json:"height"`                // tree height of the published snapshot (pbtree)
+	Runs       int    `json:"runs,omitempty"`        // immutable sorted runs (lsm)
+	MemKeys    int    `json:"mem_keys,omitempty"`    // memtable entries, tombstones included (lsm)
 	DurableErr string `json:"durable_err,omitempty"` // last WAL/checkpoint/recovery error
 }
 
@@ -807,30 +788,36 @@ func (st *Store) Stats() StoreStats {
 	out := StoreStats{Shards: make([]ShardStats, len(st.shards))}
 	for i, sh := range st.shards {
 		sh.waitReady()
-		s := sh.snap.Load()
+		bs := sh.be.Stats()
 		out.Shards[i] = ShardStats{
-			Version:    s.version,
-			Count:      s.count,
+			Backend:    bs.Backend,
+			Version:    bs.Version,
+			Count:      bs.Count,
 			QueueDepth: len(sh.ops),
 			Puts:       sh.puts.Load(),
 			Deletes:    sh.dels.Load(),
 			Published:  sh.published.Load(),
-			Height:     s.tree.Height(),
+			Height:     bs.Height,
+			Runs:       bs.Runs,
+			MemKeys:    bs.MemKeys,
 		}
 		if e := sh.durErr.Load(); e != nil {
 			out.Shards[i].DurableErr = *e
 		}
-		out.Count += s.count
+		out.Count += bs.Count
 	}
 	return out
 }
 
-// Len reports the total number of pairs across all shards.
+// Len reports the total number of pairs across all shards (an
+// estimate on the lsm backend — see backend.Snapshot.Count).
 func (st *Store) Len() int {
 	n := 0
 	for _, sh := range st.shards {
 		sh.waitReady()
-		n += sh.snap.Load().count
+		s := sh.be.Snapshot()
+		n += s.Count()
+		s.Release()
 	}
 	return n
 }
@@ -842,9 +829,9 @@ func (st *Store) Dump() []core.Pair {
 	total := 0
 	for _, sh := range st.shards {
 		sh.waitReady()
-		s := sh.acquire()
-		run := s.tree.AppendPairs(make([]core.Pair, 0, s.count))
-		s.release()
+		s := sh.be.Snapshot()
+		run := s.AppendPairs(make([]core.Pair, 0, s.Count()))
+		s.Release()
 		total += len(run)
 		runs = append(runs, run)
 	}

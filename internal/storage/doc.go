@@ -1,0 +1,14 @@
+// Package storage holds the filesystem abstraction shared by every
+// durable storage engine: the FS/File interfaces all disk I/O goes
+// through, the production OSFS implementation (tmp+fsync+rename
+// discipline, directory-entry syncs), and the deterministic journaling
+// MemFS used to replay the exact byte stream a power cut would leave
+// behind.
+//
+// It sits below both internal/serve (WAL, manifest, store plumbing)
+// and the per-shard storage engines (internal/backend, internal/lsm),
+// so engines can persist their artifacts without importing the serving
+// layer. internal/serve re-exports these types under their original
+// names (serve.FS, serve.MemFS, ...), so existing callers are
+// unaffected.
+package storage

@@ -1,4 +1,4 @@
-package serve
+package storage
 
 import (
 	"errors"
@@ -13,7 +13,7 @@ import (
 // ErrInjected is the failure returned by a MemFS whose write budget is
 // exhausted: the simulated disk has died and every subsequent
 // operation fails.
-var ErrInjected = errors.New("serve: injected filesystem failure")
+var ErrInjected = errors.New("storage: injected filesystem failure")
 
 // memOp is one entry of the MemFS journal: an append of data to a
 // file, or a metadata operation (create/rename/remove/truncate/mkdir).
@@ -213,7 +213,7 @@ func (fs *MemFS) Open(name string) (File, error) {
 	}
 	name = path.Clean(name)
 	if _, ok := fs.files[name]; !ok {
-		return nil, fmt.Errorf("serve: memfs: open %s: file does not exist", name)
+		return nil, fmt.Errorf("storage: memfs: open %s: file does not exist", name)
 	}
 	return &memHandle{fs: fs, name: name}, nil
 }
@@ -227,7 +227,7 @@ func (fs *MemFS) ReadDir(dir string) ([]string, error) {
 	}
 	dir = path.Clean(dir)
 	if !fs.dirs[dir] {
-		return nil, fmt.Errorf("serve: memfs: readdir %s: directory does not exist", dir)
+		return nil, fmt.Errorf("storage: memfs: readdir %s: directory does not exist", dir)
 	}
 	seen := map[string]bool{}
 	collect := func(p string) {
@@ -262,7 +262,7 @@ func (fs *MemFS) Rename(oldname, newname string) error {
 	}
 	oldname, newname = path.Clean(oldname), path.Clean(newname)
 	if _, ok := fs.files[oldname]; !ok {
-		return fmt.Errorf("serve: memfs: rename %s: file does not exist", oldname)
+		return fmt.Errorf("storage: memfs: rename %s: file does not exist", oldname)
 	}
 	fs.record(memOp{kind: 'n', name: newname, data: []byte(oldname)})
 	return nil
@@ -277,7 +277,7 @@ func (fs *MemFS) Remove(name string) error {
 	}
 	name = path.Clean(name)
 	if _, ok := fs.files[name]; !ok {
-		return fmt.Errorf("serve: memfs: remove %s: file does not exist", name)
+		return fmt.Errorf("storage: memfs: remove %s: file does not exist", name)
 	}
 	fs.record(memOp{kind: 'r', name: name})
 	return nil
@@ -292,7 +292,7 @@ func (fs *MemFS) Truncate(name string, size int64) error {
 	}
 	name = path.Clean(name)
 	if _, ok := fs.files[name]; !ok {
-		return fmt.Errorf("serve: memfs: truncate %s: file does not exist", name)
+		return fmt.Errorf("storage: memfs: truncate %s: file does not exist", name)
 	}
 	fs.record(memOp{kind: 't', name: name, size: size})
 	return nil
@@ -304,7 +304,7 @@ func (fs *MemFS) ReadFile(name string) ([]byte, error) {
 	defer fs.mu.Unlock()
 	f, ok := fs.files[path.Clean(name)]
 	if !ok {
-		return nil, fmt.Errorf("serve: memfs: read %s: file does not exist", name)
+		return nil, fmt.Errorf("storage: memfs: read %s: file does not exist", name)
 	}
 	return append([]byte(nil), f.data...), nil
 }
@@ -323,7 +323,7 @@ func (h *memHandle) Read(p []byte) (int, error) {
 	defer h.fs.mu.Unlock()
 	f, ok := h.fs.files[h.name]
 	if !ok {
-		return 0, fmt.Errorf("serve: memfs: read %s: file removed", h.name)
+		return 0, fmt.Errorf("storage: memfs: read %s: file removed", h.name)
 	}
 	if h.pos >= len(f.data) {
 		return 0, io.EOF
@@ -338,14 +338,14 @@ func (h *memHandle) Write(p []byte) (int, error) {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
 	if !h.write {
-		return 0, fmt.Errorf("serve: memfs: %s opened read-only", h.name)
+		return 0, fmt.Errorf("storage: memfs: %s opened read-only", h.name)
 	}
 	if h.fs.failed {
 		return 0, ErrInjected
 	}
 	f, ok := h.fs.files[h.name]
 	if !ok {
-		return 0, fmt.Errorf("serve: memfs: write %s: file removed", h.name)
+		return 0, fmt.Errorf("storage: memfs: write %s: file removed", h.name)
 	}
 	n := len(p)
 	if h.fs.budget >= 0 && int64(n) > h.fs.budget {
@@ -377,7 +377,7 @@ func (h *memHandle) Sync() error {
 		return ErrInjected
 	}
 	if _, ok := h.fs.files[h.name]; !ok {
-		return fmt.Errorf("serve: memfs: sync %s: file removed", h.name)
+		return fmt.Errorf("storage: memfs: sync %s: file removed", h.name)
 	}
 	h.fs.record(memOp{kind: 's', name: h.name})
 	return nil

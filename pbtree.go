@@ -47,6 +47,7 @@ import (
 	"pbtree/internal/csbtree"
 	"pbtree/internal/csstree"
 	"pbtree/internal/heap"
+	"pbtree/internal/lsm"
 	"pbtree/internal/memsys"
 	"pbtree/internal/obs"
 	"pbtree/internal/query"
@@ -399,7 +400,26 @@ type (
 	// default is the OS, and serve.NewMemFS gives a deterministic
 	// fault-injecting one for tests.
 	ServeFS = serve.FS
+
+	// LSMConfig tunes the LSM storage backend (StoreConfig.LSM).
+	LSMConfig = lsm.Config
 )
+
+// Storage backend names (StoreConfig.Backend). The backend is part of
+// a durable store's on-disk identity (DESIGN.md §11).
+const (
+	// BackendPBTree is the default engine: full-tree snapshot
+	// ping-pong with prefetched pB+-Tree reads.
+	BackendPBTree = serve.BackendPBTree
+
+	// BackendLSM is the write-optimized engine: memtable + sorted
+	// runs with bloom filters and size-tiered compaction.
+	BackendLSM = serve.BackendLSM
+)
+
+// ScenarioNames lists the loadgen's named workload presets
+// (LoadgenConfig.Scenario).
+func ScenarioNames() []string { return serve.ScenarioNames() }
 
 // Wire-protocol operations (PROTOCOL.md §2.1). Prefixed Serve to
 // stay clear of the tracer's index-operation kinds (OpSearch, OpScan,

@@ -1,0 +1,94 @@
+#!/bin/sh
+# Benchmark matrix: every named loadgen scenario against every storage
+# backend. For each backend, boot one in-memory pbtree-server (no WAL,
+# so the numbers compare the engines, not the shared durability path)
+# and run each scenario's loadgen against it; write the full grid of
+# loadgen JSON reports to the file named by $1 (default
+# BENCH_matrix.json) as {"<backend>": {"<scenario>": <report>, ...}}.
+#
+# Tunables (env): KEYS (preloaded key space, default 200000), DURATION
+# (per cell, default 3s), CONNS (default 4), WINDOW (default 8). CI
+# runs a short DURATION pass as a smoke gate; EXPERIMENTS.md records a
+# full run.
+set -eu
+
+out=${1:-BENCH_matrix.json}
+keys="${KEYS:-200000}"
+duration="${DURATION:-3s}"
+conns="${CONNS:-4}"
+window="${WINDOW:-8}"
+backends="pbtree lsm"
+scenarios="oltp-point olap-scan write-burst hot-key-storm mixed-tenant"
+tmp=$(mktemp -d)
+port=$((19000 + $$ % 1000))
+addr="127.0.0.1:$port"
+
+cleanup() {
+    [ -n "${srv:-}" ] && kill "$srv" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/pbtree-server" ./cmd/pbtree-server
+go build -o "$tmp/pbtree-loadgen" ./cmd/pbtree-loadgen
+
+wait_reachable() {
+    ok=0
+    for _ in $(seq 1 50); do
+        if "$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns 1 \
+            -duration 100ms >/dev/null 2>&1; then
+            ok=1
+            break
+        fi
+        kill -0 "$srv" 2>/dev/null || { echo "bench-matrix: server died:"; cat "$tmp/server.log"; exit 1; }
+        sleep 0.2
+    done
+    [ "$ok" = 1 ] || { echo "bench-matrix: server never became reachable"; cat "$tmp/server.log"; exit 1; }
+}
+
+for be in $backends; do
+    "$tmp/pbtree-server" -addr "$addr" -keys "$keys" -backend "$be" \
+        >"$tmp/server.log" 2>&1 &
+    srv=$!
+    wait_reachable
+    for sc in $scenarios; do
+        echo "bench-matrix: $be / $sc ($duration)"
+        "$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns "$conns" \
+            -window "$window" -duration "$duration" -scenario "$sc" \
+            >"$tmp/$be-$sc.json"
+    done
+    kill -TERM "$srv"
+    wait "$srv" || true
+    srv=
+done
+
+{
+    printf '{'
+    bsep=
+    for be in $backends; do
+        printf '%s\n"%s": {' "$bsep" "$be"
+        bsep=,
+        ssep=
+        for sc in $scenarios; do
+            printf '%s\n"%s":\n' "$ssep" "$sc"
+            ssep=,
+            cat "$tmp/$be-$sc.json"
+        done
+        printf '}'
+    done
+    printf '\n}\n'
+} >"$out"
+
+# Sanity: every cell did work. The write-burst comparison is the
+# LSM's reason to exist — surface it.
+for be in $backends; do
+    for sc in $scenarios; do
+        ops=$(sed -n 's/^  "ops": \([0-9]*\),$/\1/p' "$tmp/$be-$sc.json")
+        [ -n "$ops" ] && [ "$ops" -gt 0 ] \
+            || { echo "bench-matrix: $be/$sc completed no operations"; exit 1; }
+    done
+done
+wb_pb=$(sed -n 's/^  "ops_per_sec": \([0-9.]*\),$/\1/p' "$tmp/pbtree-write-burst.json")
+wb_lsm=$(sed -n 's/^  "ops_per_sec": \([0-9.]*\),$/\1/p' "$tmp/lsm-write-burst.json")
+echo "bench-matrix: write-burst ops/sec: pbtree $wb_pb, lsm $wb_lsm"
+echo "bench-matrix: wrote $out"

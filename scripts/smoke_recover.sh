@@ -4,8 +4,12 @@
 # directory, and assert that (a) the server reports WAL replay, (b) the
 # whole preloaded key space is served afterwards (not_found == 0 under
 # a GET-only sweep), and (c) the restarted server still drains cleanly.
+#
+# BACKEND selects the storage engine under test (pbtree or lsm,
+# default pbtree); the whole protocol is engine-agnostic.
 set -eu
 
+backend="${BACKEND:-pbtree}"
 tmp=$(mktemp -d)
 port=$((18000 + $$ % 1000))
 addr="127.0.0.1:$port"
@@ -23,7 +27,7 @@ go build -o "$tmp/pbtree-loadgen" ./cmd/pbtree-loadgen
 
 start_server() {
     "$tmp/pbtree-server" -addr "$addr" -keys "$keys" -shards 4 \
-        -data-dir "$data" -fsync always >"$1" 2>&1 &
+        -backend "$backend" -data-dir "$data" -fsync always >"$1" 2>&1 &
     srv=$!
     ok=0
     for _ in $(seq 1 50); do
@@ -75,4 +79,4 @@ grep -q "drained cleanly" "$tmp/server2.log" \
     || { echo "smoke-recover: no clean drain after recovery:"; cat "$tmp/server2.log"; exit 1; }
 
 replayed=$(sed -n 's/.*replayed \([0-9]*\) records.*/\1/p' "$tmp/server2.log" | awk '{s+=$1} END {print s}')
-echo "smoke-recover: OK (kill -9 survived, $replayed WAL records replayed, $ops GETs verified, 0 missing)"
+echo "smoke-recover: OK (backend $backend, kill -9 survived, $replayed WAL records replayed, $ops GETs verified, 0 missing)"
