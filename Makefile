@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build test race vet conformance bench-smoke smoke-serve smoke-recover fuzz-smoke bench-serve bench-matrix docs-check
+.PHONY: check build test race vet conformance bench-smoke smoke-serve smoke-recover smoke-admin fuzz-smoke bench-serve bench-matrix docs-check
 
-check: build vet test race conformance smoke-serve smoke-recover
+check: build vet test race conformance smoke-serve smoke-recover smoke-admin
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,12 @@ smoke-serve:
 smoke-recover:
 	BACKEND=pbtree sh scripts/smoke_recover.sh
 	BACKEND=lsm sh scripts/smoke_recover.sh
+
+# Admin-plane smoke test: start pbtree-server with -admin, scrape
+# /healthz, /metrics (asserting the per-stage and per-shard families),
+# /statsz and /debug/vars while load is running.
+smoke-admin:
+	sh scripts/smoke_admin.sh
 
 # Short-budget fuzz of every Fuzz target in the module (FUZZTIME=5s
 # per target by default).

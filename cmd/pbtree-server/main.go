@@ -12,12 +12,24 @@
 //	pbtree-server -addr :7070 -keys 1000000 -shards 8
 //	pbtree-server -addr :7070 -data-dir /var/lib/pbtree -fsync always
 //	pbtree-server -addr :7070 -backend lsm -data-dir /var/lib/pbtree
+//	pbtree-server -addr :7070 -admin :7071 -slow-log 1ms
 //
 // -backend selects the per-shard storage engine: "pbtree" (default)
 // serves reads from immutable full-tree snapshots, "lsm" absorbs
 // writes in a memtable and flushes sorted runs (DESIGN.md §11). A
 // durable directory remembers its backend and refuses to reopen under
 // the other one.
+//
+// -admin mounts the operational HTTP plane on a second address:
+// /metrics (Prometheus text format: per-op and per-stage latency
+// histograms, admission and durability counters, per-shard gauges),
+// /healthz (503 until every shard has recovered), /statsz (the STATS
+// payload as JSON), /debug/vars (expvar) and /debug/pprof. -stages
+// keeps the per-stage request-lifecycle histograms on (near-zero
+// cost); -slow-log logs any request slower than the given threshold
+// with its full stage breakdown, rate-limited to -slow-log-rate lines
+// per second; -lifecycle-trace streams every traced request to a
+// Chrome trace file (load at ui.perfetto.dev).
 //
 // The store is preloaded with the standard workload key space (keys
 // 8, 16, ..., 8*N with TID = key/8) so a load generator can start
@@ -27,11 +39,17 @@
 // acked writes survive kill -9 under -fsync always. SIGINT/SIGTERM
 // drain gracefully: in-flight requests finish and the WAL is flushed
 // before the process exits.
+//
+// Logging is structured (log/slog, text format); -log-level selects
+// debug, info, warn or error.
 package main
 
 import (
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,11 +60,26 @@ import (
 	"pbtree/internal/workload"
 )
 
+// parseLevel maps a -log-level value onto a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pbtree-server: ")
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		admin    = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /statsz, /debug/pprof (empty = disabled)")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		keys     = flag.Int("keys", 1_000_000, "preload N sequential keys")
 		shards   = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
 		be       = flag.String("backend", "pbtree", "storage backend per shard: pbtree|lsm")
@@ -66,8 +99,24 @@ func main() {
 		fsync    = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
 		fsyncInt = flag.Duration("fsync-interval", 10*time.Millisecond, "sync period for -fsync interval")
 		ckptEvry = flag.Int("checkpoint-every", 4096, "WAL records per shard between checkpoints")
+		stages   = flag.Bool("stages", true, "per-stage request-lifecycle histograms")
+		slowLog  = flag.Duration("slow-log", 0, "log requests slower than this with their stage breakdown (0 = off)")
+		slowRate = flag.Int("slow-log-rate", 10, "max slow-request log lines per second")
+		lcTrace  = flag.String("lifecycle-trace", "", "write a Chrome trace of traced requests to this file")
 	)
 	flag.Parse()
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbtree-server:", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+	fail := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	metrics := pbtree.NewMetrics()
 	cfg := pbtree.StoreConfig{
@@ -81,7 +130,7 @@ func main() {
 	if *dataDir != "" {
 		policy, err := serve.ParseFsyncPolicy(*fsync)
 		if err != nil {
-			log.Fatal(err)
+			fail("fsync policy", err)
 		}
 		cfg.Durable = &pbtree.DurableConfig{
 			Dir:             *dataDir,
@@ -92,20 +141,36 @@ func main() {
 	}
 	st, err := pbtree.OpenStore(cfg, workload.SortedPairs(*keys))
 	if err != nil {
-		log.Fatal(err)
+		fail("open store", err)
 	}
 	if err := st.WaitReady(); err != nil {
-		log.Fatal(err)
+		fail("recovery", err)
 	}
 	for _, rs := range st.Recovery() {
 		if rs.Bootstrapped {
-			log.Printf("shard %d: bootstrapped %d pairs into %s", rs.Shard, rs.Pairs, *dataDir)
+			logger.Info("shard bootstrapped", "shard", rs.Shard, "pairs", rs.Pairs, "dir", *dataDir)
 			continue
 		}
-		log.Printf("shard %d: recovered %d pairs (checkpoint lsn %d, replayed %d records, %d torn bytes) in %v",
-			rs.Shard, rs.Pairs, rs.CheckpointLSN, rs.Replayed, rs.TornBytes, rs.Duration.Round(time.Millisecond))
+		logger.Info("shard recovered", "shard", rs.Shard, "pairs", rs.Pairs,
+			"checkpoint_lsn", rs.CheckpointLSN, "replayed", rs.Replayed,
+			"torn_bytes", rs.TornBytes, "took", rs.Duration.Round(time.Millisecond).String())
 	}
 	metrics.PublishExpvar("pbtree")
+
+	lc := pbtree.LifecycleConfig{
+		Enabled:       *stages || *slowLog > 0 || *lcTrace != "",
+		SlowThreshold: *slowLog,
+		SlowPerSec:    *slowRate,
+		Log:           logger,
+	}
+	var traceFile *os.File
+	if *lcTrace != "" {
+		traceFile, err = os.Create(*lcTrace)
+		if err != nil {
+			fail("lifecycle trace", err)
+		}
+		lc.Trace = traceFile
+	}
 	srv := pbtree.NewServer(st, pbtree.ServerConfig{
 		Addr:   *addr,
 		Window: *window,
@@ -114,24 +179,48 @@ func main() {
 			WriteTokens:   *writeTok,
 			ScanRowTokens: *scanTok,
 		},
-		Batch:   *batch,
-		Batcher: serve.BatcherConfig{MaxGroup: *group, Linger: *linger},
-		Metrics: metrics,
+		Batch:     *batch,
+		Batcher:   serve.BatcherConfig{MaxGroup: *group, Linger: *linger},
+		Metrics:   metrics,
+		Lifecycle: lc,
 	})
 	if err := srv.Start(); err != nil {
-		log.Fatal(err)
+		fail("listen", err)
 	}
-	log.Printf("serving %d keys on %s (%d shards, backend %s, width %d, batch=%v)",
-		st.Len(), srv.Addr(), st.Shards(), *be, *width, *batch)
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fail("admin listen", err)
+		}
+		adminSrv = &http.Server{Handler: pbtree.NewAdminMux(srv, st)}
+		go func() {
+			if err := adminSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				logger.Error("admin server", "err", err)
+			}
+		}()
+		logger.Info("admin plane up", "addr", ln.Addr().String())
+	}
+
+	logger.Info("serving",
+		"keys", st.Len(), "addr", srv.Addr().String(), "shards", st.Shards(),
+		"backend", *be, "width", *width, "batch", *batch, "stages", lc.Enabled)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	log.Printf("%s: draining (budget %v)", s, *drain)
-	if err := srv.Shutdown(*drain); err != nil {
-		st.Close()
-		log.Fatal(err)
+	logger.Info("draining", "signal", s.String(), "budget", drain.String())
+	if adminSrv != nil {
+		adminSrv.Close()
 	}
+	err = srv.Shutdown(*drain)
 	st.Close()
-	log.Print("drained cleanly")
+	if traceFile != nil {
+		traceFile.Close()
+	}
+	if err != nil {
+		fail("shutdown", err)
+	}
+	logger.Info("drained cleanly")
 }

@@ -113,6 +113,8 @@ var metricOps = []core.OpKind{core.OpSearch, core.OpInsert, core.OpDelete, core.
 // watches real wall-clock serving.
 type Metrics struct {
 	hists       [core.NumOps]Histogram
+	stages      [core.NumOps][NumStages]Histogram
+	stageTotals [core.NumOps]Histogram
 	dur         durabilityCounters
 	adm         admissionCounters
 	publishOnce sync.Once
@@ -311,6 +313,32 @@ func (m *Metrics) Snapshot(op core.OpKind) HistogramSnapshot {
 	return m.hists[op].Snapshot()
 }
 
+// writeHistogram writes one histogram series (bucket ladder + sum +
+// count) under the given label set. The ladder is compact: only
+// buckets that received observations are printed (cumulative counts
+// stay monotone, and the +Inf bucket always closes the ladder).
+func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) error {
+	var cum uint64
+	for b := 0; b < numBuckets; b++ {
+		cum += s.Buckets[b]
+		if s.Buckets[b] == 0 {
+			continue
+		}
+		le := strconv.FormatFloat(float64(bucketUpperNS(b))/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(s.SumNS)/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.Count)
+	return err
+}
+
 // WritePrometheus writes the registry in the Prometheus text
 // exposition format (version 0.0.4).
 func (m *Metrics) WritePrometheus(w io.Writer) error {
@@ -325,28 +353,45 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	for _, op := range metricOps {
-		s := snaps[op]
-		var cum uint64
-		for b := 0; b < numBuckets; b++ {
-			cum += s.Buckets[b]
-			// Compact ladder: only buckets that received observations
-			// are printed (cumulative counts stay monotone, and +Inf
-			// below always closes the ladder).
-			if s.Buckets[b] == 0 {
+		if err := writeHistogram(w, "pbtree_op_latency_seconds",
+			fmt.Sprintf("op=%q", op), snaps[op]); err != nil {
+			return err
+		}
+	}
+
+	// Request-lifecycle stage attribution (stage.go). Only (op, stage)
+	// pairs that received observations are printed — a GET never emits
+	// WAL-stage samples — but the HELP/TYPE headers always are, so
+	// scrapers can discover the families on an idle server.
+	if _, err := fmt.Fprint(w,
+		"# HELP pbtree_stage_latency_seconds Per-request latency attributed to one serving pipeline stage.\n"+
+			"# TYPE pbtree_stage_latency_seconds histogram\n"); err != nil {
+		return err
+	}
+	for _, op := range stageOps {
+		for st := Stage(0); st < NumStages; st++ {
+			s := m.stages[op][st].Snapshot()
+			if s.Count == 0 {
 				continue
 			}
-			le := strconv.FormatFloat(float64(bucketUpperNS(b))/1e9, 'g', -1, 64)
-			if _, err := fmt.Fprintf(w, "pbtree_op_latency_seconds_bucket{op=%q,le=%q} %d\n", op, le, cum); err != nil {
+			if err := writeHistogram(w, "pbtree_stage_latency_seconds",
+				fmt.Sprintf("op=%q,stage=%q", op, st), s); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "pbtree_op_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op, s.Count); err != nil {
-			return err
+	}
+	if _, err := fmt.Fprint(w,
+		"# HELP pbtree_request_latency_seconds End-to-end server-side request latency (frame decoded through response written).\n"+
+			"# TYPE pbtree_request_latency_seconds histogram\n"); err != nil {
+		return err
+	}
+	for _, op := range stageOps {
+		s := m.stageTotals[op].Snapshot()
+		if s.Count == 0 {
+			continue
 		}
-		if _, err := fmt.Fprintf(w, "pbtree_op_latency_seconds_sum{op=%q} %g\n", op, float64(s.SumNS)/1e9); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "pbtree_op_latency_seconds_count{op=%q} %d\n", op, s.Count); err != nil {
+		if err := writeHistogram(w, "pbtree_request_latency_seconds",
+			fmt.Sprintf("op=%q", op), s); err != nil {
 			return err
 		}
 	}
@@ -423,6 +468,17 @@ type expvarSnapshot struct {
 	SumNS  uint64 `json:"sum_ns"`
 }
 
+// expvarOf summarizes one histogram snapshot for the expvar payload.
+func expvarOf(s HistogramSnapshot) expvarSnapshot {
+	return expvarSnapshot{
+		Count:  s.Count,
+		MeanNS: uint64(s.Mean()),
+		P50NS:  uint64(s.Quantile(0.5)),
+		P99NS:  uint64(s.Quantile(0.99)),
+		SumNS:  s.SumNS,
+	}
+}
+
 // PublishExpvar registers the registry under the given expvar name
 // (e.g. "pbtree"), exposing per-op count/mean/p50/p99 via the standard
 // /debug/vars endpoint. Safe to call more than once on the same
@@ -432,14 +488,7 @@ func (m *Metrics) PublishExpvar(name string) {
 		expvar.Publish(name, expvar.Func(func() any {
 			out := map[string]any{}
 			for _, op := range metricOps {
-				s := m.Snapshot(op)
-				out[op.String()] = expvarSnapshot{
-					Count:  s.Count,
-					MeanNS: uint64(s.Mean()),
-					P50NS:  uint64(s.Quantile(0.5)),
-					P99NS:  uint64(s.Quantile(0.99)),
-					SumNS:  s.SumNS,
-				}
+				out[op.String()] = expvarOf(m.Snapshot(op))
 			}
 			adm := map[string]AdmissionSnapshot{}
 			for _, c := range admissionClasses {
@@ -447,6 +496,24 @@ func (m *Metrics) PublishExpvar(name string) {
 			}
 			out["admission"] = adm
 			out["durability"] = m.Durability()
+			stages := map[string]map[string]expvarSnapshot{}
+			for _, op := range stageOps {
+				perOp := map[string]expvarSnapshot{}
+				for st := Stage(0); st < NumStages; st++ {
+					s := m.stages[op][st].Snapshot()
+					if s.Count == 0 {
+						continue
+					}
+					perOp[st.String()] = expvarOf(s)
+				}
+				if t := m.stageTotals[op].Snapshot(); t.Count > 0 {
+					perOp["total"] = expvarOf(t)
+				}
+				if len(perOp) > 0 {
+					stages[op.String()] = perOp
+				}
+			}
+			out["stages"] = stages
 			return out
 		}))
 	})

@@ -1,0 +1,265 @@
+package obs
+
+// Request-lifecycle stage attribution for the serving pipeline.
+//
+// The paper's core method is attribution: decompose each operation
+// into named components to find where the time actually goes. The
+// simulator side does that in cycles (Collector, the per-level stall
+// tables); this file does it one layer up, in wall-clock nanoseconds,
+// for the serving pipeline: every request carries a Span that is
+// stamped at fixed pipeline stages (decode, admission, batcher wait,
+// shard-queue wait, WAL append, WAL fsync, backend apply, ...), and
+// the per-stage deltas feed per-stage × per-op-class Histograms in
+// Metrics. The instrumentation is allocation-free past the pooled
+// Span itself: a stage stamp is one monotonic clock read plus one
+// atomic add.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pbtree/internal/core"
+)
+
+// Stage identifies one fixed point of the serving pipeline that a
+// request passes through. The stages are ordered as a request
+// experiences them; per-stage latency histograms are keyed by
+// (operation class, stage).
+type Stage int
+
+// The pipeline stages, in request order (DESIGN.md §12).
+const (
+	// StageRead is the connection-frame read. It includes the time
+	// spent waiting for the client to send anything at all, so it is
+	// recorded for queue-depth diagnosis but excluded from the
+	// request's server-side total and the attribution table.
+	StageRead Stage = iota
+
+	// StageDecode is wire-frame decoding.
+	StageDecode
+
+	// StageAdmission is the admission-control gate (token acquisition;
+	// with the lock-free budgets this measures CAS contention).
+	StageAdmission
+
+	// StageBatchWait is the cross-request GET batcher: rendezvous with
+	// the shard gatherer, the linger window, and the group search
+	// itself, up to the reply.
+	StageBatchWait
+
+	// StageQueueWait is the time a mutation sat in its shard's
+	// mutation queue before the shard writer picked it up.
+	StageQueueWait
+
+	// StageWALAppend is the WAL group-commit write (buffer build +
+	// file write), excluding the fsync.
+	StageWALAppend
+
+	// StageWALFsync is the WAL fsync of the request's group commit.
+	StageWALFsync
+
+	// StageApply is the storage engine applying the mutation batch and
+	// publishing the snapshot that makes it visible, plus the
+	// acknowledgement propagating back to the requesting goroutine
+	// (the requester attributes the unstamped residual of the blocking
+	// store call here — see Span.StoreStagesNS).
+	StageApply
+
+	// StageExec is read-path execution outside the batcher: direct
+	// snapshot lookups, MGET group searches, scans and merges.
+	StageExec
+
+	// StageRespQueue is the wait in the response-writer queue of a
+	// pipelined (protocol v2) connection: from request completion to
+	// the writer goroutine picking the response up.
+	StageRespQueue
+
+	// StageWrite is response encoding plus the connection write (and
+	// the flush, when this response triggered one).
+	StageWrite
+
+	// StageOther is the unattributed remainder: the request's
+	// server-side total minus every named stage. Computed at span
+	// finalization, clamped at zero (cross-shard stage times are
+	// summed, so a multi-shard write's named stages can legitimately
+	// exceed its wall-clock total). A large StageOther means the
+	// instrumentation is missing a stage.
+	StageOther
+
+	// NumStages is the number of lifecycle stages, for dense tables.
+	NumStages
+)
+
+// stageNames are the metric label values, in Stage order.
+var stageNames = [NumStages]string{
+	"read", "decode", "admission", "batch_wait", "queue_wait",
+	"wal_append", "wal_fsync", "apply", "exec", "resp_queue",
+	"write", "other",
+}
+
+// String returns the stage's metric label ("decode", "wal_fsync", ...).
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Stages lists every lifecycle stage in pipeline order.
+func Stages() []Stage {
+	out := make([]Stage, NumStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// spanBase anchors Nanotime: time.Since reads only the monotonic
+// clock, so deltas are immune to wall-clock steps.
+var spanBase = time.Now()
+
+// Nanotime returns monotonic nanoseconds since process start — the
+// span clock. It is a single monotonic clock read with no allocation.
+func Nanotime() int64 { return int64(time.Since(spanBase)) }
+
+// Span is the lifecycle record of one request: a start timestamp and
+// one accumulated nanosecond delta per stage. The request-owning
+// goroutine advances the clock with Mark/Touch; pipeline actors on
+// other goroutines (the shard writer stamping queue/WAL/apply time)
+// add deltas with Add, which is atomic — a multi-shard write is
+// stamped by several shard writers concurrently. Spans are pooled by
+// the serving layer; zero-value Spans are ready after Begin.
+type Span struct {
+	// Op is the request's operation class (OpSearch, OpInsert,
+	// OpDelete, OpScan). OpNone marks a span that should be discarded
+	// unobserved (control-plane ops, rejected requests).
+	Op core.OpKind
+
+	// Conn is the serving connection's sequence number, used as the
+	// trace timeline ID.
+	Conn uint64
+
+	// Req is the wire request ID (0 on protocol v1).
+	Req uint32
+
+	start  int64
+	last   int64
+	stages [NumStages]int64
+}
+
+// Begin starts the span clock at now (a Nanotime value). The
+// server-side total is measured from here, so callers Begin after the
+// request frame is read.
+func (s *Span) Begin(now int64) {
+	s.Op = core.OpNone
+	s.Conn, s.Req = 0, 0
+	s.start, s.last = now, now
+	for i := range s.stages {
+		s.stages[i] = 0
+	}
+}
+
+// Mark attributes the time since the previous mark (or Begin) to st
+// and advances the clock. Single-goroutine use only — the owning
+// goroutine's sequential stage boundaries.
+func (s *Span) Mark(st Stage) {
+	now := Nanotime()
+	atomic.AddInt64(&s.stages[st], now-s.last)
+	s.last = now
+}
+
+// Touch advances the clock without attributing the elapsed time to
+// any stage — used after a blocking call whose components were
+// already stamped by another goroutine via Add (the shard writer),
+// so Mark on the next boundary does not double-count them.
+func (s *Span) Touch() { s.last = Nanotime() }
+
+// Add atomically attributes ns nanoseconds to st without touching the
+// clock. Safe from any goroutine.
+func (s *Span) Add(st Stage, ns int64) {
+	if ns > 0 {
+		atomic.AddInt64(&s.stages[st], ns)
+	}
+}
+
+// StageNS reads the accumulated nanoseconds of one stage.
+func (s *Span) StageNS(st Stage) int64 {
+	return atomic.LoadInt64(&s.stages[st])
+}
+
+// StoreStagesNS sums the writer-stamped store stages (queue wait, WAL
+// append, WAL fsync, apply). The serving layer samples it around a
+// blocking store call: the call's elapsed time minus the growth of
+// this sum is the coordination residual (ack wakeup latency), which
+// it folds into StageApply so write attribution stays complete.
+func (s *Span) StoreStagesNS() int64 {
+	return atomic.LoadInt64(&s.stages[StageQueueWait]) +
+		atomic.LoadInt64(&s.stages[StageWALAppend]) +
+		atomic.LoadInt64(&s.stages[StageWALFsync]) +
+		atomic.LoadInt64(&s.stages[StageApply])
+}
+
+// StartNS reports the span's Begin timestamp (a Nanotime value).
+func (s *Span) StartNS() int64 { return s.start }
+
+// Finalize closes the span: the server-side total is the clock's
+// current position minus Begin, and the unattributed remainder
+// (total minus every named stage except StageRead) is recorded as
+// StageOther. It returns the total. Call after the last Mark.
+func (s *Span) Finalize() int64 {
+	total := s.last - s.start
+	var named int64
+	for st := StageDecode; st < StageOther; st++ {
+		named += atomic.LoadInt64(&s.stages[st])
+	}
+	if other := total - named; other > 0 {
+		atomic.AddInt64(&s.stages[StageOther], other)
+	}
+	return total
+}
+
+// stageOps are the operation classes with lifecycle histograms, in
+// exposition order (identical to metricOps).
+var stageOps = metricOps
+
+// ObserveSpan feeds a finalized span into the per-stage histograms
+// and the op's end-to-end server-side total histogram. Stages with no
+// accumulated time are skipped, so a GET never touches the WAL
+// histograms. total is Finalize's return value.
+func (m *Metrics) ObserveSpan(sp *Span, total int64) {
+	if m == nil || sp.Op == core.OpNone {
+		return
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		if ns := sp.StageNS(st); ns > 0 {
+			m.stages[sp.Op][st].Observe(time.Duration(ns))
+		}
+	}
+	m.stageTotals[sp.Op].Observe(time.Duration(total))
+}
+
+// ObserveStage records one stage latency directly (tests and offline
+// tools; the serving path uses ObserveSpan).
+func (m *Metrics) ObserveStage(op core.OpKind, st Stage, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stages[op][st].Observe(d)
+}
+
+// StageSnapshot copies one (op, stage) histogram.
+func (m *Metrics) StageSnapshot(op core.OpKind, st Stage) HistogramSnapshot {
+	if m == nil {
+		return HistogramSnapshot{}
+	}
+	return m.stages[op][st].Snapshot()
+}
+
+// StageTotalSnapshot copies one op's end-to-end server-side latency
+// histogram (request frame decoded through response written).
+func (m *Metrics) StageTotalSnapshot(op core.OpKind) HistogramSnapshot {
+	if m == nil {
+		return HistogramSnapshot{}
+	}
+	return m.stageTotals[op].Snapshot()
+}

@@ -124,6 +124,27 @@ func (tw *TraceWriter) Node(level int, kind core.NodeKind) {
 	tw.level, tw.kind = level, kind
 }
 
+// Slice writes one complete ("X") slice with an explicit timeline
+// position — the request-lifecycle exporter's hook: the serving layer
+// renders each request's stage breakdown as back-to-back slices on
+// its connection's timeline (ts/dur in microseconds; pid groups
+// processes, tid selects the timeline row). Unlike the probe/tracer
+// methods it does not consult the simulated clock. Not safe for
+// concurrent use; callers serialize (the serving layer holds its
+// slow-path lock).
+func (tw *TraceWriter) Slice(name string, pid, tid int, tsUS, durUS uint64, args map[string]any) {
+	dur := durUS
+	tw.write(traceEvent{
+		Name: name,
+		Ph:   "X",
+		Ts:   tsUS,
+		Dur:  &dur,
+		Pid:  pid,
+		Tid:  tid,
+		Args: args,
+	})
+}
+
 // Events reports how many trace events have been written.
 func (tw *TraceWriter) Events() int { return tw.n }
 

@@ -1,0 +1,240 @@
+package serve
+
+// Request-lifecycle tracing for the serving pipeline (DESIGN.md §12).
+//
+// When ServerConfig.Lifecycle.Enabled is set, every request carries a
+// pooled obs.Span that is stamped at the fixed pipeline stages (frame
+// read, decode, admission, batcher wait, shard-queue wait, WAL
+// append, WAL fsync, backend apply, read execution, response-writer
+// queue, connection write). The deltas feed three sinks:
+//
+//   - per-stage × per-op-class histograms in the shared obs.Metrics
+//     (Prometheus via the admin endpoint, expvar, and the STATS
+//     payload) — always on while lifecycle tracing is enabled;
+//   - a sampled slow-request log: requests whose server-side total
+//     crosses SlowThreshold are logged through log/slog with the full
+//     stage breakdown, rate-limited to SlowPerSec lines per second;
+//   - an optional Chrome trace (obs.TraceWriter): each request
+//     renders as back-to-back stage slices on its connection's
+//     timeline, loadable at ui.perfetto.dev.
+//
+// The hot path allocates nothing (spans are pooled) and a stage stamp
+// is one monotonic clock read plus one atomic add; with Enabled false
+// the serving path takes a single nil check per stage site.
+
+import (
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbtree/internal/core"
+	"pbtree/internal/obs"
+)
+
+// LifecycleConfig configures request-lifecycle tracing
+// (ServerConfig.Lifecycle). The zero value disables it entirely.
+type LifecycleConfig struct {
+	// Enabled turns on per-stage span stamping and the stage
+	// histograms. Everything below is inert without it.
+	Enabled bool
+
+	// SlowThreshold, when positive, enables the slow-request log:
+	// requests whose server-side total (decode through connection
+	// write) meets the threshold are logged with their full stage
+	// breakdown.
+	SlowThreshold time.Duration
+
+	// SlowPerSec bounds the slow-request log rate in lines per
+	// second. Zero selects 10.
+	SlowPerSec int
+
+	// Log receives slow-request records. Nil selects slog.Default().
+	Log *slog.Logger
+
+	// Trace, when non-nil, receives a Chrome trace-event stream of
+	// every traced request (one slice per stage, one timeline per
+	// connection). The stream is terminated when the server shuts
+	// down; the caller owns and closes the underlying writer.
+	Trace io.Writer
+
+	// TraceEvents bounds the number of trace events emitted, so an
+	// unattended server cannot grow the trace without bound. Zero
+	// selects 100_000.
+	TraceEvents int
+}
+
+// withDefaults resolves the zero values.
+func (c LifecycleConfig) withDefaults() LifecycleConfig {
+	if c.SlowPerSec <= 0 {
+		c.SlowPerSec = 10
+	}
+	if c.TraceEvents <= 0 {
+		c.TraceEvents = 100_000
+	}
+	if c.Log == nil {
+		c.Log = slog.Default()
+	}
+	return c
+}
+
+// lifecycle is the server's span clock: it owns the span pool, the
+// slow-request logger and the optional Chrome trace. A nil *lifecycle
+// means tracing is disabled; every serving-path call site guards with
+// one nil check.
+type lifecycle struct {
+	metrics *obs.Metrics
+	cfg     LifecycleConfig
+	slowNS  int64
+	conns   atomic.Uint64
+	pool    sync.Pool
+
+	// Slow-log rate limiting: a one-second window with an atomic
+	// line counter.
+	slowWindow atomic.Int64 // window start, obs.Nanotime
+	slowCount  atomic.Int64 // lines logged in the window
+
+	// Chrome trace state, guarded by traceMu (trace emission is the
+	// sampled slow path).
+	traceMu   sync.Mutex
+	trace     *obs.TraceWriter
+	traceLeft int
+	traceBase int64
+}
+
+// newLifecycle builds the span clock, or returns nil when disabled.
+func newLifecycle(cfg LifecycleConfig, m *obs.Metrics) *lifecycle {
+	if !cfg.Enabled {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	lc := &lifecycle{
+		metrics: m,
+		cfg:     cfg,
+		slowNS:  int64(cfg.SlowThreshold),
+	}
+	lc.pool.New = func() any { return new(obs.Span) }
+	if cfg.Trace != nil {
+		lc.trace = obs.NewTraceWriter(cfg.Trace)
+		lc.traceLeft = cfg.TraceEvents
+		lc.traceBase = obs.Nanotime()
+	}
+	return lc
+}
+
+// nextConn hands out connection sequence numbers (trace timeline IDs).
+func (lc *lifecycle) nextConn() uint64 { return lc.conns.Add(1) }
+
+// span takes a reset span from the pool and starts its clock.
+func (lc *lifecycle) span(conn uint64) *obs.Span {
+	sp := lc.pool.Get().(*obs.Span)
+	sp.Begin(obs.Nanotime())
+	sp.Conn = conn
+	return sp
+}
+
+// drop returns an unobserved span to the pool (control-plane ops,
+// connection upgrades, dead connections). Nil-receiver and nil-span
+// safe, so call sites need no guards.
+func (lc *lifecycle) drop(sp *obs.Span) {
+	if lc == nil || sp == nil {
+		return
+	}
+	lc.pool.Put(sp)
+}
+
+// finish finalizes a span, feeds the histograms, and runs the sampled
+// sinks (slow log, Chrome trace). Spans whose Op is still OpNone
+// (STATS, HELLO, rejected or expired requests) are dropped unobserved
+// so completed-request attribution stays clean.
+func (lc *lifecycle) finish(sp *obs.Span) {
+	if lc == nil || sp == nil {
+		return
+	}
+	if sp.Op == core.OpNone {
+		lc.pool.Put(sp)
+		return
+	}
+	total := sp.Finalize()
+	lc.metrics.ObserveSpan(sp, total)
+	if lc.slowNS > 0 && total >= lc.slowNS && lc.allowSlow() {
+		lc.logSlow(sp, total)
+	}
+	if lc.trace != nil {
+		lc.emitTrace(sp, total)
+	}
+	lc.pool.Put(sp)
+}
+
+// allowSlow is the slow-log rate limiter: at most SlowPerSec lines
+// per one-second window, decided lock-free.
+func (lc *lifecycle) allowSlow() bool {
+	now := obs.Nanotime()
+	win := lc.slowWindow.Load()
+	if now-win >= int64(time.Second) {
+		// Roll the window; the winner of the CAS resets the counter.
+		if lc.slowWindow.CompareAndSwap(win, now) {
+			lc.slowCount.Store(0)
+		}
+	}
+	return lc.slowCount.Add(1) <= int64(lc.cfg.SlowPerSec)
+}
+
+// logSlow emits one structured slow-request record with the stage
+// breakdown in microseconds.
+func (lc *lifecycle) logSlow(sp *obs.Span, total int64) {
+	attrs := make([]any, 0, 2*int(obs.NumStages)+8)
+	attrs = append(attrs,
+		slog.String("op", sp.Op.String()),
+		slog.Uint64("conn", sp.Conn),
+		slog.Uint64("req", uint64(sp.Req)),
+		slog.Int64("total_us", total/1e3),
+	)
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		if ns := sp.StageNS(st); ns > 0 {
+			attrs = append(attrs, slog.Int64(st.String()+"_us", ns/1e3))
+		}
+	}
+	lc.cfg.Log.Warn("slow request", attrs...)
+}
+
+// emitTrace renders one request as Chrome trace slices: an enclosing
+// op slice plus one slice per nonzero stage, laid back-to-back from
+// the span's start on the connection's timeline. Stage placement is
+// by pipeline order, not measured start offsets — durations are
+// exact, positions are the canonical order.
+func (lc *lifecycle) emitTrace(sp *obs.Span, total int64) {
+	lc.traceMu.Lock()
+	defer lc.traceMu.Unlock()
+	if lc.traceLeft <= 0 {
+		return
+	}
+	tid := int(sp.Conn)
+	ts := uint64(sp.StartNS()-lc.traceBase) / 1e3
+	args := map[string]any{"req": sp.Req}
+	lc.trace.Slice(sp.Op.String(), 1, tid, ts, uint64(total)/1e3, args)
+	lc.traceLeft--
+	cursor := ts
+	for st := obs.StageDecode; st < obs.NumStages && lc.traceLeft > 0; st++ {
+		ns := sp.StageNS(st)
+		if ns <= 0 {
+			continue
+		}
+		durUS := uint64(ns) / 1e3
+		lc.trace.Slice(st.String(), 1, tid, cursor, durUS, nil)
+		cursor += durUS
+		lc.traceLeft--
+	}
+}
+
+// closeTrace terminates the Chrome trace stream (called once, at
+// server shutdown). The underlying writer stays open for the caller.
+func (lc *lifecycle) closeTrace() error {
+	if lc == nil || lc.trace == nil {
+		return nil
+	}
+	lc.traceMu.Lock()
+	defer lc.traceMu.Unlock()
+	return lc.trace.Close()
+}

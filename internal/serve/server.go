@@ -51,6 +51,12 @@ type ServerConfig struct {
 	// latencies (GET/MGET as OpSearch, SCAN as OpScan, PUT as
 	// OpInsert, DEL as OpDelete) and admission budget occupancy.
 	Metrics *obs.Metrics
+
+	// Lifecycle configures request-lifecycle stage tracing: per-stage
+	// latency histograms (recorded into Metrics), the sampled
+	// slow-request log, and the optional Chrome trace export. The
+	// zero value disables all three (lifecycle.go, DESIGN.md §12).
+	Lifecycle LifecycleConfig
 }
 
 // Server serves a Store over TCP with the wire protocol of wire.go
@@ -62,6 +68,7 @@ type Server struct {
 	ln      net.Listener
 	batcher *Batcher
 	adm     *admission
+	lc      *lifecycle // nil when lifecycle tracing is disabled
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -91,6 +98,24 @@ type ServerStats struct {
 	Budgets   map[string]BudgetStats `json:"budgets"`         // admission occupancy per class
 	Store     StoreStats             `json:"store"`           // per-shard store counters
 	BatchGets bool                   `json:"batch_gets"`      // whether GETs ride the Batcher
+
+	// Stages and StageTotals carry the request-lifecycle attribution
+	// when lifecycle tracing is enabled (empty maps otherwise, never
+	// null — loadgen round-trips the payload). Stages is keyed by op
+	// class then stage name.
+	Stages map[string]map[string]StageStats `json:"server_stages"`
+
+	// StageTotals holds each op class's end-to-end server-side latency
+	// (request decoded through response written).
+	StageTotals map[string]StageStats `json:"server_stage_totals"`
+}
+
+// StageStats summarizes one lifecycle histogram for the STATS payload.
+type StageStats struct {
+	Count uint64 `json:"count"`  // samples observed
+	SumNS int64  `json:"sum_ns"` // accumulated nanoseconds across samples
+	P50NS int64  `json:"p50_ns"` // median latency (bucket upper bound)
+	P99NS int64  `json:"p99_ns"` // p99 latency (bucket upper bound)
 }
 
 // NewServer wraps a store; call Start to begin listening.
@@ -109,6 +134,7 @@ func NewServer(st *Store, cfg ServerConfig) *Server {
 		st:    st,
 		cfg:   cfg,
 		adm:   newAdmission(cfg.Admission, cfg.Metrics),
+		lc:    newLifecycle(cfg.Lifecycle, cfg.Metrics),
 		conns: make(map[net.Conn]struct{}),
 	}
 	return s
@@ -190,6 +216,7 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	if s.batcher != nil {
 		s.batcher.Close()
 	}
+	err = errors.Join(err, s.lc.closeTrace())
 	return err
 }
 
@@ -206,15 +233,33 @@ func (s *Server) serveConn(c net.Conn) {
 		s.mu.Unlock()
 	}()
 	var in, out []byte
+	var connID uint64
+	if s.lc != nil {
+		connID = s.lc.nextConn()
+	}
 	first := true
 	for {
+		var readStart int64
+		if s.lc != nil {
+			readStart = obs.Nanotime()
+		}
 		frame, err := ReadFrame(c, in)
 		if err != nil {
 			return // EOF, peer reset, or shutdown read deadline
 		}
 		in = frame
 		arrived := time.Now()
+		var sp *obs.Span
+		if s.lc != nil {
+			sp = s.lc.span(connID)
+			// Frame-read time includes client think time and is kept
+			// out of the server-side total (stage.go).
+			sp.Add(obs.StageRead, sp.StartNS()-readStart)
+		}
 		req, err := DecodeRequest(frame)
+		if sp != nil {
+			sp.Mark(obs.StageDecode)
+		}
 		var resp *Response
 		switch {
 		case err != nil:
@@ -224,20 +269,21 @@ func (s *Server) serveConn(c net.Conn) {
 			s.ops[OpHello].Add(1)
 			if first && req.MaxVersion >= ProtoV2 {
 				// Upgrade: ack version 2, then switch framing.
+				s.lc.drop(sp)
 				ack := &Response{Status: StatusOK, Version: ProtoV2, Window: uint32(s.cfg.Window)}
 				payload, _ := AppendResponse(out[:0], ack)
 				if err := WriteFrame(c, payload); err != nil {
 					return
 				}
 				s.pipeline.Add(1)
-				s.servePipelined(c)
+				s.servePipelined(c, connID)
 				return
 			}
 			// A v1-only peer, or a HELLO after traffic already flowed:
 			// stay on (or renegotiate down to) version 1.
 			resp = &Response{Status: StatusOK, Version: ProtoV1, Window: 1}
 		default:
-			resp = s.handle(req, arrived)
+			resp = s.handle(req, arrived, sp)
 		}
 		first = false
 		payload, err := AppendResponse(out[:0], resp)
@@ -246,7 +292,12 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		out = payload
 		if err := WriteFrame(c, payload); err != nil {
+			s.lc.drop(sp)
 			return
+		}
+		if sp != nil {
+			sp.Mark(obs.StageWrite)
+			s.lc.finish(sp)
 		}
 	}
 }
@@ -256,10 +307,11 @@ func (s *Server) serveConn(c net.Conn) {
 // order — a slow SCAN no longer blocks the GETs queued behind it. A
 // dedicated writer goroutine serializes the response frames; workers
 // hand it (id, response) pairs over a channel.
-func (s *Server) servePipelined(c net.Conn) {
+func (s *Server) servePipelined(c net.Conn, connID uint64) {
 	type completed struct {
 		id   uint32
 		resp *Response
+		sp   *obs.Span
 	}
 	out := make(chan completed, s.cfg.Window)
 	writerDone := make(chan struct{})
@@ -268,6 +320,9 @@ func (s *Server) servePipelined(c net.Conn) {
 		defer close(writerDone)
 		var buf []byte
 		for d := range out {
+			if d.sp != nil {
+				d.sp.Mark(obs.StageRespQueue)
+			}
 			payload, err := AppendResponseV2(buf[:0], d.id, d.resp)
 			if err != nil { // response exceeded wire bounds; report instead
 				payload, _ = AppendResponseV2(buf[:0], d.id, &Response{Status: StatusErr, Err: err.Error()})
@@ -275,18 +330,27 @@ func (s *Server) servePipelined(c net.Conn) {
 			buf = payload
 			if err := WriteFrame(bw, payload); err != nil {
 				// The connection is gone; drain so workers never block.
-				for range out {
+				s.lc.drop(d.sp)
+				for d := range out {
+					s.lc.drop(d.sp)
 				}
 				return
 			}
 			// Flush only when no completion is waiting: consecutive
-			// responses coalesce into one syscall under load.
+			// responses coalesce into one syscall under load. The
+			// flush cost lands on the request that triggered it.
 			if len(out) == 0 {
 				if err := bw.Flush(); err != nil {
-					for range out {
+					s.lc.drop(d.sp)
+					for d := range out {
+						s.lc.drop(d.sp)
 					}
 					return
 				}
+			}
+			if d.sp != nil {
+				d.sp.Mark(obs.StageWrite)
+				s.lc.finish(d.sp)
 			}
 		}
 		bw.Flush()
@@ -296,6 +360,10 @@ func (s *Server) servePipelined(c net.Conn) {
 	var workers sync.WaitGroup
 	var in []byte
 	for {
+		var readStart int64
+		if s.lc != nil {
+			readStart = obs.Nanotime()
+		}
 		frame, err := ReadFrame(c, in)
 		if err != nil {
 			break // EOF, peer reset, or shutdown read deadline
@@ -308,34 +376,46 @@ func (s *Server) servePipelined(c net.Conn) {
 		id, req, err := DecodeRequestV2(frame)
 		if err != nil {
 			s.badReqs.Add(1)
-			out <- completed{id, &Response{Status: StatusErr, Err: err.Error()}}
+			out <- completed{id, &Response{Status: StatusErr, Err: err.Error()}, nil}
 			continue
 		}
 		if req.Op == OpHello { // renegotiation is not allowed mid-stream
 			s.ops[OpHello].Add(1)
-			out <- completed{id, &Response{Status: StatusOK, Version: ProtoV2, Window: uint32(s.cfg.Window)}}
+			out <- completed{id, &Response{Status: StatusOK, Version: ProtoV2, Window: uint32(s.cfg.Window)}, nil}
 			continue
+		}
+		var sp *obs.Span
+		if s.lc != nil {
+			sp = s.lc.span(connID)
+			sp.Req = id
+			sp.Add(obs.StageRead, sp.StartNS()-readStart)
+			sp.Mark(obs.StageDecode)
 		}
 		// The slot bounds read-ahead: at most Window requests of this
 		// connection execute at once (decode already copied the frame,
 		// so the read buffer is free to reuse).
 		slots <- struct{}{}
 		workers.Add(1)
-		go func(id uint32, req *Request, arrived time.Time) {
+		go func(id uint32, req *Request, arrived time.Time, sp *obs.Span) {
 			defer workers.Done()
-			out <- completed{id, s.handle(req, arrived)}
+			out <- completed{id, s.handle(req, arrived, sp), sp}
 			<-slots
-		}(id, req, arrived)
+		}(id, req, arrived, sp)
 	}
 	workers.Wait()
 	close(out)
 	<-writerDone
 }
 
-// handle admits and executes one decoded request.
-func (s *Server) handle(req *Request, arrived time.Time) *Response {
+// handle admits and executes one decoded request. sp may be nil
+// (lifecycle tracing off); rejected and expired requests leave the
+// span's Op at OpNone so it is dropped unobserved.
+func (s *Server) handle(req *Request, arrived time.Time, sp *obs.Span) *Response {
 	// Admission: take the class's tokens or reject with its retry hint.
 	release, retryAfter, ok := s.adm.admit(req)
+	if sp != nil {
+		sp.Mark(obs.StageAdmission)
+	}
 	if !ok {
 		s.rejected.Add(1)
 		return &Response{Status: StatusRetry, RetryAfterMS: uint32(retryAfter / time.Millisecond)}
@@ -350,7 +430,10 @@ func (s *Server) handle(req *Request, arrived time.Time) *Response {
 	if s.cfg.Metrics != nil {
 		defer s.cfg.Metrics.Time(metricOpOf(req.Op))()
 	}
-	return s.execute(req)
+	if sp != nil && req.Op != OpStats {
+		sp.Op = metricOpOf(req.Op)
+	}
+	return s.execute(req, sp)
 }
 
 // metricOpOf maps wire ops onto the index-operation metrics.
@@ -367,16 +450,26 @@ func metricOpOf(op Op) core.OpKind {
 	}
 }
 
-// execute runs a decoded, admitted request against the store.
-func (s *Server) execute(req *Request) *Response {
+// execute runs a decoded, admitted request against the store. Read
+// ops mark StageBatchWait/StageExec themselves; write ops are stamped
+// by the shard writers (queue_wait, wal_append, wal_fsync, apply) via
+// the span handed into the store, so execute only advances the clock
+// past the blocking call with Touch.
+func (s *Server) execute(req *Request, sp *obs.Span) *Response {
 	switch req.Op {
 	case OpGet:
 		var l Lookup
 		if s.batcher != nil {
 			l = s.batcher.Get(req.Keys[0])
+			if sp != nil {
+				sp.Mark(obs.StageBatchWait)
+			}
 		} else {
 			tid, ok := s.st.Get(req.Keys[0])
 			l = Lookup{TID: tid, Found: ok}
+			if sp != nil {
+				sp.Mark(obs.StageExec)
+			}
 		}
 		if !l.Found {
 			return &Response{Status: StatusNotFound}
@@ -385,27 +478,62 @@ func (s *Server) execute(req *Request) *Response {
 	case OpMGet:
 		out := make([]Lookup, len(req.Keys))
 		s.st.MGet(req.Keys, out)
+		if sp != nil {
+			sp.Mark(obs.StageExec)
+		}
 		return &Response{Status: StatusOK, Lookups: out}
 	case OpScan:
 		pairs := s.st.Scan(req.Start, req.End, int(req.Limit))
 		if pairs == nil {
 			pairs = []core.Pair{}
 		}
+		if sp != nil {
+			sp.Mark(obs.StageExec)
+		}
 		return &Response{Status: StatusOK, Pairs: pairs}
 	case OpPut:
-		if err := s.writeResult(s.st.PutBatch(req.Pairs)); err != nil {
-			return err
+		var callStart, stamped0 int64
+		if sp != nil {
+			callStart, stamped0 = obs.Nanotime(), sp.StoreStagesNS()
+		}
+		err := s.st.putBatch(req.Pairs, sp)
+		if sp != nil {
+			// The shard writers stamped queue/WAL/apply via Add; fold
+			// the unstamped residual of the blocking call (partition
+			// setup, ack wakeup latency) into apply and advance the
+			// clock past it.
+			residual := obs.Nanotime() - callStart - (sp.StoreStagesNS() - stamped0)
+			sp.Add(obs.StageApply, residual)
+			sp.Touch()
+		}
+		if errResp := s.writeResult(err); errResp != nil {
+			if sp != nil {
+				sp.Op = core.OpNone // rejected/failed: drop unobserved
+			}
+			return errResp
 		}
 		return &Response{Status: StatusOK}
 	case OpDel:
+		var callStart, stamped0 int64
+		if sp != nil {
+			callStart, stamped0 = obs.Nanotime(), sp.StoreStagesNS()
+		}
 		var first error
 		for _, k := range req.Keys {
-			if err := s.st.Delete(k); err != nil && first == nil {
+			if err := s.st.delete(k, sp); err != nil && first == nil {
 				first = err
 			}
 		}
-		if err := s.writeResult(first); err != nil {
-			return err
+		if sp != nil {
+			residual := obs.Nanotime() - callStart - (sp.StoreStagesNS() - stamped0)
+			sp.Add(obs.StageApply, residual)
+			sp.Touch()
+		}
+		if errResp := s.writeResult(first); errResp != nil {
+			if sp != nil {
+				sp.Op = core.OpNone
+			}
+			return errResp
 		}
 		return &Response{Status: StatusOK}
 	case OpStats:
@@ -437,6 +565,11 @@ func (s *Server) writeResult(err error) *Response {
 	}
 }
 
+// Stats assembles the same payload a STATS request returns — the
+// admin plane's /statsz endpoint and in-process monitors use it
+// without a wire round trip.
+func (s *Server) Stats() ServerStats { return s.statsLocked() }
+
 // statsLocked assembles the STATS payload.
 func (s *Server) statsLocked() ServerStats {
 	s.mu.Lock()
@@ -449,16 +582,70 @@ func (s *Server) statsLocked() ServerStats {
 		}
 	}
 	return ServerStats{
-		UptimeMS:  time.Since(s.started).Milliseconds(),
-		Ops:       ops,
-		Rejected:  s.rejected.Load(),
-		Expired:   s.expired.Load(),
-		BadReqs:   s.badReqs.Load(),
-		Conns:     nconns,
-		Pipelined: s.pipeline.Load(),
-		Window:    s.cfg.Window,
-		Budgets:   s.adm.stats(),
-		Store:     s.st.Stats(),
-		BatchGets: s.batcher != nil,
+		UptimeMS:    time.Since(s.started).Milliseconds(),
+		Ops:         ops,
+		Rejected:    s.rejected.Load(),
+		Expired:     s.expired.Load(),
+		BadReqs:     s.badReqs.Load(),
+		Conns:       nconns,
+		Pipelined:   s.pipeline.Load(),
+		Window:      s.cfg.Window,
+		Budgets:     s.adm.stats(),
+		Store:       s.st.Stats(),
+		BatchGets:   s.batcher != nil,
+		Stages:      s.stageStats(),
+		StageTotals: s.stageTotalStats(),
 	}
+}
+
+// stageStatsOf condenses one lifecycle histogram snapshot.
+func stageStatsOf(h obs.HistogramSnapshot) StageStats {
+	return StageStats{
+		Count: h.Count,
+		SumNS: int64(h.SumNS),
+		P50NS: int64(h.Quantile(0.50)),
+		P99NS: int64(h.Quantile(0.99)),
+	}
+}
+
+// stageStats collects the per-stage attribution tables for STATS.
+// Always non-nil: the loadgen report round-trips the payload and the
+// reproducibility guarantee forbids fields that vanish when empty.
+func (s *Server) stageStats() map[string]map[string]StageStats {
+	out := make(map[string]map[string]StageStats)
+	if s.cfg.Metrics == nil {
+		return out
+	}
+	for _, op := range []core.OpKind{core.OpSearch, core.OpInsert, core.OpDelete, core.OpScan} {
+		var table map[string]StageStats
+		for _, st := range obs.Stages() {
+			snap := s.cfg.Metrics.StageSnapshot(op, st)
+			if snap.Count == 0 {
+				continue
+			}
+			if table == nil {
+				table = make(map[string]StageStats)
+			}
+			table[st.String()] = stageStatsOf(snap)
+		}
+		if table != nil {
+			out[op.String()] = table
+		}
+	}
+	return out
+}
+
+// stageTotalStats collects each op class's end-to-end server-side
+// latency histogram for STATS. Always non-nil.
+func (s *Server) stageTotalStats() map[string]StageStats {
+	out := make(map[string]StageStats)
+	if s.cfg.Metrics == nil {
+		return out
+	}
+	for _, op := range []core.OpKind{core.OpSearch, core.OpInsert, core.OpDelete, core.OpScan} {
+		if snap := s.cfg.Metrics.StageTotalSnapshot(op); snap.Count > 0 {
+			out[op.String()] = stageStatsOf(snap)
+		}
+	}
+	return out
 }

@@ -246,9 +246,63 @@ func TestLoadgenAgainstServer(t *testing.T) {
 	if _, err := json.Marshal(rep); err != nil {
 		t.Fatalf("report not JSON-marshalable: %v", err)
 	}
+	// Without lifecycle tracing the attribution tables are empty but
+	// present (never nil).
+	if rep.ServerStages == nil || rep.ServerStageTotals == nil {
+		t.Fatal("stage tables must be non-nil")
+	}
 	// Bad skew is a setup error.
 	if _, err := RunLoadgen(LoadgenConfig{Addr: addr, Skew: "nope", Duration: time.Millisecond}); err == nil {
 		t.Fatal("unknown skew accepted")
+	}
+}
+
+// TestLoadgenStageAttribution runs loadgen against a lifecycle-traced
+// server and checks the report's STATS-delta attribution: the named
+// stages must cover at least 90% of each op's server-side time (the
+// acceptance bar for the instrumentation being complete).
+func TestLoadgenStageAttribution(t *testing.T) {
+	metrics := obs.NewMetrics()
+	_, addr := startServer(t, 10_000, ServerConfig{
+		Batch:     true,
+		Metrics:   metrics,
+		Lifecycle: LifecycleConfig{Enabled: true},
+	})
+	rep, err := RunLoadgen(LoadgenConfig{
+		Addr:     addr,
+		Conns:    2,
+		Window:   4,
+		Duration: 300 * time.Millisecond,
+		Keys:     10_000,
+		PutPct:   20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 || rep.Errors != 0 {
+		t.Fatalf("bad run: %+v", rep)
+	}
+	if len(rep.ServerStages) == 0 || len(rep.ServerStageTotals) == 0 {
+		t.Fatalf("no stage attribution: %+v", rep.ServerStages)
+	}
+	for op, tot := range rep.ServerStageTotals {
+		if tot.Count == 0 {
+			continue
+		}
+		var named float64
+		for st, d := range rep.ServerStages[op] {
+			if st == "read" || st == "other" {
+				continue
+			}
+			named += d.TotalMS
+		}
+		if named < 0.90*(tot.TotalMS-rep.ServerStages[op]["other"].TotalMS) {
+			t.Errorf("%s: named stages cover %.1fms of %.1fms total", op, named, tot.TotalMS)
+		}
+		if other := rep.ServerStages[op]["other"]; other.TotalMS > 0.10*tot.TotalMS {
+			t.Errorf("%s: unattributed remainder is %.0f%% of the total (want < 10%%)",
+				op, 100*other.TotalMS/tot.TotalMS)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"path"
 	"runtime"
 	"sync"
@@ -158,6 +159,15 @@ type mutation struct {
 	dels    []core.Key
 	compact bool
 	done    chan error
+
+	// Lifecycle attribution (DESIGN.md §12): when sp is non-nil the
+	// shard writer stamps queue_wait, wal_append, wal_fsync and apply
+	// onto it with atomic adds (a multi-shard write is stamped by
+	// several writers concurrently). enq is the obs.Nanotime enqueue
+	// timestamp. The requester's receive on done orders the stamps
+	// before it reads the span.
+	sp  *obs.Span
+	enq int64
 }
 
 // shard is one hash partition: a storage engine publishing immutable
@@ -190,11 +200,19 @@ type shard struct {
 
 	// Writer-maintained counters, read via Stats.
 	puts, dels, published atomic.Uint64
+
+	// Gauge state for the admin plane's /metrics (WriteMetrics):
+	// lastPub is the obs.Nanotime of the last snapshot publication
+	// (snapshot age); walBacklog counts WAL records committed since the
+	// last engine checkpoint (recovery debt).
+	lastPub    atomic.Int64
+	walBacklog atomic.Uint64
 }
 
 // markReady publishes the recovery outcome and unblocks readers.
 func (sh *shard) markReady(err error) {
 	sh.readyErr = err
+	sh.lastPub.Store(obs.Nanotime())
 	sh.isReady.Store(true)
 	close(sh.ready)
 }
@@ -483,11 +501,23 @@ func ackAll(batch []mutation, err error) {
 // recorded like a checkpoint failure: the batch itself is already
 // applied and acknowledged.
 func (st *Store) applyBatch(sh *shard, batch []mutation) {
+	// Lifecycle attribution: stamp queue wait at pickup and remember
+	// whether anything in the batch is traced at all, so the untraced
+	// path takes a single boolean test per stage site.
+	traced := false
+	now := obs.Nanotime()
+	for _, m := range batch {
+		if m.sp != nil {
+			traced = true
+			m.sp.Add(obs.StageQueueWait, now-m.enq)
+		}
+	}
 	if sh.walErr != nil {
 		ackAll(batch, sh.walErr)
 		return
 	}
 	if sh.wal != nil {
+		walStart := now
 		for _, m := range batch {
 			sh.lsn++
 			// Compact-only mutations log an empty record: every
@@ -501,6 +531,22 @@ func (st *Store) applyBatch(sh *shard, batch []mutation) {
 			ackAll(batch, sh.walErr)
 			return
 		}
+		sh.walBacklog.Add(uint64(len(batch)))
+		if traced {
+			// Every member waited for the whole group commit, so each
+			// span gets the full append and fsync costs — that is the
+			// latency the request actually experienced.
+			syncNS := sh.wal.takeSyncNS()
+			appendNS := obs.Nanotime() - walStart - syncNS
+			for _, m := range batch {
+				if m.sp != nil {
+					m.sp.Add(obs.StageWALAppend, appendNS)
+					m.sp.Add(obs.StageWALFsync, syncNS)
+				}
+			}
+		} else {
+			sh.wal.takeSyncNS()
+		}
 	}
 	sh.ws = sh.ws[:0]
 	for _, m := range batch {
@@ -511,8 +557,18 @@ func (st *Store) applyBatch(sh *shard, batch []mutation) {
 	if sh.wal == nil {
 		lsn = sh.version // non-durable: versions double as artifact labels
 	}
+	applyStart := obs.Nanotime()
 	err := sh.be.ApplyBatch(sh.ws, sh.version, lsn, func(ackErr error) {
 		sh.published.Add(1)
+		sh.lastPub.Store(obs.Nanotime())
+		if traced {
+			d := obs.Nanotime() - applyStart
+			for _, m := range batch {
+				if m.sp != nil {
+					m.sp.Add(obs.StageApply, d)
+				}
+			}
+		}
 		ackAll(batch, ackErr)
 	})
 	if err != nil {
@@ -547,12 +603,17 @@ func (st *Store) checkpoint(sh *shard) {
 		sh.setDurErr(err)
 	}
 	sh.wal = w
+	sh.walBacklog.Store(0)
 	pruneWAL(d.FS, dir, sh.lsn, sh.lsn+1)
 	st.cfg.Metrics.Checkpoint(nil)
 }
 
-// enqueue submits a mutation to a shard with backpressure.
+// enqueue submits a mutation to a shard with backpressure, stamping
+// the enqueue time of traced mutations.
 func (st *Store) enqueue(sh *shard, m mutation) error {
+	if m.sp != nil {
+		m.enq = obs.Nanotime()
+	}
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if st.closed {
@@ -570,9 +631,15 @@ func (st *Store) enqueue(sh *shard, m mutation) error {
 // published (visible to every subsequent read), or ErrOverloaded if
 // the shard's queue is full.
 func (st *Store) Put(k core.Key, tid core.TID) error {
+	return st.put(k, tid, nil)
+}
+
+// put is Put with an optional lifecycle span for the shard writer to
+// stamp.
+func (st *Store) put(k core.Key, tid core.TID, sp *obs.Span) error {
 	sh := st.shards[st.ShardOf(k)]
 	done := make(chan error, 1)
-	if err := st.enqueue(sh, mutation{puts: []core.Pair{{Key: k, TID: tid}}, done: done}); err != nil {
+	if err := st.enqueue(sh, mutation{puts: []core.Pair{{Key: k, TID: tid}}, done: done, sp: sp}); err != nil {
 		return err
 	}
 	sh.puts.Add(1)
@@ -581,9 +648,15 @@ func (st *Store) Put(k core.Key, tid core.TID) error {
 
 // Delete removes one key (a no-op if absent), with Put's semantics.
 func (st *Store) Delete(k core.Key) error {
+	return st.delete(k, nil)
+}
+
+// delete is Delete with an optional lifecycle span for the shard
+// writer to stamp.
+func (st *Store) delete(k core.Key, sp *obs.Span) error {
 	sh := st.shards[st.ShardOf(k)]
 	done := make(chan error, 1)
-	if err := st.enqueue(sh, mutation{dels: []core.Key{k}, done: done}); err != nil {
+	if err := st.enqueue(sh, mutation{dels: []core.Key{k}, done: done, sp: sp}); err != nil {
 		return err
 	}
 	sh.dels.Add(1)
@@ -594,6 +667,14 @@ func (st *Store) Delete(k core.Key) error {
 // land in the same shard appear in the same published snapshot, so a
 // same-shard MGet sees either none or all of them.
 func (st *Store) PutBatch(pairs []core.Pair) error {
+	return st.putBatch(pairs, nil)
+}
+
+// putBatch is PutBatch with an optional lifecycle span. A multi-shard
+// batch is stamped by several shard writers concurrently (Span.Add is
+// atomic); the final receive on every done channel orders the stamps
+// before the caller reads the span.
+func (st *Store) putBatch(pairs []core.Pair, sp *obs.Span) error {
 	parts := make(map[int][]core.Pair, len(st.shards))
 	for _, p := range pairs {
 		s := st.ShardOf(p.Key)
@@ -603,7 +684,7 @@ func (st *Store) PutBatch(pairs []core.Pair) error {
 	for s, ps := range parts {
 		sh := st.shards[s]
 		done := make(chan error, 1)
-		if err := st.enqueue(sh, mutation{puts: ps, done: done}); err != nil {
+		if err := st.enqueue(sh, mutation{puts: ps, done: done, sp: sp}); err != nil {
 			// Abandon the rest: callers treat ErrOverloaded as retry.
 			for _, d := range dones {
 				<-d
@@ -807,6 +888,81 @@ func (st *Store) Stats() StoreStats {
 		out.Count += bs.Count
 	}
 	return out
+}
+
+// Ready reports, without blocking, whether every shard has published
+// its first snapshot (for a durable store: finished recovering). The
+// admin plane's /healthz uses it to answer 503 during recovery.
+func (st *Store) Ready() bool {
+	for _, sh := range st.shards {
+		if !sh.isReady.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteMetrics writes the per-shard gauges in the Prometheus text
+// exposition format: readiness, mutation-queue depth, snapshot age,
+// WAL backlog since the last checkpoint, key count and (lsm) run
+// count. It never blocks on a recovering shard — engine statistics
+// are skipped until the shard is up, so /metrics stays responsive
+// during recovery.
+func (st *Store) WriteMetrics(w io.Writer) error {
+	type gauge struct {
+		name, help string
+		value      func(sh *shard, ready bool) (float64, bool)
+	}
+	now := obs.Nanotime()
+	gauges := []gauge{
+		{"pbtree_shard_ready", "Whether the shard has published its first snapshot (0 during recovery).", func(sh *shard, ready bool) (float64, bool) {
+			if ready {
+				return 1, true
+			}
+			return 0, true
+		}},
+		{"pbtree_shard_queue_depth", "Mutations waiting in the shard's queue.", func(sh *shard, ready bool) (float64, bool) {
+			return float64(len(sh.ops)), true
+		}},
+		{"pbtree_shard_snapshot_age_seconds", "Seconds since the shard last published a snapshot.", func(sh *shard, ready bool) (float64, bool) {
+			if !ready {
+				return 0, false
+			}
+			return float64(now-sh.lastPub.Load()) / 1e9, true
+		}},
+		{"pbtree_shard_wal_backlog_records", "WAL records committed since the shard's last checkpoint.", func(sh *shard, ready bool) (float64, bool) {
+			return float64(sh.walBacklog.Load()), true
+		}},
+		{"pbtree_shard_keys", "Keys in the shard's published snapshot (estimate on lsm).", func(sh *shard, ready bool) (float64, bool) {
+			if !ready {
+				return 0, false
+			}
+			return float64(sh.be.Stats().Count), true
+		}},
+	}
+	if st.cfg.Backend == BackendLSM {
+		gauges = append(gauges, gauge{"pbtree_shard_runs", "Immutable sorted runs in the shard's LSM engine.", func(sh *shard, ready bool) (float64, bool) {
+			if !ready {
+				return 0, false
+			}
+			return float64(sh.be.Stats().Runs), true
+		}})
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name); err != nil {
+			return err
+		}
+		for i, sh := range st.shards {
+			v, ok := g.value(sh, sh.isReady.Load())
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{shard=\"%d\"} %g\n", g.name, i, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Len reports the total number of pairs across all shards (an

@@ -196,6 +196,7 @@ type walWriter struct {
 	interval time.Duration
 	lastSync time.Time
 	records  uint64 // records appended to this segment
+	syncNS   int64  // fsync time since takeSyncNS (lifecycle attribution)
 	metrics  *obs.Metrics
 }
 
@@ -240,13 +241,25 @@ func (w *walWriter) commit() error {
 	return nil
 }
 
-// sync forces the segment to stable storage.
+// sync forces the segment to stable storage, accumulating the fsync
+// wall time for lifecycle attribution.
 func (w *walWriter) sync() error {
+	start := obs.Nanotime()
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	w.syncNS += obs.Nanotime() - start
 	w.metrics.Fsync()
 	return nil
+}
+
+// takeSyncNS returns and resets the fsync time accumulated since the
+// last call — the StageWALFsync share of the commit that just ran
+// (zero when the policy skipped the sync).
+func (w *walWriter) takeSyncNS() int64 {
+	ns := w.syncNS
+	w.syncNS = 0
+	return ns
 }
 
 // close syncs and closes the segment (graceful-drain flush).

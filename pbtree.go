@@ -42,6 +42,7 @@ package pbtree
 
 import (
 	"io"
+	"net/http"
 
 	"pbtree/internal/core"
 	"pbtree/internal/csbtree"
@@ -386,6 +387,23 @@ type (
 	// LoadgenReport is the JSON result of a load-generation run.
 	LoadgenReport = serve.LoadgenReport
 
+	// LifecycleConfig enables request-lifecycle tracing on a Server:
+	// per-stage latency histograms, a sampled slow-request log and an
+	// optional Chrome trace (DESIGN.md §12).
+	LifecycleConfig = serve.LifecycleConfig
+
+	// StageStats summarizes one lifecycle-stage histogram inside
+	// ServerStats.
+	StageStats = serve.StageStats
+
+	// StageDelta is one stage's before/after attribution delta in a
+	// LoadgenReport.
+	StageDelta = serve.StageDelta
+
+	// Stage identifies one serving-pipeline stage of the
+	// request-lifecycle clock.
+	Stage = obs.Stage
+
 	// DurableConfig enables per-shard WAL + checkpoint persistence for
 	// a Store (DESIGN.md §9).
 	DurableConfig = serve.DurableConfig
@@ -420,6 +438,17 @@ const (
 // ScenarioNames lists the loadgen's named workload presets
 // (LoadgenConfig.Scenario).
 func ScenarioNames() []string { return serve.ScenarioNames() }
+
+// NewAdminMux builds the admin-plane HTTP handler for a running
+// server: /metrics (Prometheus), /healthz, /statsz, /debug/vars and
+// /debug/pprof (DESIGN.md §12). Mount it on its own listener, away
+// from the data path.
+func NewAdminMux(srv *Server, st *Store) *http.ServeMux {
+	return serve.NewAdminMux(srv, st)
+}
+
+// Stages lists the request-lifecycle pipeline stages in order.
+func Stages() []Stage { return obs.Stages() }
 
 // Wire-protocol operations (PROTOCOL.md §2.1). Prefixed Serve to
 // stay clear of the tracer's index-operation kinds (OpSearch, OpScan,

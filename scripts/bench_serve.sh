@@ -4,7 +4,21 @@
 # at a time per connection) and pipelined (window=16 outstanding calls
 # per connection over protocol v2) — and write both loadgen JSON
 # reports to the file named by $1 (default BENCH_serve.json) as
-# {"sequential": ..., "pipelined": ...}.
+# {"sequential": ..., "pipelined": ..., "overhead_off": ...,
+# "overhead_on": ...}.
+#
+# The server runs with lifecycle stage tracing on (the default), so
+# both reports carry the server_stages attribution tables: per op
+# class, how the server-side time splits across decode / admission /
+# batch_wait / queue_wait / apply / exec / resp_queue / write. The
+# pipelined-vs-sequential share shift names the stage behind the
+# pipelining p99 inflation (EXPERIMENTS.md).
+#
+# The overhead_off/overhead_on pair is the tracing-cost gate: the PR 6
+# BENCH_matrix oltp-point cell (conns 4, window 8, zipf point reads)
+# re-run against a fresh server with -stages=false and again with the
+# default tracing on. The off run must stay within 2% of the on run
+# (and of the committed BENCH_matrix baseline on the same hardware).
 set -eu
 
 out=${1:-BENCH_serve.json}
@@ -14,6 +28,7 @@ addr="127.0.0.1:$port"
 keys=1000000
 conns=4
 mix="-skew zipf -get 70 -mget 15 -scan 5 -put 10"
+oltp_keys=200000
 
 cleanup() {
     [ -n "${srv:-}" ] && kill "$srv" 2>/dev/null || true
@@ -24,38 +39,70 @@ trap cleanup EXIT
 go build -o "$tmp/pbtree-server" ./cmd/pbtree-server
 go build -o "$tmp/pbtree-loadgen" ./cmd/pbtree-loadgen
 
+wait_reachable() {
+    nkeys=$1
+    ok=0
+    for _ in $(seq 1 50); do
+        if "$tmp/pbtree-loadgen" -addr "$addr" -keys "$nkeys" -conns 1 \
+            -duration 100ms >/dev/null 2>&1; then
+            ok=1
+            break
+        fi
+        kill -0 "$srv" 2>/dev/null || { echo "bench-serve: server died:"; cat "$tmp/server.log"; exit 1; }
+        sleep 0.2
+    done
+    [ "$ok" = 1 ] || { echo "bench-serve: server never became reachable"; cat "$tmp/server.log"; exit 1; }
+}
+
+stop_server() {
+    kill -TERM "$srv"
+    wait "$srv" || true
+    srv=
+}
+
 "$tmp/pbtree-server" -addr "$addr" -keys "$keys" \
     >"$tmp/server.log" 2>&1 &
 srv=$!
+wait_reachable "$keys"
 
-ok=0
-for _ in $(seq 1 50); do
-    if "$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns 1 \
-        -duration 100ms >/dev/null 2>&1; then
-        ok=1
-        break
-    fi
-    kill -0 "$srv" 2>/dev/null || { echo "bench-serve: server died:"; cat "$tmp/server.log"; exit 1; }
-    sleep 0.2
+echo "bench-serve: sequential (window=1)"
+# shellcheck disable=SC2086
+"$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns "$conns" \
+    -window 1 -duration 5s -stage-table $mix >"$tmp/sequential.json"
+echo "bench-serve: pipelined (window=16)"
+# shellcheck disable=SC2086
+"$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns "$conns" \
+    -window 16 -duration 5s -stage-table $mix >"$tmp/pipelined.json"
+stop_server
+
+# Tracing-overhead gate: the BENCH_matrix oltp-point cell against a
+# fresh server with stage tracing off, then on.
+for mode in off on; do
+    if [ "$mode" = off ]; then flags="-stages=false"; else flags=""; fi
+    # shellcheck disable=SC2086
+    "$tmp/pbtree-server" -addr "$addr" -keys "$oltp_keys" $flags \
+        >"$tmp/server.log" 2>&1 &
+    srv=$!
+    wait_reachable "$oltp_keys"
+    echo "bench-serve: overhead gate, tracing $mode"
+    "$tmp/pbtree-loadgen" -addr "$addr" -keys "$oltp_keys" -conns 4 \
+        -window 8 -duration 3s -scenario oltp-point >"$tmp/overhead_$mode.json"
+    stop_server
 done
-[ "$ok" = 1 ] || { echo "bench-serve: server never became reachable"; cat "$tmp/server.log"; exit 1; }
-
-# shellcheck disable=SC2086
-"$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns "$conns" \
-    -window 1 -duration 5s $mix >"$tmp/sequential.json"
-# shellcheck disable=SC2086
-"$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns "$conns" \
-    -window 16 -duration 5s $mix >"$tmp/pipelined.json"
 
 {
     printf '{\n"sequential":\n'
     cat "$tmp/sequential.json"
     printf ',\n"pipelined":\n'
     cat "$tmp/pipelined.json"
+    printf ',\n"overhead_off":\n'
+    cat "$tmp/overhead_off.json"
+    printf ',\n"overhead_on":\n'
+    cat "$tmp/overhead_on.json"
     printf '}\n'
 } >"$out"
 
-kill -TERM "$srv"
-wait "$srv" || true
-srv=
+off=$(sed -n 's/^  "ops_per_sec": \([0-9.]*\),$/\1/p' "$tmp/overhead_off.json")
+on=$(sed -n 's/^  "ops_per_sec": \([0-9.]*\),$/\1/p' "$tmp/overhead_on.json")
+echo "bench-serve: oltp-point ops/sec: tracing off $off, on $on"
 echo "bench-serve: wrote $out"

@@ -1,0 +1,36 @@
+// Command httpget is a minimal HTTP GET for the smoke scripts: it
+// prints the response body to stdout and exits nonzero on transport
+// errors or non-2xx statuses. It exists so the scripts do not depend
+// on curl being installed (CI images vary).
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: httpget <url>")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		io.Copy(os.Stderr, resp.Body)
+		fmt.Fprintln(os.Stderr, "httpget:", resp.Status)
+		os.Exit(1)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+}

@@ -58,7 +58,7 @@ wait "$load" 2>/dev/null || true  # loadgen dies with the connection; expected
 start_server "$tmp/server2.log"
 grep -q "recovered" "$tmp/server2.log" \
     || { echo "smoke-recover: no recovery after kill -9:"; cat "$tmp/server2.log"; exit 1; }
-grep -Eq "replayed [1-9][0-9]* records" "$tmp/server2.log" \
+grep -Eq "replayed=[1-9][0-9]*" "$tmp/server2.log" \
     || { echo "smoke-recover: nothing replayed from the WAL:"; cat "$tmp/server2.log"; exit 1; }
 
 # Every preloaded key must still be served (puts only overwrote).
@@ -78,5 +78,5 @@ srv=
 grep -q "drained cleanly" "$tmp/server2.log" \
     || { echo "smoke-recover: no clean drain after recovery:"; cat "$tmp/server2.log"; exit 1; }
 
-replayed=$(sed -n 's/.*replayed \([0-9]*\) records.*/\1/p' "$tmp/server2.log" | awk '{s+=$1} END {print s}')
+replayed=$(sed -n 's/.*replayed=\([0-9]*\).*/\1/p' "$tmp/server2.log" | awk '{s+=$1} END {print s}')
 echo "smoke-recover: OK (backend $backend, kill -9 survived, $replayed WAL records replayed, $ops GETs verified, 0 missing)"
