@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build test race vet conformance bench-smoke smoke-serve smoke-recover smoke-admin fuzz-smoke bench-serve bench-matrix docs-check
+.PHONY: check build test race vet conformance bench-smoke smoke-serve smoke-recover smoke-admin smoke-failover fuzz-smoke bench-serve bench-matrix docs-check
 
-check: build vet test race conformance smoke-serve smoke-recover smoke-admin
+check: build vet test race conformance smoke-serve smoke-recover smoke-admin smoke-failover
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,14 @@ smoke-recover:
 # /statsz and /debug/vars while load is running.
 smoke-admin:
 	sh scripts/smoke_admin.sh
+
+# Failover smoke test: synchronous primary + read replica, put-heavy
+# load, kill -9 the primary mid-load, promote the replica over the
+# admin plane (/promote), assert the acked key space survives and the
+# new primary serves writes. Runs once per storage backend.
+smoke-failover:
+	BACKEND=pbtree sh scripts/smoke_failover.sh
+	BACKEND=lsm sh scripts/smoke_failover.sh
 
 # Short-budget fuzz of every Fuzz target in the module (FUZZTIME=5s
 # per target by default).

@@ -13,6 +13,10 @@
 // mix/skew/scanrows flags with the preset's values; the resolved
 // config is echoed in the report.
 //
+// -replicas lists read-replica addresses; connections then
+// round-robin across -addr and the replicas (the mix must be
+// read-only), measuring a replica set's aggregate read throughput.
+//
 // -window N keeps N calls outstanding per connection over the
 // pipelined v2 protocol (closed loop: total concurrency is
 // conns x window); -window 1 is the classic one-round-trip-at-a-time
@@ -34,6 +38,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"pbtree"
@@ -72,6 +77,7 @@ func main() {
 	log.SetPrefix("pbtree-loadgen: ")
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
+		replicas = flag.String("replicas", "", "comma-separated replica addresses: connections round-robin across -addr and these (read-only mix required)")
 		conns    = flag.Int("conns", 4, "concurrent connections")
 		window   = flag.Int("window", 1, "outstanding calls per connection (pipelined when > 1)")
 		duration = flag.Duration("duration", 2*time.Second, "run length")
@@ -94,8 +100,13 @@ func main() {
 	)
 	flag.Parse()
 
+	var reps []string
+	if *replicas != "" {
+		reps = strings.Split(*replicas, ",")
+	}
 	rep, err := pbtree.RunLoadgen(pbtree.LoadgenConfig{
 		Addr:      *addr,
+		Replicas:  reps,
 		Scenario:  *scen,
 		Conns:     *conns,
 		Window:    *window,

@@ -47,6 +47,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -77,32 +78,38 @@ func parseLevel(s string) (slog.Level, error) {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
-		admin    = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /statsz, /debug/pprof (empty = disabled)")
-		logLevel = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
-		keys     = flag.Int("keys", 1_000_000, "preload N sequential keys")
-		shards   = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
-		be       = flag.String("backend", "pbtree", "storage backend per shard: pbtree|lsm")
-		flushKey = flag.Int("lsm-flush-keys", 0, "lsm: memtable keys per flushed run (0 = 4096)")
-		maxRuns  = flag.Int("lsm-max-runs", 0, "lsm: runs tolerated before compaction (0 = 8)")
-		width    = flag.Int("width", 8, "tree node width in cache lines")
-		window   = flag.Int("window", 0, "max concurrent requests per pipelined (v2) connection (0 = 32)")
-		readTok  = flag.Int("read-tokens", 0, "admission budget for GET/MGET (0 = 4x shards)")
-		writeTok = flag.Int("write-tokens", 0, "admission budget for PUT/DEL (0 = 2x shards)")
-		scanTok  = flag.Int("scan-row-tokens", 0, "admission budget for concurrent SCAN rows (0 = 64k)")
-		queue    = flag.Int("queue", 0, "per-shard mutation queue length (0 = 1024)")
-		batch    = flag.Bool("batch", true, "merge concurrent GETs into group searches")
-		group    = flag.Int("group", 16, "max lookups per merged group search")
-		linger   = flag.Duration("linger", 50*time.Microsecond, "how long a group waits for stragglers")
-		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown budget")
-		dataDir  = flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
-		fsync    = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
-		fsyncInt = flag.Duration("fsync-interval", 10*time.Millisecond, "sync period for -fsync interval")
-		ckptEvry = flag.Int("checkpoint-every", 4096, "WAL records per shard between checkpoints")
-		stages   = flag.Bool("stages", true, "per-stage request-lifecycle histograms")
-		slowLog  = flag.Duration("slow-log", 0, "log requests slower than this with their stage breakdown (0 = off)")
-		slowRate = flag.Int("slow-log-rate", 10, "max slow-request log lines per second")
-		lcTrace  = flag.String("lifecycle-trace", "", "write a Chrome trace of traced requests to this file")
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		admin     = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /statsz, /debug/pprof (empty = disabled)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		keys      = flag.Int("keys", 1_000_000, "preload N sequential keys")
+		shards    = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
+		be        = flag.String("backend", "pbtree", "storage backend per shard: pbtree|lsm")
+		flushKey  = flag.Int("lsm-flush-keys", 0, "lsm: memtable keys per flushed run (0 = 4096)")
+		maxRuns   = flag.Int("lsm-max-runs", 0, "lsm: runs tolerated before compaction (0 = 8)")
+		width     = flag.Int("width", 8, "tree node width in cache lines")
+		window    = flag.Int("window", 0, "max concurrent requests per pipelined (v2) connection (0 = 32)")
+		readTok   = flag.Int("read-tokens", 0, "admission budget for GET/MGET (0 = 4x shards)")
+		writeTok  = flag.Int("write-tokens", 0, "admission budget for PUT/DEL (0 = 2x shards)")
+		scanTok   = flag.Int("scan-row-tokens", 0, "admission budget for concurrent SCAN rows (0 = 64k)")
+		queue     = flag.Int("queue", 0, "per-shard mutation queue length (0 = 1024)")
+		batch     = flag.Bool("batch", true, "merge concurrent GETs into group searches")
+		group     = flag.Int("group", 16, "max lookups per merged group search")
+		linger    = flag.Duration("linger", 50*time.Microsecond, "how long a group waits for stragglers")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful shutdown budget")
+		dataDir   = flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
+		fsyncInt  = flag.Duration("fsync-interval", 10*time.Millisecond, "sync period for -fsync interval")
+		ckptEvry  = flag.Int("checkpoint-every", 4096, "WAL records per shard between checkpoints")
+		walKeep   = flag.Int("wal-retain", 0, "superseded WAL segments retained per shard for follower catch-up")
+		replicaOf = flag.String("replica-of", "", "primary serving address to follow (makes this node a read replica; requires -data-dir)")
+		epochFlag = flag.Uint64("epoch", 0, "minimum replication epoch to run at (0 = whatever the MANIFEST records)")
+		replSync  = flag.Bool("repl-sync", false, "synchronous replication: acknowledge writes only after a follower ack")
+		replPoll  = flag.Duration("repl-poll", 50*time.Millisecond, "follower poll interval once caught up")
+		syncTmo   = flag.Duration("repl-sync-timeout", 2*time.Second, "how long a synchronous write waits for a follower ack")
+		stages    = flag.Bool("stages", true, "per-stage request-lifecycle histograms")
+		slowLog   = flag.Duration("slow-log", 0, "log requests slower than this with their stage breakdown (0 = off)")
+		slowRate  = flag.Int("slow-log-rate", 10, "max slow-request log lines per second")
+		lcTrace   = flag.String("lifecycle-trace", "", "write a Chrome trace of traced requests to this file")
 	)
 	flag.Parse()
 
@@ -126,6 +133,8 @@ func main() {
 		QueueLen: *queue,
 		Tree:     pbtree.Config{Width: *width, Prefetch: *width > 1},
 		Metrics:  metrics,
+		Replica:  *replicaOf != "",
+		Epoch:    *epochFlag,
 	}
 	if *dataDir != "" {
 		policy, err := serve.ParseFsyncPolicy(*fsync)
@@ -137,9 +146,14 @@ func main() {
 			Fsync:           policy,
 			FsyncInterval:   *fsyncInt,
 			CheckpointEvery: *ckptEvry,
+			WALRetain:       *walKeep,
 		}
 	}
-	st, err := pbtree.OpenStore(cfg, workload.SortedPairs(*keys))
+	seed := workload.SortedPairs(*keys)
+	if *replicaOf != "" {
+		seed = nil // a replica's contents come from the primary, not a preload
+	}
+	st, err := pbtree.OpenStore(cfg, seed)
 	if err != nil {
 		fail("open store", err)
 	}
@@ -157,6 +171,36 @@ func main() {
 	}
 	metrics.PublishExpvar("pbtree")
 
+	// The replication node serves FETCH on a primary (and installs the
+	// sync gate with -repl-sync); with -replica-of it pulls the
+	// primary's WAL per shard. Durable-only: epochs live in the
+	// MANIFEST and shipping reads WAL segment files.
+	var replNode *pbtree.ReplNode
+	if *dataDir != "" {
+		replNode, err = pbtree.NewReplNode(pbtree.ReplConfig{
+			Store:       st,
+			Primary:     *replicaOf,
+			Sync:        *replSync,
+			SyncTimeout: *syncTmo,
+			Poll:        *replPoll,
+			Metrics:     metrics,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			fail("replication", err)
+		}
+		if err := replNode.Start(); err != nil {
+			fail("replication", err)
+		}
+		if *replicaOf != "" {
+			logger.Info("following primary", "primary", *replicaOf, "epoch", st.Epoch())
+		}
+	} else if *replicaOf != "" || *replSync {
+		fail("replication", fmt.Errorf("-replica-of and -repl-sync need -data-dir (epochs and WAL shipping are durable-only)"))
+	}
+
 	lc := pbtree.LifecycleConfig{
 		Enabled:       *stages || *slowLog > 0 || *lcTrace != "",
 		SlowThreshold: *slowLog,
@@ -171,7 +215,7 @@ func main() {
 		}
 		lc.Trace = traceFile
 	}
-	srv := pbtree.NewServer(st, pbtree.ServerConfig{
+	scfg := pbtree.ServerConfig{
 		Addr:   *addr,
 		Window: *window,
 		Admission: pbtree.AdmissionConfig{
@@ -183,7 +227,11 @@ func main() {
 		Batcher:   serve.BatcherConfig{MaxGroup: *group, Linger: *linger},
 		Metrics:   metrics,
 		Lifecycle: lc,
-	})
+	}
+	if replNode != nil {
+		scfg.Repl = replNode
+	}
+	srv := pbtree.NewServer(st, scfg)
 	if err := srv.Start(); err != nil {
 		fail("listen", err)
 	}
@@ -194,7 +242,17 @@ func main() {
 		if err != nil {
 			fail("admin listen", err)
 		}
-		adminSrv = &http.Server{Handler: pbtree.NewAdminMux(srv, st)}
+		var extra []func(io.Writer) error
+		mux := func() *http.ServeMux {
+			if replNode == nil {
+				return pbtree.NewAdminMux(srv, st)
+			}
+			extra = append(extra, replNode.WriteMetrics)
+			m := pbtree.NewAdminMux(srv, st, extra...)
+			replNode.Mount(m) // /replz and POST /promote
+			return m
+		}()
+		adminSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := adminSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				logger.Error("admin server", "err", err)
@@ -215,6 +273,9 @@ func main() {
 		adminSrv.Close()
 	}
 	err = srv.Shutdown(*drain)
+	if replNode != nil {
+		replNode.Close()
+	}
 	st.Close()
 	if traceFile != nil {
 		traceFile.Close()

@@ -67,9 +67,9 @@ type Snapshot interface {
 	// surviving restarts (recovery seals at last LSN + 1).
 	Version() uint64
 
-	// Count reports the number of live keys. Exact for PBTree;
-	// LSM reports an estimate that is corrected whenever the engine
-	// fully compacts (cross-run overwrites are not tracked per write).
+	// Count reports the number of live keys, exactly, on both engines
+	// (LSM resolves every put/delete against its runs to keep the
+	// running count true across flush and compaction).
 	Count() int
 
 	// Release unpins the view.
@@ -85,8 +85,7 @@ type Stats struct {
 	// Version is the currently published snapshot version.
 	Version uint64
 
-	// Count is the (possibly estimated — see Snapshot.Count) number of
-	// live keys.
+	// Count is the exact number of live keys (see Snapshot.Count).
 	Count int
 
 	// Height is the published tree height (pbtree only).

@@ -172,12 +172,10 @@ func (v *lsmView) AppendPairs(dst []core.Pair) []core.Pair {
 // Version implements backend.Snapshot.
 func (v *lsmView) Version() uint64 { return v.version }
 
-// Count implements backend.Snapshot. The count is an estimate: puts
-// and deletes are accounted against the memtable only (an overwrite of
-// a key living in an older run counts as new; a delete of an absent
-// key counts as a removal). It is corrected to exact whenever the
-// engine holds a single bottom run and an empty memtable — after
-// Compact, and at Seal.
+// Count implements backend.Snapshot. The count is exact: Seal
+// computes it with a full merge, and every put/delete afterwards
+// resolves the key's prior liveness against the memtable and the
+// bloom-filtered runs before adjusting it.
 func (v *lsmView) Count() int { return v.count }
 
 // Release implements backend.Snapshot; views are garbage-collected,
@@ -199,7 +197,7 @@ type LSM struct {
 	memKeys int
 	memFrom uint64 // first LSN the memtable covers (newest run's maxLSN + 1)
 	runs    []*run // newest first
-	count   int    // live-key estimate (see lsmView.Count)
+	count   int    // exact live-key count (see lsmView.Count)
 	gen     uint32 // highest generation in use
 	version uint64 // last published version
 	boot    []core.Pair
@@ -345,29 +343,47 @@ func (b *LSM) Seal(version uint64) error {
 	return nil
 }
 
-// put applies one insert/overwrite, maintaining the live-count
-// estimate against the memtable (see lsmView.Count).
+// put applies one insert/overwrite, keeping the live count exact: a
+// key absent from the memtable resolves its prior liveness against
+// the runs (bloom filters keep the usual miss cheap).
 func (b *LSM) put(k core.Key, tid core.TID) {
-	e, ok := memGet(b.mem, k)
-	b.mem, _ = memInsert(b.mem, k, tid, false)
-	if !ok {
+	e, inMem := memGet(b.mem, k)
+	live := inMem && !e.del
+	if !inMem {
+		live = b.runLive(k)
 		b.memKeys++
-		b.count++
-	} else if e.del {
+	}
+	b.mem, _ = memInsert(b.mem, k, tid, false)
+	if !live {
 		b.count++
 	}
 }
 
-// del applies one delete as a tombstone.
+// del applies one delete as a tombstone, with put's exact count
+// bookkeeping.
 func (b *LSM) del(k core.Key) {
-	e, ok := memGet(b.mem, k)
-	b.mem, _ = memInsert(b.mem, k, 0, true)
-	if !ok {
+	e, inMem := memGet(b.mem, k)
+	live := inMem && !e.del
+	if !inMem {
+		live = b.runLive(k)
 		b.memKeys++
 	}
-	if (!ok || !e.del) && b.count > 0 {
+	b.mem, _ = memInsert(b.mem, k, 0, true)
+	if live {
 		b.count--
 	}
+}
+
+// runLive reports whether k resolves to a live pair in the runs
+// (newest hit wins, tombstones shadow) — the read path's shadowing
+// order below the memtable.
+func (b *LSM) runLive(k core.Key) bool {
+	for _, r := range b.runs {
+		if e, ok := r.get(k); ok {
+			return !e.del
+		}
+	}
+	return false
 }
 
 // applyWrite applies one Write's puts and deletes to the memtable.
@@ -473,16 +489,13 @@ func (b *LSM) compactOnce(take int) error {
 		}
 	}
 	b.runs = append([]*run{out}, b.runs[take:]...)
-	if minLSN == 0 && len(b.runs) == 1 && b.memKeys == 0 {
-		b.count = out.live() // single bottom run, empty memtable: exact
-	}
 	b.publish(b.version)
 	return nil
 }
 
 // foldAll is the explicit Compact request: flush whatever the memtable
 // holds, then merge every run into a single bottom run, restoring the
-// flattest read-side layout and an exact count.
+// flattest read-side layout.
 func (b *LSM) foldAll(upto uint64) error {
 	if err := b.flush(upto); err != nil {
 		return err

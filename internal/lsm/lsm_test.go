@@ -140,6 +140,14 @@ func pairs(ks ...int) []core.Pair {
 	return out
 }
 
+func keysOf(ks ...int) []core.Key {
+	out := make([]core.Key, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, core.Key(k))
+	}
+	return out
+}
+
 func TestLSMReadPath(t *testing.T) {
 	cfg, err := Config{FlushKeys: 8, MaxRuns: 3}.WithDefaults()
 	if err != nil {
@@ -202,22 +210,38 @@ func TestLSMReadPath(t *testing.T) {
 	}
 }
 
-func TestLSMCompactRestoresExactCount(t *testing.T) {
+func TestLSMCountStaysExact(t *testing.T) {
 	cfg, _ := Config{FlushKeys: 4, MaxRuns: 4}.WithDefaults()
 	b := New(cfg, nil, "")
 	b.Bootstrap(pairs(1, 2, 3))
 	b.Seal(1)
-	// Overwrites of run-resident keys inflate the estimate.
+	// Overwrites of run-resident keys must not inflate the count, and
+	// deletes of run-resident (or absent) keys must not deflate it.
 	apply(t, b, 2, 2, backend.Write{Puts: pairs(1, 2, 3)})
 	apply(t, b, 3, 3, backend.Write{Puts: pairs(4)})
-	if got := b.Snapshot().Count(); got <= 3 {
-		t.Fatalf("estimate %d did not overcount as documented", got)
+	if got := b.Snapshot().Count(); got != 4 {
+		t.Fatalf("count after run-resident overwrites = %d, want 4", got)
 	}
-	// An explicit Compact folds to one bottom run and exact count.
-	apply(t, b, 4, 4, backend.Write{Compact: true})
+	apply(t, b, 4, 4, backend.Write{Dels: keysOf(2, 99)})
+	if got := b.Snapshot().Count(); got != 3 {
+		t.Fatalf("count after delete (one live, one absent) = %d, want 3", got)
+	}
+	apply(t, b, 5, 5, backend.Write{Dels: keysOf(2)}) // double delete
+	if got := b.Snapshot().Count(); got != 3 {
+		t.Fatalf("count after double delete = %d, want 3", got)
+	}
+	apply(t, b, 6, 6, backend.Write{Puts: pairs(2)}) // resurrect
+	if got := b.Snapshot().Count(); got != 4 {
+		t.Fatalf("count after resurrecting a tombstone = %d, want 4", got)
+	}
+	// Compact folds to one bottom run without disturbing the count.
+	apply(t, b, 7, 7, backend.Write{Compact: true})
 	s := b.Snapshot()
 	if got := s.Count(); got != 4 {
 		t.Fatalf("post-compact count %d, want 4", got)
+	}
+	if got := len(s.AppendPairs(nil)); got != 4 {
+		t.Fatalf("post-compact pairs %d, want 4", got)
 	}
 	if st := b.Stats(); st.Runs != 1 || st.MemKeys != 0 {
 		t.Fatalf("post-compact stats %+v, want single run, empty memtable", st)

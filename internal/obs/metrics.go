@@ -117,6 +117,7 @@ type Metrics struct {
 	stageTotals [core.NumOps]Histogram
 	dur         durabilityCounters
 	adm         admissionCounters
+	repl        replicationCounters
 	publishOnce sync.Once
 }
 
@@ -291,6 +292,88 @@ func (m *Metrics) Durability() DurabilitySnapshot {
 	}
 }
 
+// replicationCounters tracks the log-shipping subsystem (DESIGN.md
+// §13): what a primary ships, what a follower applies, and how often
+// fencing fires.
+type replicationCounters struct {
+	shippedRecords     atomic.Uint64
+	shippedBytes       atomic.Uint64
+	appliedRecords     atomic.Uint64
+	snapshotsShipped   atomic.Uint64
+	snapshotsInstalled atomic.Uint64
+	fencedRejects      atomic.Uint64
+}
+
+// ReplicationSnapshot is a point-in-time copy of the replication
+// counters.
+type ReplicationSnapshot struct {
+	ShippedRecords     uint64 `json:"shipped_records"`     // WAL records served to followers
+	ShippedBytes       uint64 `json:"shipped_bytes"`       // WAL bytes served to followers
+	AppliedRecords     uint64 `json:"applied_records"`     // shipped records durably applied locally
+	SnapshotsShipped   uint64 `json:"snapshots_shipped"`   // checkpoint streams fully served
+	SnapshotsInstalled uint64 `json:"snapshots_installed"` // checkpoint streams installed locally
+	FencedRejects      uint64 `json:"fenced_rejects"`      // requests/appends rejected by epoch check
+}
+
+// ReplShip records WAL records served to a follower.
+func (m *Metrics) ReplShip(records uint64, bytes int) {
+	if m == nil {
+		return
+	}
+	m.repl.shippedRecords.Add(records)
+	m.repl.shippedBytes.Add(uint64(bytes))
+}
+
+// ReplApply records shipped WAL records durably applied on a follower.
+func (m *Metrics) ReplApply(records uint64) {
+	if m == nil {
+		return
+	}
+	m.repl.appliedRecords.Add(records)
+}
+
+// ReplSnapshotShipped records one checkpoint stream fully served to a
+// follower.
+func (m *Metrics) ReplSnapshotShipped() {
+	if m == nil {
+		return
+	}
+	m.repl.snapshotsShipped.Add(1)
+}
+
+// ReplSnapshotInstalled records one checkpoint stream installed on a
+// follower.
+func (m *Metrics) ReplSnapshotInstalled() {
+	if m == nil {
+		return
+	}
+	m.repl.snapshotsInstalled.Add(1)
+}
+
+// ReplFencedReject records one replication request or local append
+// rejected by the epoch fencing check.
+func (m *Metrics) ReplFencedReject() {
+	if m == nil {
+		return
+	}
+	m.repl.fencedRejects.Add(1)
+}
+
+// Replication snapshots the replication counters.
+func (m *Metrics) Replication() ReplicationSnapshot {
+	if m == nil {
+		return ReplicationSnapshot{}
+	}
+	return ReplicationSnapshot{
+		ShippedRecords:     m.repl.shippedRecords.Load(),
+		ShippedBytes:       m.repl.shippedBytes.Load(),
+		AppliedRecords:     m.repl.appliedRecords.Load(),
+		SnapshotsShipped:   m.repl.snapshotsShipped.Load(),
+		SnapshotsInstalled: m.repl.snapshotsInstalled.Load(),
+		FencedRejects:      m.repl.fencedRejects.Load(),
+	}
+}
+
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics { return &Metrics{} }
 
@@ -447,6 +530,24 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+
+	r := m.Replication()
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"pbtree_repl_shipped_records_total", "WAL records served to replication followers.", r.ShippedRecords},
+		{"pbtree_repl_shipped_bytes_total", "WAL bytes served to replication followers.", r.ShippedBytes},
+		{"pbtree_repl_applied_records_total", "Shipped WAL records durably applied locally.", r.AppliedRecords},
+		{"pbtree_repl_snapshots_shipped_total", "Checkpoint streams fully served to followers.", r.SnapshotsShipped},
+		{"pbtree_repl_snapshots_installed_total", "Checkpoint streams installed locally.", r.SnapshotsInstalled},
+		{"pbtree_repl_fenced_rejects_total", "Replication requests and appends rejected by the epoch fence.", r.FencedRejects},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -496,6 +597,7 @@ func (m *Metrics) PublishExpvar(name string) {
 			}
 			out["admission"] = adm
 			out["durability"] = m.Durability()
+			out["replication"] = m.Replication()
 			stages := map[string]map[string]expvarSnapshot{}
 			for _, op := range stageOps {
 				perOp := map[string]expvarSnapshot{}

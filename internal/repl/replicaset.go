@@ -1,0 +1,289 @@
+package repl
+
+// The read-replica client. DialReplicaSet connects to a primary and
+// its replicas, fans reads out across the healthy replicas under a
+// bounded-staleness contract, and routes every write (and any read
+// with no healthy replica) to the primary.
+//
+// Health is established by a background STATUS probe: a replica is
+// readable while it reports RoleReplica at the primary's epoch and
+// its total lag — the sum over shards of the primary's applied LSN
+// minus the replica's — is within MaxLagRecords. That is the
+// staleness contract: a read served by a replica reflects every write
+// except, at worst, the last MaxLagRecords WAL records (and is never
+// torn: replicas publish whole batches, exactly like the primary).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbtree/internal/core"
+	"pbtree/internal/serve"
+)
+
+// Defaults for the zero ReplicaSetConfig values.
+const (
+	DefaultMaxLagRecords = 4096
+	DefaultProbeInterval = 100 * time.Millisecond
+)
+
+// ReplicaSetConfig configures DialReplicaSet.
+type ReplicaSetConfig struct {
+	// Primary is the primary's serving address (required).
+	Primary string
+
+	// Replicas are the replica serving addresses (may be empty, in
+	// which case everything goes to the primary).
+	Replicas []string
+
+	// MaxLagRecords bounds a readable replica's total lag in WAL
+	// records (default DefaultMaxLagRecords).
+	MaxLagRecords uint64
+
+	// ProbeInterval is the health-probe period (default
+	// DefaultProbeInterval).
+	ProbeInterval time.Duration
+
+	// Timeout bounds each call (0 = none).
+	Timeout time.Duration
+}
+
+// member is one replica connection and its probed health.
+type member struct {
+	addr    string
+	healthy atomic.Bool
+
+	mu sync.Mutex
+	c  *serve.Client
+}
+
+// client returns the member's connection, dialing on demand.
+func (m *member) client(timeout time.Duration) (*serve.Client, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.c != nil {
+		return m.c, nil
+	}
+	c, err := serve.Dial(m.addr)
+	if err != nil {
+		return nil, err
+	}
+	c.Timeout = timeout
+	m.c = c
+	return c, nil
+}
+
+// drop closes the member's connection and marks it unhealthy.
+func (m *member) drop() {
+	m.healthy.Store(false)
+	m.mu.Lock()
+	if m.c != nil {
+		m.c.Close()
+		m.c = nil
+	}
+	m.mu.Unlock()
+}
+
+// ReplicaSet is a client over one primary and its read replicas:
+// reads round-robin across healthy replicas (bounded staleness),
+// writes and stats go to the primary, and a replica that errors or
+// lags out is dropped until the probe readmits it.
+type ReplicaSet struct {
+	cfg     ReplicaSetConfig
+	primary *serve.Client
+	reps    []*member
+	rr      atomic.Uint64
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// DialReplicaSet connects to the primary (which must be reachable)
+// and starts the health probe over the replicas. Replicas that are
+// down now are dialed again by the probe later.
+func DialReplicaSet(cfg ReplicaSetConfig) (*ReplicaSet, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("repl: ReplicaSetConfig.Primary is required")
+	}
+	if cfg.MaxLagRecords == 0 {
+		cfg.MaxLagRecords = DefaultMaxLagRecords
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	pc, err := serve.Dial(cfg.Primary)
+	if err != nil {
+		return nil, fmt.Errorf("repl: primary %s: %w", cfg.Primary, err)
+	}
+	pc.Timeout = cfg.Timeout
+	rs := &ReplicaSet{cfg: cfg, primary: pc, stop: make(chan struct{})}
+	for _, addr := range cfg.Replicas {
+		rs.reps = append(rs.reps, &member{addr: addr})
+	}
+	rs.probeOnce() // establish health before the first read
+	rs.wg.Add(1)
+	go rs.probeLoop()
+	return rs, nil
+}
+
+// Close stops the probe and closes every connection.
+func (rs *ReplicaSet) Close() error {
+	rs.closeOnce.Do(func() {
+		close(rs.stop)
+		rs.wg.Wait()
+		for _, m := range rs.reps {
+			m.drop()
+		}
+		rs.primary.Close()
+	})
+	return nil
+}
+
+// Primary exposes the primary connection for calls with no helper
+// here (STATS, raw requests).
+func (rs *ReplicaSet) Primary() *serve.Client { return rs.primary }
+
+func (rs *ReplicaSet) probeLoop() {
+	defer rs.wg.Done()
+	t := time.NewTicker(rs.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rs.stop:
+			return
+		case <-t.C:
+			rs.probeOnce()
+		}
+	}
+}
+
+// replStatus issues one STATUS probe on a connection.
+func replStatus(c *serve.Client) (*serve.ReplResp, error) {
+	resp, err := c.Do(&serve.Request{Op: serve.OpReplicate, Repl: &serve.ReplReq{Kind: serve.ReplStatus}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != serve.StatusOK || resp.Repl == nil {
+		return nil, fmt.Errorf("repl: STATUS answered %d: %s", resp.Status, resp.Err)
+	}
+	return resp.Repl, nil
+}
+
+// probeOnce refreshes every member's health against the primary's
+// current position.
+func (rs *ReplicaSet) probeOnce() {
+	ps, err := replStatus(rs.primary)
+	if err != nil {
+		// Can't judge staleness without the primary's position; keep
+		// the last verdicts rather than flapping everything down.
+		return
+	}
+	for _, m := range rs.reps {
+		c, err := m.client(rs.cfg.Timeout)
+		if err != nil {
+			m.healthy.Store(false)
+			continue
+		}
+		st, err := replStatus(c)
+		if err != nil {
+			m.drop()
+			continue
+		}
+		m.healthy.Store(rs.readable(ps, st))
+	}
+}
+
+// readable decides whether a replica's STATUS admits it for reads
+// under the staleness contract.
+func (rs *ReplicaSet) readable(primary, replica *serve.ReplResp) bool {
+	if replica.Role != serve.RoleReplica || replica.Epoch != primary.Epoch {
+		return false
+	}
+	if len(replica.ShardLSNs) != len(primary.ShardLSNs) {
+		return false
+	}
+	var lag uint64
+	for i, p := range primary.ShardLSNs {
+		if r := replica.ShardLSNs[i]; p > r {
+			lag += p - r
+		}
+	}
+	return lag <= rs.cfg.MaxLagRecords
+}
+
+// reader picks the connection for one read: the next healthy replica
+// in round-robin order, else the primary (nil member).
+func (rs *ReplicaSet) reader() (*serve.Client, *member) {
+	if n := len(rs.reps); n > 0 {
+		start := int(rs.rr.Add(1))
+		for i := 0; i < n; i++ {
+			m := rs.reps[(start+i)%n]
+			if !m.healthy.Load() {
+				continue
+			}
+			if c, err := m.client(rs.cfg.Timeout); err == nil {
+				return c, m
+			}
+			m.healthy.Store(false)
+		}
+	}
+	return rs.primary, nil
+}
+
+// Get looks up one key on a healthy replica, retrying on the primary
+// if the replica fails mid-call.
+func (rs *ReplicaSet) Get(k core.Key) (core.TID, bool, error) {
+	c, m := rs.reader()
+	tid, ok, err := c.Get(k)
+	if err != nil && m != nil {
+		m.drop()
+		return rs.primary.Get(k)
+	}
+	return tid, ok, err
+}
+
+// MGet looks up a batch of keys (result aligns with keys).
+func (rs *ReplicaSet) MGet(keys []core.Key) ([]serve.Lookup, error) {
+	c, m := rs.reader()
+	ls, err := c.MGet(keys)
+	if err != nil && m != nil {
+		m.drop()
+		return rs.primary.MGet(keys)
+	}
+	return ls, err
+}
+
+// Scan returns up to limit pairs with keys in [start, end].
+func (rs *ReplicaSet) Scan(start, end core.Key, limit int) ([]core.Pair, error) {
+	c, m := rs.reader()
+	ps, err := c.Scan(start, end, limit)
+	if err != nil && m != nil {
+		m.drop()
+		return rs.primary.Scan(start, end, limit)
+	}
+	return ps, err
+}
+
+// Put upserts the pairs on the primary.
+func (rs *ReplicaSet) Put(pairs ...core.Pair) error { return rs.primary.Put(pairs...) }
+
+// Del deletes the keys on the primary.
+func (rs *ReplicaSet) Del(keys ...core.Key) error { return rs.primary.Del(keys...) }
+
+// Stats fetches the primary's JSON stats blob.
+func (rs *ReplicaSet) Stats() ([]byte, error) { return rs.primary.Stats() }
+
+// Healthy reports how many replicas are currently admitted for reads.
+func (rs *ReplicaSet) Healthy() int {
+	n := 0
+	for _, m := range rs.reps {
+		if m.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}

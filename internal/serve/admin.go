@@ -9,6 +9,7 @@ package serve
 import (
 	"encoding/json"
 	"expvar"
+	"io"
 	"net/http"
 	"net/http/pprof"
 
@@ -28,10 +29,11 @@ import (
 //	/debug/pprof the standard runtime profiles
 //
 // srv may be nil (store-only deployments lose /statsz, answered 404).
-// The handler is safe to serve concurrently with the data path: every
-// endpoint reads lock-free snapshots and none blocks on a recovering
-// shard.
-func NewAdminMux(srv *Server, st *Store) *http.ServeMux {
+// extra writers are appended to the /metrics exposition — the
+// replication node contributes its lag gauges this way. The handler
+// is safe to serve concurrently with the data path: every endpoint
+// reads lock-free snapshots and none blocks on a recovering shard.
+func NewAdminMux(srv *Server, st *Store, extra ...func(io.Writer) error) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -48,6 +50,11 @@ func NewAdminMux(srv *Server, st *Store) *http.ServeMux {
 		}
 		if st != nil {
 			_ = st.WriteMetrics(w)
+		}
+		for _, f := range extra {
+			if f != nil {
+				_ = f(w)
+			}
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

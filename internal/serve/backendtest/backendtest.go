@@ -39,6 +39,7 @@ var tinyLSM = lsm.Config{FlushKeys: 4, MaxRuns: 2}
 func Run(t *testing.T, backendName string) {
 	t.Run("Atomicity", func(t *testing.T) { testAtomicity(t, backendName) })
 	t.Run("SnapshotConsistency", func(t *testing.T) { testSnapshotConsistency(t, backendName) })
+	t.Run("ExactCount", func(t *testing.T) { testExactCount(t, backendName) })
 	t.Run("CrashRecovery", func(t *testing.T) { testCrashRecovery(t, backendName) })
 }
 
@@ -155,6 +156,63 @@ func testSnapshotConsistency(t *testing.T, backendName string) {
 	}
 	close(done)
 	wg.Wait()
+}
+
+// testExactCount drives a workload heavy in overwrites, deletes of
+// absent keys, double deletes and tombstone resurrections — the cases
+// that historically drifted the LSM engine's count estimate — and
+// demands the reported key count equal the model's at every step,
+// across flushes, compactions, and an explicit Compact.
+func testExactCount(t *testing.T, backendName string) {
+	st := openStore(t, backendName, nil)
+	defer st.Close()
+	model := map[core.Key]core.TID{}
+	check := func(when string) {
+		t.Helper()
+		if got := st.Len(); got != len(model) {
+			t.Fatalf("%s: Len() = %d, want %d", when, got, len(model))
+		}
+		if got := st.Stats().Count; got != len(model) {
+			t.Fatalf("%s: Stats().Count = %d, want %d", when, got, len(model))
+		}
+	}
+	put := func(k core.Key, tid core.TID) {
+		if err := st.Put(k, tid); err != nil {
+			t.Fatal(err)
+		}
+		model[k] = tid
+	}
+	del := func(k core.Key) {
+		if err := st.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+		delete(model, k)
+	}
+	for i := 0; i < 40; i++ {
+		put(core.Key(8*(i+1)), core.TID(i+1))
+	}
+	check("after inserts")
+	for i := 0; i < 40; i += 2 {
+		put(core.Key(8*(i+1)), core.TID(1000+i)) // run-resident overwrites
+	}
+	check("after overwrites")
+	for i := 0; i < 40; i += 4 {
+		del(core.Key(8 * (i + 1)))
+	}
+	del(core.Key(9999)) // absent key
+	check("after deletes")
+	for i := 0; i < 40; i += 4 {
+		del(core.Key(8 * (i + 1))) // double deletes
+	}
+	check("after double deletes")
+	for i := 0; i < 40; i += 8 {
+		put(core.Key(8*(i+1)), core.TID(2000+i)) // resurrect tombstones
+	}
+	check("after resurrections")
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	check("after compact")
 }
 
 // testCrashRecovery is the acked-prefix property at byte granularity:

@@ -403,6 +403,14 @@ func (c *Client) Del(keys ...core.Key) error {
 	return statusErr(rs)
 }
 
+// Do performs one raw request/response exchange — the escape hatch
+// for op classes without a dedicated helper (the replication loops
+// drive REPLICATE through it). The response is returned as decoded,
+// whatever its status; only transport failures error.
+func (c *Client) Do(req *Request) (*Response, error) {
+	return c.call(req)
+}
+
 // Stats fetches the server's JSON stats blob.
 func (c *Client) Stats() ([]byte, error) {
 	rs, err := c.call(&Request{Op: OpStats})

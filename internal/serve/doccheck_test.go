@@ -10,12 +10,13 @@ import (
 )
 
 // TestExportedSymbolsDocumented fails when an exported symbol in the
-// serving layer or the storage-engine packages lacks a doc comment.
-// The serving layer is the repository's public face — PROTOCOL.md
-// specifies the wire and the godoc specifies the Go API — and the
-// Backend contract (internal/backend, internal/lsm, internal/storage)
-// is what a new engine implements against, so its godoc is the
-// contract's text. `make docs-check` gates on both.
+// serving layer, the storage-engine packages or the replication
+// subsystem lacks a doc comment. The serving layer is the repository's
+// public face — PROTOCOL.md specifies the wire and the godoc specifies
+// the Go API — the Backend contract (internal/backend, internal/lsm,
+// internal/storage) is what a new engine implements against, and the
+// repl godoc states the failover invariants operators rely on.
+// `make docs-check` gates on all of them.
 func TestExportedSymbolsDocumented(t *testing.T) {
 	for dir, pkgName := range map[string]string{
 		".":           "serve",
@@ -23,6 +24,7 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 		"../backend":  "backend",
 		"../lsm":      "lsm",
 		"../storage":  "storage",
+		"../repl":     "repl",
 	} {
 		checkPackageDocs(t, dir, pkgName)
 	}

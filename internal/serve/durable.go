@@ -66,6 +66,14 @@ type DurableConfig struct {
 	// before it asks its engine to checkpoint and rotates its segment.
 	// Zero selects 4096.
 	CheckpointEvery int
+
+	// WALRetain keeps that many superseded WAL segments per shard
+	// after a checkpoint instead of deleting them all. Retained
+	// segments let a lagging replication follower catch up from the
+	// log instead of falling back to checkpoint shipping; recovery
+	// skips their already-covered records. Zero retains none (the
+	// pre-replication behavior).
+	WALRetain int
 }
 
 // withDefaults resolves and validates the configuration.
@@ -88,6 +96,9 @@ func (c DurableConfig) withDefaults() (DurableConfig, error) {
 	if c.CheckpointEvery < 1 {
 		return c, fmt.Errorf("serve: checkpoint-every %d must be positive", c.CheckpointEvery)
 	}
+	if c.WALRetain < 0 {
+		return c, fmt.Errorf("serve: wal-retain %d must not be negative", c.WALRetain)
+	}
 	if c.Fsync > FsyncNever {
 		return c, fmt.Errorf("serve: unknown fsync policy %d", c.Fsync)
 	}
@@ -106,14 +117,17 @@ type RecoveryStats struct {
 	Bootstrapped  bool          `json:"bootstrapped"`     // fresh dir seeded from Open's pairs
 }
 
-// manifest is the store-level metadata file, written once at
-// initialization. Shard count and backend are part of the on-disk
-// identity: the hash partitioning depends on the former, the artifact
-// format on the latter.
+// manifest is the store-level metadata file. Shard count and backend
+// are part of the on-disk identity: the hash partitioning depends on
+// the former, the artifact format on the latter. Epoch is the
+// replication fencing token: it only ever grows (promotion,
+// adoption), and it is persisted before the new epoch takes effect so
+// a deposed primary can never restart believing it is current.
 type manifest struct {
 	Format  int    `json:"format"`
 	Shards  int    `json:"shards"`
 	Backend string `json:"backend,omitempty"`
+	Epoch   uint64 `json:"epoch,omitempty"`
 }
 
 const (
@@ -125,36 +139,61 @@ func shardDirName(i int) string    { return fmt.Sprintf("shard-%04d", i) }
 func ckptName(lsn uint64) string   { return backend.CheckpointName(lsn) }
 func walSegName(lsn uint64) string { return fmt.Sprintf("wal-%016x.log", lsn) }
 
-// loadOrInitManifest validates an existing manifest or writes a fresh
-// one via the tmp+rename protocol. bk is the configured backend name;
-// manifests from before the backend field default to pbtree.
-func loadOrInitManifest(fsys FS, shards int, bk string) error {
+// loadOrInitManifest validates an existing manifest (raising its epoch
+// to at least epoch when needed) or writes a fresh one via the
+// tmp+rename protocol. bk is the configured backend name; manifests
+// from before the backend field default to pbtree, manifests from
+// before the epoch field to epoch 1. It returns the effective epoch.
+func loadOrInitManifest(fsys FS, shards int, bk string, epoch uint64) (uint64, error) {
+	if epoch == 0 {
+		epoch = 1
+	}
 	if f, err := fsys.Open(manifestName); err == nil {
 		blob, rerr := io.ReadAll(io.LimitReader(f, 1<<16))
 		f.Close()
 		if rerr != nil {
-			return fmt.Errorf("serve: reading manifest: %w", rerr)
+			return 0, fmt.Errorf("serve: reading manifest: %w", rerr)
 		}
 		var m manifest
 		if err := json.Unmarshal(blob, &m); err != nil {
-			return fmt.Errorf("serve: corrupt manifest: %w", err)
+			return 0, fmt.Errorf("serve: corrupt manifest: %w", err)
 		}
 		if m.Format != manifestFormat {
-			return fmt.Errorf("serve: manifest format %d, this binary speaks %d", m.Format, manifestFormat)
+			return 0, fmt.Errorf("serve: manifest format %d, this binary speaks %d", m.Format, manifestFormat)
 		}
 		if m.Shards != shards {
-			return fmt.Errorf("serve: store was created with %d shards, reopened with %d (shard count is part of the on-disk layout)", m.Shards, shards)
+			return 0, fmt.Errorf("serve: store was created with %d shards, reopened with %d (shard count is part of the on-disk layout)", m.Shards, shards)
 		}
 		mb := m.Backend
 		if mb == "" {
 			mb = BackendPBTree
 		}
 		if mb != bk {
-			return fmt.Errorf("serve: store was created with backend %q, reopened with %q (the artifact formats are incompatible)", mb, bk)
+			return 0, fmt.Errorf("serve: store was created with backend %q, reopened with %q (the artifact formats are incompatible)", mb, bk)
 		}
-		return nil
+		if m.Epoch == 0 {
+			m.Epoch = 1
+		}
+		if epoch > m.Epoch {
+			m.Epoch = epoch
+			if err := writeManifest(fsys, m); err != nil {
+				return 0, err
+			}
+		}
+		return m.Epoch, nil
 	}
-	blob, err := json.Marshal(manifest{Format: manifestFormat, Shards: shards, Backend: bk})
+	m := manifest{Format: manifestFormat, Shards: shards, Backend: bk, Epoch: epoch}
+	if err := writeManifest(fsys, m); err != nil {
+		return 0, err
+	}
+	return m.Epoch, nil
+}
+
+// writeManifest persists m via the tmp+fsync+rename protocol, so a
+// crash mid-write leaves either the old manifest or the new one,
+// never a torn file.
+func writeManifest(fsys FS, m manifest) error {
+	blob, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
@@ -246,17 +285,25 @@ func replayWAL(fsys FS, dir string, segs []uint64, be backend.Backend, stats *Re
 }
 
 // pruneWAL removes WAL segments whose records are all covered by the
-// engine checkpoint at keepCkpt, sparing the active segment keepSeg.
-// Best-effort: leftover files are harmless (recovery skips their
-// already-covered records) and reclaimed next time.
-func pruneWAL(fsys FS, dir string, keepCkpt uint64, keepSeg uint64) {
+// engine checkpoint at keepCkpt, sparing the active segment keepSeg
+// and, for replication catch-up, the newest retain superseded
+// segments. Best-effort: leftover files are harmless (recovery skips
+// their already-covered records) and reclaimed next time.
+func pruneWAL(fsys FS, dir string, keepCkpt uint64, keepSeg uint64, retain int) {
 	segs, err := listWALSegs(fsys, dir)
 	if err != nil {
 		return
 	}
+	var stale []uint64
 	for _, seg := range segs {
 		if seg <= keepCkpt && seg != keepSeg {
-			_ = fsys.Remove(path.Join(dir, walSegName(seg)))
+			stale = append(stale, seg)
 		}
+	}
+	if retain > len(stale) {
+		retain = len(stale)
+	}
+	for _, seg := range stale[:len(stale)-retain] {
+		_ = fsys.Remove(path.Join(dir, walSegName(seg)))
 	}
 }

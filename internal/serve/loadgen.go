@@ -20,6 +20,13 @@ type LoadgenConfig struct {
 	// Addr is the server address.
 	Addr string `json:"addr"`
 
+	// Replicas are additional server addresses: connections
+	// round-robin across Addr and Replicas, measuring a replica set's
+	// aggregate read throughput (DESIGN.md §13). Requires a read-only
+	// mix — writes belong on the primary, and a replica would reject
+	// them.
+	Replicas []string `json:"replicas,omitempty"`
+
 	// Conns is the number of concurrent connections. Zero selects 4.
 	Conns int `json:"conns"`
 
@@ -184,6 +191,9 @@ func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
 	if c.Timeout == 0 {
 		c.Timeout = time.Second
 	}
+	if len(c.Replicas) > 0 && (c.PutPct > 0 || c.DelPct > 0) {
+		return c, fmt.Errorf("serve: a replica-set run must be read-only (mix has put %d%%, del %d%%)", c.PutPct, c.DelPct)
+	}
 	return c, nil
 }
 
@@ -318,14 +328,16 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	addrs := append([]string{cfg.Addr}, cfg.Replicas...)
 	clients := make([]*Client, cfg.Conns)
 	for i := range clients {
-		cl, err := Dial(cfg.Addr)
+		addr := addrs[i%len(addrs)]
+		cl, err := Dial(addr)
 		if err != nil {
 			for _, c := range clients[:i] {
 				c.Close()
 			}
-			return nil, fmt.Errorf("serve: dialing %s: %w", cfg.Addr, err)
+			return nil, fmt.Errorf("serve: dialing %s: %w", addr, err)
 		}
 		cl.Timeout = cfg.Timeout
 		clients[i] = cl

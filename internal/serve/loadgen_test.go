@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -38,7 +39,7 @@ func TestLoadgenConfigRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(blob, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Config != cfg {
+	if !reflect.DeepEqual(back.Config, cfg) {
 		t.Fatalf("config did not round-trip through the report:\n got %+v\nwant %+v", back.Config, cfg)
 	}
 	// The fields a replay needs must be present by name, not defaulted
@@ -176,7 +177,7 @@ func TestLoadgenScenarios(t *testing.T) {
 		if err := json.Unmarshal(blob, &back); err != nil {
 			t.Fatal(err)
 		}
-		if back != cfg {
+		if !reflect.DeepEqual(back, cfg) {
 			t.Errorf("scenario %s: config did not round-trip:\n got %+v\nwant %+v", name, back, cfg)
 		}
 	}
@@ -191,6 +192,23 @@ func TestLoadgenScenarios(t *testing.T) {
 	}
 	if _, err := (LoadgenConfig{Scenario: "no-such-load"}).withDefaults(); err == nil {
 		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestLoadgenReplicaSetReadOnly pins the replica fan-out contract: a
+// run spreading connections across replicas must use a read-only mix
+// (a replica rejects writes), and a read-only one resolves fine.
+func TestLoadgenReplicaSetReadOnly(t *testing.T) {
+	reps := []string{"127.0.0.1:1", "127.0.0.1:2"}
+	if _, err := (LoadgenConfig{Replicas: reps, GetPct: 90, PutPct: 10}).withDefaults(); err == nil {
+		t.Error("replica-set run with writes accepted")
+	}
+	cfg, err := (LoadgenConfig{Replicas: reps, GetPct: 100}).withDefaults()
+	if err != nil {
+		t.Fatalf("read-only replica-set run rejected: %v", err)
+	}
+	if !reflect.DeepEqual(cfg.Replicas, reps) {
+		t.Errorf("replicas not preserved: %v", cfg.Replicas)
 	}
 }
 

@@ -70,6 +70,52 @@ func TestProtocolSpecFrames(t *testing.T) {
 		})),
 		"v2-deadline-response": frame(AppendResponseV2(nil, 9,
 			&Response{Status: StatusDeadline})),
+		"v2-repl-status-request": frame(AppendRequestV2(nil, 11, &Request{
+			Op: OpReplicate, Repl: &ReplReq{Kind: ReplStatus},
+		})),
+		"v2-repl-status-ok-response": frame(AppendResponseV2(nil, 11, &Response{
+			Status: StatusOK,
+			Repl: &ReplResp{
+				Kind: ReplStatus, Epoch: 3, Role: RoleReplica,
+				ShardLSNs: []uint64{42, 7},
+			},
+		})),
+		"v2-repl-fetch-request": frame(AppendRequestV2(nil, 12, &Request{
+			Op: OpReplicate, Repl: &ReplReq{
+				Kind: ReplFetch, Epoch: 3, Shard: 1,
+				After: 42, Applied: 42, Max: 1048576,
+			},
+		})),
+		"v2-repl-fetch-ok-response": frame(AppendResponseV2(nil, 12, &Response{
+			Status: StatusOK,
+			Repl: &ReplResp{
+				Kind: ReplFetch, Epoch: 3, PrimaryLSN: 44, Count: 2,
+				Records: []byte{0xde, 0xad, 0xbe, 0xef},
+			},
+		})),
+		"v2-repl-snapfetch-request": frame(AppendRequestV2(nil, 13, &Request{
+			Op: OpReplicate, Repl: &ReplReq{
+				Kind: ReplSnapFetch, Epoch: 3, Shard: 1,
+				SnapLSN: 40, Offset: 0, Max: 1048576,
+			},
+		})),
+		"v2-repl-snap-ok-response": frame(AppendResponseV2(nil, 13, &Response{
+			Status: StatusOK,
+			Repl: &ReplResp{
+				Kind: ReplSnap, Epoch: 3, SnapLSN: 40, SnapSize: 4,
+				Offset: 0, Done: true, Chunk: []byte{0xca, 0xfe, 0xf0, 0x0d},
+			},
+		})),
+		"v2-repl-fence-request": frame(AppendRequestV2(nil, 14, &Request{
+			Op: OpReplicate, Repl: &ReplReq{Kind: ReplFence, Epoch: 4},
+		})),
+		"v2-repl-fence-ok-response": frame(AppendResponseV2(nil, 14, &Response{
+			Status: StatusOK,
+			Repl:   &ReplResp{Kind: ReplFence, Epoch: 4},
+		})),
+		"v2-repl-fenced-response": frame(AppendResponseV2(nil, 15, &Response{
+			Status: StatusFenced, FencedEpoch: 4,
+		})),
 	}
 
 	for name, wantBytes := range want {
@@ -124,6 +170,8 @@ func TestProtocolSpecLimits(t *testing.T) {
 		{"MaxFrame", MaxFrame},
 		{"MaxMGetKeys", MaxMGetKeys},
 		{"MaxScanRows", MaxScanRows},
+		{"MaxReplBytes", MaxReplBytes},
+		{"MaxReplShards", MaxReplShards},
 		{"max error text", maxErrLen},
 	} {
 		row := fmt.Sprintf("%s` | %d |", c.name, c.value)

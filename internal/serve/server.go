@@ -57,6 +57,23 @@ type ServerConfig struct {
 	// slow-request log, and the optional Chrome trace export. The
 	// zero value disables all three (lifecycle.go, DESIGN.md §12).
 	Lifecycle LifecycleConfig
+
+	// Repl, when non-nil, handles REPLICATE requests (the replication
+	// subsystem's wire entry point — internal/repl wires its Node
+	// here). Nil answers REPLICATE with StatusErr.
+	Repl ReplHandler
+}
+
+// ReplHandler answers one decoded REPLICATE exchange. REPLICATE
+// requests bypass admission (replication must make progress exactly
+// when the data plane is saturated) and the op-latency metrics (the
+// follower's poll cadence would pollute the client histograms); they
+// still count in the STATS op table.
+type ReplHandler interface {
+	// HandleReplicate executes one replication request and returns the
+	// full wire response (so fencing can answer StatusFenced with the
+	// rival epoch).
+	HandleReplicate(r *ReplReq) *Response
 }
 
 // Server serves a Store over TCP with the wire protocol of wire.go
@@ -78,7 +95,7 @@ type Server struct {
 	started time.Time
 
 	// Serving counters, exposed via STATS.
-	ops      [8]atomic.Uint64 // indexed by Op
+	ops      [9]atomic.Uint64 // indexed by Op
 	rejected atomic.Uint64
 	expired  atomic.Uint64
 	badReqs  atomic.Uint64
@@ -427,10 +444,10 @@ func (s *Server) handle(req *Request, arrived time.Time, sp *obs.Span) *Response
 		return &Response{Status: StatusDeadline}
 	}
 	s.ops[req.Op].Add(1)
-	if s.cfg.Metrics != nil {
+	if s.cfg.Metrics != nil && req.Op != OpReplicate {
 		defer s.cfg.Metrics.Time(metricOpOf(req.Op))()
 	}
-	if sp != nil && req.Op != OpStats {
+	if sp != nil && req.Op != OpStats && req.Op != OpReplicate {
 		sp.Op = metricOpOf(req.Op)
 	}
 	return s.execute(req, sp)
@@ -542,6 +559,14 @@ func (s *Server) execute(req *Request, sp *obs.Span) *Response {
 			return &Response{Status: StatusErr, Err: err.Error()}
 		}
 		return &Response{Status: StatusOK, Stats: blob}
+	case OpReplicate:
+		if s.cfg.Repl == nil {
+			return &Response{Status: StatusErr, Err: "serve: replication not configured"}
+		}
+		if req.Repl == nil {
+			return &Response{Status: StatusErr, Err: "serve: REPLICATE without payload"}
+		}
+		return s.cfg.Repl.HandleReplicate(req.Repl)
 	}
 	return &Response{Status: StatusErr, Err: fmt.Sprintf("serve: unhandled op %s", req.Op)}
 }
@@ -575,8 +600,8 @@ func (s *Server) statsLocked() ServerStats {
 	s.mu.Lock()
 	nconns := len(s.conns)
 	s.mu.Unlock()
-	ops := make(map[string]uint64, 7)
-	for op := OpGet; op <= OpHello; op++ {
+	ops := make(map[string]uint64, 8)
+	for op := OpGet; op <= OpReplicate; op++ {
 		if n := s.ops[op].Load(); n > 0 {
 			ops[op.String()] = n
 		}

@@ -89,6 +89,21 @@ type StoreConfig struct {
 	// appends, fsyncs, checkpoints, recovery). Typically shared with
 	// ServerConfig.Metrics.
 	Metrics *obs.Metrics
+
+	// Replica opens the store as a replication follower: normal writes
+	// (Put, Delete, PutBatch, Compact) are rejected with ErrNotPrimary
+	// and the shards mutate only through ReplicaApply /
+	// ReplicaInstall, until Promote turns the store into a primary.
+	// Requires Durable (a follower's own WAL is what makes it
+	// promotable).
+	Replica bool
+
+	// Epoch is the minimum replication epoch to run at. A fresh
+	// durable directory is initialized to it; an existing MANIFEST's
+	// epoch is raised to it (never lowered — the fencing token is
+	// monotone). Zero selects 1, and is the only valid value for a
+	// non-durable store.
+	Epoch uint64
 }
 
 // withDefaults resolves and validates the configuration.
@@ -143,6 +158,12 @@ func (c StoreConfig) withDefaults() (StoreConfig, error) {
 		}
 		c.Durable = &d
 	}
+	if c.Replica && c.Durable == nil {
+		return c, errors.New("serve: a replica store must be durable (its WAL is what makes it promotable)")
+	}
+	if c.Epoch != 0 && c.Durable == nil {
+		return c, errors.New("serve: a replication epoch needs a durable store (it is persisted in the MANIFEST)")
+	}
 	return c, nil
 }
 
@@ -154,11 +175,18 @@ type Lookup struct {
 
 // mutation is one queued write. A mutation's puts and deletes are
 // applied atomically: they land in the same published snapshot.
+// Exactly one of the replication fields (repl, install, snap) may be
+// set instead of puts/dels/compact; such a mutation runs alone in the
+// shard writer, outside the group-commit batch (replhooks.go).
 type mutation struct {
 	puts    []core.Pair
 	dels    []core.Key
 	compact bool
 	done    chan error
+
+	repl    *replApply   // follower: apply shipped WAL frames
+	install *replInstall // follower: install a shipped checkpoint
+	snap    *snapReq     // primary: produce an LSN-consistent checkpoint stream
 
 	// Lifecycle attribution (DESIGN.md §12): when sp is non-nil the
 	// shard writer stamps queue_wait, wal_append, wal_fsync and apply
@@ -207,6 +235,20 @@ type shard struct {
 	// last engine checkpoint (recovery debt).
 	lastPub    atomic.Int64
 	walBacklog atomic.Uint64
+
+	// applied is the shard's durably committed LSN, stored after every
+	// WAL group commit (and at recovery). It is the lock-free
+	// replication cursor: what a follower reports upstream, and what
+	// STATUS probes read.
+	applied atomic.Uint64
+
+	// lsn0Empty reports that this incarnation's state at LSN 0 was
+	// empty, so a follower can reproduce the shard by replaying WAL
+	// records 1..n from nothing. False for a shard bootstrapped from
+	// seed pairs (the seed lives only in its LSN-0 checkpoint) and,
+	// conservatively, for any recovered prior incarnation; WALTail
+	// then redirects cursor-0 followers to checkpoint shipping.
+	lsn0Empty bool
 }
 
 // markReady publishes the recovery outcome and unblocks readers.
@@ -242,6 +284,21 @@ type Store struct {
 
 	mu     sync.RWMutex // guards closed against concurrent enqueues
 	closed bool
+
+	// Replication identity (replhooks.go). epoch is the fencing token
+	// from the MANIFEST; fencedBy records the highest rival epoch seen
+	// (the store is fenced while fencedBy > epoch); replica flags
+	// follower mode. manMu serializes manifest rewrites (promotion,
+	// adoption).
+	epoch    atomic.Uint64
+	fencedBy atomic.Uint64
+	replica  atomic.Bool
+	manMu    sync.Mutex
+
+	// gate, when non-nil, is the synchronous-replication commit gate:
+	// called after a batch's WAL commit with the shard and its last
+	// LSN, before the batch is acknowledged (SetCommitGate).
+	gate atomic.Pointer[func(shard int, lsn uint64) error]
 }
 
 // Open builds a store from the given pairs (sorted by key, no
@@ -266,13 +323,17 @@ func Open(cfg StoreConfig, pairs []core.Pair) (*Store, error) {
 		s := st.ShardOf(p.Key)
 		parts[s] = append(parts[s], p)
 	}
+	st.epoch.Store(1)
+	st.replica.Store(cfg.Replica)
 	if cfg.Durable != nil {
 		if err := cfg.Durable.FS.MkdirAll("."); err != nil {
 			return nil, err
 		}
-		if err := loadOrInitManifest(cfg.Durable.FS, cfg.Shards, cfg.Backend); err != nil {
+		epoch, err := loadOrInitManifest(cfg.Durable.FS, cfg.Shards, cfg.Backend, cfg.Epoch)
+		if err != nil {
 			return nil, err
 		}
+		st.epoch.Store(epoch)
 	}
 	for i := range st.shards {
 		sh := &shard{
@@ -373,6 +434,7 @@ func (st *Store) recoverAndPublish(sh *shard) error {
 		}
 		stats.Bootstrapped = true
 	}
+	sh.lsn0Empty = !hadState && (!stats.Bootstrapped || len(sh.seed) == 0)
 	sh.seed = nil
 	if err := replayWAL(d.FS, dir, segs, sh.be, &stats); err != nil {
 		return err
@@ -395,10 +457,11 @@ func (st *Store) recoverAndPublish(sh *shard) error {
 	if err != nil {
 		return err
 	}
-	pruneWAL(d.FS, dir, stats.LastLSN, stats.LastLSN+1)
+	pruneWAL(d.FS, dir, stats.LastLSN, stats.LastLSN+1, d.WALRetain)
 	stats.Pairs = sh.be.Stats().Count
 	stats.Duration = time.Since(start)
 	sh.wal, sh.lsn, sh.version, sh.recovered = w, stats.LastLSN, stats.LastLSN+1, stats
+	sh.applied.Store(stats.LastLSN)
 	st.cfg.Metrics.Recovery(stats.Duration, stats.Replayed)
 	return nil
 }
@@ -454,7 +517,15 @@ func (st *Store) writer(sh *shard) {
 	}
 	batch := make([]mutation, 0, st.cfg.MaxBatch)
 	for m := range sh.ops {
+		// Replication mutations run alone, outside the group-commit
+		// batch: their LSN/epoch validation and engine swaps don't
+		// compose with client batches.
+		if m.isSpecial() {
+			st.applySpecial(sh, m)
+			continue
+		}
 		batch = append(batch[:0], m)
+		var special *mutation
 	drain:
 		for len(batch) < st.cfg.MaxBatch {
 			select {
@@ -462,12 +533,19 @@ func (st *Store) writer(sh *shard) {
 				if !ok {
 					break drain
 				}
+				if m2.isSpecial() {
+					special = &m2
+					break drain // apply the drained batch first, in order
+				}
 				batch = append(batch, m2)
 			default:
 				break drain
 			}
 		}
 		st.applyBatch(sh, batch)
+		if special != nil {
+			st.applySpecial(sh, *special)
+		}
 	}
 	if sh.wal != nil {
 		// Graceful-drain flush: every acknowledged write is on disk
@@ -516,6 +594,13 @@ func (st *Store) applyBatch(sh *shard, batch []mutation) {
 		ackAll(batch, sh.walErr)
 		return
 	}
+	// The fencing check on every append: a primary that has seen a
+	// higher epoch (a promoted follower exists) must not extend its WAL
+	// timeline — acknowledging the write would split the brain.
+	if st.Fenced() {
+		ackAll(batch, ErrFenced)
+		return
+	}
 	if sh.wal != nil {
 		walStart := now
 		for _, m := range batch {
@@ -531,6 +616,7 @@ func (st *Store) applyBatch(sh *shard, batch []mutation) {
 			ackAll(batch, sh.walErr)
 			return
 		}
+		sh.applied.Store(sh.lsn)
 		sh.walBacklog.Add(uint64(len(batch)))
 		if traced {
 			// Every member waited for the whole group commit, so each
@@ -569,6 +655,16 @@ func (st *Store) applyBatch(sh *shard, batch []mutation) {
 				}
 			}
 		}
+		// Synchronous replication: hold the acknowledgement until a
+		// follower has durably applied through this batch's LSN. The
+		// write is already in the local WAL and published either way —
+		// a gate failure means "not acked", the same contract as a
+		// crash between commit and ack.
+		if ackErr == nil && sh.wal != nil {
+			if gp := st.gate.Load(); gp != nil {
+				ackErr = (*gp)(sh.idx, lsn)
+			}
+		}
 		ackAll(batch, ackErr)
 	})
 	if err != nil {
@@ -604,7 +700,7 @@ func (st *Store) checkpoint(sh *shard) {
 	}
 	sh.wal = w
 	sh.walBacklog.Store(0)
-	pruneWAL(d.FS, dir, sh.lsn, sh.lsn+1)
+	pruneWAL(d.FS, dir, sh.lsn, sh.lsn+1, d.WALRetain)
 	st.cfg.Metrics.Checkpoint(nil)
 }
 
@@ -634,9 +730,26 @@ func (st *Store) Put(k core.Key, tid core.TID) error {
 	return st.put(k, tid, nil)
 }
 
+// writable rejects client mutations on a store that must not extend
+// its own WAL timeline: a replica (writes belong on the primary) or a
+// fenced ex-primary. The same fence is re-checked inside applyBatch —
+// this is only the fast fail.
+func (st *Store) writable() error {
+	if st.replica.Load() {
+		return ErrNotPrimary
+	}
+	if st.Fenced() {
+		return ErrFenced
+	}
+	return nil
+}
+
 // put is Put with an optional lifecycle span for the shard writer to
 // stamp.
 func (st *Store) put(k core.Key, tid core.TID, sp *obs.Span) error {
+	if err := st.writable(); err != nil {
+		return err
+	}
 	sh := st.shards[st.ShardOf(k)]
 	done := make(chan error, 1)
 	if err := st.enqueue(sh, mutation{puts: []core.Pair{{Key: k, TID: tid}}, done: done, sp: sp}); err != nil {
@@ -654,6 +767,9 @@ func (st *Store) Delete(k core.Key) error {
 // delete is Delete with an optional lifecycle span for the shard
 // writer to stamp.
 func (st *Store) delete(k core.Key, sp *obs.Span) error {
+	if err := st.writable(); err != nil {
+		return err
+	}
 	sh := st.shards[st.ShardOf(k)]
 	done := make(chan error, 1)
 	if err := st.enqueue(sh, mutation{dels: []core.Key{k}, done: done, sp: sp}); err != nil {
@@ -675,6 +791,9 @@ func (st *Store) PutBatch(pairs []core.Pair) error {
 // atomic); the final receive on every done channel orders the stamps
 // before the caller reads the span.
 func (st *Store) putBatch(pairs []core.Pair, sp *obs.Span) error {
+	if err := st.writable(); err != nil {
+		return err
+	}
 	parts := make(map[int][]core.Pair, len(st.shards))
 	for _, p := range pairs {
 		s := st.ShardOf(p.Key)
@@ -708,6 +827,9 @@ func (st *Store) putBatch(pairs []core.Pair, sp *obs.Span) error {
 // all runs into one. It returns once every shard has published the
 // compacted snapshot.
 func (st *Store) Compact() error {
+	if err := st.writable(); err != nil {
+		return err
+	}
 	dones := make([]chan error, 0, len(st.shards))
 	for _, sh := range st.shards {
 		done := make(chan error, 1)
@@ -846,7 +968,7 @@ func mergeRuns(runs [][]core.Pair, limit int) []core.Pair {
 type ShardStats struct {
 	Backend    string `json:"backend"`               // storage engine name
 	Version    uint64 `json:"version"`               // snapshot version last published
-	Count      int    `json:"count"`                 // keys in the published snapshot (estimate on lsm)
+	Count      int    `json:"count"`                 // keys in the published snapshot
 	QueueDepth int    `json:"queue_depth"`           // mutations waiting for the shard writer
 	Puts       uint64 `json:"puts"`                  // puts applied since start
 	Deletes    uint64 `json:"deletes"`               // deletes applied since start
@@ -933,7 +1055,7 @@ func (st *Store) WriteMetrics(w io.Writer) error {
 		{"pbtree_shard_wal_backlog_records", "WAL records committed since the shard's last checkpoint.", func(sh *shard, ready bool) (float64, bool) {
 			return float64(sh.walBacklog.Load()), true
 		}},
-		{"pbtree_shard_keys", "Keys in the shard's published snapshot (estimate on lsm).", func(sh *shard, ready bool) (float64, bool) {
+		{"pbtree_shard_keys", "Keys in the shard's published snapshot.", func(sh *shard, ready bool) (float64, bool) {
 			if !ready {
 				return 0, false
 			}
@@ -965,8 +1087,7 @@ func (st *Store) WriteMetrics(w io.Writer) error {
 	return nil
 }
 
-// Len reports the total number of pairs across all shards (an
-// estimate on the lsm backend — see backend.Snapshot.Count).
+// Len reports the total number of pairs across all shards.
 func (st *Store) Len() int {
 	n := 0
 	for _, sh := range st.shards {

@@ -215,6 +215,16 @@ func (w *walWriter) add(lsn uint64, puts []core.Pair, dels []core.Key) {
 	w.records++
 }
 
+// addRaw stages records that are already WAL-framed — the replication
+// apply path, where a follower persists the primary's record bytes
+// verbatim so both WAL timelines are byte-identical for the same LSN
+// range. The caller has validated the framing and counted the
+// records.
+func (w *walWriter) addRaw(frames []byte, records uint64) {
+	w.buf = append(w.buf, frames...)
+	w.records += records
+}
+
 // commit writes the staged records with one Write and applies the
 // fsync policy. After an error the staged records are discarded and
 // nothing may be acknowledged.

@@ -48,6 +48,13 @@ const (
 	OpDel   Op = 5
 	OpStats Op = 6
 	OpHello Op = 7 // version negotiation; must be the first request on a connection
+
+	// OpReplicate is the replication control class: a follower pulls
+	// WAL records (and, when too far behind, checkpoint chunks) from
+	// its primary, any node answers role/epoch/LSN status probes, and
+	// a promoted follower fences its deposed primary. The sub-command
+	// is ReplReq.Kind (PROTOCOL.md §9).
+	OpReplicate Op = 8
 )
 
 // Protocol versions. A connection starts in ProtoV1; a HELLO exchange
@@ -75,8 +82,82 @@ func (o Op) String() string {
 		return "stats"
 	case OpHello:
 		return "hello"
+	case OpReplicate:
+		return "replicate"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ReplKind selects the REPLICATE sub-command (PROTOCOL.md §9).
+type ReplKind uint8
+
+// The REPLICATE sub-commands. Requests and responses use the same
+// kind values; a response always mirrors its request's kind, except
+// that a FETCH against a retired WAL position is answered ReplSnap
+// (the redirect to checkpoint shipping).
+const (
+	// ReplStatus asks any node for its role, epoch and per-shard
+	// applied LSNs — the probe behind bounded-staleness reads and
+	// failover tooling.
+	ReplStatus ReplKind = 1
+
+	// ReplFetch asks a primary for the WAL records of one shard after
+	// a follower-supplied cursor; the follower's durably applied LSN
+	// rides along as the acknowledgement for lag tracking and
+	// synchronous replication.
+	ReplFetch ReplKind = 2
+
+	// ReplSnapFetch streams one chunk of a shard checkpoint — the
+	// catch-up path when the follower's cursor predates the primary's
+	// retained WAL.
+	ReplSnapFetch ReplKind = 3
+
+	// ReplFence tells a node that a higher epoch exists: a deposed
+	// primary stops acknowledging writes the moment it sees one.
+	ReplFence ReplKind = 4
+
+	// ReplSnap is the response kind carrying checkpoint metadata or a
+	// chunk (it answers ReplSnapFetch, and ReplFetch when the cursor
+	// is retired).
+	ReplSnap ReplKind = 3
+)
+
+// String names a replication sub-command for errors and logs.
+func (k ReplKind) String() string {
+	switch k {
+	case ReplStatus:
+		return "status"
+	case ReplFetch:
+		return "fetch"
+	case ReplSnapFetch:
+		return "snapfetch"
+	case ReplFence:
+		return "fence"
+	}
+	return fmt.Sprintf("replkind(%d)", uint8(k))
+}
+
+// ReplRole is a node's replication role in a STATUS response.
+type ReplRole uint8
+
+// The replication roles.
+const (
+	RolePrimary ReplRole = 1 // accepts writes, serves FETCH
+	RoleReplica ReplRole = 2 // applies shipped records, serves reads
+	RoleFenced  ReplRole = 3 // deposed primary: every append is rejected
+)
+
+// String names a role for logs and the admin plane.
+func (r ReplRole) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleReplica:
+		return "replica"
+	case RoleFenced:
+		return "fenced"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
 }
 
 // Status is a response status.
@@ -89,16 +170,54 @@ const (
 	StatusRetry    Status = 2 // server overloaded; retry after the hint
 	StatusErr      Status = 3
 	StatusDeadline Status = 4 // request deadline expired before execution
+
+	// StatusFenced rejects a replication request whose epoch is not
+	// the responder's: the payload carries the highest epoch the
+	// responder has seen, so a deposed peer learns it is deposed from
+	// the rejection itself (PROTOCOL.md §9).
+	StatusFenced Status = 5
 )
 
 // Wire-format bounds. The codec rejects frames that exceed them so a
 // hostile peer cannot make either side allocate unbounded memory.
 const (
-	MaxFrame    = 16 << 20 // bytes of payload per frame
-	MaxMGetKeys = 1 << 16  // keys per MGET / DEL, pairs per PUT
-	MaxScanRows = 1 << 20  // row limit per SCAN
-	maxErrLen   = 1 << 16  // bytes of error text per response
+	MaxFrame      = 16 << 20 // bytes of payload per frame
+	MaxMGetKeys   = 1 << 16  // keys per MGET / DEL, pairs per PUT
+	MaxScanRows   = 1 << 20  // row limit per SCAN
+	MaxReplBytes  = 1 << 20  // WAL-record / checkpoint-chunk bytes per REPLICATE frame
+	MaxReplShards = 1 << 16  // per-shard LSNs per STATUS response
+	maxErrLen     = 1 << 16  // bytes of error text per response
 )
+
+// ReplReq carries the REPLICATE request fields; which are meaningful
+// depends on Kind (PROTOCOL.md §9).
+type ReplReq struct {
+	Kind    ReplKind // sub-command; selects the fields below
+	Epoch   uint64   // sender's replication epoch (0 on a STATUS probe = unknown)
+	Shard   uint32   // target shard (Fetch, SnapFetch)
+	After   uint64   // Fetch: stream records with LSN > After
+	Applied uint64   // Fetch: follower's durably applied LSN (the ack)
+	SnapLSN uint64   // SnapFetch: checkpoint being fetched (0 = whatever is current)
+	Offset  uint64   // SnapFetch: byte offset into the checkpoint stream
+	Max     uint32   // Fetch, SnapFetch: response payload byte budget (0 = server default)
+}
+
+// ReplResp carries the REPLICATE response fields of a StatusOK answer;
+// which are meaningful depends on Kind (PROTOCOL.md §9).
+type ReplResp struct {
+	Kind       ReplKind // mirrors the request (ReplSnap answers a retired Fetch too)
+	Epoch      uint64   // responder's replication epoch
+	Role       ReplRole // Status: the responder's role
+	ShardLSNs  []uint64 // Status: durably applied LSN per shard, in shard order
+	PrimaryLSN uint64   // Fetch: the primary's own last LSN for the shard (lag = PrimaryLSN - cursor)
+	Count      uint32   // Fetch: WAL records in Records
+	Records    []byte   // Fetch: raw WAL-framed records, LSNs contiguous from After+1
+	SnapLSN    uint64   // Snap: the checkpoint's coverage LSN
+	SnapSize   uint64   // Snap: total checkpoint stream size in bytes
+	Offset     uint64   // Snap: byte offset of Chunk
+	Done       bool     // Snap: Chunk is the final one
+	Chunk      []byte   // Snap: checkpoint stream bytes at Offset (empty on a Fetch redirect)
+}
 
 // Request is one decoded client request.
 type Request struct {
@@ -109,6 +228,7 @@ type Request struct {
 	Start, End core.Key    // Scan
 	Limit      uint32      // Scan
 	MaxVersion uint8       // Hello: highest protocol version the client speaks (>= 1)
+	Repl       *ReplReq    // Replicate
 }
 
 // Response is one decoded server response.
@@ -121,11 +241,18 @@ type Response struct {
 	Stats        []byte      // Stats (JSON)
 	Version      uint8       // Hello: negotiated protocol version (>= 1)
 	Window       uint32      // Hello: per-connection pipeline depth the server executes
+	Repl         *ReplResp   // Replicate (StatusOK)
+	FencedEpoch  uint64      // StatusFenced: highest epoch the responder has seen
 }
 
 // appendU32 appends a little-endian uint32.
 func appendU32(dst []byte, v uint32) []byte {
 	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// appendU64 appends a little-endian uint64.
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
 }
 
 // AppendRequest appends the encoded payload of r (without framing).
@@ -168,8 +295,41 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 			return nil, fmt.Errorf("serve: HELLO with max version %d < 1", r.MaxVersion)
 		}
 		dst = append(dst, r.MaxVersion)
+	case OpReplicate:
+		return appendReplReq(dst, r.Repl)
 	default:
 		return nil, fmt.Errorf("serve: unknown op %d", r.Op)
+	}
+	return dst, nil
+}
+
+// appendReplReq appends the REPLICATE request body (after op +
+// deadline): kind, epoch, shard, then the kind-specific fields.
+func appendReplReq(dst []byte, rq *ReplReq) ([]byte, error) {
+	if rq == nil {
+		return nil, fmt.Errorf("serve: REPLICATE request without a body")
+	}
+	dst = append(dst, byte(rq.Kind))
+	dst = appendU64(dst, rq.Epoch)
+	dst = appendU32(dst, rq.Shard)
+	switch rq.Kind {
+	case ReplStatus, ReplFence:
+	case ReplFetch:
+		if rq.Max > MaxReplBytes {
+			return nil, fmt.Errorf("serve: FETCH byte budget %d exceeds %d", rq.Max, MaxReplBytes)
+		}
+		dst = appendU64(dst, rq.After)
+		dst = appendU64(dst, rq.Applied)
+		dst = appendU32(dst, rq.Max)
+	case ReplSnapFetch:
+		if rq.Max > MaxReplBytes {
+			return nil, fmt.Errorf("serve: SNAPFETCH byte budget %d exceeds %d", rq.Max, MaxReplBytes)
+		}
+		dst = appendU64(dst, rq.SnapLSN)
+		dst = appendU64(dst, rq.Offset)
+		dst = appendU32(dst, rq.Max)
+	default:
+		return nil, fmt.Errorf("serve: unknown REPLICATE kind %d", rq.Kind)
 	}
 	return dst, nil
 }
@@ -195,6 +355,33 @@ func (rd *reader) u32() (uint32, error) {
 	v := binary.LittleEndian.Uint32(rd.b)
 	rd.b = rd.b[4:]
 	return v, nil
+}
+
+func (rd *reader) u64() (uint64, error) {
+	if len(rd.b) < 8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint64(rd.b)
+	rd.b = rd.b[8:]
+	return v, nil
+}
+
+// bytes reads a u32 length-prefixed byte string bounded by bound,
+// copying it out of the frame buffer.
+func (rd *reader) bytes(bound uint32) ([]byte, error) {
+	n, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > bound {
+		return nil, fmt.Errorf("serve: byte string of %d exceeds %d", n, bound)
+	}
+	if int(n) > len(rd.b) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := append([]byte(nil), rd.b[:n]...)
+	rd.b = rd.b[n:]
+	return out, nil
 }
 
 // count reads a count field and checks it against a bound AND against
@@ -292,6 +479,10 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		if r.MaxVersion < 1 {
 			return nil, fmt.Errorf("serve: HELLO with max version %d < 1", r.MaxVersion)
 		}
+	case OpReplicate:
+		if r.Repl, err = decodeReplReq(rd); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("serve: unknown op %d", op)
 	}
@@ -299,6 +490,53 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// decodeReplReq parses the REPLICATE request body.
+func decodeReplReq(rd *reader) (*ReplReq, error) {
+	k, err := rd.u8()
+	if err != nil {
+		return nil, err
+	}
+	rq := &ReplReq{Kind: ReplKind(k)}
+	if rq.Epoch, err = rd.u64(); err != nil {
+		return nil, err
+	}
+	if rq.Shard, err = rd.u32(); err != nil {
+		return nil, err
+	}
+	switch rq.Kind {
+	case ReplStatus, ReplFence:
+	case ReplFetch:
+		if rq.After, err = rd.u64(); err != nil {
+			return nil, err
+		}
+		if rq.Applied, err = rd.u64(); err != nil {
+			return nil, err
+		}
+		if rq.Max, err = rd.u32(); err != nil {
+			return nil, err
+		}
+		if rq.Max > MaxReplBytes {
+			return nil, fmt.Errorf("serve: FETCH byte budget %d exceeds %d", rq.Max, MaxReplBytes)
+		}
+	case ReplSnapFetch:
+		if rq.SnapLSN, err = rd.u64(); err != nil {
+			return nil, err
+		}
+		if rq.Offset, err = rd.u64(); err != nil {
+			return nil, err
+		}
+		if rq.Max, err = rd.u32(); err != nil {
+			return nil, err
+		}
+		if rq.Max > MaxReplBytes {
+			return nil, fmt.Errorf("serve: SNAPFETCH byte budget %d exceeds %d", rq.Max, MaxReplBytes)
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown REPLICATE kind %d", k)
+	}
+	return rq, nil
 }
 
 // AppendResponse appends the encoded payload of rs (without framing).
@@ -316,12 +554,16 @@ func AppendResponse(dst []byte, rs *Response) ([]byte, error) {
 		return append(dst, msg...), nil
 	case StatusNotFound, StatusDeadline:
 		return dst, nil
+	case StatusFenced:
+		return appendU64(dst, rs.FencedEpoch), nil
 	case StatusOK:
 	default:
 		return nil, fmt.Errorf("serve: unknown status %d", rs.Status)
 	}
 	// StatusOK: exactly one of the payload kinds, tagged.
 	switch {
+	case rs.Repl != nil:
+		return appendReplResp(dst, rs.Repl)
 	case rs.Version != 0:
 		dst = append(dst, 'V')
 		dst = append(dst, rs.Version)
@@ -363,6 +605,50 @@ func AppendResponse(dst []byte, rs *Response) ([]byte, error) {
 	return dst, nil
 }
 
+// appendReplResp appends the 'R'-tagged REPLICATE response payload.
+func appendReplResp(dst []byte, rp *ReplResp) ([]byte, error) {
+	dst = append(dst, 'R')
+	dst = append(dst, byte(rp.Kind))
+	dst = appendU64(dst, rp.Epoch)
+	switch rp.Kind {
+	case ReplStatus:
+		if len(rp.ShardLSNs) > MaxReplShards {
+			return nil, fmt.Errorf("serve: %d shard LSNs exceed %d", len(rp.ShardLSNs), MaxReplShards)
+		}
+		dst = append(dst, byte(rp.Role))
+		dst = appendU32(dst, uint32(len(rp.ShardLSNs)))
+		for _, lsn := range rp.ShardLSNs {
+			dst = appendU64(dst, lsn)
+		}
+	case ReplFetch:
+		if len(rp.Records) > MaxReplBytes {
+			return nil, fmt.Errorf("serve: %d record bytes exceed %d", len(rp.Records), MaxReplBytes)
+		}
+		dst = appendU64(dst, rp.PrimaryLSN)
+		dst = appendU32(dst, rp.Count)
+		dst = appendU32(dst, uint32(len(rp.Records)))
+		dst = append(dst, rp.Records...)
+	case ReplSnap:
+		if len(rp.Chunk) > MaxReplBytes {
+			return nil, fmt.Errorf("serve: %d chunk bytes exceed %d", len(rp.Chunk), MaxReplBytes)
+		}
+		dst = appendU64(dst, rp.SnapLSN)
+		dst = appendU64(dst, rp.SnapSize)
+		dst = appendU64(dst, rp.Offset)
+		if rp.Done {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendU32(dst, uint32(len(rp.Chunk)))
+		dst = append(dst, rp.Chunk...)
+	case ReplFence:
+	default:
+		return nil, fmt.Errorf("serve: unknown REPLICATE kind %d", rp.Kind)
+	}
+	return dst, nil
+}
+
 // DecodeResponse parses a response payload produced by AppendResponse.
 func DecodeResponse(payload []byte) (*Response, error) {
 	rd := &reader{b: payload}
@@ -389,6 +675,11 @@ func DecodeResponse(payload []byte) (*Response, error) {
 		rd.b = rd.b[n:]
 		return rs, rd.done()
 	case StatusNotFound, StatusDeadline:
+		return rs, rd.done()
+	case StatusFenced:
+		if rs.FencedEpoch, err = rd.u64(); err != nil {
+			return nil, err
+		}
 		return rs, rd.done()
 	case StatusOK:
 	default:
@@ -447,11 +738,81 @@ func DecodeResponse(payload []byte) (*Response, error) {
 		}
 		rs.Stats = append([]byte(nil), rd.b[:n]...)
 		rd.b = rd.b[n:]
+	case 'R':
+		if rs.Repl, err = decodeReplResp(rd); err != nil {
+			return nil, err
+		}
 	case 'E':
 	default:
 		return nil, fmt.Errorf("serve: unknown OK payload tag %q", tag)
 	}
 	return rs, rd.done()
+}
+
+// decodeReplResp parses the 'R'-tagged REPLICATE response payload.
+func decodeReplResp(rd *reader) (*ReplResp, error) {
+	k, err := rd.u8()
+	if err != nil {
+		return nil, err
+	}
+	rp := &ReplResp{Kind: ReplKind(k)}
+	if rp.Epoch, err = rd.u64(); err != nil {
+		return nil, err
+	}
+	switch rp.Kind {
+	case ReplStatus:
+		role, err := rd.u8()
+		if err != nil {
+			return nil, err
+		}
+		if role < uint8(RolePrimary) || role > uint8(RoleFenced) {
+			return nil, fmt.Errorf("serve: unknown replication role %d", role)
+		}
+		rp.Role = ReplRole(role)
+		n, err := rd.count0(MaxReplShards, 8)
+		if err != nil {
+			return nil, err
+		}
+		rp.ShardLSNs = make([]uint64, n)
+		for i := range rp.ShardLSNs {
+			rp.ShardLSNs[i], _ = rd.u64()
+		}
+	case ReplFetch:
+		if rp.PrimaryLSN, err = rd.u64(); err != nil {
+			return nil, err
+		}
+		if rp.Count, err = rd.u32(); err != nil {
+			return nil, err
+		}
+		if rp.Records, err = rd.bytes(MaxReplBytes); err != nil {
+			return nil, err
+		}
+	case ReplSnap:
+		if rp.SnapLSN, err = rd.u64(); err != nil {
+			return nil, err
+		}
+		if rp.SnapSize, err = rd.u64(); err != nil {
+			return nil, err
+		}
+		if rp.Offset, err = rd.u64(); err != nil {
+			return nil, err
+		}
+		d, err := rd.u8()
+		if err != nil {
+			return nil, err
+		}
+		if d > 1 {
+			return nil, fmt.Errorf("serve: bad done flag %d", d)
+		}
+		rp.Done = d == 1
+		if rp.Chunk, err = rd.bytes(MaxReplBytes); err != nil {
+			return nil, err
+		}
+	case ReplFence:
+	default:
+		return nil, fmt.Errorf("serve: unknown REPLICATE kind %d", k)
+	}
+	return rp, nil
 }
 
 // AppendRequestV2 appends the version-2 encoding of r: the uint32

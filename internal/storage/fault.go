@@ -1,0 +1,64 @@
+package storage
+
+// FaultPlan: a deterministic network-fault schedule for the
+// replication harness. MemFS makes the disk deterministic (CrashAt,
+// write budgets); FaultPlan does the same for the link between two
+// MemFS-backed stores, so partition and lag tests replay identically
+// — the Nth operation drops or delays no matter which goroutine
+// issues it.
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDropped is the error a faulted transport returns for an
+// operation the plan dropped — the deterministic stand-in for a reset
+// connection.
+var ErrDropped = errors.New("storage: operation dropped by fault plan")
+
+// FaultPlan schedules drops and delays over a shared atomic step
+// counter. The zero value injects nothing. Configure the schedule
+// before use; the Partition switch may be flipped at any time.
+type FaultPlan struct {
+	// DropEvery drops every Nth operation (0 = never): steps N-1,
+	// 2N-1, ... counted from 0.
+	DropEvery int
+
+	// DelayEvery delays every Nth operation by Delay (0 = never).
+	DelayEvery int
+
+	// Delay is the injected latency for DelayEvery hits.
+	Delay time.Duration
+
+	partitioned atomic.Bool
+	step        atomic.Int64
+}
+
+// SetPartitioned opens (true) or heals (false) a full partition:
+// while open, every operation drops regardless of the schedule.
+func (p *FaultPlan) SetPartitioned(v bool) { p.partitioned.Store(v) }
+
+// Partitioned reports whether the full partition is open.
+func (p *FaultPlan) Partitioned() bool { return p.partitioned.Load() }
+
+// Steps reports how many operations the plan has judged.
+func (p *FaultPlan) Steps() int64 { return p.step.Load() }
+
+// Next judges one operation: whether to drop it and how long to delay
+// it first. Callers sleep the returned delay, then fail with
+// ErrDropped when drop is set.
+func (p *FaultPlan) Next() (drop bool, delay time.Duration) {
+	n := p.step.Add(1) - 1
+	if p.DelayEvery > 0 && n%int64(p.DelayEvery) == int64(p.DelayEvery)-1 {
+		delay = p.Delay
+	}
+	if p.partitioned.Load() {
+		return true, delay
+	}
+	if p.DropEvery > 0 && n%int64(p.DropEvery) == int64(p.DropEvery)-1 {
+		return true, delay
+	}
+	return false, delay
+}

@@ -52,6 +52,7 @@ import (
 	"pbtree/internal/memsys"
 	"pbtree/internal/obs"
 	"pbtree/internal/query"
+	"pbtree/internal/repl"
 	"pbtree/internal/serve"
 	"pbtree/internal/ttree"
 )
@@ -423,6 +424,39 @@ type (
 	LSMConfig = lsm.Config
 )
 
+// Replication layer (internal/repl): WAL shipping over protocol v2,
+// read replicas with bounded staleness, and epoch-fenced failover
+// (DESIGN.md §13).
+type (
+	// ReplNode is one replication participant: it answers the
+	// REPLICATE op class for its store (ServerConfig.Repl) and, on a
+	// follower, pulls the primary's WAL.
+	ReplNode = repl.Node
+
+	// ReplConfig configures a ReplNode.
+	ReplConfig = repl.Config
+
+	// ReplStatus is the /replz JSON document of a ReplNode.
+	ReplStatus = repl.Status
+
+	// ReplicaSet is a client over one primary and its read replicas:
+	// reads fan out across healthy replicas under a bounded-staleness
+	// contract, writes go to the primary.
+	ReplicaSet = repl.ReplicaSet
+
+	// ReplicaSetConfig configures DialReplicaSet.
+	ReplicaSetConfig = repl.ReplicaSetConfig
+)
+
+// NewReplNode builds a replication node over a store; call Start to
+// activate it (see ReplConfig).
+func NewReplNode(cfg ReplConfig) (*ReplNode, error) { return repl.New(cfg) }
+
+// DialReplicaSet connects a read-replica client: reads round-robin
+// across replicas whose probed lag stays within
+// ReplicaSetConfig.MaxLagRecords, writes go to the primary.
+func DialReplicaSet(cfg ReplicaSetConfig) (*ReplicaSet, error) { return repl.DialReplicaSet(cfg) }
+
 // Storage backend names (StoreConfig.Backend). The backend is part of
 // a durable store's on-disk identity (DESIGN.md §11).
 const (
@@ -442,9 +476,10 @@ func ScenarioNames() []string { return serve.ScenarioNames() }
 // NewAdminMux builds the admin-plane HTTP handler for a running
 // server: /metrics (Prometheus), /healthz, /statsz, /debug/vars and
 // /debug/pprof (DESIGN.md §12). Mount it on its own listener, away
-// from the data path.
-func NewAdminMux(srv *Server, st *Store) *http.ServeMux {
-	return serve.NewAdminMux(srv, st)
+// from the data path. extra writers are appended to the /metrics
+// exposition (e.g. ReplNode.WriteMetrics).
+func NewAdminMux(srv *Server, st *Store, extra ...func(io.Writer) error) *http.ServeMux {
+	return serve.NewAdminMux(srv, st, extra...)
 }
 
 // Stages lists the request-lifecycle pipeline stages in order.
@@ -475,6 +510,10 @@ const (
 	// ServeOpHello negotiates the protocol version; must be the first
 	// request on a connection (PROTOCOL.md §3).
 	ServeOpHello = serve.OpHello
+
+	// ServeOpReplicate carries the replication sub-commands: STATUS,
+	// FETCH, SNAPFETCH and FENCE (PROTOCOL.md §9).
+	ServeOpReplicate = serve.OpReplicate
 )
 
 // Wire-protocol response statuses (PROTOCOL.md §2.2).
@@ -495,6 +534,10 @@ const (
 	// StatusDeadline reports that the request's deadline expired
 	// before execution.
 	StatusDeadline = serve.StatusDeadline
+
+	// StatusFenced rejects a replication request from the wrong epoch;
+	// the payload carries the highest epoch the responder has seen.
+	StatusFenced = serve.StatusFenced
 )
 
 // WAL fsync policies.

@@ -19,6 +19,17 @@
 # re-run against a fresh server with -stages=false and again with the
 # default tracing on. The off run must stay within 2% of the on run
 # (and of the committed BENCH_matrix baseline on the same hardware).
+#
+# The single_node_reads/replica_set_reads pair is the read-scaling
+# measurement (DESIGN.md §13): the same GET-only Zipf load at the same
+# total connection count against one server, then against a
+# 1-primary+2-replica set with the connections round-robined across
+# all three (-replicas), after the replicas have caught up. The
+# connection count is chosen to saturate a single node, so the pair
+# quantifies what read replicas buy. Caveat: on a single-core host the
+# set cannot exceed one node (all processes share the core); the pair
+# then measures the fan-out overhead instead, and the headroom only
+# materializes with real CPUs per replica.
 set -eu
 
 out=${1:-BENCH_serve.json}
@@ -90,6 +101,53 @@ for mode in off on; do
     stop_server
 done
 
+# Read scaling: single node, then 1 primary + 2 replicas with the
+# same total connection count spread across the set. 24 connections
+# saturate a single node on the reference hardware.
+repl_keys=200000
+read_load="-keys $repl_keys -conns 24 -window 4 -duration 5s -skew zipf -get 100"
+
+"$tmp/pbtree-server" -addr "$addr" -keys "$repl_keys" >"$tmp/server.log" 2>&1 &
+srv=$!
+wait_reachable "$repl_keys"
+echo "bench-serve: read scaling, single node"
+# shellcheck disable=SC2086
+"$tmp/pbtree-loadgen" -addr "$addr" $read_load >"$tmp/single_node_reads.json"
+stop_server
+
+r1port=$((port + 1000)); r1addr="127.0.0.1:$r1port"
+r2port=$((port + 2000)); r2addr="127.0.0.1:$r2port"
+"$tmp/pbtree-server" -addr "$addr" -keys "$repl_keys" \
+    -data-dir "$tmp/primary" -fsync always >"$tmp/server.log" 2>&1 &
+srv=$!
+wait_reachable "$repl_keys"
+"$tmp/pbtree-server" -addr "$r1addr" -data-dir "$tmp/replica1" \
+    -fsync always -replica-of "$addr" -repl-poll 5ms >"$tmp/replica1.log" 2>&1 &
+r1=$!
+"$tmp/pbtree-server" -addr "$r2addr" -data-dir "$tmp/replica2" \
+    -fsync always -replica-of "$addr" -repl-poll 5ms >"$tmp/replica2.log" 2>&1 &
+r2=$!
+for raddr in "$r1addr" "$r2addr"; do
+    ok=0
+    for _ in $(seq 1 100); do
+        if "$tmp/pbtree-loadgen" -addr "$raddr" -keys "$repl_keys" -conns 1 \
+            -duration 200ms -get 100 >"$tmp/replica_sweep.json" 2>/dev/null \
+            && [ "$(sed -n 's/^  "not_found": \([0-9]*\),$/\1/p' "$tmp/replica_sweep.json")" = 0 ]; then
+            ok=1
+            break
+        fi
+        sleep 0.2
+    done
+    [ "$ok" = 1 ] || { echo "bench-serve: replica $raddr never caught up"; cat "$tmp/replica1.log" "$tmp/replica2.log"; exit 1; }
+done
+echo "bench-serve: read scaling, 1 primary + 2 replicas"
+# shellcheck disable=SC2086
+"$tmp/pbtree-loadgen" -addr "$addr" -replicas "$r1addr,$r2addr" $read_load \
+    >"$tmp/replica_set_reads.json"
+kill -TERM "$r1" "$r2" 2>/dev/null || true
+wait "$r1" "$r2" 2>/dev/null || true
+stop_server
+
 {
     printf '{\n"sequential":\n'
     cat "$tmp/sequential.json"
@@ -99,6 +157,10 @@ done
     cat "$tmp/overhead_off.json"
     printf ',\n"overhead_on":\n'
     cat "$tmp/overhead_on.json"
+    printf ',\n"single_node_reads":\n'
+    cat "$tmp/single_node_reads.json"
+    printf ',\n"replica_set_reads":\n'
+    cat "$tmp/replica_set_reads.json"
     printf '}\n'
 } >"$out"
 

@@ -5,7 +5,8 @@
 #     source).
 #   - go vet over everything.
 #   - TestExportedSymbolsDocumented: every exported symbol in
-#     internal/serve carries a doc comment.
+#     internal/serve, the storage-engine packages and internal/repl
+#     carries a doc comment.
 #   - TestProtocolSpec*: PROTOCOL.md's example frames match the codec
 #     byte for byte and its size-limit table matches the constants.
 set -eu

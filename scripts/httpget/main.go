@@ -1,7 +1,8 @@
-// Command httpget is a minimal HTTP GET for the smoke scripts: it
+// Command httpget is a minimal HTTP client for the smoke scripts: it
 // prints the response body to stdout and exits nonzero on transport
 // errors or non-2xx statuses. It exists so the scripts do not depend
-// on curl being installed (CI images vary).
+// on curl being installed (CI images vary). The optional -post flag
+// issues an empty-bodied POST (the failover runbook's /promote).
 package main
 
 import (
@@ -13,12 +14,26 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: httpget <url>")
+	args := os.Args[1:]
+	post := false
+	if len(args) > 0 && args[0] == "-post" {
+		post = true
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: httpget [-post] <url>")
 		os.Exit(2)
 	}
 	client := &http.Client{Timeout: 5 * time.Second}
-	resp, err := client.Get(os.Args[1])
+	var (
+		resp *http.Response
+		err  error
+	)
+	if post {
+		resp, err = client.Post(args[0], "", nil)
+	} else {
+		resp, err = client.Get(args[0])
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "httpget:", err)
 		os.Exit(1)
