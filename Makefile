@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet conformance bench-smoke smoke-serve smoke-recover smoke-admin smoke-failover fuzz-smoke bench-serve bench-matrix docs-check
+.PHONY: check build test race vet conformance bench-smoke smoke-serve smoke-recover smoke-admin smoke-failover fuzz-smoke bench-serve bench-matrix bench-native docs-check cross
 
 check: build vet test race conformance smoke-serve smoke-recover smoke-admin smoke-failover
 
@@ -75,7 +75,25 @@ bench-serve:
 bench-matrix:
 	sh scripts/bench_matrix.sh BENCH_matrix.json
 
+# Native prefetch matrix: the oltp-point scenario across hardware
+# prefetch x branchless search (server + loadgen), plus pbench's
+# in-process wall-clock report; writes BENCH_native.json. Tunable via
+# KEYS/DURATION/CONNS/WINDOW/SCALE env vars.
+bench-native:
+	sh scripts/bench_native.sh BENCH_native.json
+
 # Documentation gate: gofmt + vet + the godoc coverage test over
 # internal/serve + the PROTOCOL.md byte-for-byte conformance test.
 docs-check:
 	sh scripts/docs_check.sh
+
+# Cross-compile matrix: the hardware prefetch stubs must assemble on
+# both asm targets and the module must still build where no stub
+# exists (riscv64) or when it is disabled (-tags purego). The purego
+# test run proves the memsys contract holds with no-op stubs.
+cross:
+	GOARCH=amd64 $(GO) build ./...
+	GOARCH=arm64 $(GO) build ./...
+	GOARCH=riscv64 $(GO) build ./...
+	$(GO) build -tags purego ./...
+	$(GO) test -tags purego ./internal/memsys/ ./internal/core/

@@ -20,10 +20,18 @@ func (t *Tree) Delete(key Key) bool {
 	t.count--
 	i := ub - 1
 	if leaf.nkeys > 1 {
-		t.leafRemoveAt(leaf, i)
+		if leaf.occ != nil {
+			t.gappedLeafRemoveAt(leaf, i)
+		} else {
+			t.leafRemoveAt(leaf, i)
+		}
 		return true
 	}
 	leaf.nkeys = 0
+	if leaf.occ != nil {
+		clear(leaf.occ)
+		leaf.nslots = 0
+	}
 	t.mem.Access(leaf.addr)
 	t.fixEmpty(leaf, len(t.path)-1)
 	return true
@@ -117,15 +125,15 @@ func (t *Tree) collapseRoot() {
 // its right sibling's entries. parent.keys[ci] separates n and rs.
 func (t *Tree) redistributeFromRight(parent *node, ci int, n, rs *node) {
 	t.stats.Redistributions++
-	t.mem.PrefetchRange(rs.addr, t.lay(rs).size) // prefetch the sibling (2.1)
+	t.pfNode(rs) // prefetch the sibling (2.1)
 	if n.leaf {
+		// Extract rs's live entries and lay both leaves back out
+		// (identical to the direct copies for packed leaves; gapped
+		// leaves are re-gapped).
 		q := (rs.nkeys + 1) / 2
-		copy(n.keys[:q], rs.keys[:q])
-		copy(n.tids[:q], rs.tids[:q])
-		n.nkeys = q
-		copy(rs.keys, rs.keys[q:rs.nkeys])
-		copy(rs.tids, rs.tids[q:rs.nkeys])
-		rs.nkeys -= q
+		sk, st := t.extractLeaf(rs)
+		t.layOutLeaf(n, sk[:q], st[:q])
+		t.layOutLeaf(rs, sk[q:], st[q:])
 		parent.keys[ci] = rs.keys[0]
 		t.chargeLeafWriteCost(n, 0, q)
 		t.chargeLeafWriteCost(rs, 0, rs.nkeys)
@@ -155,14 +163,13 @@ func (t *Tree) redistributeFromRight(parent *node, ci int, n, rs *node) {
 // left sibling's entries. parent.keys[ci-1] separates ls and n.
 func (t *Tree) redistributeFromLeft(parent *node, ci int, n, ls *node) {
 	t.stats.Redistributions++
-	t.mem.PrefetchRange(ls.addr, t.lay(ls).size)
+	t.pfNode(ls)
 	if n.leaf {
 		q := (ls.nkeys + 1) / 2
 		start := ls.nkeys - q
-		copy(n.keys[:q], ls.keys[start:ls.nkeys])
-		copy(n.tids[:q], ls.tids[start:ls.nkeys])
-		n.nkeys = q
-		ls.nkeys = start
+		sk, st := t.extractLeaf(ls)
+		t.layOutLeaf(n, sk[start:], st[start:])
+		t.layOutLeaf(ls, sk[:start], st[:start])
 		parent.keys[ci-1] = n.keys[0]
 		t.chargeLeafWriteCost(n, 0, q)
 	} else {
@@ -192,11 +199,12 @@ func (t *Tree) redistributeFromLeft(parent *node, ci int, n, ls *node) {
 // and splices rs out of the sibling chains. sep is the parent
 // separator between n and rs, which the caller removes along with rs.
 func (t *Tree) mergeRightInto(n, rs *node, sep Key) {
-	t.mem.PrefetchRange(rs.addr, t.lay(rs).size)
+	t.pfNode(rs)
 	if n.leaf {
-		n.keys[0] = rs.keys[0]
-		n.tids[0] = rs.tids[0]
-		n.nkeys = 1
+		// rs holds a single live entry; extract-and-relayout finds it
+		// even when its slot array starts with gaps.
+		sk, st := t.extractLeaf(rs)
+		t.layOutLeaf(n, sk, st)
 		n.next = rs.next
 		t.chargeLeafWriteCost(n, 0, 1)
 		t.mem.Access(t.leafLay.nextAddr(n.addr))
@@ -233,7 +241,7 @@ func (t *Tree) unlinkNode(ls, n *node) {
 // its single-key left sibling ls, pulling the parent separator down.
 // The caller removes n from the parent.
 func (t *Tree) mergeIntoLeft(ls, n *node, sep Key) {
-	t.mem.PrefetchRange(ls.addr, t.lay(ls).size)
+	t.pfNode(ls)
 	ls.keys[ls.nkeys] = sep
 	ls.children[ls.nkeys+1] = n.children[0]
 	ls.nkeys++

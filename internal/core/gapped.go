@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Gapped leaf slots (Config.GappedLeaves): instead of packing a
+// leaf's entries into slots [0, nkeys), entries sit in a sparse slot
+// array with an occupancy bitmap, the way BS-tree lays out its gapped
+// data-parallel nodes. A split interleaves one gap between every two
+// entries, so the insert that follows lands in a gap and writes one
+// slot instead of shifting half the leaf; only when the neighborhood
+// of the insertion point has filled up does an insert shift entries —
+// and then only as far as the nearest gap, not to the end of the
+// node.
+//
+// Invariants of a gapped leaf (checked by CheckInvariants and fuzzed
+// by FuzzGappedLeaf):
+//
+//   - nkeys is the number of occupied slots; nslots is one past the
+//     last occupied slot (0 when empty); nslots <= cap.
+//   - Occupied keys are strictly increasing in slot order.
+//   - Every gap slot below nslots holds a copy of the key of its
+//     nearest occupied right neighbor ("dup-of-right"), so
+//     keys[0:nslots] is non-decreasing and any sorted-array lower
+//     bound — the binary search or the branchless 8-wide pass —
+//     works on the raw slot array without consulting the bitmap.
+//   - Slots at and above nslots are unconstrained garbage.
+//
+// Dup-of-right has a second payoff: keys[0] always equals the
+// smallest live key even when slot 0 is a gap, so separator
+// maintenance (subtreeMin, split/redistribute) reads keys[0]
+// unchanged. Non-leaf nodes are never gapped.
+
+// slotExtent returns the iteration extent of a leaf's slot array:
+// nslots for a gapped leaf, nkeys for a packed one.
+func slotExtent(n *node) int {
+	if n.occ != nil {
+		return n.nslots
+	}
+	return n.nkeys
+}
+
+// lastKey returns the largest live key of a non-empty node: the last
+// occupied slot's key for a gapped leaf, keys[nkeys-1] otherwise.
+func lastKey(n *node) Key {
+	if n.occ != nil {
+		return n.keys[n.nslots-1]
+	}
+	return n.keys[n.nkeys-1]
+}
+
+// slotOccupied reports whether slot i (< slotExtent) holds a live
+// entry.
+func slotOccupied(n *node, i int) bool {
+	if n.occ == nil {
+		return true
+	}
+	return n.occ[i>>6]&(1<<(i&63)) != 0
+}
+
+// setOcc marks slot i occupied.
+func setOcc(n *node, i int) { n.occ[i>>6] |= 1 << (i & 63) }
+
+// clearOcc marks slot i a gap.
+func clearOcc(n *node, i int) { n.occ[i>>6] &^= 1 << (i & 63) }
+
+// nextOcc returns the first occupied slot >= i, or limit if none.
+func nextOcc(n *node, i, limit int) int {
+	for ; i < limit; i++ {
+		w := n.occ[i>>6] >> (i & 63)
+		if w == 0 {
+			i |= 63 // skip to the last slot of this word
+			continue
+		}
+		return i + bits.TrailingZeros64(w)
+	}
+	return limit
+}
+
+// prevOcc returns the last occupied slot <= i, or -1 if none.
+func prevOcc(n *node, i int) int {
+	for ; i >= 0; i-- {
+		w := n.occ[i>>6] << (63 - (i & 63))
+		if w == 0 {
+			i &^= 63 // skip to the first slot of this word
+			continue
+		}
+		return i - bits.LeadingZeros64(w)
+	}
+	return -1
+}
+
+// nextGap returns the first gap slot in [i, limit), or limit if none.
+// Slots at and above nslots count as gaps (their bits are clear).
+func nextGap(n *node, i, limit int) int {
+	for ; i < limit; i++ {
+		w := ^n.occ[i>>6] >> (i & 63)
+		if w == 0 {
+			i |= 63
+			continue
+		}
+		if g := i + bits.TrailingZeros64(w); g < limit {
+			return g
+		}
+		return limit
+	}
+	return limit
+}
+
+// prevGap returns the last gap slot <= i, or -1 if none.
+func prevGap(n *node, i int) int {
+	for ; i >= 0; i-- {
+		w := ^n.occ[i>>6] << (63 - (i & 63))
+		if w == 0 {
+			i &^= 63
+			continue
+		}
+		return i - bits.LeadingZeros64(w)
+	}
+	return -1
+}
+
+// searchKeysGapped finds key in a gapped leaf. The return contract
+// matches searchKeys: on a hit, ub-1 is the (occupied) slot of the
+// key; on a miss, ub is the slot a subsequent insert should target
+// (the lower bound over the slot array).
+func (t *Tree) searchKeysGapped(n *node, key Key) (ub int, found bool) {
+	s := t.lowerBoundSlots(n, key, n.nslots)
+	j := nextOcc(n, s, n.nslots)
+	if j < n.nslots {
+		t.mem.Access(t.leafLay.keyAddr(n.addr, j))
+		t.mem.Compute(t.cost.Compare)
+		if n.keys[j] == key {
+			return j + 1, true
+		}
+	}
+	return s, false
+}
+
+// lowerBoundSlots returns the first slot in [0, limit) whose key is
+// >= key (limit if none), charging the probes to the memory model.
+// The slot array is sorted (dup-of-right), so both search modes work.
+func (t *Tree) lowerBoundSlots(n *node, key Key, limit int) int {
+	if t.cfg.BranchlessSearch {
+		return t.lowerBoundBranchless(n, key, limit)
+	}
+	lay := t.lay(n)
+	lo, hi := 0, limit
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.mem.Access(lay.keyAddr(n.addr, mid))
+		t.mem.Compute(t.cost.Compare)
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gappedLeafInsertAt inserts (key, tid) into a non-full gapped leaf.
+// pos is the miss position reported by searchKeysGapped: the lower
+// bound over the slot array. If that slot is free the insert writes
+// it directly; otherwise entries shift one slot toward the nearest
+// gap (left or right, whichever is closer).
+func (t *Tree) gappedLeafInsertAt(n *node, pos int, key Key, tid TID) {
+	lay := t.leafLay
+	cap := lay.maxKeys
+	switch {
+	case pos >= n.nslots && n.nslots < cap:
+		// Append past the last occupied slot.
+		pos = n.nslots
+		n.nslots++
+	case pos < n.nslots && !slotOccupied(n, pos):
+		// The lower-bound slot is a gap: absorb in place. Gaps
+		// between pos and the next occupied slot keep duplicating a
+		// key > key, so sortedness holds; and slot pos-1 cannot be a
+		// gap (its dup would be >= key, contradicting the lower
+		// bound), so no gap to the left needs its dup rewritten.
+	default:
+		// pos is occupied (or the array is slot-full on the right).
+		// Shift toward the nearest gap. A gap exists: nkeys < cap.
+		gr := cap
+		if pos < cap {
+			gr = nextGap(n, pos, cap)
+		}
+		gl := prevGap(n, pos-1)
+		if gl >= 0 && (gr == cap || pos-gl <= gr-pos) {
+			// Shift [gl+1, pos) one slot left; insert at pos-1.
+			copy(n.keys[gl:pos-1], n.keys[gl+1:pos])
+			copy(n.tids[gl:pos-1], n.tids[gl+1:pos])
+			setOcc(n, gl)
+			pos--
+			moved := pos - gl
+			t.mem.AccessRange(lay.keyAddr(n.addr, gl), (moved+1)*fieldSize)
+			t.mem.AccessRange(lay.ptrAddr(n.addr, gl), (moved+1)*fieldSize)
+			t.mem.Access(n.addr)
+			t.mem.Compute(t.cost.Move * uint64(2*moved+2))
+			n.keys[pos] = key
+			n.tids[pos] = tid
+			n.nkeys++
+			return
+		}
+		// Shift [pos, gr) one slot right; insert at pos.
+		copy(n.keys[pos+1:gr+1], n.keys[pos:gr])
+		copy(n.tids[pos+1:gr+1], n.tids[pos:gr])
+		setOcc(n, gr)
+		if gr >= n.nslots {
+			n.nslots = gr + 1
+		}
+		moved := gr - pos
+		t.mem.AccessRange(lay.keyAddr(n.addr, pos), (moved+1)*fieldSize)
+		t.mem.AccessRange(lay.ptrAddr(n.addr, pos), (moved+1)*fieldSize)
+		t.mem.Access(n.addr)
+		t.mem.Compute(t.cost.Move * uint64(2*moved+2))
+		n.keys[pos] = key
+		n.tids[pos] = tid
+		n.nkeys++
+		return
+	}
+	n.keys[pos] = key
+	n.tids[pos] = tid
+	setOcc(n, pos)
+	n.nkeys++
+	t.mem.AccessRange(lay.keyAddr(n.addr, pos), fieldSize)
+	t.mem.AccessRange(lay.ptrAddr(n.addr, pos), fieldSize)
+	t.mem.Access(n.addr)
+	t.mem.Compute(t.cost.Move * 2)
+}
+
+// gappedLeafRemoveAt removes the entry at (occupied) slot i of a
+// gapped leaf, repairing the dup-of-right run that now ends at i (or
+// shrinking nslots when i was the last occupied slot).
+func (t *Tree) gappedLeafRemoveAt(n *node, i int) {
+	lay := t.leafLay
+	clearOcc(n, i)
+	n.nkeys--
+	if i == n.nslots-1 {
+		// Removed the last occupied slot: everything from the
+		// previous occupied slot on becomes out-of-extent garbage.
+		n.nslots = prevOcc(n, i-1) + 1
+		t.mem.Access(n.addr)
+		t.mem.Compute(t.cost.Move)
+		return
+	}
+	// Repair the gap run ending at i: each gap duplicates the key of
+	// its nearest occupied right neighbor.
+	dup := n.keys[nextOcc(n, i+1, n.nslots)]
+	w := 0
+	for g := i; g >= 0 && !slotOccupied(n, g); g-- {
+		n.keys[g] = dup
+		w++
+	}
+	t.mem.AccessRange(lay.keyAddr(n.addr, i-w+1), w*fieldSize)
+	t.mem.Access(n.addr)
+	t.mem.Compute(t.cost.Move * uint64(w))
+}
+
+// extractLeaf copies a leaf's live entries, in key order, into the
+// tree's shared scratch slices (so it is only for the single-writer
+// structural paths). The slices have length n.nkeys.
+func (t *Tree) extractLeaf(n *node) ([]Key, []TID) {
+	sk, st := t.scratchLeaf(n.nkeys)
+	if n.occ == nil {
+		copy(sk, n.keys[:n.nkeys])
+		copy(st, n.tids[:n.nkeys])
+		return sk, st
+	}
+	w := 0
+	for i := nextOcc(n, 0, n.nslots); i < n.nslots; i = nextOcc(n, i+1, n.nslots) {
+		sk[w] = n.keys[i]
+		st[w] = n.tids[i]
+		w++
+	}
+	return sk, st
+}
+
+// appendLeafPairs appends the live entries of a leaf (packed or
+// gapped) to dst in key order.
+func appendLeafPairs(dst []Pair, n *node) []Pair {
+	if n.occ == nil {
+		for i := 0; i < n.nkeys; i++ {
+			dst = append(dst, Pair{Key: n.keys[i], TID: n.tids[i]})
+		}
+		return dst
+	}
+	for i := nextOcc(n, 0, n.nslots); i < n.nslots; i = nextOcc(n, i+1, n.nslots) {
+		dst = append(dst, Pair{Key: n.keys[i], TID: n.tids[i]})
+	}
+	return dst
+}
+
+// layOutLeaf writes m entries from the scratch slices into the leaf.
+// A packed leaf gets slots [0, m). A gapped leaf gets one gap
+// interleaved after every entry when the slot array has room
+// (entries at slots 0, 2, 4, ...), the split layout that lets the
+// next inserts absorb without shifting; otherwise it degrades
+// gracefully toward packed.
+func (t *Tree) layOutLeaf(n *node, sk []Key, st []TID) {
+	m := len(sk)
+	n.nkeys = m
+	if n.occ == nil {
+		copy(n.keys, sk)
+		copy(n.tids, st)
+		return
+	}
+	clear(n.occ)
+	if m == 0 {
+		n.nslots = 0
+		return
+	}
+	stride := 1
+	if 2*m-1 <= t.leafLay.maxKeys {
+		stride = 2
+	}
+	slot := 0
+	for i, k := range sk {
+		n.keys[slot] = k
+		n.tids[slot] = st[i]
+		setOcc(n, slot)
+		if stride == 2 && i+1 < m {
+			// The interleaved gap duplicates its right neighbor.
+			n.keys[slot+1] = sk[i+1]
+		}
+		slot += stride
+	}
+	n.nslots = slot - stride + 1
+}
+
+// checkGappedLeaf validates the gapped-leaf invariants of n.
+func (t *Tree) checkGappedLeaf(n *node) error {
+	if n.nslots > t.leafLay.maxKeys || n.nslots < 0 {
+		return fmt.Errorf("gapped leaf nslots %d outside [0, %d]", n.nslots, t.leafLay.maxKeys)
+	}
+	occ := 0
+	last := -1
+	var prev Key
+	for i := 0; i < n.nslots; i++ {
+		if i > 0 && n.keys[i] < prev {
+			return fmt.Errorf("gapped leaf slot array unsorted at slot %d", i)
+		}
+		prev = n.keys[i]
+		if slotOccupied(n, i) {
+			if occ > 0 && n.keys[i] <= n.keys[last] {
+				return fmt.Errorf("gapped leaf occupied keys not strictly increasing at slot %d", i)
+			}
+			occ++
+			last = i
+		}
+	}
+	if occ != n.nkeys {
+		return fmt.Errorf("gapped leaf bitmap count %d, nkeys %d", occ, n.nkeys)
+	}
+	if n.nkeys > 0 && last != n.nslots-1 {
+		return fmt.Errorf("gapped leaf last occupied slot %d, nslots %d", last, n.nslots)
+	}
+	if n.nkeys == 0 && n.nslots != 0 {
+		return fmt.Errorf("empty gapped leaf with nslots %d", n.nslots)
+	}
+	// Dup-of-right: walk right-to-left carrying the nearest occupied
+	// key.
+	for i, dup := n.nslots-1, Key(0); i >= 0; i-- {
+		if slotOccupied(n, i) {
+			dup = n.keys[i]
+		} else if n.keys[i] != dup {
+			return fmt.Errorf("gapped leaf gap slot %d holds %d, want dup-of-right %d", i, n.keys[i], dup)
+		}
+	}
+	// Bits at or above nslots must be clear (nextOcc/prevOcc rely on
+	// it only below nslots, but stale bits would corrupt later
+	// inserts that extend nslots).
+	for i := n.nslots; i < len(n.occ)*64; i++ {
+		if i < t.leafLay.maxKeys && n.occ[i>>6]&(1<<(i&63)) != 0 {
+			return fmt.Errorf("gapped leaf stale occupancy bit at slot %d >= nslots %d", i, n.nslots)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pbtree/internal/memsys"
+)
+
+// TestLowerBoundBranchlessMatchesSort cross-checks the unrolled
+// branchless lower bound against sort.Search on hand-built nodes of
+// every occupancy from empty through the widest node layout,
+// including duplicate-heavy key sets and the 0 / MaxKey sentinels.
+func TestLowerBoundBranchlessMatchesSort(t *testing.T) {
+	tr := MustNew(Config{Width: 16, Prefetch: true, BranchlessSearch: true, Mem: memsys.DefaultNative()})
+	maxW := tr.LeafCapacity()
+	r := rand.New(rand.NewSource(41))
+
+	for width := 0; width <= maxW; width++ {
+		for trial := 0; trial < 25; trial++ {
+			keys := make([]Key, maxW)
+			for i := 0; i < width; i++ {
+				switch r.Intn(10) {
+				case 0:
+					keys[i] = 0
+				case 1:
+					keys[i] = MaxKey
+				case 2, 3, 4: // force runs of duplicates
+					keys[i] = Key(r.Intn(4) * 1000)
+				default:
+					keys[i] = Key(r.Uint32())
+				}
+			}
+			sort.Slice(keys[:width], func(i, j int) bool { return keys[i] < keys[j] })
+			n := &node{leaf: true, nkeys: width, keys: keys}
+
+			probes := []Key{0, 1, MaxKey, MaxKey - 1, Key(r.Uint32())}
+			for i := 0; i < width; i++ {
+				probes = append(probes, keys[i], keys[i]-1, keys[i]+1)
+			}
+			for _, p := range probes {
+				got := tr.lowerBoundBranchless(n, p, width)
+				want := sort.Search(width, func(i int) bool { return keys[i] >= p })
+				if got != want {
+					t.Fatalf("width %d: lowerBoundBranchless(%d) = %d, want %d (keys %v)",
+						width, p, got, want, keys[:width])
+				}
+			}
+		}
+	}
+}
+
+// searchOracle verifies one searchKeys result against the leaf's live
+// entries: a hit must return the matching occupied position, a miss a
+// valid lower bound over the (slot or entry) array.
+func searchOracle(t *testing.T, tr *Tree, n *node, key Key) {
+	t.Helper()
+	ub, found := tr.searchKeys(n, key)
+	live := appendLeafPairs(nil, n)
+	inLeaf := false
+	for _, p := range live {
+		if p.Key == key {
+			inLeaf = true
+			break
+		}
+	}
+	if found != inLeaf {
+		t.Fatalf("searchKeys(%d) found=%v, leaf holds it: %v", key, found, inLeaf)
+	}
+	ext := slotExtent(n)
+	if found {
+		i := ub - 1
+		if i < 0 || i >= ext || n.keys[i] != key || !slotOccupied(n, i) {
+			t.Fatalf("searchKeys(%d) hit at %d: not an occupied matching slot", key, i)
+		}
+		return
+	}
+	if ub < 0 || ub > ext {
+		t.Fatalf("searchKeys(%d) miss ub=%d outside [0, %d]", key, ub, ext)
+	}
+	if ub > 0 && n.keys[ub-1] >= key {
+		t.Fatalf("searchKeys(%d) miss ub=%d but keys[ub-1]=%d >= key", key, ub, n.keys[ub-1])
+	}
+	if ub < ext && n.keys[ub] < key {
+		t.Fatalf("searchKeys(%d) miss ub=%d but keys[ub]=%d < key", key, ub, n.keys[ub])
+	}
+}
+
+// TestSearchKeysPropertyAllLayouts drives randomized insert/delete
+// churn through every combination of node width, search mode, and
+// leaf layout, then probes searchKeys on every leaf — present keys,
+// their neighbors, the sentinels, the empty tree, and (in gapped
+// mode) leaves whose slot arrays start with gap runs.
+func TestSearchKeysPropertyAllLayouts(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, width := range []int{1, 2, 4, 8, 16} {
+		for _, branchless := range []bool{false, true} {
+			for _, gapped := range []bool{false, true} {
+				cfg := Config{
+					Width: width, Prefetch: true,
+					BranchlessSearch: branchless, GappedLeaves: gapped,
+					Mem: memsys.DefaultNative(),
+				}
+				tr := MustNew(cfg)
+
+				// Empty tree: the root leaf has no entries (in gapped
+				// mode, the all-gaps case).
+				for _, p := range []Key{0, 7, MaxKey} {
+					searchOracle(t, tr, tr.root, p)
+				}
+
+				live := map[Key]bool{}
+				for op := 0; op < 3000; op++ {
+					k := Key(r.Intn(600)) * 3 // dense space: collisions and deletes
+					if r.Intn(3) == 0 {
+						tr.Delete(k)
+						delete(live, k)
+					} else {
+						tr.Insert(k, TID(k+1))
+						live[k] = true
+					}
+				}
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("w=%d branchless=%v gapped=%v: %v", width, branchless, gapped, err)
+				}
+				for n := tr.leftmostLeaf(); n != nil; n = n.next {
+					probes := []Key{0, MaxKey}
+					for _, p := range appendLeafPairs(nil, n) {
+						probes = append(probes, p.Key, p.Key-1, p.Key+1)
+					}
+					for _, p := range probes {
+						searchOracle(t, tr, n, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzGappedLeaf drives fuzzer-chosen insert/delete/search sequences
+// against a gapped-leaf tree and a map oracle, checking the gapped
+// invariants (occupied-key sortedness, bitmap/count agreement,
+// dup-of-right gap fill) as the ops run and full content equality at
+// the end.
+func FuzzGappedLeaf(f *testing.F) {
+	mk := func(ops ...byte) []byte { return ops }
+	f.Add(mk(), uint8(8), true)
+	f.Add(mk(0, 10, 0, 0, 20, 0, 0, 15, 0, 1, 10, 0, 2, 15, 0), uint8(8), false)
+	f.Add(mk(0, 255, 255, 0, 0, 0, 1, 255, 255, 2, 0, 0), uint8(1), true)
+	seq := make([]byte, 0, 300)
+	for i := byte(1); i <= 50; i++ {
+		seq = append(seq, 0, i, 0) // fifty ascending inserts
+	}
+	for i := byte(1); i <= 50; i += 2 {
+		seq = append(seq, 1, i, 0) // delete every other
+	}
+	f.Add(seq, uint8(2), true)
+
+	f.Fuzz(func(t *testing.T, ops []byte, width uint8, branchless bool) {
+		if width == 0 || width > 16 {
+			return
+		}
+		if len(ops) > 3*4096 {
+			ops = ops[:3*4096] // bound invariant-check cost
+		}
+		cfg := Config{
+			Width: int(width), Prefetch: true,
+			GappedLeaves: true, BranchlessSearch: branchless,
+			Mem: memsys.DefaultNative(),
+		}
+		tr, err := New(cfg)
+		if err != nil {
+			return
+		}
+		oracle := map[Key]TID{}
+		for i := 0; i+3 <= len(ops); i += 3 {
+			raw := binary.LittleEndian.Uint16(ops[i+1 : i+3])
+			key := Key(raw)
+			if raw == 0xFFFF {
+				key = MaxKey // exercise the sentinel
+			}
+			switch ops[i] % 3 {
+			case 0:
+				_, had := oracle[key]
+				if added := tr.Insert(key, TID(raw)+1); added == had {
+					t.Fatalf("op %d: Insert(%d) added=%v, oracle had=%v", i, key, added, had)
+				}
+				oracle[key] = TID(raw) + 1
+			case 1:
+				_, had := oracle[key]
+				if removed := tr.Delete(key); removed != had {
+					t.Fatalf("op %d: Delete(%d) = %v, oracle had=%v", i, key, removed, had)
+				}
+				delete(oracle, key)
+			case 2:
+				want, had := oracle[key]
+				got, ok := tr.Search(key)
+				if ok != had || (had && got != want) {
+					t.Fatalf("op %d: Search(%d) = %d,%v, want %d,%v", i, key, got, ok, want, had)
+				}
+			}
+			if i%(16*3) == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		got := tr.AppendPairs(nil)
+		if len(got) != len(oracle) {
+			t.Fatalf("tree has %d pairs, oracle %d", len(got), len(oracle))
+		}
+		var prev Key
+		for i, p := range got {
+			if i > 0 && p.Key <= prev {
+				t.Fatalf("AppendPairs out of order at %d", i)
+			}
+			prev = p.Key
+			if want := oracle[p.Key]; want != p.TID {
+				t.Fatalf("key %d: tid %d, oracle %d", p.Key, p.TID, want)
+			}
+		}
+	})
+}

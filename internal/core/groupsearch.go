@@ -57,7 +57,7 @@ func (t *Tree) SearchBatch(keys []Key, tids []TID, found []bool) {
 		if t.cfg.Prefetch {
 			for _, n := range nodes {
 				t.traceNode(level, kindOf(n))
-				t.mem.PrefetchRange(n.addr, t.lay(n).size)
+				t.pfNode(n)
 			}
 		}
 		if nodes[0].leaf {

@@ -27,10 +27,13 @@ func (t *Tree) Insert(key Key, tid TID) bool {
 	splitsBefore := t.stats.LeafSplits + t.stats.NonLeafSplits
 	nlSplitsBefore := t.stats.NonLeafSplits
 
-	if !t.full(leaf) {
-		t.leafInsertAt(leaf, ub, key, tid)
-	} else {
+	switch {
+	case t.full(leaf):
 		t.splitLeaf(leaf, ub, key, tid)
+	case leaf.occ != nil:
+		t.gappedLeafInsertAt(leaf, ub, key, tid)
+	default:
+		t.leafInsertAt(leaf, ub, key, tid)
 	}
 
 	if t.stats.LeafSplits+t.stats.NonLeafSplits > splitsBefore {
@@ -61,20 +64,20 @@ func (t *Tree) leafInsertAt(n *node, pos int, key Key, tid TID) {
 func (t *Tree) splitLeaf(n *node, pos int, key Key, tid TID) {
 	t.stats.LeafSplits++
 	right := t.newLeaf()
-	t.mem.PrefetchRange(right.addr, t.leafLay.size)
+	t.pfNode(right)
 	if t.cfg.JumpArray == JumpExternal {
 		// Prefetch the jump-pointer chunk lines the hint points at, so
 		// the fetch overlaps the key redistribution below.
-		h := n.hint
-		t.mem.Prefetch(h.chunk.addr)
-		t.mem.Prefetch(h.chunk.slotAddr(h.slot))
+		t.pfHint(n.hint)
 	}
 
+	// A full gapped leaf has no gaps left, so its slot array is
+	// packed and pos is an ordinary entry rank either way.
 	total := n.nkeys + 1
 	half := total / 2 // pairs staying in n
 
 	// Assemble the combined order in scratch space, then lay the two
-	// halves back out.
+	// halves back out (re-gapping them in gapped mode).
 	sk, st := t.scratchLeaf(total)
 	copy(sk, n.keys[:pos])
 	copy(st, n.tids[:pos])
@@ -83,12 +86,8 @@ func (t *Tree) splitLeaf(n *node, pos int, key Key, tid TID) {
 	copy(sk[pos+1:], n.keys[pos:n.nkeys])
 	copy(st[pos+1:], n.tids[pos:n.nkeys])
 
-	copy(n.keys, sk[:half])
-	copy(n.tids, st[:half])
-	n.nkeys = half
-	copy(right.keys, sk[half:])
-	copy(right.tids, st[half:])
-	right.nkeys = total - half
+	t.layOutLeaf(n, sk[:half], st[:half])
+	t.layOutLeaf(right, sk[half:], st[half:])
 
 	right.next = n.next
 	n.next = right
@@ -144,7 +143,7 @@ func (t *Tree) growRoot(sep Key, right *node) {
 	old := t.root
 	newRoot := t.newNonLeaf(old.leaf)
 	t.traceNode(0, kindOf(newRoot))
-	t.mem.PrefetchRange(newRoot.addr, t.lay(newRoot).size)
+	t.pfNode(newRoot)
 	newRoot.keys[0] = sep
 	newRoot.children[0] = old
 	newRoot.children[1] = right
@@ -180,7 +179,7 @@ func (t *Tree) splitNonLeaf(n *node, idx int, sep Key, right *node) (Key, *node)
 	t.stats.NonLeafSplits++
 	lay := t.lay(n)
 	nn := t.newNonLeaf(n.bottom)
-	t.mem.PrefetchRange(nn.addr, lay.size)
+	t.pfNode(nn)
 
 	total := n.nkeys + 1 // keys including the new separator
 	sk, sc := t.scratchNonLeaf(total)

@@ -175,7 +175,7 @@ func (t *Tree) jpInsertAfter(left, newLeaf *node) {
 func (t *Tree) jpSplitChunk(ck *chunk, p int, newLeaf *node) {
 	t.stats.ChunkSplits++
 	nc := t.newChunk()
-	t.mem.PrefetchRange(nc.addr, t.chunkBytes())
+	t.pfChunk(nc)
 
 	// Combined pointer order: slots[0..p], newLeaf, slots[p+1..].
 	combined := make([]*node, 0, ck.n+1)
@@ -208,7 +208,7 @@ func (t *Tree) jpSplitChunk(ck *chunk, p int, newLeaf *node) {
 func (t *Tree) jpFill(ck *chunk, leaves []*node) {
 	ck.n = len(leaves)
 	for _, leaf := range leaves {
-		t.mem.Prefetch(t.leafLay.hintAddr(leaf.addr))
+		t.pfLeafHint(leaf)
 	}
 	for j, leaf := range leaves {
 		slot := t.jpSlotFor(j, len(leaves))

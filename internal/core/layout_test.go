@@ -168,5 +168,12 @@ func testVariants() []Config {
 		{Width: 2, Prefetch: true, JumpArray: JumpExternal, ChunkLines: 1},
 		{Width: 2, Prefetch: true, JumpArray: JumpInternal},
 		{Width: 8}, // wide without prefetch (the Figure 2(b) ablation)
+		// Intra-node search and leaf-layout variants (PR 9).
+		{Width: 8, Prefetch: true, BranchlessSearch: true},
+		{Width: 8, Prefetch: true, GappedLeaves: true},
+		{Width: 8, Prefetch: true, BranchlessSearch: true, GappedLeaves: true},
+		{Width: 1, BranchlessSearch: true, GappedLeaves: true},
+		{Width: 8, Prefetch: true, JumpArray: JumpExternal, BranchlessSearch: true, GappedLeaves: true},
+		{Width: 8, Prefetch: true, JumpArray: JumpInternal, GappedLeaves: true},
 	}
 }

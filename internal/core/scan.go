@@ -41,6 +41,11 @@ type Scanner struct {
 	// call's buffer ("assume the leaf is full and prefetch the return
 	// buffer area accordingly").
 	bufPF int
+	// Real base address and size of the caller's buffer for the
+	// current Next/NextPairs call (hardware-prefetch mode only;
+	// simulated offsets map one-to-one onto it).
+	bufReal      uintptr
+	bufRealBytes int
 }
 
 // NewScan searches for the starting key and returns a scanner over
@@ -81,7 +86,7 @@ func (t *Tree) newScan(start, end Key, noPrefetch bool) *Scanner {
 	s.leaf, s.idx = leaf, idx
 
 	// The starting position may be one past the last key of this leaf.
-	if idx >= leaf.nkeys {
+	if idx >= slotExtent(leaf) {
 		s.advanceLeafNoPrefetch()
 	}
 	if s.leaf == nil {
@@ -116,9 +121,9 @@ func (s *Scanner) startupExternal() {
 	t := s.t
 	s.ck, s.ckIdx = t.jpLocate(s.leaf)
 	t.traceNode(LevelNone, KindChunk)
-	t.mem.PrefetchRange(s.ck.addr, t.chunkBytes())
+	t.pfChunk(s.ck)
 	if s.ck.next != nil {
-		t.mem.PrefetchRange(s.ck.next.addr, t.chunkBytes())
+		t.pfChunk(s.ck.next)
 	}
 	// The current leaf is already cached from the search; prefetch the
 	// k-1 following leaves, leaving the cursor on the last one.
@@ -148,7 +153,7 @@ func (s *Scanner) prefetchNextExternal() {
 			// Entering a new chunk: prefetch the chunk after it so it
 			// is resident before we reach it (section 3.3).
 			if ck.next != nil {
-				t.mem.PrefetchRange(ck.next.addr, t.chunkBytes())
+				t.pfChunk(ck.next)
 			}
 			continue
 		}
@@ -174,7 +179,7 @@ func (s *Scanner) startupInternal() {
 	}
 	t.traceNode(t.height-2, KindBottom)
 	if s.bn.next != nil {
-		t.mem.PrefetchRange(s.bn.next.addr, t.bottomLay.size)
+		t.pfNode(s.bn.next)
 	}
 	for i := 1; i < t.cfg.PrefetchDist; i++ {
 		s.prefetchNextInternal()
@@ -199,7 +204,7 @@ func (s *Scanner) prefetchNextInternal() {
 		bn = bn.next
 		i = 0
 		if bn.next != nil {
-			t.mem.PrefetchRange(bn.next.addr, t.bottomLay.size)
+			t.pfNode(bn.next)
 		}
 	}
 	s.bn, s.bnIdx = bn, i
@@ -212,7 +217,7 @@ func (s *Scanner) prefetchNextInternal() {
 func (s *Scanner) rangePrefetchLeaf(leaf *node) {
 	t := s.t
 	t.traceNode(t.height-1, KindLeaf)
-	t.mem.PrefetchRange(leaf.addr, t.leafLay.size)
+	t.pfNode(leaf)
 	if s.bufBytes > 0 && !t.cfg.Ablation.NoBufferPrefetch {
 		n := t.leafLay.maxKeys * fieldSize
 		if s.bufPF+n > s.bufBytes {
@@ -220,7 +225,7 @@ func (s *Scanner) rangePrefetchLeaf(leaf *node) {
 		}
 		if n > 0 {
 			t.traceNode(LevelNone, KindBuffer)
-			t.mem.PrefetchRange(s.bufAddr+uint64(s.bufPF), n)
+			s.pfBuf(s.bufPF, n)
 			s.bufPF += n
 		}
 	}
@@ -244,6 +249,9 @@ func (s *Scanner) Next(buf []TID) int {
 		s.bufBytes = len(buf) * fieldSize
 		s.bufAddr = t.space.Alloc(s.bufBytes)
 	}
+	if t.hw {
+		s.bufReal, s.bufRealBytes = bufBase(buf), len(buf)*fieldSize
+	}
 	// Prime the buffer prefetch k leaves ahead of the writer, mirroring
 	// the startup range prefetch of the leaves themselves ("we will
 	// assume that the leaf is full and prefetch the return buffer area
@@ -260,7 +268,7 @@ func (s *Scanner) Next(buf []TID) int {
 			ahead = len(buf) * fieldSize
 		}
 		t.traceNode(LevelNone, KindBuffer)
-		t.mem.PrefetchRange(s.bufAddr, ahead)
+		s.pfBuf(0, ahead)
 		s.bufPF = ahead
 	}
 
@@ -271,7 +279,11 @@ func (s *Scanner) Next(buf []TID) int {
 	for {
 		leaf := s.leaf
 		lay := t.leafLay
-		for s.idx < leaf.nkeys {
+		for s.idx < slotExtent(leaf) {
+			if !slotOccupied(leaf, s.idx) {
+				s.idx++ // skip gap slots (gapped leaves)
+				continue
+			}
 			// The boundary check touches the key line; its comparison
 			// is part of the per-tuple Copy cost (the paper's copy
 			// loop is count-driven, not a per-key binary search).
@@ -320,7 +332,7 @@ func (s *Scanner) visitLeafForScan(n *node, written int) {
 	t := s.t
 	t.traceNode(t.height-1, KindLeaf)
 	if t.cfg.Prefetch && !s.noPrefetch && t.cfg.JumpArray == JumpNone {
-		t.mem.PrefetchRange(n.addr, t.leafLay.size)
+		t.pfNode(n)
 		if s.bufBytes > 0 && !t.cfg.Ablation.NoBufferPrefetch {
 			sz := t.leafLay.maxKeys * fieldSize
 			off := written * fieldSize
@@ -329,7 +341,7 @@ func (s *Scanner) visitLeafForScan(n *node, written int) {
 			}
 			if sz > 0 {
 				t.traceNode(LevelNone, KindBuffer)
-				t.mem.PrefetchRange(s.bufAddr+uint64(off), sz)
+				s.pfBuf(off, sz)
 				t.traceNode(t.height-1, KindLeaf)
 			}
 		}
@@ -357,6 +369,9 @@ func (s *Scanner) NextPairs(buf []Pair) int {
 		s.bufBytes = len(buf) * 2 * fieldSize
 		s.bufAddr = t.space.Alloc(s.bufBytes)
 	}
+	if t.hw {
+		s.bufReal, s.bufRealBytes = pairBufBase(buf), len(buf)*2*fieldSize
+	}
 	s.bufPF = 0
 	if t.cfg.Prefetch && !s.noPrefetch && !t.cfg.Ablation.NoBufferPrefetch {
 		leaves := 1
@@ -368,7 +383,7 @@ func (s *Scanner) NextPairs(buf []Pair) int {
 			ahead = s.bufBytes
 		}
 		t.traceNode(LevelNone, KindBuffer)
-		t.mem.PrefetchRange(s.bufAddr, ahead)
+		s.pfBuf(0, ahead)
 		s.bufPF = ahead
 	}
 
@@ -377,7 +392,11 @@ func (s *Scanner) NextPairs(buf []Pair) int {
 	for {
 		leaf := s.leaf
 		lay := t.leafLay
-		for s.idx < leaf.nkeys {
+		for s.idx < slotExtent(leaf) {
+			if !slotOccupied(leaf, s.idx) {
+				s.idx++ // skip gap slots (gapped leaves)
+				continue
+			}
 			t.mem.Access(lay.keyAddr(leaf.addr, s.idx))
 			if leaf.keys[s.idx] > s.end {
 				s.done = true

@@ -5,17 +5,30 @@ package core
 // field is read. The per-node visit overhead is charged here.
 func (t *Tree) visit(n *node) {
 	if t.cfg.Prefetch {
-		t.mem.PrefetchRange(n.addr, t.lay(n).size)
+		t.pfNode(n)
 	}
 	t.mem.Access(n.addr) // keynum
 	t.mem.Compute(t.cost.Visit)
 }
 
-// searchKeys performs a binary search for key over n's keys, touching
-// the line of every probed key and charging one comparison per probe.
-// It returns the number of keys <= key (the upper bound), and whether
-// an exact match exists.
+// searchKeys finds key within n. It returns the number of entries
+// <= key (the upper bound), and whether an exact match exists: on a
+// hit, ub-1 is the position of the match. For a gapped leaf the
+// positions are slot indices; the same contract holds because gap
+// slots duplicate their right neighbor. The search itself is either
+// the classic probe-per-key binary search or, with BranchlessSearch,
+// an unrolled data-parallel pass over the key array.
 func (t *Tree) searchKeys(n *node, key Key) (ub int, found bool) {
+	if n.occ != nil {
+		return t.searchKeysGapped(n, key)
+	}
+	if t.cfg.BranchlessSearch {
+		lb := t.lowerBoundBranchless(n, key, n.nkeys)
+		if lb < n.nkeys && n.keys[lb] == key {
+			return lb + 1, true
+		}
+		return lb, false
+	}
 	lay := t.lay(n)
 	lo, hi := 0, n.nkeys // invariant: keys[:lo] <= key < keys[hi:]
 	for lo < hi {
@@ -32,6 +45,41 @@ func (t *Tree) searchKeys(n *node, key Key) (ub int, found bool) {
 		}
 	}
 	return lo, false
+}
+
+// lowerBoundBranchless returns the first position in [0, limit)
+// whose key is >= key (limit if none) without a single
+// data-dependent branch: the count of keys < key is accumulated with
+// unrolled 8-wide compare-and-add blocks, each comparison a
+// subtract-and-shift. The pass reads the key array strictly
+// left-to-right, so it costs one ranged access plus one compare
+// charge per block rather than a probe per key.
+func (t *Tree) lowerBoundBranchless(n *node, key Key, limit int) int {
+	if limit <= 0 {
+		return 0
+	}
+	t.mem.AccessRange(t.lay(n).keyAddr(n.addr, 0), limit*fieldSize)
+	k := uint64(key)
+	lb, i := 0, 0
+	for ; i+8 <= limit; i += 8 {
+		s := n.keys[i : i+8 : i+8]
+		lb += int((uint64(s[0])-k)>>63) +
+			int((uint64(s[1])-k)>>63) +
+			int((uint64(s[2])-k)>>63) +
+			int((uint64(s[3])-k)>>63) +
+			int((uint64(s[4])-k)>>63) +
+			int((uint64(s[5])-k)>>63) +
+			int((uint64(s[6])-k)>>63) +
+			int((uint64(s[7])-k)>>63)
+		t.mem.Compute(t.cost.Compare)
+	}
+	for ; i < limit; i++ {
+		lb += int((uint64(n.keys[i]) - k) >> 63)
+	}
+	if i > 0 && i&7 != 0 {
+		t.mem.Compute(t.cost.Compare) // the partial tail block
+	}
+	return lb
 }
 
 // walk descends from the root to the leaf that owns key, calling rec

@@ -12,9 +12,7 @@ package core
 // capacity (e.g. make([]Pair, 0, t.Len())) to avoid reallocation.
 func (t *Tree) AppendPairs(dst []Pair) []Pair {
 	for n := t.leftmostLeaf(); n != nil; n = n.next {
-		for i := 0; i < n.nkeys; i++ {
-			dst = append(dst, Pair{Key: n.keys[i], TID: n.tids[i]})
-		}
+		dst = appendLeafPairs(dst, n)
 	}
 	return dst
 }

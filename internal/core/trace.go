@@ -31,6 +31,7 @@ const (
 // NumOps is the number of OpKind values, for dense per-op tables.
 const NumOps = 5
 
+// String names the operation the way attribution tables render it.
 func (o OpKind) String() string {
 	switch o {
 	case OpSearch:
@@ -65,6 +66,7 @@ const (
 	KindBuffer
 )
 
+// String names the node kind the way attribution tables render it.
 func (k NodeKind) String() string {
 	switch k {
 	case KindNonLeaf:
@@ -106,6 +108,7 @@ type Tracer interface {
 // skipped, so callers can stack an optional tracer on top of their own.
 type Tracers []Tracer
 
+// BeginOp fans the operation start out to every non-nil tracer.
 func (ts Tracers) BeginOp(op OpKind) {
 	for _, t := range ts {
 		if t != nil {
@@ -114,6 +117,7 @@ func (ts Tracers) BeginOp(op OpKind) {
 	}
 }
 
+// EndOp fans the operation end out to every non-nil tracer.
 func (ts Tracers) EndOp(op OpKind) {
 	for _, t := range ts {
 		if t != nil {
@@ -122,6 +126,7 @@ func (ts Tracers) EndOp(op OpKind) {
 	}
 }
 
+// Node fans the node announcement out to every non-nil tracer.
 func (ts Tracers) Node(level int, kind NodeKind) {
 	for _, t := range ts {
 		if t != nil {

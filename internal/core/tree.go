@@ -10,16 +10,16 @@ type UpdateStats struct {
 	Inserts             uint64 // total insertions
 	InsertsWithSplit    uint64 // insertions that split at least one node
 	InsertsWithNLSplit  uint64 // insertions that split a non-leaf node too
-	LeafSplits          uint64
-	NonLeafSplits       uint64
+	LeafSplits          uint64 // leaf nodes split
+	NonLeafSplits       uint64 // non-leaf nodes split (including root growth)
 	Deletes             uint64 // total deletions of present keys
 	NodeDeletes         uint64 // nodes emptied and removed
 	Redistributions     uint64 // emptied nodes refilled from a sibling
 	ChunkSplits         uint64 // external jump-pointer array chunk splits
-	ChunkRemoves        uint64
+	ChunkRemoves        uint64 // external jump-pointer array chunks emptied and removed
 	HintRepairs         uint64 // hints found stale and repaired
-	JumpPointerInserts  uint64
-	JumpPointerRemovals uint64
+	JumpPointerInserts  uint64 // leaf pointers added to the jump-pointer array
+	JumpPointerRemovals uint64 // leaf pointers removed from the jump-pointer array
 }
 
 // Tree is a B+-Tree variant over a memsys.Model. Mutating operations
@@ -35,6 +35,11 @@ type Tree struct {
 	space *memsys.AddressSpace
 	cost  CostModel
 	trc   Tracer // optional op-context tracer, nil when disabled
+
+	// hw mirrors cfg.HardwarePrefetch: prefetch charges carry real
+	// backing-array addresses and the native model issues real
+	// prefetch instructions for them (hwprefetch.go).
+	hw bool
 
 	leafLay, nlLay, bottomLay layout
 
@@ -85,6 +90,11 @@ func New(cfg Config) (*Tree, error) {
 		space: space,
 		cost:  cfg.Cost,
 		trc:   cfg.Trace,
+		hw:    cfg.HardwarePrefetch,
+	}
+	if cfg.HardwarePrefetch {
+		// Validated by withDefaults: the model is a *memsys.Native.
+		cfg.Mem.(*memsys.Native).EnableHardwarePrefetch()
 	}
 	t.leafLay, t.nlLay, t.bottomLay = layoutsFor(cfg, mc.LineSize)
 	if cfg.JumpArray == JumpExternal {

@@ -39,8 +39,8 @@ const fieldSize = 4
 
 // Pair is a <key, tupleID> pair, the unit of bulkloading and scanning.
 type Pair struct {
-	Key Key
-	TID TID
+	Key Key // index key
+	TID TID // tuple identifier the key maps to
 }
 
 // JumpArrayKind selects the range-scan prefetching structure attached
@@ -59,6 +59,7 @@ const (
 	JumpInternal
 )
 
+// String names the jump-array kind the way variant names render it.
 func (k JumpArrayKind) String() string {
 	switch k {
 	case JumpNone:
@@ -101,6 +102,34 @@ type Config struct {
 	// Prefetch enables prefetching all lines of a node before
 	// searching it, and within-leaf prefetching during scans.
 	Prefetch bool
+
+	// HardwarePrefetch makes every node prefetch issue real CPU
+	// prefetch instructions (PREFETCHT0 / PRFM PLDL1KEEP) against the
+	// node's actual backing arrays, instead of charging simulated
+	// addresses. It requires Prefetch and a *memsys.Native model: the
+	// simulated Hierarchy models its own prefetches and must never
+	// see real addresses. On builds without a prefetch stub (see
+	// memsys.HaveHardwarePrefetch) the instructions compile to
+	// no-ops; the configuration is still accepted.
+	HardwarePrefetch bool
+
+	// BranchlessSearch replaces the probe-per-key binary intra-node
+	// search with a data-parallel linear pass: an unrolled 8-wide
+	// compare-and-accumulate over the node's key array (BS-tree
+	// style). Every comparison is branch-free, so the search runs at
+	// full issue width with no mispredictions, and it touches the key
+	// array strictly left-to-right — the access pattern hardware
+	// prefetchers and HardwarePrefetch both like.
+	BranchlessSearch bool
+
+	// GappedLeaves stores leaf entries in a gapped slot array with an
+	// occupancy bitmap: splits interleave empty slots between
+	// entries, and inserts absorb into the nearest gap instead of
+	// shifting half the leaf. Gap slots duplicate the key of their
+	// nearest occupied right neighbor, keeping the slot array sorted
+	// so both the binary and the branchless search work unchanged.
+	// Non-leaf nodes stay packed.
+	GappedLeaves bool
 
 	// JumpArray selects the across-leaf scan prefetching structure.
 	// It requires Prefetch.
@@ -178,6 +207,14 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.JumpArray != JumpNone && !c.Prefetch {
 		return c, fmt.Errorf("core: jump-pointer arrays require Prefetch")
+	}
+	if c.HardwarePrefetch {
+		if !c.Prefetch {
+			return c, fmt.Errorf("core: HardwarePrefetch requires Prefetch")
+		}
+		if _, ok := c.Mem.(*memsys.Native); !ok {
+			return c, fmt.Errorf("core: HardwarePrefetch requires a *memsys.Native model (the simulated hierarchy must never see real addresses)")
+		}
 	}
 	mc := c.Mem.Config()
 	if c.PrefetchDist == 0 {

@@ -60,6 +60,44 @@ func TestGoldenFiguresScale01(t *testing.T) {
 	}
 }
 
+// TestGoldenUnaffectedByHardwarePrefetch pins the PR-9 separation: the
+// hardware prefetch stubs are compiled into this test binary, and this
+// test actively exercises them (a native run with HardwarePrefetch
+// trees issuing real PREFETCHT0/PRFM where the build has a stub) in
+// between two regenerations of a simulated figure. Both regenerations
+// must be byte-identical to each other and to the committed golden —
+// real prefetch instructions are invisible to the simulated hierarchy.
+func TestGoldenUnaffectedByHardwarePrefetch(t *testing.T) {
+	golden, err := os.ReadFile("../../results_scale0.1.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() []byte {
+		tables, err := Run("fig2", DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, tb := range tables {
+			tb.Fprint(&buf)
+		}
+		return buf.Bytes()
+	}
+
+	before := render()
+	if _, err := RunNative(Options{Scale: 0.001, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := render()
+
+	if !bytes.Equal(before, after) {
+		t.Errorf("fig2 output changed across a hardware-prefetch native run")
+	}
+	if !bytes.Contains(golden, before) {
+		t.Errorf("fig2 output not byte-identical to results_scale0.1.txt;\nregenerated:\n%s", truncateFor(t, before))
+	}
+}
+
 // truncateFor bounds a failure dump to something readable.
 func truncateFor(t *testing.T, b []byte) []byte {
 	t.Helper()

@@ -1,0 +1,170 @@
+package exp
+
+// Native wall-clock measurement: unlike every other experiment in this
+// package, RunNative times real hardware, not the simulated hierarchy.
+// It runs the serving layer's point-lookup shape (bulkloaded tree,
+// uniform random probes) on the zero-cost native model across the four
+// combinations of hardware prefetch x branchless intra-node search,
+// reporting ns/op and — from a separate counted pass — the prefetch
+// instructions issued per lookup.
+//
+// Numbers are machine-dependent by design; pbench attaches them to the
+// RunSet under a separate "native" key so the simulated experiment
+// output (and the goldens pinned on it) is byte-identical whether or
+// not a native report rides along.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pbtree/internal/core"
+	"pbtree/internal/memsys"
+	"pbtree/internal/workload"
+)
+
+// NativeVariant is one measured configuration of the native benchmark.
+type NativeVariant struct {
+	Name             string  `json:"name"`
+	HardwarePrefetch bool    `json:"hardware_prefetch"`
+	Branchless       bool    `json:"branchless"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	// PrefetchesPerOp counts prefetch instruction slots per lookup
+	// (measured on a counted model over the same workload; in hardware
+	// mode each is a real PREFETCHT0/PRFM, otherwise a no-op).
+	PrefetchesPerOp float64 `json:"prefetches_per_op"`
+	// DeltaVsBasePct is the ns/op change relative to the first
+	// (baseline) variant: negative means faster.
+	DeltaVsBasePct float64 `json:"delta_vs_base_pct"`
+}
+
+// NativeReport is the wall-clock section pbench -native attaches to a
+// RunSet. All fields describe the machine the benchmark actually ran
+// on; HardwareStub records whether this build issues real prefetch
+// instructions (false on ports without an assembly stub, where the
+// hardware-prefetch variants measure pure call overhead).
+type NativeReport struct {
+	GOARCH       string          `json:"goarch"`
+	GOOS         string          `json:"goos"`
+	HardwareStub bool            `json:"hardware_stub"`
+	Keys         int             `json:"keys"`
+	Ops          int             `json:"ops"`
+	Width        int             `json:"width"`
+	Variants     []NativeVariant `json:"variants"`
+}
+
+// nativeCombos are the four measured configurations, baseline first.
+var nativeCombos = []struct {
+	name           string
+	hw, branchless bool
+}{
+	{"base", false, false},
+	{"hw-prefetch", true, false},
+	{"branchless", false, true},
+	{"hw-prefetch+branchless", true, true},
+}
+
+// RunNative measures wall-clock point-lookup latency at the given
+// scale (1.0 = the paper's 10M-key tree, 100K probes x 20 rounds).
+func RunNative(o Options) (NativeReport, error) {
+	rep := NativeReport{
+		GOARCH:       runtime.GOARCH,
+		GOOS:         runtime.GOOS,
+		HardwareStub: memsys.HaveHardwarePrefetch,
+		Keys:         o.keys(10_000_000),
+		Ops:          o.ops(2_000_000),
+		Width:        8,
+	}
+	pairs := workload.SortedPairs(rep.Keys)
+	probes := workload.SearchKeys(o.rng(61), rep.Keys, rep.Ops)
+
+	for _, combo := range nativeCombos {
+		cfg := core.Config{
+			Width:            rep.Width,
+			Prefetch:         true,
+			HardwarePrefetch: combo.hw,
+			BranchlessSearch: combo.branchless,
+		}
+
+		// Timed pass on an uncounted model: charges are pure no-ops (or
+		// real prefetch instructions), so the loop runs at hardware speed.
+		nsPerOp, err := timeNativeLookups(cfg, memsys.NewNative(memsys.DefaultConfig()), pairs, probes)
+		if err != nil {
+			return rep, fmt.Errorf("exp: native variant %s: %w", combo.name, err)
+		}
+
+		// Counted pass on a fresh model: same tree shape and workload,
+		// so the per-op prefetch count is exact, not an estimate.
+		counted := memsys.NewNativeCounted(memsys.DefaultConfig())
+		if _, err := timeNativeLookups(cfg, counted, pairs, probes); err != nil {
+			return rep, fmt.Errorf("exp: native variant %s (counted): %w", combo.name, err)
+		}
+
+		v := NativeVariant{
+			Name:             combo.name,
+			HardwarePrefetch: combo.hw,
+			Branchless:       combo.branchless,
+			NsPerOp:          nsPerOp,
+			PrefetchesPerOp:  float64(counted.NativeStats().Prefetches) / float64(len(probes)),
+		}
+		if base := rep.Variants; len(base) > 0 && base[0].NsPerOp > 0 {
+			v.DeltaVsBasePct = 100 * (nsPerOp - base[0].NsPerOp) / base[0].NsPerOp
+		}
+		rep.Variants = append(rep.Variants, v)
+	}
+	return rep, nil
+}
+
+// timeNativeLookups bulkloads a tree for cfg on mem, warms it with one
+// pass over the probes, then times a second full pass.
+func timeNativeLookups(cfg core.Config, mem *memsys.Native, pairs []core.Pair, probes []core.Key) (float64, error) {
+	cfg.Mem = mem
+	t, err := core.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.Bulkload(pairs, 1.0); err != nil {
+		return 0, err
+	}
+	var hits int
+	for _, k := range probes { // warmup: page in the tree, settle branch predictors
+		if _, ok := t.Search(k); ok {
+			hits++
+		}
+	}
+	mem.ResetStats() // counters cover exactly the timed pass (drop bulkload + warmup)
+	start := time.Now()
+	for _, k := range probes {
+		if _, ok := t.Search(k); ok {
+			hits++
+		}
+	}
+	elapsed := time.Since(start)
+	if hits == 0 {
+		return 0, fmt.Errorf("no probe hit the tree (workload bug)")
+	}
+	return float64(elapsed.Nanoseconds()) / float64(len(probes)), nil
+}
+
+// Table formats the report as a text table in the style of the
+// simulated experiments.
+func (r NativeReport) Table() Table {
+	tb := Table{
+		ID:      "native",
+		Title:   "wall-clock point lookups, hardware prefetch x branchless search",
+		Columns: []string{"variant", "ns/op", "prefetches/op", "delta vs base"},
+		Notes: []string{
+			fmt.Sprintf("%s/%s, hardware prefetch stub compiled: %v", r.GOOS, r.GOARCH, r.HardwareStub),
+			fmt.Sprintf("%d keys, %d lookups per variant, width %d", r.Keys, r.Ops, r.Width),
+		},
+	}
+	for i, v := range r.Variants {
+		delta := "-"
+		if i > 0 {
+			delta = fmt.Sprintf("%+.1f%%", v.DeltaVsBasePct)
+		}
+		tb.AddRow(v.Name, fmt.Sprintf("%.1f", v.NsPerOp),
+			fmt.Sprintf("%.1f", v.PrefetchesPerOp), delta)
+	}
+	return tb
+}

@@ -30,12 +30,12 @@ type Config struct {
 	// L1Size and L1Assoc describe the first-level data cache
 	// (capacity in bytes, associativity in ways).
 	L1Size  int
-	L1Assoc int
+	L1Assoc int // ways of associativity in L1
 
 	// L2Size and L2Assoc describe the unified second-level cache.
 	// L2Assoc == 1 models a direct-mapped cache.
 	L2Size  int
-	L2Assoc int
+	L2Assoc int // ways of associativity in L2
 
 	// L2Latency is the cost in cycles of an L1 miss that hits in L2.
 	L2Latency uint64

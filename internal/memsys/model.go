@@ -89,6 +89,11 @@ type Native struct {
 	lineMask uint64
 	counted  bool
 
+	// hw makes Prefetch/PrefetchRange issue real prefetch
+	// instructions for the given (then real) addresses. See
+	// EnableHardwarePrefetch.
+	hw bool
+
 	accesses   atomic.Uint64
 	prefetches atomic.Uint64
 	compute    atomic.Uint64
@@ -139,8 +144,13 @@ func (n *Native) Access(addr uint64) {
 	}
 }
 
-// Prefetch records a prefetch (counted models only).
+// Prefetch issues a real prefetch instruction for addr in hardware
+// mode, and records it on counted models. Outside hardware mode it is
+// a no-op (or a bare counter increment).
 func (n *Native) Prefetch(addr uint64) {
+	if n.hw {
+		prefetchT0(uintptr(addr))
+	}
 	if n.counted {
 		n.prefetches.Add(1)
 	}
@@ -154,10 +164,17 @@ func (n *Native) AccessRange(addr uint64, size int) {
 	}
 }
 
-// PrefetchRange records one prefetch per overlapped line (counted
-// models only).
+// PrefetchRange issues one real prefetch instruction per overlapped
+// hardware (64-byte) line in hardware mode, and records one prefetch
+// per configured line on counted models.
 func (n *Native) PrefetchRange(addr uint64, size int) {
-	if n.counted && size > 0 {
+	if size <= 0 {
+		return
+	}
+	if n.hw {
+		HardwarePrefetchRange(uintptr(addr), size)
+	}
+	if n.counted {
 		n.prefetches.Add(rangeLines(addr, size, n.lineMask, n.cfg.LineSize))
 	}
 }

@@ -1,0 +1,61 @@
+package memsys
+
+// Hardware prefetch: tiny go:noescape assembly stubs (PREFETCHT0 on
+// amd64, PRFM PLDL1KEEP on arm64; see prefetch_*.s) that turn the
+// paper's software prefetches into real instructions on the native
+// model. The simulated Hierarchy never calls them — its Prefetch
+// models a prefetch; the Native model's Prefetch, once hardware mode
+// is enabled, *is* one.
+//
+// A prefetch instruction is a non-binding hint to the memory system:
+// it never faults, so the stubs are safe on any address, mapped or
+// not. That property is load-bearing here — a caller that passes a
+// simulated address by mistake wastes an instruction but cannot
+// crash.
+
+// hwLineSize is the stride of the hardware prefetch stubs. Both
+// supported targets (amd64, arm64 server cores) use 64-byte cache
+// lines; the stubs stride 64 bytes regardless of the simulated
+// Config.LineSize, because they act on the real machine.
+const hwLineSize = 64
+
+// HardwarePrefetch issues one prefetch instruction for the real cache
+// line containing addr (a no-op on builds without a stub). addr is a
+// real virtual address, e.g. uintptr(unsafe.Pointer(&x)).
+func HardwarePrefetch(addr uintptr) { prefetchT0(addr) }
+
+// HardwarePrefetchRange issues one prefetch instruction per real
+// 64-byte cache line overlapped by [addr, addr+size) (a no-op on
+// builds without a stub, or when size <= 0).
+func HardwarePrefetchRange(addr uintptr, size int) {
+	if size <= 0 {
+		return
+	}
+	first := addr &^ (hwLineSize - 1)
+	last := (addr + uintptr(size) - 1) &^ (hwLineSize - 1)
+	prefetchLines(first, int((last-first)/hwLineSize)+1)
+}
+
+// EnableHardwarePrefetch switches the native model into hardware
+// mode: Prefetch and PrefetchRange issue real prefetch instructions
+// for the addresses they are given (which must then be real virtual
+// addresses, not simulated ones). Counting, when enabled, is
+// unaffected — a counted hardware model both issues and counts.
+//
+// Hardware mode is a no-op on builds without a stub (see
+// HaveHardwarePrefetch); enabling it is still allowed so callers can
+// configure unconditionally and read HaveHardwarePrefetch for
+// reporting.
+func (n *Native) EnableHardwarePrefetch() { n.hw = true }
+
+// HardwarePrefetchEnabled reports whether the model is in hardware
+// prefetch mode.
+func (n *Native) HardwarePrefetchEnabled() bool { return n.hw }
+
+// NewNativeHW creates a zero-cost native model with hardware prefetch
+// mode enabled.
+func NewNativeHW(cfg Config) *Native {
+	n := NewNative(cfg)
+	n.EnableHardwarePrefetch()
+	return n
+}

@@ -1,0 +1,22 @@
+//go:build amd64 && !purego
+
+package memsys
+
+// HaveHardwarePrefetch reports whether this build issues real CPU
+// prefetch instructions (PREFETCHT0 on amd64, PRFM PLDL1KEEP on
+// arm64). Builds for other architectures, and builds with the purego
+// tag, compile the stubs down to no-ops and report false.
+const HaveHardwarePrefetch = true
+
+// prefetchT0 issues one PREFETCHT0 for the cache line containing addr.
+// The instruction is a non-binding hint: it never faults, so addr may
+// be any value, including an unmapped or stale address.
+//
+//go:noescape
+func prefetchT0(addr uintptr)
+
+// prefetchLines issues one PREFETCHT0 per hardware cache line for n
+// consecutive 64-byte lines starting at addr. n must be >= 1.
+//
+//go:noescape
+func prefetchLines(addr uintptr, n int)

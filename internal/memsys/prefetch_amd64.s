@@ -1,0 +1,20 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func prefetchT0(addr uintptr)
+TEXT ·prefetchT0(SB), NOSPLIT, $0-8
+	MOVQ addr+0(FP), AX
+	PREFETCHT0 (AX)
+	RET
+
+// func prefetchLines(addr uintptr, n int)
+TEXT ·prefetchLines(SB), NOSPLIT, $0-16
+	MOVQ addr+0(FP), AX
+	MOVQ n+8(FP), CX
+loop:
+	PREFETCHT0 (AX)
+	ADDQ $64, AX
+	DECQ CX
+	JNZ  loop
+	RET

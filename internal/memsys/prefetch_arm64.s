@@ -1,0 +1,20 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// func prefetchT0(addr uintptr)
+TEXT ·prefetchT0(SB), NOSPLIT, $0-8
+	MOVD addr+0(FP), R0
+	PRFM (R0), PLDL1KEEP
+	RET
+
+// func prefetchLines(addr uintptr, n int)
+TEXT ·prefetchLines(SB), NOSPLIT, $0-16
+	MOVD addr+0(FP), R0
+	MOVD n+8(FP), R1
+loop:
+	PRFM (R0), PLDL1KEEP
+	ADD  $64, R0
+	SUB  $1, R1
+	CBNZ R1, loop
+	RET

@@ -1,0 +1,15 @@
+//go:build purego || (!amd64 && !arm64)
+
+package memsys
+
+// HaveHardwarePrefetch reports whether this build issues real CPU
+// prefetch instructions (PREFETCHT0 on amd64, PRFM PLDL1KEEP on
+// arm64). Builds for other architectures, and builds with the purego
+// tag, compile the stubs down to no-ops and report false.
+const HaveHardwarePrefetch = false
+
+// prefetchT0 is a no-op on architectures without a prefetch stub.
+func prefetchT0(addr uintptr) {}
+
+// prefetchLines is a no-op on architectures without a prefetch stub.
+func prefetchLines(addr uintptr, n int) {}

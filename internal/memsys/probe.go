@@ -27,6 +27,7 @@ const (
 	EvPrefetchIssue
 )
 
+// String names the event kind the way traces render it.
 func (k EventKind) String() string {
 	switch k {
 	case EvL1Hit:
@@ -48,10 +49,10 @@ func (k EventKind) String() string {
 // every event over a run reproduces Stats.Stall exactly; counting
 // events per kind reproduces the hit/miss counters.
 type Event struct {
-	Kind  EventKind
-	Addr  uint64 // line-aligned address of the access or prefetch
-	Cycle uint64 // simulated cycle at which the event completed
-	Stall uint64 // processor stall cycles charged by this event
+	Kind  EventKind // what happened (hit level, miss, prefetch)
+	Addr  uint64    // line-aligned address of the access or prefetch
+	Cycle uint64    // simulated cycle at which the event completed
+	Stall uint64    // processor stall cycles charged by this event
 }
 
 // Probe receives the structured events of a Hierarchy. Implementations
@@ -64,6 +65,7 @@ type Probe interface {
 // so callers can stack an optional probe on top of their own.
 type Probes []Probe
 
+// MemEvent delivers e to every non-nil probe in order.
 func (ps Probes) MemEvent(e Event) {
 	for _, p := range ps {
 		if p != nil {

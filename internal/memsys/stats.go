@@ -13,8 +13,8 @@ import (
 type Stats struct {
 	Busy      uint64 // cycles spent computing (Compute + prefetch issue)
 	Stall     uint64 // cycles stalled waiting for data cache misses
-	L1Hits    uint64
-	L2Hits    uint64
+	L1Hits    uint64 // demand accesses that hit in L1
+	L2Hits    uint64 // demand accesses that missed L1 and hit L2
 	MemMisses uint64 // demand misses serviced by main memory
 	PFHits    uint64 // demand accesses satisfied by an in-flight or completed prefetch
 	Prefetch  uint64 // prefetch instructions issued
@@ -42,6 +42,7 @@ func (s Stats) Sub(t Stats) Stats {
 	}
 }
 
+// String renders the counters on one line for logs and test failures.
 func (s Stats) String() string {
 	return fmt.Sprintf("cycles=%d busy=%d stall=%d l1=%d l2=%d mem=%d pfhit=%d pf=%d",
 		s.Total(), s.Busy, s.Stall, s.L1Hits, s.L2Hits, s.MemMisses, s.PFHits, s.Prefetch)

@@ -16,7 +16,10 @@ import (
 // the Go API — the Backend contract (internal/backend, internal/lsm,
 // internal/storage) is what a new engine implements against, and the
 // repl godoc states the failover invariants operators rely on.
-// `make docs-check` gates on all of them.
+// `make docs-check` gates on all of them. The memory-model and index
+// packages joined the gate with the hardware-prefetch work: their
+// exported surface (prefetch stubs, native counters, the Config knobs)
+// is what benchmark authors program against.
 func TestExportedSymbolsDocumented(t *testing.T) {
 	for dir, pkgName := range map[string]string{
 		".":           "serve",
@@ -25,6 +28,8 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 		"../lsm":      "lsm",
 		"../storage":  "storage",
 		"../repl":     "repl",
+		"../memsys":   "memsys",
+		"../core":     "core",
 	} {
 		checkPackageDocs(t, dir, pkgName)
 	}

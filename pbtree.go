@@ -262,6 +262,17 @@ func DefaultNative() *Native { return memsys.DefaultNative() }
 // atomic event counters (accesses, prefetches, compute cycles).
 func NewNativeCounted(cfg MemConfig) *Native { return memsys.NewNativeCounted(cfg) }
 
+// NewNativeHW creates a native model in hardware prefetch mode: index
+// prefetches issue real CPU prefetch instructions (see
+// HaveHardwarePrefetch). Config.HardwarePrefetch enables the same mode
+// through tree construction.
+func NewNativeHW(cfg MemConfig) *Native { return memsys.NewNativeHW(cfg) }
+
+// HaveHardwarePrefetch reports whether this build issues real CPU
+// prefetch instructions (PREFETCHT0 on amd64, PRFM PLDL1KEEP on
+// arm64; other ports and -tags purego builds compile them to no-ops).
+const HaveHardwarePrefetch = memsys.HaveHardwarePrefetch
+
 // DefaultCostModel returns the calibrated instruction cost model.
 func DefaultCostModel() CostModel { return core.DefaultCostModel() }
 

@@ -1,0 +1,104 @@
+#!/bin/sh
+# Native prefetch benchmark: the PR-9 hardware matrix. Measures the
+# oltp-point serving scenario against pbtree-server across the four
+# combinations of hardware prefetch x branchless intra-node search,
+# then appends pbench's in-process native report (ns/op per lookup and
+# prefetch instructions issued per op) for the same four combos.
+# Writes the file named by $1 (default BENCH_native.json) as
+# {"server": {"<combo>": <loadgen report>, ...}, "inprocess": <RunSet>}.
+#
+# Tunables (env): KEYS (preloaded key space, default 1000000), DURATION
+# (per combo, default 5s), CONNS (default 4), WINDOW (default 8), SCALE
+# (pbench -native scale, default 0.1). CI runs a short DURATION pass as
+# a smoke gate; EXPERIMENTS.md records a full run.
+set -eu
+
+out=${1:-BENCH_native.json}
+keys="${KEYS:-1000000}"
+duration="${DURATION:-5s}"
+conns="${CONNS:-4}"
+window="${WINDOW:-8}"
+scale="${SCALE:-0.1}"
+combos="base hw-prefetch branchless hw-prefetch+branchless"
+tmp=$(mktemp -d)
+port=$((19000 + $$ % 1000))
+addr="127.0.0.1:$port"
+
+cleanup() {
+    [ -n "${srv:-}" ] && kill "$srv" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/pbtree-server" ./cmd/pbtree-server
+go build -o "$tmp/pbtree-loadgen" ./cmd/pbtree-loadgen
+go build -o "$tmp/pbench" ./cmd/pbench
+
+wait_reachable() {
+    ok=0
+    for _ in $(seq 1 50); do
+        if "$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns 1 \
+            -duration 100ms >/dev/null 2>&1; then
+            ok=1
+            break
+        fi
+        kill -0 "$srv" 2>/dev/null || { echo "bench-native: server died:"; cat "$tmp/server.log"; exit 1; }
+        sleep 0.2
+    done
+    [ "$ok" = 1 ] || { echo "bench-native: server never became reachable"; cat "$tmp/server.log"; exit 1; }
+}
+
+combo_flags() {
+    case "$1" in
+    base) echo "" ;;
+    hw-prefetch) echo "-hw-prefetch" ;;
+    branchless) echo "-branchless" ;;
+    hw-prefetch+branchless) echo "-hw-prefetch -branchless" ;;
+    esac
+}
+
+for combo in $combos; do
+    # shellcheck disable=SC2086 # flag list is intentionally word-split
+    "$tmp/pbtree-server" -addr "$addr" -keys "$keys" $(combo_flags "$combo") \
+        >"$tmp/server.log" 2>&1 &
+    srv=$!
+    wait_reachable
+    echo "bench-native: oltp-point / $combo ($duration)"
+    "$tmp/pbtree-loadgen" -addr "$addr" -keys "$keys" -conns "$conns" \
+        -window "$window" -duration "$duration" -scenario oltp-point \
+        >"$tmp/$combo.json"
+    kill -TERM "$srv"
+    wait "$srv" || true
+    srv=
+done
+
+echo "bench-native: in-process pbench -native (scale $scale)"
+"$tmp/pbench" -fig none -native -json -scale "$scale" >"$tmp/inprocess.json"
+
+{
+    printf '{\n"server": {'
+    sep=
+    for combo in $combos; do
+        printf '%s\n"%s":\n' "$sep" "$combo"
+        sep=,
+        cat "$tmp/$combo.json"
+    done
+    printf '},\n"inprocess":\n'
+    cat "$tmp/inprocess.json"
+    printf '}\n'
+} >"$out"
+
+# Sanity: every combo did work, and the in-process report measured all
+# four variants.
+for combo in $combos; do
+    ops=$(sed -n 's/^  "ops": \([0-9]*\),$/\1/p' "$tmp/$combo.json")
+    [ -n "$ops" ] && [ "$ops" -gt 0 ] \
+        || { echo "bench-native: $combo completed no operations"; exit 1; }
+done
+variants=$(grep -c '"ns_per_op"' "$tmp/inprocess.json" || true)
+[ "$variants" = 4 ] || { echo "bench-native: in-process report has $variants variants, want 4"; exit 1; }
+
+base=$(sed -n 's/^  "ops_per_sec": \([0-9.]*\),$/\1/p' "$tmp/base.json")
+both=$(sed -n 's/^  "ops_per_sec": \([0-9.]*\),$/\1/p' "$tmp/hw-prefetch+branchless.json")
+echo "bench-native: oltp-point ops/sec: base $base, hw-prefetch+branchless $both"
+echo "bench-native: wrote $out"
