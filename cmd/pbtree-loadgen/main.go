@@ -9,9 +9,15 @@
 //	pbtree-loadgen -addr 127.0.0.1:7070 -scenario write-burst
 //
 // -scenario selects a named workload preset (oltp-point, olap-scan,
-// write-burst, hot-key-storm, mixed-tenant) and overrides the
-// mix/skew/scanrows flags with the preset's values; the resolved
-// config is echoed in the report.
+// olap-stream, write-burst, hot-key-storm, mixed-tenant) and
+// overrides the mix/skew/scanrows flags with the preset's values; the
+// resolved config is echoed in the report.
+//
+// -stream N gives N percent of draws to a full streaming scan: the
+// worker opens a cursor (SCANOPEN), pulls -stream-rows rows in
+// -stream-chunk chunks (SCANNEXT), and lets exhaustion close the
+// cursor — holding at most one chunk of scan row tokens at a time
+// (PROTOCOL.md §10).
 //
 // -replicas lists read-replica addresses; connections then
 // round-robin across -addr and the replicas (the mix must be
@@ -76,27 +82,30 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pbtree-loadgen: ")
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
-		replicas = flag.String("replicas", "", "comma-separated replica addresses: connections round-robin across -addr and these (read-only mix required)")
-		conns    = flag.Int("conns", 4, "concurrent connections")
-		window   = flag.Int("window", 1, "outstanding calls per connection (pipelined when > 1)")
-		duration = flag.Duration("duration", 2*time.Second, "run length")
-		keys     = flag.Int("keys", 1_000_000, "key-space size (match the server's -keys)")
-		scen     = flag.String("scenario", "", "named workload preset (overrides the mix/skew flags): oltp-point|olap-scan|write-burst|hot-key-storm|mixed-tenant")
-		getPct   = flag.Int("get", 0, "GET percent of the mix")
-		mgetPct  = flag.Int("mget", 0, "MGET percent of the mix")
-		scanPct  = flag.Int("scan", 0, "SCAN percent of the mix")
-		putPct   = flag.Int("put", 0, "PUT percent of the mix")
-		delPct   = flag.Int("del", 0, "DEL percent of the mix")
-		batch    = flag.Int("batch", 16, "keys per MGET")
-		scanRows = flag.Int("scanrows", 100, "row limit per SCAN")
-		skew     = flag.String("skew", "uniform", "key distribution: uniform|zipf|hotset")
-		zipfS    = flag.Float64("zipf-s", 1.1, "Zipf exponent (skew=zipf)")
-		hotFrac  = flag.Float64("hot-frac", 0.01, "hot key fraction (skew=hotset)")
-		hotProb  = flag.Float64("hot-prob", 0.9, "hot traffic share (skew=hotset)")
-		seed     = flag.Int64("seed", 1, "base RNG seed (conn i uses seed+i)")
-		timeout  = flag.Duration("timeout", time.Second, "per-request deadline")
-		stageTab = flag.Bool("stage-table", false, "print the server stage-attribution table on stderr")
+		addr        = flag.String("addr", "127.0.0.1:7070", "server address")
+		replicas    = flag.String("replicas", "", "comma-separated replica addresses: connections round-robin across -addr and these (read-only mix required)")
+		conns       = flag.Int("conns", 4, "concurrent connections")
+		window      = flag.Int("window", 1, "outstanding calls per connection (pipelined when > 1)")
+		duration    = flag.Duration("duration", 2*time.Second, "run length")
+		keys        = flag.Int("keys", 1_000_000, "key-space size (match the server's -keys)")
+		scen        = flag.String("scenario", "", "named workload preset (overrides the mix/skew flags): oltp-point|olap-scan|olap-stream|write-burst|hot-key-storm|mixed-tenant")
+		getPct      = flag.Int("get", 0, "GET percent of the mix")
+		mgetPct     = flag.Int("mget", 0, "MGET percent of the mix")
+		scanPct     = flag.Int("scan", 0, "SCAN percent of the mix")
+		streamPct   = flag.Int("stream", 0, "streaming-scan percent of the mix (SCANOPEN/SCANNEXT cursors)")
+		putPct      = flag.Int("put", 0, "PUT percent of the mix")
+		delPct      = flag.Int("del", 0, "DEL percent of the mix")
+		batch       = flag.Int("batch", 16, "keys per MGET")
+		scanRows    = flag.Int("scanrows", 100, "row limit per SCAN")
+		streamRows  = flag.Int("stream-rows", 0, "target rows per streaming scan (0 = 10000)")
+		streamChunk = flag.Int("stream-chunk", 0, "rows per SCANNEXT chunk (0 = 256)")
+		skew        = flag.String("skew", "uniform", "key distribution: uniform|zipf|hotset")
+		zipfS       = flag.Float64("zipf-s", 1.1, "Zipf exponent (skew=zipf)")
+		hotFrac     = flag.Float64("hot-frac", 0.01, "hot key fraction (skew=hotset)")
+		hotProb     = flag.Float64("hot-prob", 0.9, "hot traffic share (skew=hotset)")
+		seed        = flag.Int64("seed", 1, "base RNG seed (conn i uses seed+i)")
+		timeout     = flag.Duration("timeout", time.Second, "per-request deadline")
+		stageTab    = flag.Bool("stage-table", false, "print the server stage-attribution table on stderr")
 	)
 	flag.Parse()
 
@@ -105,26 +114,29 @@ func main() {
 		reps = strings.Split(*replicas, ",")
 	}
 	rep, err := pbtree.RunLoadgen(pbtree.LoadgenConfig{
-		Addr:      *addr,
-		Replicas:  reps,
-		Scenario:  *scen,
-		Conns:     *conns,
-		Window:    *window,
-		Duration:  *duration,
-		Keys:      *keys,
-		GetPct:    *getPct,
-		MGetPct:   *mgetPct,
-		ScanPct:   *scanPct,
-		PutPct:    *putPct,
-		DelPct:    *delPct,
-		Batch:     *batch,
-		ScanLimit: *scanRows,
-		Skew:      *skew,
-		ZipfS:     *zipfS,
-		HotFrac:   *hotFrac,
-		HotProb:   *hotProb,
-		Seed:      *seed,
-		Timeout:   *timeout,
+		Addr:        *addr,
+		Replicas:    reps,
+		Scenario:    *scen,
+		Conns:       *conns,
+		Window:      *window,
+		Duration:    *duration,
+		Keys:        *keys,
+		GetPct:      *getPct,
+		MGetPct:     *mgetPct,
+		ScanPct:     *scanPct,
+		StreamPct:   *streamPct,
+		PutPct:      *putPct,
+		DelPct:      *delPct,
+		Batch:       *batch,
+		ScanLimit:   *scanRows,
+		StreamRows:  *streamRows,
+		StreamChunk: *streamChunk,
+		Skew:        *skew,
+		ZipfS:       *zipfS,
+		HotFrac:     *hotFrac,
+		HotProb:     *hotProb,
+		Seed:        *seed,
+		Timeout:     *timeout,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -91,6 +91,9 @@ func main() {
 		branchless = flag.Bool("branchless", false, "branchless data-parallel intra-node search (pbtree backend)")
 		gapped     = flag.Bool("gapped", false, "gapped leaf slot arrays with occupancy bitmaps (pbtree backend)")
 		window     = flag.Int("window", 0, "max concurrent requests per pipelined (v2) connection (0 = 32)")
+		dataPlane  = flag.String("data-plane", "pool", "execution model for pipelined requests: pool|goroutine")
+		poolSize   = flag.Int("pool", 0, "worker count of the pool data plane (0 = max(16, 4x GOMAXPROCS))")
+		cursorTmo  = flag.Duration("cursor-timeout", 0, "reclaim idle streaming-scan cursors after this long (0 = 30s, <0 = never)")
 		readTok    = flag.Int("read-tokens", 0, "admission budget for GET/MGET (0 = 4x shards)")
 		writeTok   = flag.Int("write-tokens", 0, "admission budget for PUT/DEL (0 = 2x shards)")
 		scanTok    = flag.Int("scan-row-tokens", 0, "admission budget for concurrent SCAN rows (0 = 64k)")
@@ -126,6 +129,9 @@ func main() {
 	fail := func(msg string, err error) {
 		logger.Error(msg, "err", err)
 		os.Exit(1)
+	}
+	if *dataPlane != pbtree.DataPlanePool && *dataPlane != pbtree.DataPlaneGoroutine {
+		fail("data plane", fmt.Errorf("unknown -data-plane %q (want pool or goroutine)", *dataPlane))
 	}
 
 	metrics := pbtree.NewMetrics()
@@ -225,8 +231,11 @@ func main() {
 		lc.Trace = traceFile
 	}
 	scfg := pbtree.ServerConfig{
-		Addr:   *addr,
-		Window: *window,
+		Addr:          *addr,
+		Window:        *window,
+		DataPlane:     *dataPlane,
+		PoolSize:      *poolSize,
+		CursorTimeout: *cursorTmo,
 		Admission: pbtree.AdmissionConfig{
 			ReadTokens:    *readTok,
 			WriteTokens:   *writeTok,

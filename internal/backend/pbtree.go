@@ -41,6 +41,13 @@ func ParseSeq(name, prefix, suffix string) (uint64, bool) {
 	return v, true
 }
 
+// drainSpins bounds how many scheduler yields ApplyBatch spends
+// waiting for the previous snapshot's readers before giving the tree
+// up to them. Point reads drain in a handful of yields; anything still
+// pinned after this many is a long-lived reader (a streaming-scan
+// cursor) that may hold the snapshot for seconds.
+const drainSpins = 4096
+
 // pbSnapshot is one immutable published version. Readers acquire it
 // with a refcount so the writer knows when the previous tree can be
 // recycled.
@@ -243,25 +250,35 @@ func (b *PBTree) ApplyBatch(ws []Write, version, _ uint64, ack func(error)) erro
 	// Acks fire as soon as the write is visible to new readers.
 	ack(cloneErr)
 	// Recycle the previous tree once its readers drain, replaying the
-	// batch so it catches up to the published contents.
-	for old.refs.Load() != 0 {
+	// batch so it catches up to the published contents. The drain spin
+	// is bounded: a long-lived reader (a streaming-scan cursor pinning
+	// the snapshot for seconds) must not wedge the write path, so after
+	// drainSpins yields the applier abandons the old tree to its readers
+	// — the GC reclaims it when the last Release lands — and clones the
+	// published tree into a fresh spare instead.
+	drained := true
+	for spin := 0; old.refs.Load() != 0; spin++ {
+		if spin >= drainSpins {
+			drained = false
+			break
+		}
 		runtime.Gosched()
 	}
-	recycled := old.tree
-	if compact {
+	if !drained || compact {
 		if nt, err := b.spare.CloneFrozen(b.fill); err == nil {
-			recycled = nt
-		} else {
-			// Fall back to replaying onto the old tree: contents stay
-			// correct even if the occupancy rebuild failed.
-			for _, w := range ws {
-				applyWrite(recycled, w)
-			}
+			b.spare = nt
+			return nil
 		}
-	} else {
-		for _, w := range ws {
-			applyWrite(recycled, w)
+		// Clone failed: fall back to replaying onto the old tree, which
+		// means waiting out its readers after all — contents stay
+		// correct even if the occupancy rebuild failed.
+		for old.refs.Load() != 0 {
+			runtime.Gosched()
 		}
+	}
+	recycled := old.tree
+	for _, w := range ws {
+		applyWrite(recycled, w)
 	}
 	b.spare = recycled
 	return nil

@@ -118,7 +118,99 @@ type Metrics struct {
 	dur         durabilityCounters
 	adm         admissionCounters
 	repl        replicationCounters
+	srv         serveCounters
 	publishOnce sync.Once
+}
+
+// serveCounters tracks the serving data plane: worker-pool occupancy
+// and streaming-scan cursor lifetime (DESIGN.md §15).
+type serveCounters struct {
+	poolBusy       atomic.Int64  // workers executing a request right now
+	poolQueue      atomic.Int64  // tasks submitted but not yet picked up
+	poolTasks      atomic.Uint64 // tasks executed since start
+	cursorsOpen    atomic.Int64  // streaming-scan cursors currently open
+	cursorsOpened  atomic.Uint64 // cursors ever opened
+	cursorTimeouts atomic.Uint64 // cursors reclaimed by the idle reaper
+}
+
+// ServeSnapshot is a point-in-time copy of the serving data-plane
+// counters.
+type ServeSnapshot struct {
+	PoolBusy       int64  `json:"pool_busy"`       // workers executing right now
+	PoolQueue      int64  `json:"pool_queue"`      // tasks waiting for a worker
+	PoolTasks      uint64 `json:"pool_tasks"`      // tasks executed since start
+	CursorsOpen    int64  `json:"cursors_open"`    // streaming-scan cursors open
+	CursorsOpened  uint64 `json:"cursors_opened"`  // cursors ever opened
+	CursorTimeouts uint64 `json:"cursor_timeouts"` // cursors reclaimed idle
+}
+
+// PoolEnqueue records one task entering the worker-pool queue.
+func (m *Metrics) PoolEnqueue() {
+	if m == nil {
+		return
+	}
+	m.srv.poolQueue.Add(1)
+}
+
+// PoolStart records one task leaving the queue and starting to
+// execute.
+func (m *Metrics) PoolStart() {
+	if m == nil {
+		return
+	}
+	m.srv.poolQueue.Add(-1)
+	m.srv.poolBusy.Add(1)
+	m.srv.poolTasks.Add(1)
+}
+
+// PoolDone records one task finishing execution.
+func (m *Metrics) PoolDone() {
+	if m == nil {
+		return
+	}
+	m.srv.poolBusy.Add(-1)
+}
+
+// CursorOpened records one streaming-scan cursor opening.
+func (m *Metrics) CursorOpened() {
+	if m == nil {
+		return
+	}
+	m.srv.cursorsOpen.Add(1)
+	m.srv.cursorsOpened.Add(1)
+}
+
+// CursorClosed records one streaming-scan cursor closing (client
+// close, exhaustion, connection teardown, or reaper timeout).
+func (m *Metrics) CursorClosed() {
+	if m == nil {
+		return
+	}
+	m.srv.cursorsOpen.Add(-1)
+}
+
+// CursorTimedOut records one cursor reclaimed by the idle reaper (the
+// reaper also calls CursorClosed for it).
+func (m *Metrics) CursorTimedOut() {
+	if m == nil {
+		return
+	}
+	m.srv.cursorTimeouts.Add(1)
+}
+
+// Serve snapshots the serving data-plane counters.
+func (m *Metrics) Serve() ServeSnapshot {
+	if m == nil {
+		return ServeSnapshot{}
+	}
+	return ServeSnapshot{
+		PoolBusy:       m.srv.poolBusy.Load(),
+		PoolQueue:      m.srv.poolQueue.Load(),
+		PoolTasks:      m.srv.poolTasks.Load(),
+		CursorsOpen:    m.srv.cursorsOpen.Load(),
+		CursorsOpened:  m.srv.cursorsOpened.Load(),
+		CursorTimeouts: m.srv.cursorTimeouts.Load(),
+	}
 }
 
 // AdmissionClass indexes the serving layer's per-op-class admission
@@ -531,6 +623,24 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	sv := m.Serve()
+	for _, c := range []struct {
+		name, help, typ string
+		v               int64
+	}{
+		{"pbtree_pool_workers_busy", "Worker-pool workers executing a request.", "gauge", sv.PoolBusy},
+		{"pbtree_pool_queue_depth", "Worker-pool tasks waiting for a worker.", "gauge", sv.PoolQueue},
+		{"pbtree_pool_tasks_total", "Worker-pool tasks executed.", "counter", int64(sv.PoolTasks)},
+		{"pbtree_scan_cursors_open", "Streaming-scan cursors currently open.", "gauge", sv.CursorsOpen},
+		{"pbtree_scan_cursors_opened_total", "Streaming-scan cursors ever opened.", "counter", int64(sv.CursorsOpened)},
+		{"pbtree_scan_cursor_timeouts_total", "Streaming-scan cursors reclaimed idle.", "counter", int64(sv.CursorTimeouts)},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			c.name, c.help, c.name, c.typ, c.name, c.v); err != nil {
+			return err
+		}
+	}
+
 	r := m.Replication()
 	for _, c := range []struct {
 		name, help string
@@ -598,6 +708,7 @@ func (m *Metrics) PublishExpvar(name string) {
 			out["admission"] = adm
 			out["durability"] = m.Durability()
 			out["replication"] = m.Replication()
+			out["serve"] = m.Serve()
 			stages := map[string]map[string]expvarSnapshot{}
 			for _, op := range stageOps {
 				perOp := map[string]expvarSnapshot{}

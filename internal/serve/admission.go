@@ -27,8 +27,10 @@ type AdmissionConfig struct {
 	WriteTokens int
 
 	// ScanRowTokens bounds the total rows of concurrently executing
-	// SCANs: a SCAN holds Limit tokens while it runs, so its admission
-	// cost scales with the work it may do. Zero selects 64k rows.
+	// scan work: a monolithic SCAN holds Limit tokens while it runs,
+	// and a streaming SCANNEXT holds its chunk's Max tokens only while
+	// that chunk executes — between chunks a cursor holds none. Zero
+	// selects 64k rows.
 	ScanRowTokens int
 
 	// RetryAfterRead/Write/Scan are the backoff hints sent with
@@ -63,14 +65,17 @@ func (c AdmissionConfig) withDefaults(shards, window int, baseRetry time.Duratio
 }
 
 // opClass maps a wire op onto its admission class; control-plane ops
-// (STATS, HELLO) return false and bypass admission entirely.
+// (STATS, HELLO, SCANCLOSE) return false and bypass admission
+// entirely. SCANCLOSE is deliberately unmetered: releasing resources
+// must never be turned away by an exhausted budget, or an overloaded
+// server could wedge itself holding cursors it refuses to let go.
 func opClass(op Op) (obs.AdmissionClass, bool) {
 	switch op {
 	case OpGet, OpMGet:
 		return obs.AdmRead, true
 	case OpPut, OpDel:
 		return obs.AdmWrite, true
-	case OpScan:
+	case OpScan, OpScanOpen, OpScanNext:
 		return obs.AdmScan, true
 	}
 	return 0, false
@@ -122,12 +127,18 @@ func newAdmission(cfg AdmissionConfig, metrics *obs.Metrics) *admission {
 }
 
 // cost is the token price of a request: one per cheap op, the
-// requested row limit per SCAN. The limit is the pre-execution upper
-// bound of the scan's work; tokens are released when the response is
-// ready, whatever the scan actually returned.
+// requested row limit per monolithic SCAN, and one chunk's row budget
+// per SCANNEXT. The streaming ops are what make big scans cheap to
+// admit: a cursor holds zero row tokens between chunks, so a 1M-row
+// stream never occupies more of the scan budget than its chunk size
+// (PROTOCOL.md §10.4). Tokens are released when the response is
+// ready, whatever the op actually returned.
 func cost(req *Request) int64 {
-	if req.Op == OpScan {
+	switch req.Op {
+	case OpScan:
 		return int64(req.Limit)
+	case OpScanNext:
+		return int64(req.Max)
 	}
 	return 1
 }

@@ -422,3 +422,107 @@ func (c *Client) Stats() ([]byte, error) {
 	}
 	return rs.Stats, nil
 }
+
+// ScanOpen registers a streaming-scan cursor over [start, end] on the
+// server and returns its ID (PROTOCOL.md §10). The cursor pins a
+// snapshot of every shard until ScanClose, exhaustion, connection
+// close, or the server's idle timeout.
+func (c *Client) ScanOpen(start, end core.Key) (uint64, error) {
+	rs, err := c.call(&Request{Op: OpScanOpen, Start: start, End: end})
+	if err != nil {
+		return 0, err
+	}
+	if err := statusErr(rs); err != nil {
+		return 0, err
+	}
+	if rs.Cursor == 0 {
+		return 0, fmt.Errorf("serve: SCANOPEN answered no cursor")
+	}
+	return rs.Cursor, nil
+}
+
+// ScanNext pulls the next chunk of up to maxRows rows from a cursor.
+// done reports that the scan is exhausted, in which case the server
+// has already closed the cursor. A cursor the server no longer knows
+// (closed, exhausted, or reaped idle) errors with ErrCursorGone.
+func (c *Client) ScanNext(cursor uint64, maxRows int) (rows []core.Pair, done bool, err error) {
+	rs, err := c.call(&Request{Op: OpScanNext, Cursor: cursor, Max: uint32(maxRows)})
+	if err != nil {
+		return nil, false, err
+	}
+	if rs.Status == StatusNotFound {
+		return nil, false, ErrCursorGone
+	}
+	if err := statusErr(rs); err != nil {
+		return nil, false, err
+	}
+	if !rs.ScanChunk {
+		return nil, false, fmt.Errorf("serve: SCANNEXT answered a non-chunk payload")
+	}
+	return rs.Pairs, rs.ScanDone, nil
+}
+
+// ScanClose releases a cursor. Closing a cursor the server no longer
+// knows errors with ErrCursorGone — harmless after an exhausted scan,
+// meaningful after an idle timeout.
+func (c *Client) ScanClose(cursor uint64) error {
+	rs, err := c.call(&Request{Op: OpScanClose, Cursor: cursor})
+	if err != nil {
+		return err
+	}
+	if rs.Status == StatusNotFound {
+		return ErrCursorGone
+	}
+	return statusErr(rs)
+}
+
+// ErrCursorGone reports a streaming-scan op against a cursor the
+// server no longer holds: never opened, already closed, exhausted, or
+// reclaimed by the idle reaper.
+var ErrCursorGone = errors.New("serve: scan cursor gone")
+
+// StreamScan runs a whole streaming scan: it opens a cursor over
+// [start, end], pulls chunks of chunkRows, calls yield for each, and
+// closes the cursor (also on error or when yield returns false). It
+// retries chunk-level StatusRetry rejections after the server's hint,
+// so a stream survives transient scan-budget exhaustion.
+func (c *Client) StreamScan(start, end core.Key, chunkRows int, yield func(rows []core.Pair) bool) error {
+	cur, err := c.ScanOpen(start, end)
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			c.ScanClose(cur)
+		}
+	}()
+	for {
+		rows, done, err := c.ScanNext(cur, chunkRows)
+		var retry *RetryError
+		if errors.As(err, &retry) {
+			time.Sleep(retry.After)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if len(rows) > 0 && !yield(rows) {
+			return c.closeOnce(cur, &closed)
+		}
+		if done {
+			closed = true
+			return nil
+		}
+	}
+}
+
+// closeOnce closes cur and marks it closed, tolerating a cursor the
+// server already reclaimed.
+func (c *Client) closeOnce(cur uint64, closed *bool) error {
+	*closed = true
+	if err := c.ScanClose(cur); err != nil && !errors.Is(err, ErrCursorGone) {
+		return err
+	}
+	return nil
+}

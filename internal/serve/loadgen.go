@@ -48,20 +48,29 @@ type LoadgenConfig struct {
 	// reproducible from its report alone.
 	Duration time.Duration `json:"duration_ns"`
 
-	// GetPct, MGetPct, ScanPct, PutPct, DelPct set the operation mix in
-	// percent; they must sum to at most 100 and the remainder goes to
-	// GET. All zero selects 80/10/5/5/0.
-	GetPct  int `json:"get_pct"`  // GET share (also absorbs the remainder)
-	MGetPct int `json:"mget_pct"` // MGET share
-	ScanPct int `json:"scan_pct"` // SCAN share
-	PutPct  int `json:"put_pct"`  // PUT share
-	DelPct  int `json:"del_pct"`  // DEL share
+	// GetPct, MGetPct, ScanPct, StreamPct, PutPct, DelPct set the
+	// operation mix in percent; they must sum to at most 100 and the
+	// remainder goes to GET. All zero selects 80/10/5/0/5/0.
+	GetPct    int `json:"get_pct"`    // GET share (also absorbs the remainder)
+	MGetPct   int `json:"mget_pct"`   // MGET share
+	ScanPct   int `json:"scan_pct"`   // SCAN share
+	StreamPct int `json:"stream_pct"` // streaming-scan share (one full SCANOPEN→SCANNEXT*→close per draw)
+	PutPct    int `json:"put_pct"`    // PUT share
+	DelPct    int `json:"del_pct"`    // DEL share
 
 	// Batch is the MGET batch size. Zero selects 16.
 	Batch int `json:"batch"`
 
 	// ScanLimit is the SCAN row limit. Zero selects 100.
 	ScanLimit int `json:"scan_limit"`
+
+	// StreamRows is how many rows one streaming scan targets. Zero
+	// selects 10_000.
+	StreamRows int `json:"stream_rows"`
+
+	// StreamChunk is the SCANNEXT chunk size of a streaming scan. Zero
+	// selects 256.
+	StreamChunk int `json:"stream_chunk"`
 
 	// Keys is the preloaded key-space size n (keys of SortedPairs(n)).
 	// Zero selects 100_000.
@@ -92,10 +101,11 @@ type LoadgenConfig struct {
 // through to the regular defaulting, so presets only pin what defines
 // them.
 type scenario struct {
-	get, mget, scan, put, del int
-	skew                      string
-	scanLimit                 int
-	hotFrac, hotProb          float64
+	get, mget, scan, stream, put, del int
+	skew                              string
+	scanLimit                         int
+	streamRows, streamChunk           int
+	hotFrac, hotProb                  float64
 }
 
 // scenarios are the named workloads of the benchmark matrix. Each is
@@ -113,6 +123,10 @@ var scenarios = map[string]scenario{
 	"hot-key-storm": {get: 95, put: 5, skew: "hotset", hotFrac: 0.001, hotProb: 0.99},
 	// A realistic multi-tenant blend with every op class represented.
 	"mixed-tenant": {get: 50, mget: 15, scan: 10, put: 20, del: 5, skew: "zipf"},
+	// Analytics over streaming cursors: big ranges pulled chunk by
+	// chunk (SCANOPEN/SCANNEXT), point reads riding alongside — the
+	// workload the per-chunk admission contract exists for.
+	"olap-stream": {get: 20, mget: 10, stream: 70, skew: "uniform", streamRows: 10_000, streamChunk: 256},
 }
 
 // ScenarioNames lists the named workload presets, sorted.
@@ -132,10 +146,16 @@ func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
 		if !ok {
 			return c, fmt.Errorf("serve: unknown scenario %q (want one of %v)", c.Scenario, ScenarioNames())
 		}
-		c.GetPct, c.MGetPct, c.ScanPct, c.PutPct, c.DelPct = s.get, s.mget, s.scan, s.put, s.del
+		c.GetPct, c.MGetPct, c.ScanPct, c.StreamPct, c.PutPct, c.DelPct = s.get, s.mget, s.scan, s.stream, s.put, s.del
 		c.Skew = s.skew
 		if s.scanLimit != 0 {
 			c.ScanLimit = s.scanLimit
+		}
+		if s.streamRows != 0 {
+			c.StreamRows = s.streamRows
+		}
+		if s.streamChunk != 0 {
+			c.StreamChunk = s.streamChunk
 		}
 		if s.hotFrac != 0 {
 			c.HotFrac = s.hotFrac
@@ -156,12 +176,12 @@ func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
 	if c.Duration == 0 {
 		c.Duration = 2 * time.Second
 	}
-	if c.GetPct == 0 && c.MGetPct == 0 && c.ScanPct == 0 && c.PutPct == 0 && c.DelPct == 0 {
+	if c.GetPct == 0 && c.MGetPct == 0 && c.ScanPct == 0 && c.StreamPct == 0 && c.PutPct == 0 && c.DelPct == 0 {
 		c.GetPct, c.MGetPct, c.ScanPct, c.PutPct = 80, 10, 5, 5
 	}
-	sum := c.GetPct + c.MGetPct + c.ScanPct + c.PutPct + c.DelPct
-	if sum > 100 || c.GetPct < 0 || c.MGetPct < 0 || c.ScanPct < 0 || c.PutPct < 0 || c.DelPct < 0 {
-		return c, fmt.Errorf("serve: op mix %d/%d/%d/%d/%d invalid", c.GetPct, c.MGetPct, c.ScanPct, c.PutPct, c.DelPct)
+	sum := c.GetPct + c.MGetPct + c.ScanPct + c.StreamPct + c.PutPct + c.DelPct
+	if sum > 100 || c.GetPct < 0 || c.MGetPct < 0 || c.ScanPct < 0 || c.StreamPct < 0 || c.PutPct < 0 || c.DelPct < 0 {
+		return c, fmt.Errorf("serve: op mix %d/%d/%d/%d/%d/%d invalid", c.GetPct, c.MGetPct, c.ScanPct, c.StreamPct, c.PutPct, c.DelPct)
 	}
 	c.GetPct += 100 - sum
 	if c.Batch == 0 {
@@ -169,6 +189,15 @@ func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
 	}
 	if c.ScanLimit == 0 {
 		c.ScanLimit = 100
+	}
+	if c.StreamRows == 0 {
+		c.StreamRows = 10_000
+	}
+	if c.StreamChunk == 0 {
+		c.StreamChunk = 256
+	}
+	if c.StreamChunk > MaxScanChunk {
+		return c, fmt.Errorf("serve: stream chunk %d exceeds %d", c.StreamChunk, MaxScanChunk)
 	}
 	if c.Keys == 0 {
 		c.Keys = 100_000
@@ -411,7 +440,18 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 						var pairs []core.Pair
 						pairs, err = cl.Scan(startKey, startKey+core.Key(8*cfg.ScanLimit), cfg.ScanLimit)
 						n = uint64(len(pairs))
-					case dice < cfg.GetPct+cfg.MGetPct+cfg.ScanPct+cfg.PutPct:
+					case dice < cfg.GetPct+cfg.MGetPct+cfg.ScanPct+cfg.StreamPct:
+						// One full streaming scan per draw: the latency sample
+						// covers open → every chunk → close, rows counts what
+						// the chunks actually returned (keys are 8 apart, so
+						// the range sizes the target row count).
+						op, class = core.OpScan, obs.AdmScan
+						startKey := stream.Next()
+						err = cl.StreamScan(startKey, startKey+core.Key(8*cfg.StreamRows), cfg.StreamChunk, func(rows []core.Pair) bool {
+							n += uint64(len(rows))
+							return true
+						})
+					case dice < cfg.GetPct+cfg.MGetPct+cfg.ScanPct+cfg.StreamPct+cfg.PutPct:
 						op, class, n = core.OpInsert, obs.AdmWrite, 1
 						k := stream.Next()
 						err = cl.Put(core.Pair{Key: k, TID: core.TID(k)})

@@ -166,7 +166,7 @@ func TestLoadgenScenarios(t *testing.T) {
 		if cfg.Scenario != name {
 			t.Errorf("scenario %s: name not echoed in resolved config", name)
 		}
-		if sum := cfg.GetPct + cfg.MGetPct + cfg.ScanPct + cfg.PutPct + cfg.DelPct; sum != 100 {
+		if sum := cfg.GetPct + cfg.MGetPct + cfg.ScanPct + cfg.StreamPct + cfg.PutPct + cfg.DelPct; sum != 100 {
 			t.Errorf("scenario %s: mix sums to %d", name, sum)
 		}
 		blob, err := json.Marshal(cfg)

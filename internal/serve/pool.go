@@ -1,0 +1,84 @@
+package serve
+
+// The pool data plane (DESIGN.md §15). Instead of spawning a
+// goroutine per in-flight request — conns x Window goroutines, most
+// of them parked on admission under load — every pipelined connection
+// submits its decoded requests to one server-wide bounded worker
+// pool. Execution concurrency is then a constant the operator sizes
+// (ServerConfig.PoolSize), per-connection fairness still comes from
+// the Window slots, and the pool queue is the explicit backpressure
+// point: when every worker is busy and the queue is full, read loops
+// block in submit and stop decoding ahead.
+
+import (
+	"sync"
+	"time"
+
+	"pbtree/internal/obs"
+)
+
+// poolTask is one decoded request on its way through the worker pool,
+// carrying everything a worker needs to execute it and deliver the
+// completion to the owning connection's writer.
+type poolTask struct {
+	s       *Server
+	id      uint32       // v2 request ID
+	req     *Request     // decoded request
+	arrived time.Time    // frame arrival, for deadline checks
+	sp      *obs.Span    // lifecycle span (nil when tracing is off)
+	cs      *connCursors // owning connection's cursor set
+	out     chan<- completed
+	slot    chan struct{} // owning connection's read-ahead slot to release
+}
+
+// workerPool is the shared bounded executor of the pool data plane.
+type workerPool struct {
+	tasks   chan poolTask
+	wg      sync.WaitGroup
+	metrics *obs.Metrics
+}
+
+// newWorkerPool starts size workers over a queue of 2 x size tasks —
+// deep enough to keep workers fed across completions, shallow enough
+// that backpressure reaches the read loops quickly.
+func newWorkerPool(size int, metrics *obs.Metrics) *workerPool {
+	p := &workerPool{
+		tasks:   make(chan poolTask, 2*size),
+		metrics: metrics,
+	}
+	p.wg.Add(size)
+	for i := 0; i < size; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// submit queues one task, blocking while the queue is full — that
+// block is the backpressure that stops a connection's read loop from
+// decoding further ahead.
+func (p *workerPool) submit(t poolTask) {
+	p.metrics.PoolEnqueue()
+	p.tasks <- t
+}
+
+// worker executes tasks until the pool closes. The completion send
+// can always make progress: the connection's writer drains its
+// channel until closed even after a write error, and the read loop
+// reclaims every slot before closing it.
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		p.metrics.PoolStart()
+		t.out <- completed{t.id, t.s.handle(t.req, t.arrived, t.sp, t.cs), t.sp}
+		<-t.slot
+		p.metrics.PoolDone()
+	}
+}
+
+// close stops the workers after all queued tasks finish. The server
+// calls it only once every connection has drained, so no submit can
+// race the close.
+func (p *workerPool) close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -116,6 +116,28 @@ func TestProtocolSpecFrames(t *testing.T) {
 		"v2-repl-fenced-response": frame(AppendResponseV2(nil, 15, &Response{
 			Status: StatusFenced, FencedEpoch: 4,
 		})),
+		"v2-scanopen-request": frame(AppendRequestV2(nil, 21, &Request{
+			Op: OpScanOpen, Start: 16, End: 4096,
+		})),
+		"v2-scanopen-ok-response": frame(AppendResponseV2(nil, 21, &Response{
+			Status: StatusOK, Cursor: 1,
+		})),
+		"v2-scannext-request": frame(AppendRequestV2(nil, 22, &Request{
+			Op: OpScanNext, Cursor: 1, Max: 2,
+		})),
+		"v2-scannext-ok-response": frame(AppendResponseV2(nil, 22, &Response{
+			Status: StatusOK, ScanChunk: true,
+			Pairs: []core.Pair{{Key: 16, TID: 2}, {Key: 24, TID: 3}},
+		})),
+		"v2-scannext-done-response": frame(AppendResponseV2(nil, 23, &Response{
+			Status: StatusOK, ScanChunk: true, ScanDone: true,
+			Pairs: []core.Pair{{Key: 32, TID: 4}},
+		})),
+		"v2-scanclose-request": frame(AppendRequestV2(nil, 24, &Request{
+			Op: OpScanClose, Cursor: 1,
+		})),
+		"v2-scanclose-ok-response": frame(AppendResponseV2(nil, 24,
+			&Response{Status: StatusOK})),
 	}
 
 	for name, wantBytes := range want {
@@ -170,6 +192,7 @@ func TestProtocolSpecLimits(t *testing.T) {
 		{"MaxFrame", MaxFrame},
 		{"MaxMGetKeys", MaxMGetKeys},
 		{"MaxScanRows", MaxScanRows},
+		{"MaxScanChunk", MaxScanChunk},
 		{"MaxReplBytes", MaxReplBytes},
 		{"MaxReplShards", MaxReplShards},
 		{"max error text", maxErrLen},

@@ -1,0 +1,137 @@
+package serve
+
+// Streaming-scan cursors (PROTOCOL.md §10, DESIGN.md §15). A
+// StoreCursor pins one refcounted snapshot per shard at open and
+// serves the merged key range in bounded chunks, so a scan of any
+// size holds admission tokens only while a chunk executes. The pinned
+// snapshots are exactly the isolation a monolithic SCAN gets — each
+// shard's view is frozen at open — paid for with snapshot lifetime
+// instead of row tokens.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pbtree/internal/backend"
+	"pbtree/internal/core"
+)
+
+// cursorRefill is how many rows a shard run is refilled with at a
+// time. Larger than the common chunk size so most SCANNEXTs are
+// served from buffered rows without touching the backend.
+const cursorRefill = 1024
+
+// cursorRun is one shard's slice of the merged stream: a buffered run
+// plus the key to resume the shard's backend scan from.
+type cursorRun struct {
+	snap backend.Snapshot
+	buf  []core.Pair // undelivered rows, sorted
+	pos  int         // next undelivered row in buf
+	next core.Key    // resume key for the next backend refill
+	done bool        // the shard has no rows left in [next, end]
+}
+
+// StoreCursor is a server-side streaming scan over [start, end]. It
+// is created by Store.OpenCursor, driven by Next, and must be closed
+// exactly once (Close is idempotent). A cursor is safe for concurrent
+// use: SCANNEXTs racing on one cursor serialize on its mutex and each
+// receives a disjoint chunk.
+type StoreCursor struct {
+	mu   sync.Mutex
+	end  core.Key
+	runs []cursorRun
+	open bool
+}
+
+// OpenCursor pins a snapshot of every shard and returns a cursor over
+// [start, end]. On a durable store it blocks until all shards have
+// recovered; a recovery error fails the open with nothing pinned.
+func (st *Store) OpenCursor(start, end core.Key) (*StoreCursor, error) {
+	for _, sh := range st.shards {
+		if err := sh.waitReady(); err != nil {
+			return nil, fmt.Errorf("serve: shard %d unavailable: %w", sh.idx, err)
+		}
+	}
+	c := &StoreCursor{end: end, runs: make([]cursorRun, len(st.shards)), open: true}
+	for i, sh := range st.shards {
+		c.runs[i] = cursorRun{snap: sh.be.Snapshot(), next: start}
+	}
+	return c, nil
+}
+
+// refill loads the next batch of rows for run i. Keys are unique per
+// shard, so resuming from lastKey+1 never duplicates or skips a row.
+func (c *StoreCursor) refill(i int) {
+	r := &c.runs[i]
+	if r.done || r.pos < len(r.buf) {
+		return
+	}
+	want := max(cursorRefill, 1)
+	r.buf = r.snap.Scan(r.next, c.end, want)
+	r.pos = 0
+	if len(r.buf) < want {
+		// The backend returned everything left in [next, end].
+		r.done = true
+		return
+	}
+	last := r.buf[len(r.buf)-1].Key
+	if last >= c.end || last == math.MaxUint32 {
+		r.done = true
+		return
+	}
+	r.next = last + 1
+}
+
+// Next returns up to max rows in key order, and whether the scan is
+// exhausted. After done is reported the cursor holds no buffered rows
+// but still pins its snapshots until Close.
+func (c *StoreCursor) Next(maxRows int) (rows []core.Pair, done bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.open || maxRows <= 0 {
+		return nil, true
+	}
+	rows = make([]core.Pair, 0, min(maxRows, cursorRefill))
+	for len(rows) < maxRows {
+		best := -1
+		for i := range c.runs {
+			c.refill(i)
+			r := &c.runs[i]
+			if r.pos >= len(r.buf) {
+				continue
+			}
+			if best == -1 || r.buf[r.pos].Key < c.runs[best].buf[c.runs[best].pos].Key {
+				best = i
+			}
+		}
+		if best == -1 {
+			return rows, true
+		}
+		rows = append(rows, c.runs[best].buf[c.runs[best].pos])
+		c.runs[best].pos++
+	}
+	// The chunk filled; the scan is done only if nothing is left.
+	for i := range c.runs {
+		c.refill(i)
+		if c.runs[i].pos < len(c.runs[i].buf) {
+			return rows, false
+		}
+	}
+	return rows, true
+}
+
+// Close releases every pinned snapshot. Safe to call more than once;
+// only the first call releases.
+func (c *StoreCursor) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.open {
+		return
+	}
+	c.open = false
+	for i := range c.runs {
+		c.runs[i].snap.Release()
+		c.runs[i].buf, c.runs[i].done = nil, true
+	}
+}

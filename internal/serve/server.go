@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,27 @@ type ServerConfig struct {
 	// frames and writes responses as they complete, in any order. Zero
 	// selects 32. Version-1 connections always run one at a time.
 	Window int
+
+	// DataPlane selects the execution model for pipelined connections:
+	// DataPlanePool (the default) executes requests on a shared bounded
+	// worker pool sized by PoolSize, so execution concurrency is a
+	// server-wide constant instead of conns x Window goroutines;
+	// DataPlaneGoroutine is the legacy model that spawns one goroutine
+	// per in-flight request. Both planes share the wire protocol,
+	// admission, and writer coalescing (DESIGN.md §15).
+	DataPlane string
+
+	// PoolSize is the worker count of the pool data plane. Zero selects
+	// max(16, 4 x GOMAXPROCS). Ignored by the goroutine plane.
+	PoolSize int
+
+	// CursorTimeout reclaims streaming-scan cursors (PROTOCOL.md §10)
+	// that have not seen a SCANNEXT/SCANCLOSE for this long: the
+	// snapshots they pin are released and later requests against the
+	// cursor answer StatusNotFound. Zero selects 30s; negative disables
+	// the reaper (cursors then live until closed or their connection
+	// ends).
+	CursorTimeout time.Duration
 
 	// Batch enables the cross-request Batcher for GET requests, so
 	// concurrent point lookups from different connections merge into
@@ -85,22 +107,46 @@ type Server struct {
 	ln      net.Listener
 	batcher *Batcher
 	adm     *admission
-	lc      *lifecycle // nil when lifecycle tracing is disabled
+	lc      *lifecycle  // nil when lifecycle tracing is disabled
+	pool    *workerPool // nil when DataPlane is DataPlaneGoroutine
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 
+	// Streaming-scan cursor bookkeeping: every connection's cursor set
+	// registers here so the reaper can walk them (scansrv.go).
+	curMu          sync.Mutex
+	curSets        map[*connCursors]struct{}
+	reaperStop     chan struct{}
+	cursorsOpen    atomic.Int64
+	cursorsOpened  atomic.Uint64
+	cursorTimeouts atomic.Uint64
+
 	wg      sync.WaitGroup
 	started time.Time
 
 	// Serving counters, exposed via STATS.
-	ops      [9]atomic.Uint64 // indexed by Op
+	ops      [numOps]atomic.Uint64 // indexed by Op
 	rejected atomic.Uint64
 	expired  atomic.Uint64
 	badReqs  atomic.Uint64
 	pipeline atomic.Uint64 // connections upgraded to protocol v2
 }
+
+// numOps sizes the per-op counter table (ops 1..OpScanClose).
+const numOps = int(OpScanClose) + 1
+
+// The data-plane models of ServerConfig.DataPlane.
+const (
+	// DataPlanePool executes pipelined requests on a shared bounded
+	// worker pool (pool.go).
+	DataPlanePool = "pool"
+
+	// DataPlaneGoroutine spawns one goroutine per in-flight request —
+	// the pre-pool model, kept for head-to-head benchmarks.
+	DataPlaneGoroutine = "goroutine"
+)
 
 // ServerStats is the JSON payload of a STATS response.
 type ServerStats struct {
@@ -112,6 +158,9 @@ type ServerStats struct {
 	Conns     int                    `json:"conns"`           // currently open connections
 	Pipelined uint64                 `json:"pipelined_conns"` // connections ever upgraded to protocol v2
 	Window    int                    `json:"window"`          // per-connection pipeline depth
+	DataPlane string                 `json:"data_plane"`      // execution model: "pool" or "goroutine"
+	PoolSize  int                    `json:"pool_size"`       // pool workers (0 on the goroutine plane)
+	Cursors   CursorStats            `json:"cursors"`         // streaming-scan cursor occupancy
 	Budgets   map[string]BudgetStats `json:"budgets"`         // admission occupancy per class
 	Store     StoreStats             `json:"store"`           // per-shard store counters
 	BatchGets bool                   `json:"batch_gets"`      // whether GETs ride the Batcher
@@ -146,13 +195,27 @@ func NewServer(st *Store, cfg ServerConfig) *Server {
 	if cfg.Admission.ReadTokens <= 0 && cfg.MaxInflight > 0 {
 		cfg.Admission.ReadTokens = cfg.MaxInflight
 	}
+	switch cfg.DataPlane {
+	case "":
+		cfg.DataPlane = DataPlanePool
+	case DataPlanePool, DataPlaneGoroutine:
+	default:
+		panic(fmt.Sprintf("serve: unknown data plane %q", cfg.DataPlane))
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = max(16, 4*runtime.GOMAXPROCS(0))
+	}
+	if cfg.CursorTimeout == 0 {
+		cfg.CursorTimeout = 30 * time.Second
+	}
 	cfg.Admission = cfg.Admission.withDefaults(st.Shards(), cfg.Window, cfg.RetryAfter)
 	s := &Server{
-		st:    st,
-		cfg:   cfg,
-		adm:   newAdmission(cfg.Admission, cfg.Metrics),
-		lc:    newLifecycle(cfg.Lifecycle, cfg.Metrics),
-		conns: make(map[net.Conn]struct{}),
+		st:      st,
+		cfg:     cfg,
+		adm:     newAdmission(cfg.Admission, cfg.Metrics),
+		lc:      newLifecycle(cfg.Lifecycle, cfg.Metrics),
+		conns:   make(map[net.Conn]struct{}),
+		curSets: make(map[*connCursors]struct{}),
 	}
 	return s
 }
@@ -167,6 +230,14 @@ func (s *Server) Start() error {
 	s.started = time.Now()
 	if s.cfg.Batch {
 		s.batcher = NewBatcher(s.st, s.cfg.Batcher)
+	}
+	if s.cfg.DataPlane == DataPlanePool {
+		s.pool = newWorkerPool(s.cfg.PoolSize, s.cfg.Metrics)
+	}
+	if s.cfg.CursorTimeout > 0 {
+		s.reaperStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.reapCursors()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -215,6 +286,9 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 		c.SetReadDeadline(now)
 	}
 	s.mu.Unlock()
+	if s.reaperStop != nil {
+		close(s.reaperStop)
+	}
 	err := s.ln.Close()
 
 	done := make(chan struct{})
@@ -229,6 +303,9 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 		s.mu.Unlock()
 		<-done
 		err = errors.Join(err, fmt.Errorf("serve: shutdown forced after %v", timeout))
+	}
+	if s.pool != nil {
+		s.pool.close()
 	}
 	if s.batcher != nil {
 		s.batcher.Close()
@@ -249,6 +326,8 @@ func (s *Server) serveConn(c net.Conn) {
 		delete(s.conns, c)
 		s.mu.Unlock()
 	}()
+	cs := s.registerCursors()
+	defer s.releaseCursors(cs)
 	var in, out []byte
 	var connID uint64
 	if s.lc != nil {
@@ -293,14 +372,14 @@ func (s *Server) serveConn(c net.Conn) {
 					return
 				}
 				s.pipeline.Add(1)
-				s.servePipelined(c, connID)
+				s.servePipelined(c, connID, cs)
 				return
 			}
 			// A v1-only peer, or a HELLO after traffic already flowed:
 			// stay on (or renegotiate down to) version 1.
 			resp = &Response{Status: StatusOK, Version: ProtoV1, Window: 1}
 		default:
-			resp = s.handle(req, arrived, sp)
+			resp = s.handle(req, arrived, sp, cs)
 		}
 		first = false
 		payload, err := AppendResponse(out[:0], resp)
@@ -319,62 +398,72 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 }
 
-// servePipelined runs the protocol-v2 loop: read ahead up to Window
-// frames, execute them concurrently, and write responses in completion
-// order — a slow SCAN no longer blocks the GETs queued behind it. A
-// dedicated writer goroutine serializes the response frames; workers
-// hand it (id, response) pairs over a channel.
-func (s *Server) servePipelined(c net.Conn, connID uint64) {
-	type completed struct {
-		id   uint32
-		resp *Response
-		sp   *obs.Span
-	}
-	out := make(chan completed, s.cfg.Window)
-	writerDone := make(chan struct{})
+// completed is one finished request on its way to a connection's
+// writer goroutine: the response, the v2 request ID it answers, and
+// the request's lifecycle span.
+type completed struct {
+	id   uint32
+	resp *Response
+	sp   *obs.Span
+}
+
+// connWriter serializes one connection's response frames. Responses
+// buffer through bw and flush only when no further completion is
+// waiting, so consecutive responses coalesce into one write syscall
+// under load (the flush cost lands on the request that triggered it).
+// On a write error it drains out until closed so producers never
+// block against a dead connection.
+func (s *Server) connWriter(c net.Conn, out <-chan completed, writerDone chan<- struct{}) {
+	defer close(writerDone)
 	bw := bufio.NewWriter(c)
-	go func() {
-		defer close(writerDone)
-		var buf []byte
-		for d := range out {
-			if d.sp != nil {
-				d.sp.Mark(obs.StageRespQueue)
+	var buf []byte
+	for d := range out {
+		if d.sp != nil {
+			d.sp.Mark(obs.StageRespQueue)
+		}
+		payload, err := AppendResponseV2(buf[:0], d.id, d.resp)
+		if err != nil { // response exceeded wire bounds; report instead
+			payload, _ = AppendResponseV2(buf[:0], d.id, &Response{Status: StatusErr, Err: err.Error()})
+		}
+		buf = payload
+		if err := WriteFrame(bw, payload); err != nil {
+			s.lc.drop(d.sp)
+			for d := range out {
+				s.lc.drop(d.sp)
 			}
-			payload, err := AppendResponseV2(buf[:0], d.id, d.resp)
-			if err != nil { // response exceeded wire bounds; report instead
-				payload, _ = AppendResponseV2(buf[:0], d.id, &Response{Status: StatusErr, Err: err.Error()})
-			}
-			buf = payload
-			if err := WriteFrame(bw, payload); err != nil {
-				// The connection is gone; drain so workers never block.
+			return
+		}
+		if len(out) == 0 {
+			if err := bw.Flush(); err != nil {
 				s.lc.drop(d.sp)
 				for d := range out {
 					s.lc.drop(d.sp)
 				}
 				return
 			}
-			// Flush only when no completion is waiting: consecutive
-			// responses coalesce into one syscall under load. The
-			// flush cost lands on the request that triggered it.
-			if len(out) == 0 {
-				if err := bw.Flush(); err != nil {
-					s.lc.drop(d.sp)
-					for d := range out {
-						s.lc.drop(d.sp)
-					}
-					return
-				}
-			}
-			if d.sp != nil {
-				d.sp.Mark(obs.StageWrite)
-				s.lc.finish(d.sp)
-			}
 		}
-		bw.Flush()
-	}()
+		if d.sp != nil {
+			d.sp.Mark(obs.StageWrite)
+			s.lc.finish(d.sp)
+		}
+	}
+	bw.Flush()
+}
 
+// servePipelined runs the protocol-v2 loop: read ahead up to Window
+// frames, execute them concurrently, and write responses in completion
+// order — a slow SCAN no longer blocks the GETs queued behind it. A
+// dedicated writer goroutine serializes the response frames
+// (connWriter); execution runs on the shared worker pool or, on the
+// goroutine plane, one goroutine per in-flight request (DESIGN.md §15).
+func (s *Server) servePipelined(c net.Conn, connID uint64, cs *connCursors) {
+	out := make(chan completed, s.cfg.Window)
+	writerDone := make(chan struct{})
+	go s.connWriter(c, out, writerDone)
+
+	// slots bounds this connection's read-ahead: at most Window
+	// requests in flight at once, whichever plane executes them.
 	slots := make(chan struct{}, s.cfg.Window)
-	var workers sync.WaitGroup
 	var in []byte
 	for {
 		var readStart int64
@@ -408,26 +497,35 @@ func (s *Server) servePipelined(c net.Conn, connID uint64) {
 			sp.Add(obs.StageRead, sp.StartNS()-readStart)
 			sp.Mark(obs.StageDecode)
 		}
-		// The slot bounds read-ahead: at most Window requests of this
-		// connection execute at once (decode already copied the frame,
-		// so the read buffer is free to reuse).
+		// Decode already copied the frame, so the read buffer is free
+		// to reuse; the slot wait (and, on the pool plane, the queue
+		// wait for a worker) is attributed to the admission stage by
+		// handle's first Mark.
 		slots <- struct{}{}
-		workers.Add(1)
-		go func(id uint32, req *Request, arrived time.Time, sp *obs.Span) {
-			defer workers.Done()
-			out <- completed{id, s.handle(req, arrived, sp), sp}
-			<-slots
-		}(id, req, arrived, sp)
+		if s.pool != nil {
+			s.pool.submit(poolTask{s: s, id: id, req: req, arrived: arrived, sp: sp, cs: cs, out: out, slot: slots})
+		} else {
+			go func(id uint32, req *Request, arrived time.Time, sp *obs.Span) {
+				out <- completed{id, s.handle(req, arrived, sp, cs), sp}
+				<-slots
+			}(id, req, arrived, sp)
+		}
 	}
-	workers.Wait()
+	// Reclaim every slot: this blocks until all in-flight requests of
+	// this connection have completed and released theirs, whichever
+	// plane ran them — only then is out safe to close.
+	for i := 0; i < s.cfg.Window; i++ {
+		slots <- struct{}{}
+	}
 	close(out)
 	<-writerDone
 }
 
 // handle admits and executes one decoded request. sp may be nil
 // (lifecycle tracing off); rejected and expired requests leave the
-// span's Op at OpNone so it is dropped unobserved.
-func (s *Server) handle(req *Request, arrived time.Time, sp *obs.Span) *Response {
+// span's Op at OpNone so it is dropped unobserved. cs is the owning
+// connection's streaming-scan cursor set.
+func (s *Server) handle(req *Request, arrived time.Time, sp *obs.Span, cs *connCursors) *Response {
 	// Admission: take the class's tokens or reject with its retry hint.
 	release, retryAfter, ok := s.adm.admit(req)
 	if sp != nil {
@@ -450,13 +548,15 @@ func (s *Server) handle(req *Request, arrived time.Time, sp *obs.Span) *Response
 	if sp != nil && req.Op != OpStats && req.Op != OpReplicate {
 		sp.Op = metricOpOf(req.Op)
 	}
-	return s.execute(req, sp)
+	return s.execute(req, sp, cs)
 }
 
-// metricOpOf maps wire ops onto the index-operation metrics.
+// metricOpOf maps wire ops onto the index-operation metrics. The
+// streaming-scan ops record as OpScan: each SCANNEXT is one scan-class
+// unit of work in the histograms.
 func metricOpOf(op Op) core.OpKind {
 	switch op {
-	case OpScan:
+	case OpScan, OpScanOpen, OpScanNext, OpScanClose:
 		return core.OpScan
 	case OpPut:
 		return core.OpInsert
@@ -472,7 +572,7 @@ func metricOpOf(op Op) core.OpKind {
 // by the shard writers (queue_wait, wal_append, wal_fsync, apply) via
 // the span handed into the store, so execute only advances the clock
 // past the blocking call with Touch.
-func (s *Server) execute(req *Request, sp *obs.Span) *Response {
+func (s *Server) execute(req *Request, sp *obs.Span, cs *connCursors) *Response {
 	switch req.Op {
 	case OpGet:
 		var l Lookup
@@ -508,6 +608,12 @@ func (s *Server) execute(req *Request, sp *obs.Span) *Response {
 			sp.Mark(obs.StageExec)
 		}
 		return &Response{Status: StatusOK, Pairs: pairs}
+	case OpScanOpen, OpScanNext, OpScanClose:
+		resp := s.executeScan(req, cs)
+		if sp != nil {
+			sp.Mark(obs.StageExec)
+		}
+		return resp
 	case OpPut:
 		var callStart, stamped0 int64
 		if sp != nil {
@@ -600,11 +706,15 @@ func (s *Server) statsLocked() ServerStats {
 	s.mu.Lock()
 	nconns := len(s.conns)
 	s.mu.Unlock()
-	ops := make(map[string]uint64, 8)
-	for op := OpGet; op <= OpReplicate; op++ {
+	ops := make(map[string]uint64, numOps)
+	for op := OpGet; op <= OpScanClose; op++ {
 		if n := s.ops[op].Load(); n > 0 {
 			ops[op.String()] = n
 		}
+	}
+	poolSize := 0
+	if s.cfg.DataPlane == DataPlanePool {
+		poolSize = s.cfg.PoolSize
 	}
 	return ServerStats{
 		UptimeMS:    time.Since(s.started).Milliseconds(),
@@ -615,6 +725,9 @@ func (s *Server) statsLocked() ServerStats {
 		Conns:       nconns,
 		Pipelined:   s.pipeline.Load(),
 		Window:      s.cfg.Window,
+		DataPlane:   s.cfg.DataPlane,
+		PoolSize:    poolSize,
+		Cursors:     s.cursorStats(),
 		Budgets:     s.adm.stats(),
 		Store:       s.st.Stats(),
 		BatchGets:   s.batcher != nil,

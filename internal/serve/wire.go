@@ -14,7 +14,8 @@ package serve
 //
 // Version 1 request payload:
 //
-//	op        uint8   (Get=1 MGet=2 Scan=3 Put=4 Del=5 Stats=6 Hello=7)
+//	op        uint8   (Get=1 MGet=2 Scan=3 Put=4 Del=5 Stats=6 Hello=7
+//	                   Replicate=8 ScanOpen=9 ScanNext=10 ScanClose=11)
 //	deadline  uint32  per-request deadline in ms, 0 = none
 //	...               op-specific fields, below
 //
@@ -55,6 +56,16 @@ const (
 	// a promoted follower fences its deposed primary. The sub-command
 	// is ReplReq.Kind (PROTOCOL.md §9).
 	OpReplicate Op = 8
+
+	// The streaming-scan ops (PROTOCOL.md §10): SCANOPEN registers a
+	// cursor over a pinned snapshot, SCANNEXT pulls one bounded chunk
+	// of rows (admitting only that chunk's row tokens), SCANCLOSE
+	// releases the cursor. Together they replace a monolithic SCAN for
+	// OLAP-sized ranges whose full row count would otherwise hold the
+	// scan token budget for the duration of the request.
+	OpScanOpen  Op = 9
+	OpScanNext  Op = 10
+	OpScanClose Op = 11
 )
 
 // Protocol versions. A connection starts in ProtoV1; a HELLO exchange
@@ -84,6 +95,12 @@ func (o Op) String() string {
 		return "hello"
 	case OpReplicate:
 		return "replicate"
+	case OpScanOpen:
+		return "scanopen"
+	case OpScanNext:
+		return "scannext"
+	case OpScanClose:
+		return "scanclose"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -184,6 +201,7 @@ const (
 	MaxFrame      = 16 << 20 // bytes of payload per frame
 	MaxMGetKeys   = 1 << 16  // keys per MGET / DEL, pairs per PUT
 	MaxScanRows   = 1 << 20  // row limit per SCAN
+	MaxScanChunk  = 1 << 16  // rows per SCANNEXT chunk
 	MaxReplBytes  = 1 << 20  // WAL-record / checkpoint-chunk bytes per REPLICATE frame
 	MaxReplShards = 1 << 16  // per-shard LSNs per STATUS response
 	maxErrLen     = 1 << 16  // bytes of error text per response
@@ -225,8 +243,10 @@ type Request struct {
 	DeadlineMS uint32      // 0 = no deadline
 	Keys       []core.Key  // Get (1 key), MGet, Del
 	Pairs      []core.Pair // Put
-	Start, End core.Key    // Scan
+	Start, End core.Key    // Scan, ScanOpen
 	Limit      uint32      // Scan
+	Cursor     uint64      // ScanNext, ScanClose: cursor being driven (never 0)
+	Max        uint32      // ScanNext: row budget for this chunk, in [1, MaxScanChunk]
 	MaxVersion uint8       // Hello: highest protocol version the client speaks (>= 1)
 	Repl       *ReplReq    // Replicate
 }
@@ -239,6 +259,9 @@ type Response struct {
 	Lookups      []Lookup    // Get, MGet (aligned with request keys)
 	Pairs        []core.Pair // Scan
 	Stats        []byte      // Stats (JSON)
+	Cursor       uint64      // ScanOpen: the cursor the server registered (never 0)
+	ScanChunk    bool        // ScanNext: Pairs is one streaming chunk ('N' tag, not 'P')
+	ScanDone     bool        // ScanNext: the scan is exhausted; the cursor is already closed
 	Version      uint8       // Hello: negotiated protocol version (>= 1)
 	Window       uint32      // Hello: per-connection pipeline depth the server executes
 	Repl         *ReplResp   // Replicate (StatusOK)
@@ -289,6 +312,23 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 			dst = appendU32(dst, uint32(p.Key))
 			dst = appendU32(dst, uint32(p.TID))
 		}
+	case OpScanOpen:
+		dst = appendU32(dst, uint32(r.Start))
+		dst = appendU32(dst, uint32(r.End))
+	case OpScanNext:
+		if r.Cursor == 0 {
+			return nil, fmt.Errorf("serve: SCANNEXT with cursor 0")
+		}
+		if r.Max == 0 || r.Max > MaxScanChunk {
+			return nil, fmt.Errorf("serve: SCANNEXT chunk %d outside [1, %d]", r.Max, MaxScanChunk)
+		}
+		dst = appendU64(dst, r.Cursor)
+		dst = appendU32(dst, r.Max)
+	case OpScanClose:
+		if r.Cursor == 0 {
+			return nil, fmt.Errorf("serve: SCANCLOSE with cursor 0")
+		}
+		dst = appendU64(dst, r.Cursor)
 	case OpStats:
 	case OpHello:
 		if r.MaxVersion < 1 {
@@ -471,6 +511,35 @@ func DecodeRequest(payload []byte) (*Request, error) {
 			t, _ := rd.u32()
 			r.Pairs[i] = core.Pair{Key: core.Key(k), TID: core.TID(t)}
 		}
+	case OpScanOpen:
+		var s, e uint32
+		if s, err = rd.u32(); err != nil {
+			return nil, err
+		}
+		if e, err = rd.u32(); err != nil {
+			return nil, err
+		}
+		r.Start, r.End = core.Key(s), core.Key(e)
+	case OpScanNext:
+		if r.Cursor, err = rd.u64(); err != nil {
+			return nil, err
+		}
+		if r.Cursor == 0 {
+			return nil, fmt.Errorf("serve: SCANNEXT with cursor 0")
+		}
+		if r.Max, err = rd.u32(); err != nil {
+			return nil, err
+		}
+		if r.Max == 0 || r.Max > MaxScanChunk {
+			return nil, fmt.Errorf("serve: SCANNEXT chunk %d outside [1, %d]", r.Max, MaxScanChunk)
+		}
+	case OpScanClose:
+		if r.Cursor, err = rd.u64(); err != nil {
+			return nil, err
+		}
+		if r.Cursor == 0 {
+			return nil, fmt.Errorf("serve: SCANCLOSE with cursor 0")
+		}
 	case OpStats:
 	case OpHello:
 		if r.MaxVersion, err = rd.u8(); err != nil {
@@ -568,6 +637,24 @@ func AppendResponse(dst []byte, rs *Response) ([]byte, error) {
 		dst = append(dst, 'V')
 		dst = append(dst, rs.Version)
 		dst = appendU32(dst, rs.Window)
+	case rs.ScanChunk:
+		if len(rs.Pairs) > MaxScanChunk {
+			return nil, fmt.Errorf("serve: %d chunk rows exceed %d", len(rs.Pairs), MaxScanChunk)
+		}
+		dst = append(dst, 'N')
+		if rs.ScanDone {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendU32(dst, uint32(len(rs.Pairs)))
+		for _, p := range rs.Pairs {
+			dst = appendU32(dst, uint32(p.Key))
+			dst = appendU32(dst, uint32(p.TID))
+		}
+	case rs.Cursor != 0:
+		dst = append(dst, 'C')
+		dst = appendU64(dst, rs.Cursor)
 	case rs.Lookups != nil:
 		if len(rs.Lookups) > MaxMGetKeys {
 			return nil, fmt.Errorf("serve: %d lookups exceed %d", len(rs.Lookups), MaxMGetKeys)
@@ -727,6 +814,32 @@ func DecodeResponse(payload []byte) (*Response, error) {
 			k, _ := rd.u32()
 			t, _ := rd.u32()
 			rs.Pairs[i] = core.Pair{Key: core.Key(k), TID: core.TID(t)}
+		}
+	case 'N':
+		d, err := rd.u8()
+		if err != nil {
+			return nil, err
+		}
+		if d > 1 {
+			return nil, fmt.Errorf("serve: bad scan done flag %d", d)
+		}
+		rs.ScanChunk, rs.ScanDone = true, d == 1
+		n, err := rd.count0(MaxScanChunk, 8)
+		if err != nil {
+			return nil, err
+		}
+		rs.Pairs = make([]core.Pair, n)
+		for i := range rs.Pairs {
+			k, _ := rd.u32()
+			t, _ := rd.u32()
+			rs.Pairs[i] = core.Pair{Key: core.Key(k), TID: core.TID(t)}
+		}
+	case 'C':
+		if rs.Cursor, err = rd.u64(); err != nil {
+			return nil, err
+		}
+		if rs.Cursor == 0 {
+			return nil, fmt.Errorf("serve: SCANOPEN answered cursor 0")
 		}
 	case 'S':
 		n, err := rd.u32()

@@ -525,6 +525,29 @@ const (
 	// ServeOpReplicate carries the replication sub-commands: STATUS,
 	// FETCH, SNAPFETCH and FENCE (PROTOCOL.md §9).
 	ServeOpReplicate = serve.OpReplicate
+
+	// ServeOpScanOpen registers a streaming-scan cursor over a key
+	// range (PROTOCOL.md §10).
+	ServeOpScanOpen = serve.OpScanOpen
+
+	// ServeOpScanNext pulls the next bounded chunk of rows from a
+	// streaming-scan cursor, admitting only that chunk's row tokens.
+	ServeOpScanNext = serve.OpScanNext
+
+	// ServeOpScanClose releases a streaming-scan cursor and the
+	// snapshots it pins.
+	ServeOpScanClose = serve.OpScanClose
+)
+
+// Server data-plane models (ServerConfig.DataPlane, DESIGN.md §15).
+const (
+	// DataPlanePool executes pipelined requests on a shared bounded
+	// worker pool — the default plane.
+	DataPlanePool = serve.DataPlanePool
+
+	// DataPlaneGoroutine spawns one goroutine per in-flight request —
+	// the legacy plane, kept for head-to-head benchmarks.
+	DataPlaneGoroutine = serve.DataPlaneGoroutine
 )
 
 // Wire-protocol response statuses (PROTOCOL.md §2.2).

@@ -20,6 +20,18 @@
 # default tracing on. The off run must stay within 2% of the on run
 # (and of the committed BENCH_matrix baseline on the same hardware).
 #
+# The scale_<plane>_<conns> grid is the connection-scaling sweep
+# (EXPERIMENTS.md): the same mixed load at 64/256/1024 connections
+# against the worker-pool data plane and the legacy
+# goroutine-per-request plane (-data-plane, DESIGN.md §15). The
+# comparison to read off is the admission-stage share in
+# server_stages as connections grow: the goroutine plane's execution
+# concurrency is conns x window (scheduler queueing, filed under
+# admission), the pool plane's is -pool workers.
+#
+# The streaming run drives the olap-stream scenario (70% streaming
+# scans over SCANOPEN/SCANNEXT cursors) against the pool plane.
+#
 # The single_node_reads/replica_set_reads pair is the read-scaling
 # measurement (DESIGN.md §13): the same GET-only Zipf load at the same
 # total connection count against one server, then against a
@@ -101,6 +113,35 @@ for mode in off on; do
     stop_server
 done
 
+# Connection scaling: the mixed load at growing connection counts
+# against each data plane. Window 4 keeps per-connection read-ahead
+# modest so the sweep varies exactly one thing: how many connections
+# the plane must multiplex.
+for plane in pool goroutine; do
+    "$tmp/pbtree-server" -addr "$addr" -keys "$oltp_keys" \
+        -data-plane "$plane" >"$tmp/server.log" 2>&1 &
+    srv=$!
+    wait_reachable "$oltp_keys"
+    for nconns in 64 256 1024; do
+        echo "bench-serve: connection scaling, $plane plane, $nconns conns"
+        # shellcheck disable=SC2086
+        "$tmp/pbtree-loadgen" -addr "$addr" -keys "$oltp_keys" \
+            -conns "$nconns" -window 4 -duration 3s $mix \
+            >"$tmp/scale_${plane}_${nconns}.json"
+    done
+    stop_server
+done
+
+# Streaming scan: the olap-stream scenario (SCANOPEN/SCANNEXT
+# cursors) against the default pool plane.
+"$tmp/pbtree-server" -addr "$addr" -keys "$oltp_keys" >"$tmp/server.log" 2>&1 &
+srv=$!
+wait_reachable "$oltp_keys"
+echo "bench-serve: streaming scan (olap-stream)"
+"$tmp/pbtree-loadgen" -addr "$addr" -keys "$oltp_keys" -conns 4 \
+    -window 8 -duration 3s -scenario olap-stream >"$tmp/streaming.json"
+stop_server
+
 # Read scaling: single node, then 1 primary + 2 replicas with the
 # same total connection count spread across the set. 24 connections
 # saturate a single node on the reference hardware.
@@ -157,6 +198,14 @@ stop_server
     cat "$tmp/overhead_off.json"
     printf ',\n"overhead_on":\n'
     cat "$tmp/overhead_on.json"
+    for plane in pool goroutine; do
+        for nconns in 64 256 1024; do
+            printf ',\n"scale_%s_%s":\n' "$plane" "$nconns"
+            cat "$tmp/scale_${plane}_${nconns}.json"
+        done
+    done
+    printf ',\n"streaming":\n'
+    cat "$tmp/streaming.json"
     printf ',\n"single_node_reads":\n'
     cat "$tmp/single_node_reads.json"
     printf ',\n"replica_set_reads":\n'
